@@ -1,0 +1,88 @@
+// Ablation: communication aggregation in the simulated distributed
+// backend (the paper's future-work direction, §5's Williams et al.
+// comparison). Sweeps the ghost depth on a fixed rank count, reporting
+// per-cycle execution time alongside the exchange/message/byte counts a
+// network would be charged — the redundant-computation-for-communication
+// trade of deep ghost zones.
+//
+// Flags: --paper, --reps N, --ranks R.
+#include "polymg/dist/dist_mg.hpp"
+
+#include "gbench.hpp"
+
+namespace polymg::bench {
+namespace {
+
+struct DistPoint {
+  int ghost;
+  long exchanges = 0;
+  long messages = 0;
+  long doubles_sent = 0;
+};
+
+SolveRunner dist_runner(const CycleConfig& cfg, int cycles, int ranks,
+                        int ghost, DistPoint* stats_out) {
+  SolveRunner r;
+  auto p = std::make_shared<solvers::PoissonProblem>(
+      solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 99));
+  auto solver = std::make_shared<dist::DistMgSolver>(cfg, ranks, ghost);
+  r.run = [cfg, cycles, p, solver, stats_out] {
+    solver->scatter(p->v_view(), p->f_view());
+    solver->reset_stats();
+    for (int i = 0; i < cycles; ++i) solver->cycle();
+    stats_out->exchanges = solver->stats().exchanges;
+    stats_out->messages = solver->stats().messages;
+    stats_out->doubles_sent = solver->stats().doubles_sent;
+  };
+  return r;
+}
+
+}  // namespace
+}  // namespace polymg::bench
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  const bool paper = paper_sizes_requested(opts);
+  const int reps = static_cast<int>(opts.get_int("reps", 3));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 4));
+  benchmark::Initialize(&argc, argv);
+
+  const SizeClass sc = size_classes(paper).back();
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = sc.n2d;
+  cfg.levels = 4;
+  cfg.n1 = cfg.n2 = cfg.n3 = 4;
+
+  std::vector<std::unique_ptr<DistPoint>> stats;
+  for (int ghost : {1, 2, 3, 4}) {
+    stats.push_back(std::make_unique<DistPoint>());
+    stats.back()->ghost = ghost;
+    const std::string row = "V-2D-4-4-4 ghost=" + std::to_string(ghost);
+    register_point(row, "dist-mg",
+                   dist_runner(cfg, sc.iters2d, ranks, ghost,
+                               stats.back().get()),
+                   reps);
+  }
+
+  ResultTable table;
+  TableReporter reporter(&table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  table.print("Distributed backend: communication aggregation sweep", "");
+
+  std::printf("\ncommunication per solve (%d ranks):\n", ranks);
+  std::printf("%8s %12s %10s %14s %16s\n", "ghost", "exchanges", "messages",
+              "doubles sent", "doubles/message");
+  for (const auto& s : stats) {
+    std::printf("%8d %12ld %10ld %14ld %16.1f\n", s->ghost, s->exchanges,
+                s->messages, s->doubles_sent,
+                s->messages ? static_cast<double>(s->doubles_sent) /
+                                  static_cast<double>(s->messages)
+                            : 0.0);
+  }
+  std::printf(
+      "\nshape: deeper ghosts -> fewer exchanges/messages, more data per\n"
+      "message plus redundant halo compute (communication aggregation).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10(e) — NAS-MG: the hand-written NPB-style reference against
+// the PolyMG variants (the paper reports polymg-opt+ beating the NAS
+// reference by 32% on class C).
+//
+// Flags: --paper, --reps N, --class B|C.
+#include "gbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  const bool paper = paper_sizes_requested(opts);
+  const int reps = static_cast<int>(opts.get_int("reps", 3));
+  const std::string only_class = opts.get("class", "");
+  benchmark::Initialize(&argc, argv);
+
+  for (const NasClass& nc : nas_classes(paper)) {
+    if (!only_class.empty() && nc.name != only_class) continue;
+    polymg::solvers::NasMgConfig cfg;
+    cfg.n = nc.n;
+    cfg.levels = nc.levels;
+    const std::string row = "NAS-MG/" + nc.name;
+    for (Series s :
+         {Series::HandOpt, Series::Naive, Series::Opt, Series::OptPlus}) {
+      SolveRunner r = make_nas_runner(s, cfg, nc.iters);
+      const std::string label = r.label;  // read before the move
+      register_point(row, label, std::move(r), reps);
+    }
+  }
+
+  ResultTable table;
+  TableReporter reporter(&table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  table.print("Figure 10(e): NAS-MG", "polymg-naive");
+  std::printf("\npolymg-opt+ over nas-reference: %.2fx (paper class C: 1.32x)\n",
+              table.geomean_speedup("polymg-opt+", "nas-reference"));
+  return 0;
+}

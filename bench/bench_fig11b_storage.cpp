@@ -1,0 +1,74 @@
+// Figure 11b — storage-optimization breakdown for V-10-0-0 (2-d and
+// 3-d): speedup over polymg-naive with (a) intra-group scratchpad reuse
+// only, (b) intra + pooled allocation, (c) intra + pooled + inter-group
+// array reuse. The paper's observation: pooling already exploits most
+// inter-group reuse dynamically; static inter-group reuse adds the rest.
+//
+// Flags: --paper, --reps N.
+#include "gbench.hpp"
+
+namespace polymg::bench {
+namespace {
+
+SolveRunner flags_runner(const CycleConfig& cfg, int cycles, bool intra,
+                         bool pool, bool inter) {
+  SolveRunner r;
+  auto p = std::make_shared<solvers::PoissonProblem>(
+      solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 11));
+  auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
+  CompileOptions o = CompileOptions::for_variant(Variant::OptPlus, cfg.ndim);
+  o.intra_group_reuse = intra;
+  o.pooled_allocation = pool;
+  o.inter_group_reuse = inter;
+  auto ex = std::make_shared<runtime::Executor>(
+      opt::compile(solvers::build_cycle(cfg), o));
+  r.run = [cycles, p, v0, ex] {
+    grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
+                      p->domain());
+    for (int i = 0; i < cycles; ++i) {
+      const std::vector<grid::View> ext = {p->v_view(), p->f_view()};
+      ex->run(ext);
+      grid::copy_region(p->v_view(), ex->output_view(0), p->domain());
+    }
+  };
+  return r;
+}
+
+}  // namespace
+}  // namespace polymg::bench
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  const bool paper = paper_sizes_requested(opts);
+  const int reps = static_cast<int>(opts.get_int("reps", 2));
+  benchmark::Initialize(&argc, argv);
+
+  const SizeClass sc = size_classes(paper).back();  // class C
+  for (int ndim : {2, 3}) {
+    CycleConfig cfg;
+    cfg.ndim = ndim;
+    cfg.n = ndim == 2 ? sc.n2d : sc.n3d;
+    cfg.levels = 4;
+    cfg.n1 = 10;
+    cfg.n2 = 0;
+    cfg.n3 = 0;
+    const int iters = ndim == 2 ? sc.iters2d : sc.iters3d;
+    const std::string row = "V-" + std::to_string(ndim) + "D-10-0-0/C";
+    register_point(row, "polymg-naive",
+                   make_runner(Series::Naive, cfg, iters), reps);
+    register_point(row, "intra",
+                   flags_runner(cfg, iters, true, false, false), reps);
+    register_point(row, "intra+pool",
+                   flags_runner(cfg, iters, true, true, false), reps);
+    register_point(row, "intra+pool+inter",
+                   flags_runner(cfg, iters, true, true, true), reps);
+  }
+
+  ResultTable table;
+  TableReporter reporter(&table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  table.print("Figure 11b: storage optimization breakdown (V-10-0-0)",
+              "polymg-naive");
+  return 0;
+}

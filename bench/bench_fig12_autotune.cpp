@@ -1,0 +1,115 @@
+// Figure 12 — autotuning sweep for 2D-V-10-0-0 class C: execution time
+// of polymg-opt and polymg-opt+ across (group-size limit × tile size)
+// configurations. The paper's observations to reproduce: (i) opt+ beats
+// opt at every configuration, (ii) adjacent configurations sharing a
+// tile size behave alike (the repetitive pattern), and the tuner's best
+// configuration is reported at the end.
+//
+// The paper's 2-d space: outer tile 8:64, inner 64:512 (powers of two),
+// five grouping limits = 80 configurations; --full sweeps all of them,
+// the default subsamples to keep single-core runtime reasonable.
+//
+// Flags: --paper, --reps N, --full.
+#include "gbench.hpp"
+
+namespace polymg::bench {
+namespace {
+
+SolveRunner tuned_runner(const CycleConfig& cfg, int cycles, Variant var,
+                         polymg::poly::index_t t0, polymg::poly::index_t t1,
+                         int group_limit) {
+  SolveRunner r;
+  auto p = std::make_shared<solvers::PoissonProblem>(
+      solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 13));
+  auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
+  CompileOptions o = CompileOptions::for_variant(var, cfg.ndim);
+  o.tile = {t0, t1, 0};
+  o.group_limit = group_limit;
+  auto ex = std::make_shared<runtime::Executor>(
+      opt::compile(solvers::build_cycle(cfg), o));
+  r.run = [cycles, p, v0, ex] {
+    grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
+                      p->domain());
+    for (int i = 0; i < cycles; ++i) {
+      const std::vector<grid::View> ext = {p->v_view(), p->f_view()};
+      ex->run(ext);
+      grid::copy_region(p->v_view(), ex->output_view(0), p->domain());
+    }
+  };
+  return r;
+}
+
+}  // namespace
+}  // namespace polymg::bench
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  const bool paper = paper_sizes_requested(opts);
+  const bool full = opts.get_flag("full", false);
+  const int reps = static_cast<int>(opts.get_int("reps", 1));
+  benchmark::Initialize(&argc, argv);
+
+  const SizeClass sc = size_classes(paper).back();  // class C
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = sc.n2d;
+  cfg.levels = 4;
+  cfg.n1 = 10;
+  cfg.n2 = 0;
+  cfg.n3 = 0;
+
+  const std::vector<int> group_limits =
+      full ? std::vector<int>{2, 4, 6, 8, 12} : std::vector<int>{4, 8, 12};
+  const std::vector<polymg::poly::index_t> outer =
+      full ? std::vector<polymg::poly::index_t>{8, 16, 32, 64}
+           : std::vector<polymg::poly::index_t>{16, 32};
+  const std::vector<polymg::poly::index_t> inner =
+      full ? std::vector<polymg::poly::index_t>{64, 128, 256, 512}
+           : std::vector<polymg::poly::index_t>{128, 256};
+
+  for (int gl : group_limits) {
+    for (polymg::poly::index_t t0 : outer) {
+      for (polymg::poly::index_t t1 : inner) {
+        char row[64];
+        std::snprintf(row, sizeof row, "g%02d tile %3ldx%3ld", gl,
+                      static_cast<long>(t0), static_cast<long>(t1));
+        for (Variant v : {Variant::Opt, Variant::OptPlus}) {
+          register_point(row, polymg::opt::to_string(v),
+                         tuned_runner(cfg, sc.iters2d, v, t0, t1, gl), reps);
+        }
+      }
+    }
+  }
+
+  ResultTable table;
+  TableReporter reporter(&table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  table.print("Figure 12: autotuning configurations (2D-V-10-0-0/C)",
+              "polymg-opt");
+
+  // Report the tuner's pick and the opt+-always-wins property.
+  double best = 1e300;
+  std::string best_cfg;
+  int optplus_wins = 0, points = 0;
+  for (int gl : group_limits) {
+    for (polymg::poly::index_t t0 : outer) {
+      for (polymg::poly::index_t t1 : inner) {
+        char row[64];
+        std::snprintf(row, sizeof row, "g%02d tile %3ldx%3ld", gl,
+                      static_cast<long>(t0), static_cast<long>(t1));
+        const double o = table.get(row, "polymg-opt");
+        const double p = table.get(row, "polymg-opt+");
+        ++points;
+        optplus_wins += p <= o;
+        if (p < best) {
+          best = p;
+          best_cfg = row;
+        }
+      }
+    }
+  }
+  std::printf("\nautotuner best: %s (%.4fs); opt+ <= opt at %d/%d points\n",
+              best_cfg.c_str(), best, optplus_wins, points);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Table 3 — benchmark characteristics: DAG stage counts, generated lines
+// of code (polymg-opt and polymg-opt+ via the C emitter), and
+// polymg-naive execution times per size class at 1 and max threads.
+//
+// Flags: --paper, --reps N.
+#include "polymg/codegen/emit_c.hpp"
+#include "polymg/common/parallel.hpp"
+
+#include "gbench.hpp"
+
+namespace polymg::bench {
+namespace {
+
+struct Row {
+  std::string name;
+  int stages = 0;
+  int paper_stages = 0;
+  int loc_opt = 0;
+  int loc_optplus = 0;
+};
+
+std::vector<Row> structural_rows(poly::index_t n2d, poly::index_t n3d) {
+  std::vector<Row> rows;
+  const int paper_counts[] = {40, 42, 100, 98, 40, 42, 100, 98};
+  int idx = 0;
+  for (int ndim : {2, 3}) {
+    for (CycleKind kind : {CycleKind::V, CycleKind::W}) {
+      for (auto [n1, n2, n3] : {std::tuple{4, 4, 4}, std::tuple{10, 0, 0}}) {
+        CycleConfig cfg;
+        cfg.ndim = ndim;
+        cfg.n = ndim == 2 ? n2d : n3d;
+        cfg.levels = 4;
+        cfg.kind = kind;
+        cfg.n1 = n1;
+        cfg.n2 = n2;
+        cfg.n3 = n3;
+        Row r;
+        r.name = std::string(kind == CycleKind::V ? "V" : "W") + "-" +
+                 std::to_string(ndim) + "D-" + std::to_string(n1) + "-" +
+                 std::to_string(n2) + "-" + std::to_string(n3);
+        auto pipe = solvers::build_cycle(cfg);
+        r.stages = pipe.num_stages();
+        r.paper_stages = paper_counts[idx];
+        r.loc_opt = codegen::generated_loc(opt::compile(
+            solvers::build_cycle(cfg),
+            CompileOptions::for_variant(Variant::Opt, ndim)));
+        r.loc_optplus = codegen::generated_loc(opt::compile(
+            solvers::build_cycle(cfg),
+            CompileOptions::for_variant(Variant::OptPlus, ndim)));
+        rows.push_back(r);
+        ++idx;
+      }
+    }
+  }
+  // NAS-MG: structural row at the paper's 256³ depth (8 dyadic levels;
+  // the paper counts 34 nodes, the difference being NPB's zero-init and
+  // norm stages which our pipeline does not materialize).
+  {
+    solvers::NasMgConfig cfg;
+    cfg.n = 256;
+    cfg.levels = 8;
+    Row r;
+    r.name = "NAS-MG";
+    r.paper_stages = 34;
+    auto pipe = solvers::build_nas_mg_pipeline(cfg);
+    r.stages = pipe.num_stages();
+    r.loc_opt = codegen::generated_loc(opt::compile(
+        solvers::build_nas_mg_pipeline(cfg),
+        CompileOptions::for_variant(Variant::Opt, 3)));
+    r.loc_optplus = codegen::generated_loc(opt::compile(
+        solvers::build_nas_mg_pipeline(cfg),
+        CompileOptions::for_variant(Variant::OptPlus, 3)));
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace polymg::bench
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  const bool paper = paper_sizes_requested(opts);
+  const int reps = static_cast<int>(opts.get_int("reps", 2));
+  benchmark::Initialize(&argc, argv);
+
+  // Structural columns (stage counts and generated LoC).
+  const auto structural = structural_rows(63, 31);
+
+  // polymg-naive execution-time columns, per size class.
+  for (const SizeClass& sc : size_classes(paper)) {
+    for (int ndim : {2, 3}) {
+      for (CycleKind kind : {CycleKind::V, CycleKind::W}) {
+        for (auto [n1, n2, n3] :
+             {std::tuple{4, 4, 4}, std::tuple{10, 0, 0}}) {
+          CycleConfig cfg;
+          cfg.ndim = ndim;
+          cfg.n = ndim == 2 ? sc.n2d : sc.n3d;
+          cfg.levels = 4;
+          cfg.kind = kind;
+          cfg.n1 = n1;
+          cfg.n2 = n2;
+          cfg.n3 = n3;
+          const std::string row =
+              std::string(kind == CycleKind::V ? "V" : "W") + "-" +
+              std::to_string(ndim) + "D-" + std::to_string(n1) + "-" +
+              std::to_string(n2) + "-" + std::to_string(n3);
+          register_point(
+              row, "naive/" + sc.name,
+              make_runner(Series::Naive, cfg,
+                          ndim == 2 ? sc.iters2d : sc.iters3d),
+              reps);
+        }
+      }
+    }
+    for (const NasClass& nc : nas_classes(paper)) {
+      if (nc.name != sc.name) continue;
+      polymg::solvers::NasMgConfig ncfg;
+      ncfg.n = nc.n;
+      ncfg.levels = nc.levels;
+      register_point("NAS-MG", "naive/" + sc.name,
+                     make_nas_runner(Series::Naive, ncfg, nc.iters), reps);
+    }
+  }
+
+  ResultTable table;
+  TableReporter reporter(&table);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::printf("\n== Table 3: benchmark characteristics ==\n");
+  std::printf("threads available: %d\n", polymg::max_threads());
+  std::printf("%-16s %8s %14s %12s %12s\n", "benchmark", "stages",
+              "paper-stages", "gen-LoC opt", "gen-LoC opt+");
+  for (const auto& r : structural) {
+    std::printf("%-16s %8d %14d %12d %12d\n", r.name.c_str(), r.stages,
+                r.paper_stages, r.loc_opt, r.loc_optplus);
+  }
+  table.print("Table 3: polymg-naive execution times", "");
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace polymg::bench {
+
+std::vector<SizeClass> size_classes(bool paper) {
+  if (paper) {
+    // Table 2. Interiors are 2^k - 1 so the hierarchies align; the paper
+    // quotes the allocated grid edge (N+2 ≈ 8194 etc.).
+    return {{"B", 8191, 255, 10, 25}, {"C", 16383, 511, 10, 10}};
+  }
+  return {{"B", 511, 63, 3, 3}, {"C", 1023, 127, 3, 2}};
+}
+
+bool paper_sizes_requested(const Options& opts) {
+  return opts.get_flag("paper", false) ||
+         opts.get_flag("paper-sizes", false);
+}
+
+std::string to_string(Series s) {
+  switch (s) {
+    case Series::HandOpt:
+      return "handopt";
+    case Series::HandOptPluto:
+      return "handopt+pluto";
+    case Series::Naive:
+      return "polymg-naive";
+    case Series::Opt:
+      return "polymg-opt";
+    case Series::OptPlus:
+      return "polymg-opt+";
+    case Series::DtileOptPlus:
+      return "polymg-dtile-opt+";
+  }
+  return "?";
+}
+
+const std::vector<Series>& all_series() {
+  static const std::vector<Series> s = {
+      Series::HandOpt, Series::HandOptPluto, Series::Naive,
+      Series::Opt,     Series::OptPlus,      Series::DtileOptPlus};
+  return s;
+}
+
+SolveRunner make_runner(Series s, const CycleConfig& cfg, int cycles,
+                        std::uint64_t seed) {
+  SolveRunner r;
+  r.label = to_string(s);
+  // The problem is built once; each timed run restores the pristine
+  // initial guess (a memcpy) and then solves — so timings cover the
+  // multigrid cycles plus each variant's allocation behaviour, exactly
+  // the regime the pooled allocator targets.
+  auto p = std::make_shared<solvers::PoissonProblem>(
+      solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, seed));
+  auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
+
+  if (s == Series::HandOpt || s == Series::HandOptPluto) {
+    auto solver = std::make_shared<solvers::HandOptSolver>(
+        cfg, /*time_tiled=*/s == Series::HandOptPluto);
+    r.run = [cfg, cycles, solver, p, v0] {
+      grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
+                        p->domain());
+      for (int i = 0; i < cycles; ++i) {
+        solver->cycle(p->v_view(), p->f_view());
+      }
+    };
+    return r;
+  }
+  const Variant v = s == Series::Naive ? Variant::Naive
+                    : s == Series::Opt ? Variant::Opt
+                    : s == Series::OptPlus
+                        ? Variant::OptPlus
+                        : Variant::DtileOptPlus;
+  auto ex = std::make_shared<runtime::Executor>(
+      opt::compile(solvers::build_cycle(cfg),
+                   CompileOptions::for_variant(v, cfg.ndim)));
+  r.run = [cfg, cycles, ex, p, v0] {
+    grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
+                      p->domain());
+    for (int i = 0; i < cycles; ++i) {
+      const std::vector<grid::View> ext = {p->v_view(), p->f_view()};
+      ex->run(ext);
+      grid::copy_region(p->v_view(), ex->output_view(0), p->domain());
+    }
+  };
+  return r;
+}
+
+std::vector<NasClass> nas_classes(bool paper) {
+  if (paper) {
+    return {{"B", 256, 9, 20}, {"C", 512, 9, 20}};
+  }
+  return {{"B", 32, 5, 4}, {"C", 64, 6, 4}};
+}
+
+SolveRunner make_nas_runner(Series s, const solvers::NasMgConfig& cfg,
+                            int iters) {
+  SolveRunner r;
+  r.label = to_string(s);
+  const poly::Box dom = poly::Box::cube(3, 0, cfg.n + 1);
+  auto u = std::make_shared<grid::Buffer>(grid::make_grid(dom));
+  auto v = std::make_shared<grid::Buffer>(grid::make_grid(dom));
+  solvers::nas_fill_rhs(grid::View::over(v->data(), dom), cfg.n);
+
+  if (s == Series::HandOpt || s == Series::HandOptPluto) {
+    r.label = "nas-reference";
+    auto ref = std::make_shared<solvers::NasMgReference>(cfg);
+    r.run = [dom, iters, u, v, ref] {
+      u->fill(0.0);
+      for (int i = 0; i < iters; ++i) {
+        ref->iterate(grid::View::over(u->data(), dom),
+                     grid::View::over(v->data(), dom));
+      }
+    };
+    return r;
+  }
+  const Variant var = s == Series::Naive ? Variant::Naive
+                      : s == Series::Opt ? Variant::Opt
+                                         : Variant::OptPlus;
+  auto ex = std::make_shared<runtime::Executor>(opt::compile(
+      solvers::build_nas_mg_pipeline(cfg),
+      CompileOptions::for_variant(var, 3)));
+  r.run = [dom, iters, u, v, ex] {
+    u->fill(0.0);
+    for (int i = 0; i < iters; ++i) {
+      const std::vector<grid::View> ext = {grid::View::over(u->data(), dom),
+                                           grid::View::over(v->data(), dom)};
+      ex->run(ext);
+      grid::copy_region(grid::View::over(u->data(), dom), ex->output_view(0),
+                        dom);
+    }
+  };
+  return r;
+}
+
+double time_runner(const SolveRunner& r, int repetitions) {
+  return min_time_of(r.run, repetitions);
+}
+
+void ResultTable::record(const std::string& row, const std::string& series,
+                         double seconds) {
+  if (data_.find(row) == data_.end()) row_order_.push_back(row);
+  bool seen = false;
+  for (const auto& s : series_order_) seen = seen || s == series;
+  if (!seen) series_order_.push_back(series);
+  data_[row][series] = seconds;
+}
+
+double ResultTable::get(const std::string& row,
+                        const std::string& series) const {
+  return data_.at(row).at(series);
+}
+
+void ResultTable::print(const std::string& title,
+                        const std::string& baseline) const {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-24s", "benchmark");
+  for (const auto& s : series_order_) std::printf(" %17s", s.c_str());
+  std::printf("\n");
+  std::printf("%-24s", "(seconds)");
+  for (std::size_t i = 0; i < series_order_.size(); ++i) std::printf(" %17s", "");
+  std::printf("\n");
+  for (const auto& row : row_order_) {
+    std::printf("%-24s", row.c_str());
+    for (const auto& s : series_order_) {
+      auto it = data_.at(row).find(s);
+      if (it == data_.at(row).end()) {
+        std::printf(" %17s", "-");
+      } else {
+        std::printf(" %17.4f", it->second);
+      }
+    }
+    std::printf("\n");
+  }
+  if (baseline.empty()) return;
+  std::printf("%-24s\n", ("speedup over " + baseline + ":").c_str());
+  for (const auto& row : row_order_) {
+    const auto base = data_.at(row).find(baseline);
+    if (base == data_.at(row).end()) continue;
+    std::printf("%-24s", row.c_str());
+    for (const auto& s : series_order_) {
+      auto it = data_.at(row).find(s);
+      if (it == data_.at(row).end() || it->second <= 0) {
+        std::printf(" %17s", "-");
+      } else {
+        std::printf(" %16.2fx", base->second / it->second);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+double ResultTable::geomean_speedup(const std::string& series,
+                                    const std::string& baseline) const {
+  double log_sum = 0.0;
+  int n = 0;
+  for (const auto& [row, m] : data_) {
+    const auto a = m.find(baseline);
+    const auto b = m.find(series);
+    if (a == m.end() || b == m.end() || b->second <= 0) continue;
+    log_sum += std::log(a->second / b->second);
+    ++n;
+  }
+  return n ? std::exp(log_sum / n) : 0.0;
+}
+
+}  // namespace polymg::bench

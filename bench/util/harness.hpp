@@ -1,0 +1,109 @@
+// Shared benchmark harness.
+//
+// Reproduces the paper's measurement protocol: each benchmark point runs
+// a fixed number of whole multigrid cycles (Table 2's iteration counts,
+// scaled), the minimum wall time over repetitions is reported, and
+// speedups are always computed against polymg-naive on the same problem.
+//
+// Problem sizes are scaled classes: the paper's Class B/C (2D 8192²/
+// 16384², 3D 256³/512³) would take hours on this single-core host, so the
+// defaults keep the same shape at laptop scale; set POLYMG_PAPER_SIZES=1
+// (or pass --paper) to run the original sizes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "polymg/common/options.hpp"
+#include "polymg/common/timer.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/handopt.hpp"
+#include "polymg/solvers/nas_mg.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::bench {
+
+using opt::CompileOptions;
+using opt::Variant;
+using solvers::CycleConfig;
+using solvers::CycleKind;
+
+/// One problem-size class of Table 2 (scaled).
+struct SizeClass {
+  std::string name;  // "B" or "C"
+  poly::index_t n2d;
+  poly::index_t n3d;
+  int iters2d;
+  int iters3d;
+};
+
+/// Scaled classes; `paper` selects the original Table 2 sizes.
+std::vector<SizeClass> size_classes(bool paper);
+
+bool paper_sizes_requested(const Options& opts);
+
+/// All comparison series of Figs. 9/10.
+enum class Series {
+  HandOpt,
+  HandOptPluto,
+  Naive,
+  Opt,
+  OptPlus,
+  DtileOptPlus,
+};
+std::string to_string(Series s);
+const std::vector<Series>& all_series();
+
+/// Build a runnable solver for one series; returns a closure running the
+/// full multi-cycle solve on a fresh problem each call.
+struct SolveRunner {
+  std::function<void()> run;
+  std::string label;
+};
+SolveRunner make_runner(Series s, const CycleConfig& cfg, int cycles,
+                        std::uint64_t seed = 42);
+
+/// NAS-MG runner: Series::HandOpt maps to the hand-written NPB-style
+/// reference; the polymg series run the DSL pipeline. HandOptPluto and
+/// DtileOptPlus are not applicable (NAS MG has no smoother chains) and
+/// fall back to HandOpt / OptPlus respectively.
+SolveRunner make_nas_runner(Series s, const solvers::NasMgConfig& cfg,
+                            int iters);
+
+/// min-of-repetitions timing (the paper uses min of five).
+double time_runner(const SolveRunner& r, int repetitions);
+
+/// NAS-MG size classes: (n, levels, iters) scaled from Table 2's
+/// 256³/20 and 512³/20.
+struct NasClass {
+  std::string name;
+  poly::index_t n;
+  int levels;
+  int iters;
+};
+std::vector<NasClass> nas_classes(bool paper);
+
+/// Collects (row label -> series -> seconds) and prints paper-style
+/// speedup tables (speedup over Naive) plus geometric-mean summaries.
+class ResultTable {
+public:
+  void record(const std::string& row, const std::string& series,
+              double seconds);
+  double get(const std::string& row, const std::string& series) const;
+
+  /// Print execution times and speedup-over-naive, one row per problem.
+  void print(const std::string& title, const std::string& baseline) const;
+
+  /// Geometric mean of (baseline / series) across all rows.
+  double geomean_speedup(const std::string& series,
+                         const std::string& baseline) const;
+
+private:
+  std::vector<std::string> row_order_;
+  std::vector<std::string> series_order_;
+  std::map<std::string, std::map<std::string, double>> data_;
+};
+
+}  // namespace polymg::bench

@@ -1,0 +1,52 @@
+// Simulated distributed-memory multigrid: solve the 2-d Poisson problem
+// across R "ranks" with communication-aggregated (deep-ghost) smoothing
+// and report the communication bill per ghost depth — the trade-off the
+// paper's related work (Williams et al.) describes and its future-work
+// distributed backend would make on a real network.
+//
+//   ./examples/distributed_mg [--n 511] [--ranks 4] [--cycles 4]
+#include <cstdio>
+
+#include "polymg/common/options.hpp"
+#include "polymg/common/timer.hpp"
+#include "polymg/dist/dist_mg.hpp"
+#include "polymg/solvers/metrics.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+int main(int argc, char** argv) {
+  using namespace polymg;
+  const Options opts = Options::parse(argc, argv);
+
+  solvers::CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = opts.get_int("n", 511);
+  cfg.levels = static_cast<int>(opts.get_int("levels", 4));
+  cfg.n1 = cfg.n2 = cfg.n3 = 4;
+  const int ranks = static_cast<int>(opts.get_int("ranks", 4));
+  const int cycles = static_cast<int>(opts.get_int("cycles", 4));
+
+  std::printf("%d ranks, 1-d decomposition, %lld^2 grid, %d levels\n",
+              ranks, static_cast<long long>(cfg.n), cfg.levels);
+  std::printf("%-8s %-12s %-12s %-12s %-14s %-12s\n", "ghost", "time(s)",
+              "residual", "exchanges", "doubles sent", "msgs");
+
+  for (int ghost : {1, 2, 4}) {
+    auto p = solvers::PoissonProblem::manufactured(2, cfg.n);
+    dist::DistMgSolver solver(cfg, ranks, ghost);
+    solver.scatter(p.v_view(), p.f_view());
+    solver.reset_stats();
+    Timer t;
+    for (int c = 0; c < cycles; ++c) solver.cycle();
+    const double secs = t.elapsed();
+    solver.gather(p.v_view());
+    const double res =
+        solvers::residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+    std::printf("%-8d %-12.4f %-12.4e %-12ld %-14ld %-12ld\n", ghost, secs,
+                res, solver.stats().exchanges, solver.stats().doubles_sent,
+                solver.stats().messages);
+  }
+  std::printf(
+      "\nAll ghost depths produce identical numerics (bitwise); the depth\n"
+      "only moves cost between message count and redundant computation.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "polymg/common/error.hpp"
+
+namespace polymg::detail {
+
+void throw_check_failure(const char* cond, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream oss;
+  oss << "PMG_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace polymg::detail

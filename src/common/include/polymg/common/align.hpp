@@ -1,0 +1,50 @@
+// Cache-line / SIMD aligned heap allocation helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg {
+
+/// Alignment used for all numeric buffers: one typical cache line, which
+/// also satisfies AVX-512 load alignment.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Allocate `bytes` of kBufferAlignment-aligned storage. Never returns
+/// nullptr; throws std::bad_alloc on failure. `bytes == 0` yields a valid
+/// 1-byte allocation so callers need no special case.
+inline void* aligned_malloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  // Round size up to a multiple of the alignment as required by
+  // std::aligned_alloc.
+  const std::size_t rounded =
+      (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+  void* p = std::aligned_alloc(kBufferAlignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void aligned_free(void* p) noexcept { std::free(p); }
+
+/// Deleter for use with std::unique_ptr over aligned allocations.
+struct AlignedFree {
+  void operator()(void* p) const noexcept { aligned_free(p); }
+};
+
+template <typename T>
+using AlignedPtr = std::unique_ptr<T[], AlignedFree>;
+
+/// Allocate an aligned, uninitialized array of `count` Ts (T must be
+/// trivially destructible — numeric buffers only).
+template <typename T>
+AlignedPtr<T> aligned_array(std::size_t count) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "aligned_array is for trivially destructible value types");
+  return AlignedPtr<T>(static_cast<T*>(aligned_malloc(count * sizeof(T))));
+}
+
+}  // namespace polymg

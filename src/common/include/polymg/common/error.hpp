@@ -1,0 +1,47 @@
+// Error handling and invariant checking for the PolyMG library.
+//
+// All precondition and invariant violations funnel through Error (a
+// std::runtime_error subclass) so library users can catch one type. The
+// PMG_CHECK macro is always on (multigrid planning is not on the hot path);
+// PMG_DCHECK compiles out in release builds and is used inside point loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace polymg {
+
+/// Exception type thrown on any misuse of the library or internal
+/// invariant violation.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace polymg
+
+/// Always-on invariant check. `msg` may use stream syntax:
+///   PMG_CHECK(a == b, "mismatch " << a << " vs " << b);
+#define PMG_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream pmg_oss_;                                        \
+      pmg_oss_ << msg; /* NOLINT */                                       \
+      ::polymg::detail::throw_check_failure(#cond, __FILE__, __LINE__,    \
+                                            pmg_oss_.str());              \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define PMG_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#else
+#define PMG_DCHECK(cond, msg) PMG_CHECK(cond, msg)
+#endif

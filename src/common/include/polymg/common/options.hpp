@@ -1,0 +1,41 @@
+// Minimal command-line / environment option parsing shared by the
+// benchmark binaries and examples. Supports `--key value`, `--key=value`
+// and `--flag` forms plus environment-variable fallbacks.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace polymg {
+
+class Options {
+public:
+  Options() = default;
+
+  /// Parse argv-style options. Unrecognized positional arguments are kept
+  /// in positional(). Throws Error on malformed input (e.g. `--key` at the
+  /// end expecting a value is treated as a flag).
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// Value lookup order: command line, then environment variable
+  /// POLYMG_<KEY> (upper-cased, dashes mapped to underscores), then the
+  /// provided default.
+  std::string get(const std::string& key, const std::string& def) const;
+  long get_int(const std::string& key, long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_flag(const std::string& key, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace polymg

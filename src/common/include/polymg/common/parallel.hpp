@@ -1,0 +1,16 @@
+// Thin wrappers over the OpenMP runtime so the rest of the library never
+// includes <omp.h> directly and builds (serially) even without OpenMP.
+#pragma once
+
+namespace polymg {
+
+/// Number of threads an upcoming parallel region will use.
+int max_threads();
+
+/// Calling thread's id inside a parallel region (0 outside).
+int thread_id();
+
+/// Temporarily override the global thread count (returns previous value).
+int set_num_threads(int n);
+
+}  // namespace polymg

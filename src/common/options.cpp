@@ -1,0 +1,92 @@
+#include "polymg/common/options.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg {
+
+namespace {
+
+std::string env_name(const std::string& key) {
+  std::string name = "POLYMG_";
+  for (char c : key) {
+    name.push_back(c == '-' ? '_'
+                            : static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(c))));
+  }
+  return name;
+}
+
+bool looks_like_value(const std::string& s) {
+  return s.size() < 2 || s[0] != '-' || s[1] != '-';
+}
+
+}  // namespace
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts.kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && looks_like_value(argv[i + 1])) {
+      opts.kv_[arg] = argv[++i];
+    } else {
+      opts.kv_[arg] = "1";  // bare flag
+    }
+  }
+  return opts;
+}
+
+std::optional<std::string> Options::lookup(const std::string& key) const {
+  if (auto it = kv_.find(key); it != kv_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(key).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+bool Options::has(const std::string& key) const {
+  return lookup(key).has_value();
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& def) const {
+  return lookup(key).value_or(def);
+}
+
+long Options::get_int(const std::string& key, long def) const {
+  const auto v = lookup(key);
+  if (!v) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  PMG_CHECK(end != v->c_str() && *end == '\0',
+            "option --" << key << " expects an integer, got '" << *v << "'");
+  return parsed;
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto v = lookup(key);
+  if (!v) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  PMG_CHECK(end != v->c_str() && *end == '\0',
+            "option --" << key << " expects a number, got '" << *v << "'");
+  return parsed;
+}
+
+bool Options::get_flag(const std::string& key, bool def) const {
+  const auto v = lookup(key);
+  if (!v) return def;
+  return *v != "0" && *v != "false" && *v != "off";
+}
+
+}  // namespace polymg

@@ -1,0 +1,36 @@
+#include "polymg/common/parallel.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace polymg {
+
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+int set_num_threads(int n) {
+#ifdef _OPENMP
+  const int prev = omp_get_max_threads();
+  if (n > 0) omp_set_num_threads(n);
+  return prev;
+#else
+  (void)n;
+  return 1;
+#endif
+}
+
+}  // namespace polymg

@@ -1,0 +1,3 @@
+// Timer is header-only; this TU exists so the library has a stable anchor
+// and a place for future timing backends (e.g. PAPI counters).
+#include "polymg/common/timer.hpp"

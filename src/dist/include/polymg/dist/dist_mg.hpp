@@ -1,0 +1,109 @@
+// Simulated distributed-memory multigrid backend.
+//
+// The paper lists a distributed-memory backend as future work and its
+// related-work discussion centres on Williams et al.'s communication
+// aggregation: exchange a ghost zone `s` cells deep, then run `s`
+// smoothing steps locally with redundant computation in the halo — the
+// distributed-memory twin of overlapped tiling. This module builds that
+// system as a simulation: "ranks" are subdomains of one address space, a
+// halo exchange is a neighbour-to-neighbour copy, and communication cost
+// is surfaced as counted messages and transferred doubles (the
+// quantities a network would charge for).
+//
+// Decomposition is 1-d along the outermost dimension and is anchored at
+// the coarsest level so every level's partition aligns under the 2i
+// coarse-fine map: rank r owns coarse rows [lo, hi] and fine rows
+// [2·lo - 1, 2·hi] (the last rank also takes the final fine row). With
+// that alignment, restriction and interpolation only ever need
+// depth-1 halos.
+#pragma once
+
+#include <vector>
+
+#include "polymg/grid/ops.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::dist {
+
+using grid::View;
+using poly::index_t;
+using solvers::CycleConfig;
+
+/// Communication accounting (what an MPI backend would put on the wire).
+struct CommStats {
+  long messages = 0;
+  long doubles_sent = 0;
+  long exchanges = 0;  ///< collective halo-exchange rounds
+
+  void clear() { *this = CommStats{}; }
+};
+
+/// Per-level 1-d decomposition along dimension 0.
+class Decomp {
+public:
+  Decomp(const CycleConfig& cfg, int ranks);
+
+  int ranks() const { return ranks_; }
+  /// Owned interior rows of `rank` at `level` (inclusive).
+  poly::Interval owned(int level, int rank) const;
+
+private:
+  int ranks_;
+  int levels_;
+  std::vector<std::vector<poly::Interval>> owned_;  // [level][rank]
+};
+
+/// Distributed geometric multigrid solver (Jacobi smoothing, V/W/F
+/// cycles, the same numerics as solvers::HandOptSolver — results match
+/// the shared-memory solvers bit for bit).
+class DistMgSolver {
+public:
+  /// `ghost_depth` is the communication-aggregation factor: halos are
+  /// exchanged `ghost_depth` cells deep and each exchange covers
+  /// min(ghost_depth, remaining) smoothing steps, with redundant halo
+  /// computation in between (depth 1 = classic exchange-per-step).
+  DistMgSolver(const CycleConfig& cfg, int ranks, int ghost_depth = 1);
+
+  /// Load the finest-level iterate and right-hand side (global views).
+  void scatter(View v, View f);
+  /// One multigrid cycle over the distributed state.
+  void cycle();
+  /// Read the finest-level iterate back into a global view.
+  void gather(View v) const;
+
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_.clear(); }
+  const CycleConfig& config() const { return cfg_; }
+  int ranks() const { return decomp_.ranks(); }
+
+private:
+  struct RankLevel {
+    poly::Interval owned;       ///< global interior rows owned
+    poly::Box local_box;        ///< rows [owned.lo - halo, owned.hi + halo]
+    grid::Buffer v, f, r, tmp;  ///< local fields incl. halo
+    View vv() { return View::over(v.data(), local_box); }
+    View fv() { return View::over(f.data(), local_box); }
+    View rv() { return View::over(r.data(), local_box); }
+    View tv() { return View::over(tmp.data(), local_box); }
+  };
+
+  /// Exchange `depth` halo rows of field `which` (0=v,1=f,2=r) at a
+  /// level between neighbouring ranks; global-boundary halos are zeroed.
+  void exchange(int level, int which, index_t depth);
+  void smooth(int level, int steps);
+  void residual(int level);
+  void restrict_to(int level);  ///< r at `level` -> f at level-1
+  void interp_correct(int level);
+  void zero_v(int level);
+
+  CycleConfig cfg_;
+  Decomp decomp_;
+  index_t ghost_depth_;
+  std::vector<std::vector<RankLevel>> state_;  // [level][rank]
+  CommStats stats_;
+
+  void visit(int level, bool zero_guess, solvers::CycleKind kind);
+  double* field_ptr(RankLevel& rl, int which);
+};
+
+}  // namespace polymg::dist

@@ -1,0 +1,33 @@
+// Bulk grid utilities: fills, norms, comparisons, region copies.
+// These are host-side helpers (problem setup, verification, metrics), not
+// the pipeline kernels — those live in polymg::runtime.
+#pragma once
+
+#include <functional>
+
+#include "polymg/grid/buffer.hpp"
+#include "polymg/grid/view.hpp"
+
+namespace polymg::grid {
+
+/// Allocate a buffer sized for `domain` and return it zero-filled.
+Buffer make_grid(const Box& domain);
+
+/// Set every point of `region` (must lie inside the view's addressable
+/// area) to f(i, j[, k]).
+void fill_region(View v, const Box& region,
+                 const std::function<double(index_t, index_t, index_t)>& f);
+
+/// Copy `region` from src to dst (both views must cover it).
+void copy_region(View dst, View src, const Box& region);
+
+/// Max-norm of a region.
+double max_norm(View v, const Box& region);
+
+/// L2 norm (sqrt of sum of squares) of a region.
+double l2_norm(View v, const Box& region);
+
+/// Max absolute difference between two views over a region.
+double max_diff(View a, View b, const Box& region);
+
+}  // namespace polymg::grid

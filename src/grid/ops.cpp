@@ -1,0 +1,101 @@
+#include "polymg/grid/ops.hpp"
+
+#include <cmath>
+
+namespace polymg::grid {
+
+namespace {
+
+/// Apply `fn(i, j, k)` to every point of `region` (k fixed at 0 for 2-d).
+template <typename Fn>
+void for_each_point(const Box& region, Fn&& fn) {
+  if (region.empty()) return;
+  if (region.ndim() == 2) {
+    for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+      for (index_t j = region.dim(1).lo; j <= region.dim(1).hi; ++j) {
+        fn(i, j, index_t{0});
+      }
+    }
+  } else if (region.ndim() == 3) {
+    for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+      for (index_t j = region.dim(1).lo; j <= region.dim(1).hi; ++j) {
+        for (index_t k = region.dim(2).lo; k <= region.dim(2).hi; ++k) {
+          fn(i, j, k);
+        }
+      }
+    }
+  } else if (region.ndim() == 1) {
+    for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+      fn(i, index_t{0}, index_t{0});
+    }
+  } else {
+    PMG_CHECK(false, "unsupported ndim " << region.ndim());
+  }
+}
+
+double read(const View& v, index_t i, index_t j, index_t k) {
+  switch (v.ndim) {
+    case 2:
+      return v.at2(i, j);
+    case 3:
+      return v.at3(i, j, k);
+    default:
+      return v.at({i, j, k});
+  }
+}
+
+}  // namespace
+
+Buffer make_grid(const Box& domain) {
+  Buffer b(static_cast<std::size_t>(domain.count()));
+  b.fill(0.0);
+  return b;
+}
+
+void fill_region(View v, const Box& region,
+                 const std::function<double(index_t, index_t, index_t)>& f) {
+  for_each_point(region, [&](index_t i, index_t j, index_t k) {
+    if (v.ndim == 2) {
+      v.at2(i, j) = f(i, j, 0);
+    } else {
+      v.at3(i, j, k) = f(i, j, k);
+    }
+  });
+}
+
+void copy_region(View dst, View src, const Box& region) {
+  for_each_point(region, [&](index_t i, index_t j, index_t k) {
+    if (dst.ndim == 2) {
+      dst.at2(i, j) = src.at2(i, j);
+    } else {
+      dst.at3(i, j, k) = src.at3(i, j, k);
+    }
+  });
+}
+
+double max_norm(View v, const Box& region) {
+  double m = 0.0;
+  for_each_point(region, [&](index_t i, index_t j, index_t k) {
+    m = std::max(m, std::abs(read(v, i, j, k)));
+  });
+  return m;
+}
+
+double l2_norm(View v, const Box& region) {
+  double s = 0.0;
+  for_each_point(region, [&](index_t i, index_t j, index_t k) {
+    const double x = read(v, i, j, k);
+    s += x * x;
+  });
+  return std::sqrt(s);
+}
+
+double max_diff(View a, View b, const Box& region) {
+  double m = 0.0;
+  for_each_point(region, [&](index_t i, index_t j, index_t k) {
+    m = std::max(m, std::abs(read(a, i, j, k) - read(b, i, j, k)));
+  });
+  return m;
+}
+
+}  // namespace polymg::grid

@@ -1,0 +1,172 @@
+#include "polymg/ir/builder.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::ir {
+
+PipelineBuilder::PipelineBuilder(int ndim) {
+  PMG_CHECK(ndim >= 1 && ndim <= poly::kMaxDims, "bad ndim " << ndim);
+  pipe_.ndim = ndim;
+}
+
+Handle PipelineBuilder::input(const std::string& name, const Box& domain) {
+  PMG_CHECK(domain.ndim() == pipe_.ndim, "input " << name << " ndim mismatch");
+  PMG_CHECK(!domain.empty(), "input " << name << " has empty domain");
+  pipe_.externals.push_back(ExternalGrid{name, domain});
+  return Handle{true, static_cast<int>(pipe_.externals.size()) - 1};
+}
+
+std::vector<SourceRef> PipelineBuilder::bind_sources(
+    FunctionDecl& f, const std::vector<Handle>& srcs) const {
+  std::vector<SourceRef> refs;
+  refs.reserve(srcs.size());
+  for (const Handle& h : srcs) {
+    PMG_CHECK(h.valid(), "unbound source handle in " << f.name);
+    if (h.external) {
+      PMG_CHECK(h.index < static_cast<int>(pipe_.externals.size()),
+                "bad external handle in " << f.name);
+    } else {
+      PMG_CHECK(h.index < static_cast<int>(pipe_.funcs.size()),
+                "bad function handle in " << f.name);
+    }
+    f.sources.push_back(SourceSlot{h.external, h.index});
+    SourceRef r;
+    r.slot = static_cast<int>(f.sources.size()) - 1;
+    r.ndim = pipe_.ndim;
+    refs.push_back(r);
+  }
+  return refs;
+}
+
+Handle PipelineBuilder::commit(FunctionDecl&& f) {
+  f.finalize();
+  pipe_.funcs.push_back(std::move(f));
+  return Handle{false, static_cast<int>(pipe_.funcs.size()) - 1};
+}
+
+namespace {
+
+FunctionDecl from_spec(const FuncSpec& spec, int ndim,
+                       ConstructKind construct) {
+  FunctionDecl f;
+  f.name = spec.name;
+  f.ndim = ndim;
+  f.domain = spec.domain;
+  f.interior = spec.interior;
+  f.boundary = spec.boundary;
+  f.boundary_source = spec.boundary_source;
+  f.level = spec.level;
+  f.construct = construct;
+  return f;
+}
+
+}  // namespace
+
+Handle PipelineBuilder::define(const FuncSpec& spec,
+                               const std::vector<Handle>& srcs,
+                               const DefFn& def) {
+  FunctionDecl f = from_spec(spec, pipe_.ndim, ConstructKind::Function);
+  const std::vector<SourceRef> refs = bind_sources(f, srcs);
+  f.defs = {def(refs)};
+  return commit(std::move(f));
+}
+
+Handle PipelineBuilder::define_piecewise(const FuncSpec& spec,
+                                         const std::vector<Handle>& srcs,
+                                         const PiecewiseDefFn& def) {
+  FunctionDecl f = from_spec(spec, pipe_.ndim, ConstructKind::Function);
+  const std::vector<SourceRef> refs = bind_sources(f, srcs);
+  f.defs = def(refs);
+  f.parity_piecewise = true;
+  return commit(std::move(f));
+}
+
+Handle PipelineBuilder::define_restrict(const FuncSpec& spec,
+                                        const std::vector<Handle>& srcs,
+                                        const DefFn& def) {
+  PMG_CHECK(!srcs.empty(), "Restrict needs at least one source");
+  FunctionDecl f = from_spec(spec, pipe_.ndim, ConstructKind::Restrict);
+  std::vector<SourceRef> refs = bind_sources(f, srcs);
+  // The Restrict construct's default sampling factor: output point x reads
+  // the fine grid at 2x (+ stencil offsets).
+  for (int d = 0; d < pipe_.ndim; ++d) {
+    refs[0].num[d] = 2;
+    refs[0].den[d] = 1;
+  }
+  f.defs = {def(refs)};
+  return commit(std::move(f));
+}
+
+Handle PipelineBuilder::define_interp(const FuncSpec& spec,
+                                      const std::vector<Handle>& srcs,
+                                      const PiecewiseDefFn& def) {
+  PMG_CHECK(!srcs.empty(), "Interp needs at least one source");
+  FunctionDecl f = from_spec(spec, pipe_.ndim, ConstructKind::Interp);
+  std::vector<SourceRef> refs = bind_sources(f, srcs);
+  // The Interp construct's default sampling factor: output point x reads
+  // the coarse grid at x/2 (+ offsets), with one definition per parity
+  // combination selecting which coarse neighbours are averaged.
+  for (int d = 0; d < pipe_.ndim; ++d) {
+    refs[0].num[d] = 1;
+    refs[0].den[d] = 2;
+  }
+  f.defs = def(refs);
+  f.parity_piecewise = true;
+  return commit(std::move(f));
+}
+
+Handle PipelineBuilder::define_tstencil(const FuncSpec& spec, Handle v0,
+                                        const std::vector<Handle>& others,
+                                        int steps, const DefFn& step_def) {
+  return define_chain(
+      spec, v0, others, steps,
+      [&](std::span<const SourceRef> s, int) {
+        return std::vector<Expr>{step_def(s)};
+      },
+      /*parity_piecewise=*/false);
+}
+
+Handle PipelineBuilder::define_chain(const FuncSpec& spec, Handle v0,
+                                     const std::vector<Handle>& others,
+                                     int steps, const ChainDefFn& step_def,
+                                     bool parity_piecewise) {
+  PMG_CHECK(steps >= 0, "chain needs a non-negative step count");
+  if (steps == 0) return v0;
+  const int chain = next_time_chain_++;
+  Handle prev = v0;
+  Handle last{};
+  for (int t = 0; t < steps; ++t) {
+    FuncSpec step_spec = spec;
+    step_spec.name = spec.name + "_t" + std::to_string(t);
+    FunctionDecl f =
+        from_spec(step_spec, pipe_.ndim, ConstructKind::TStencilStep);
+    std::vector<Handle> srcs;
+    srcs.push_back(prev);
+    srcs.insert(srcs.end(), others.begin(), others.end());
+    const std::vector<SourceRef> refs = bind_sources(f, srcs);
+    f.defs = step_def(refs, t);
+    f.parity_piecewise = parity_piecewise;
+    f.time_chain = chain;
+    f.time_step = t;
+    last = commit(std::move(f));
+    prev = last;
+  }
+  return last;
+}
+
+void PipelineBuilder::mark_output(Handle h) {
+  PMG_CHECK(h.valid() && !h.external, "outputs must be functions");
+  PMG_CHECK(h.index < static_cast<int>(pipe_.funcs.size()),
+            "bad output handle");
+  if (!pipe_.is_output(h.index)) pipe_.outputs.push_back(h.index);
+}
+
+Pipeline PipelineBuilder::build() {
+  pipe_.validate();
+  Pipeline out = std::move(pipe_);
+  pipe_ = Pipeline{};
+  pipe_.ndim = out.ndim;
+  return out;
+}
+
+}  // namespace polymg::ir

@@ -1,0 +1,75 @@
+#include "polymg/ir/bytecode.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::ir {
+
+namespace {
+
+void emit(const Expr& e, Bytecode& out) {
+  switch (e->kind) {
+    case ExprKind::Const: {
+      BcOp op{BcKind::PushConst};
+      op.c = e->value;
+      out.push_back(op);
+      return;
+    }
+    case ExprKind::Load: {
+      BcOp op{BcKind::Load};
+      op.slot = e->slot;
+      op.idx = e->idx;
+      out.push_back(op);
+      return;
+    }
+    case ExprKind::Neg:
+      emit(e->lhs, out);
+      out.push_back(BcOp{BcKind::Neg});
+      return;
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+    case ExprKind::Div: {
+      emit(e->lhs, out);
+      emit(e->rhs, out);
+      const BcKind k = e->kind == ExprKind::Add   ? BcKind::Add
+                       : e->kind == ExprKind::Sub ? BcKind::Sub
+                       : e->kind == ExprKind::Mul ? BcKind::Mul
+                                                  : BcKind::Div;
+      out.push_back(BcOp{k});
+      return;
+    }
+  }
+  PMG_CHECK(false, "unhandled expr kind");
+}
+
+}  // namespace
+
+Bytecode compile_bytecode(const Expr& e) {
+  PMG_CHECK(e != nullptr, "compile_bytecode(null)");
+  Bytecode bc;
+  emit(e, bc);
+  return bc;
+}
+
+int stack_depth(const Bytecode& bc) {
+  int depth = 0, max_depth = 0;
+  for (const BcOp& op : bc) {
+    switch (op.kind) {
+      case BcKind::PushConst:
+      case BcKind::Load:
+        ++depth;
+        break;
+      case BcKind::Neg:
+        break;  // pop 1 push 1
+      default:
+        --depth;  // pop 2 push 1
+        break;
+    }
+    max_depth = std::max(max_depth, depth);
+    PMG_CHECK(depth >= 1, "malformed bytecode (stack underflow)");
+  }
+  PMG_CHECK(depth == 1, "malformed bytecode (unbalanced stack)");
+  return max_depth;
+}
+
+}  // namespace polymg::ir

@@ -1,0 +1,137 @@
+#include "polymg/ir/expr.hpp"
+
+#include <sstream>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::ir {
+
+Expr make_const(double v) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::Const;
+  n->value = v;
+  return n;
+}
+
+Expr make_load(int slot, const std::array<LoadIndex, kMaxDims>& idx) {
+  PMG_CHECK(slot >= 0, "load slot must be non-negative");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::Load;
+  n->slot = slot;
+  n->idx = idx;
+  return n;
+}
+
+Expr make_binary(ExprKind k, Expr a, Expr b) {
+  PMG_CHECK(a && b, "binary expr with null operand");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = k;
+  n->lhs = std::move(a);
+  n->rhs = std::move(b);
+  return n;
+}
+
+Expr make_neg(Expr a) {
+  PMG_CHECK(a, "neg of null expr");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::Neg;
+  n->lhs = std::move(a);
+  return n;
+}
+
+void visit(const Expr& e, const std::function<void(const ExprNode&)>& fn) {
+  if (!e) return;
+  fn(*e);
+  visit(e->lhs, fn);
+  visit(e->rhs, fn);
+}
+
+std::vector<std::pair<int, poly::Access>> collect_accesses(const Expr& e,
+                                                           int ndim) {
+  std::vector<std::pair<int, poly::Access>> out;
+  visit(e, [&](const ExprNode& n) {
+    if (n.kind != ExprKind::Load) return;
+    poly::Access a;
+    a.ndim = ndim;
+    for (int d = 0; d < ndim; ++d) {
+      a.d[d] = poly::DimAccess{n.idx[d].num, n.idx[d].den, n.idx[d].off,
+                               n.idx[d].off};
+    }
+    for (auto& [slot, acc] : out) {
+      if (slot == n.slot) {
+        acc = poly::merge(acc, a);
+        return;
+      }
+    }
+    out.emplace_back(n.slot, a);
+  });
+  return out;
+}
+
+namespace {
+
+const char* var_name(int d, int ndim) {
+  // Match the paper's listing order: 2-d uses (y, x), 3-d uses (z, y, x).
+  static const char* n2[] = {"y", "x"};
+  static const char* n3[] = {"z", "y", "x"};
+  return ndim == 2 ? n2[d] : n3[d];
+}
+
+void print(std::ostringstream& os, const Expr& e,
+           const std::vector<std::string>& slots, int ndim) {
+  switch (e->kind) {
+    case ExprKind::Const:
+      os << e->value;
+      return;
+    case ExprKind::Load: {
+      os << (e->slot < static_cast<int>(slots.size()) ? slots[e->slot]
+                                                      : "src");
+      os << "(";
+      for (int d = 0; d < ndim; ++d) {
+        if (d) os << ", ";
+        const LoadIndex& ix = e->idx[d];
+        if (ix.num == 2 && ix.den == 1) {
+          os << "2*" << var_name(d, ndim);
+        } else if (ix.num == 1 && ix.den == 2) {
+          os << var_name(d, ndim) << "/2";
+        } else if (ix.num == ix.den) {
+          os << var_name(d, ndim);
+        } else {
+          os << ix.num << "*" << var_name(d, ndim) << "/" << ix.den;
+        }
+        if (ix.off > 0) os << "+" << ix.off;
+        if (ix.off < 0) os << ix.off;
+      }
+      os << ")";
+      return;
+    }
+    case ExprKind::Neg:
+      os << "(-";
+      print(os, e->lhs, slots, ndim);
+      os << ")";
+      return;
+    default: {
+      const char* op = e->kind == ExprKind::Add   ? " + "
+                       : e->kind == ExprKind::Sub ? " - "
+                       : e->kind == ExprKind::Mul ? " * "
+                                                  : " / ";
+      os << "(";
+      print(os, e->lhs, slots, ndim);
+      os << op;
+      print(os, e->rhs, slots, ndim);
+      os << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e, const std::vector<std::string>& slots,
+                      int ndim) {
+  std::ostringstream os;
+  print(os, e, slots, ndim);
+  return os.str();
+}
+
+}  // namespace polymg::ir

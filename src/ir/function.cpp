@@ -1,0 +1,79 @@
+#include "polymg/ir/function.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::ir {
+
+void FunctionDecl::finalize() {
+  PMG_CHECK(ndim >= 1 && ndim <= poly::kMaxDims,
+            "function " << name << ": bad ndim " << ndim);
+  PMG_CHECK(domain.ndim() == ndim && interior.ndim() == ndim,
+            "function " << name << ": domain/interior ndim mismatch");
+  PMG_CHECK(domain.contains(interior),
+            "function " << name << ": interior " << interior
+                        << " escapes domain " << domain);
+  PMG_CHECK(!defs.empty(), "function " << name << " has no definition");
+  if (parity_piecewise) {
+    PMG_CHECK(static_cast<int>(defs.size()) == (1 << ndim),
+              "function " << name << ": parity-piecewise needs "
+                          << (1 << ndim) << " cases, got " << defs.size());
+  } else {
+    PMG_CHECK(defs.size() == 1,
+              "function " << name << ": single definition expected");
+  }
+  if (boundary == BoundaryKind::CopySource) {
+    PMG_CHECK(boundary_source >= 0 &&
+                  boundary_source < static_cast<int>(sources.size()),
+              "function " << name << ": bad boundary source slot");
+  }
+  if (boundary == BoundaryKind::None) {
+    PMG_CHECK(domain == interior,
+              "function " << name
+                          << ": BoundaryKind::None requires domain == "
+                             "interior");
+  }
+
+  accesses.clear();
+  for (const Expr& def : defs) {
+    for (auto& [slot, acc] : collect_accesses(def, ndim)) {
+      PMG_CHECK(slot < static_cast<int>(sources.size()),
+                "function " << name << ": load from unbound slot " << slot);
+      bool found = false;
+      for (auto& [s, a] : accesses) {
+        if (s == slot) {
+          a = poly::merge(a, acc);
+          found = true;
+          break;
+        }
+      }
+      if (!found) accesses.emplace_back(slot, acc);
+    }
+  }
+  // The boundary copy also reads its source (at identity index).
+  if (boundary == BoundaryKind::CopySource) {
+    const poly::Access ident = poly::Access::identity(ndim);
+    bool found = false;
+    for (auto& [s, a] : accesses) {
+      if (s == boundary_source) {
+        a = poly::merge(a, ident);
+        found = true;
+        break;
+      }
+    }
+    if (!found) accesses.emplace_back(boundary_source, ident);
+  }
+}
+
+const poly::Access& FunctionDecl::access_for(int slot) const {
+  for (const auto& [s, a] : accesses) {
+    if (s == slot) return a;
+  }
+  PMG_CHECK(false, "function " << name << ": no access for slot " << slot);
+  __builtin_unreachable();
+}
+
+bool FunctionDecl::sampled_read(int slot) const {
+  return !access_for(slot).is_unit_scale();
+}
+
+}  // namespace polymg::ir

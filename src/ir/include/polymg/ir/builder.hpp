@@ -1,0 +1,125 @@
+// PipelineBuilder — the embedded DSL surface.
+//
+// Mirrors the constructs of the PolyMG language (§2 of the paper):
+//
+//   Grid      -> PipelineBuilder::input
+//   Function  -> define / define_piecewise
+//   Stencil   -> polymg::ir::stencil2 / stencil3 (expression helpers)
+//   TStencil  -> define_tstencil (expands into one function per step;
+//                slot 0 of the step definition is the previous step)
+//   Restrict  -> define_restrict (source 0 sampled with factor 2: the
+//                output reads input(2x + off), and the output grid is a
+//                factor-2 coarsening)
+//   Interp    -> define_interp (source 0 sampled with factor 1/2 and a
+//                parity-piecewise definition, one expression per parity
+//                combination — the paper's expr[dy][dx])
+//   Case      -> the BoundaryKind of a FuncSpec (piecewise boundary defs)
+//
+// Example (the Jacobi smoother of Fig. 3):
+//
+//   PipelineBuilder b(2);
+//   auto V = b.input("V", Box::cube(2, 0, n + 1));
+//   auto F = b.input("F", Box::cube(2, 0, n + 1));
+//   FuncSpec spec{.name = "smooth", .domain = ..., .interior = ...};
+//   auto s = b.define_tstencil(spec, V, {F}, n1, [&](auto src) {
+//     return src[0]() - make_const(w) * (stencil2(src[0],
+//         five_point_laplacian_2d(), 1.0 / (h * h)) - src[1]());
+//   });
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "polymg/ir/pipeline.hpp"
+#include "polymg/ir/stencil.hpp"
+
+namespace polymg::ir {
+
+/// Opaque reference to a pipeline value (external grid or function).
+struct Handle {
+  bool external = false;
+  int index = -1;
+
+  bool valid() const { return index >= 0; }
+};
+
+/// Declarative part of a function definition.
+struct FuncSpec {
+  std::string name;
+  Box domain;
+  Box interior;
+  BoundaryKind boundary = BoundaryKind::Zero;
+  int boundary_source = -1;
+  int level = -1;
+};
+
+/// Callback building the definition from bound source refs.
+using DefFn = std::function<Expr(std::span<const SourceRef>)>;
+/// Piecewise variant: must return 2^ndim parity-case expressions.
+using PiecewiseDefFn =
+    std::function<std::vector<Expr>(std::span<const SourceRef>)>;
+
+class PipelineBuilder {
+public:
+  explicit PipelineBuilder(int ndim);
+
+  /// Declare a program input grid (the paper's Grid construct).
+  Handle input(const std::string& name, const Box& domain);
+
+  /// Plain Function / Stencil definition.
+  Handle define(const FuncSpec& spec, const std::vector<Handle>& srcs,
+                const DefFn& def);
+
+  /// Function with parity-piecewise definitions (rarely needed directly;
+  /// Interp uses it internally).
+  Handle define_piecewise(const FuncSpec& spec,
+                          const std::vector<Handle>& srcs,
+                          const PiecewiseDefFn& def);
+
+  /// Restrict construct: srcs[0] is read with sampling factor 2
+  /// (input(2x + off)); remaining sources are unit-scale.
+  Handle define_restrict(const FuncSpec& spec, const std::vector<Handle>& srcs,
+                         const DefFn& def);
+
+  /// Interp construct: srcs[0] is read with sampling factor 1/2
+  /// (input(x/2 + off)); definition is parity-piecewise.
+  Handle define_interp(const FuncSpec& spec, const std::vector<Handle>& srcs,
+                       const PiecewiseDefFn& def);
+
+  /// TStencil construct: expands `steps` chained copies of the step
+  /// definition. Slot 0 of the definition is the previous step (the
+  /// initial value being `v0`); the remaining slots bind `others`.
+  /// Returns the handle of the final step (steps == 0 returns v0, which
+  /// must then be a function handle or the caller must cope).
+  Handle define_tstencil(const FuncSpec& spec, Handle v0,
+                         const std::vector<Handle>& others, int steps,
+                         const DefFn& step_def);
+
+  /// Step-indexed chain definition. Per-step definitions may differ (or
+  /// be parity-piecewise): red-black Gauss-Seidel alternates red/black
+  /// half-sweeps, for example. The callback receives (sources, step).
+  using ChainDefFn =
+      std::function<std::vector<Expr>(std::span<const SourceRef>, int)>;
+  Handle define_chain(const FuncSpec& spec, Handle v0,
+                      const std::vector<Handle>& others, int steps,
+                      const ChainDefFn& step_def, bool parity_piecewise);
+
+  /// Mark a function as a program output.
+  void mark_output(Handle h);
+
+  /// Finish: validates and returns the pipeline (builder is left empty).
+  Pipeline build();
+
+  int ndim() const { return pipe_.ndim; }
+  const Pipeline& peek() const { return pipe_; }
+
+private:
+  Handle commit(FunctionDecl&& f);
+  std::vector<SourceRef> bind_sources(FunctionDecl& f,
+                                      const std::vector<Handle>& srcs) const;
+
+  Pipeline pipe_;
+  int next_time_chain_ = 0;
+};
+
+}  // namespace polymg::ir

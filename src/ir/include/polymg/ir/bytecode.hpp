@@ -1,0 +1,28 @@
+// Stack bytecode for point-wise evaluation of arbitrary definitions.
+#pragma once
+
+#include <vector>
+
+#include "polymg/ir/expr.hpp"
+
+namespace polymg::ir {
+
+enum class BcKind : std::uint8_t { PushConst, Load, Add, Sub, Mul, Div, Neg };
+
+struct BcOp {
+  BcKind kind;
+  double c = 0.0;                       // PushConst
+  int slot = -1;                        // Load
+  std::array<LoadIndex, kMaxDims> idx{};  // Load
+};
+
+/// Postfix program; binary ops pop two, push one.
+using Bytecode = std::vector<BcOp>;
+
+/// Compile an expression into postfix bytecode.
+Bytecode compile_bytecode(const Expr& e);
+
+/// Maximum evaluation stack depth the program needs.
+int stack_depth(const Bytecode& bc);
+
+}  // namespace polymg::ir

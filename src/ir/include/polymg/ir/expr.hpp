@@ -1,0 +1,101 @@
+// Expression IR for PolyMG function definitions.
+//
+// A function's definition is a scalar expression over the function's index
+// variables; leaves are constants and loads from the function's sources
+// (external grids or producer functions). Loads carry a per-dimension
+// sampled affine index — floor(num·x/den) + off — which is how the
+// Restrict (×2) and Interp (÷2) constructs appear after desugaring.
+//
+// Expressions are immutable and shared (value semantics over
+// shared_ptr<const ExprNode>), so common subexpressions such as a
+// TStencil's step definition are built once and referenced by every
+// expanded smoothing stage.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "polymg/poly/access.hpp"
+
+namespace polymg::ir {
+
+using poly::index_t;
+using poly::kMaxDims;
+
+enum class ExprKind : std::uint8_t { Const, Load, Add, Sub, Mul, Div, Neg };
+
+struct ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+/// Per-dimension sampled index of a load: floor(num·x/den) + off.
+struct LoadIndex {
+  int num = 1;
+  int den = 1;
+  index_t off = 0;
+
+  friend constexpr bool operator==(const LoadIndex&, const LoadIndex&) =
+      default;
+};
+
+struct ExprNode {
+  ExprKind kind;
+
+  // Const
+  double value = 0.0;
+
+  // Load
+  int slot = -1;  // index into the owning function's source list
+  std::array<LoadIndex, kMaxDims> idx{};
+
+  // Add/Sub/Mul/Div (binary) and Neg (unary, lhs only)
+  Expr lhs;
+  Expr rhs;
+};
+
+Expr make_const(double v);
+Expr make_load(int slot, const std::array<LoadIndex, kMaxDims>& idx);
+Expr make_binary(ExprKind k, Expr a, Expr b);
+Expr make_neg(Expr a);
+
+// Operator sugar so definitions read like the paper's Python.
+inline Expr operator+(Expr a, Expr b) {
+  return make_binary(ExprKind::Add, std::move(a), std::move(b));
+}
+inline Expr operator-(Expr a, Expr b) {
+  return make_binary(ExprKind::Sub, std::move(a), std::move(b));
+}
+inline Expr operator*(Expr a, Expr b) {
+  return make_binary(ExprKind::Mul, std::move(a), std::move(b));
+}
+inline Expr operator/(Expr a, Expr b) {
+  return make_binary(ExprKind::Div, std::move(a), std::move(b));
+}
+inline Expr operator-(Expr a) { return make_neg(std::move(a)); }
+inline Expr operator+(Expr a, double b) { return std::move(a) + make_const(b); }
+inline Expr operator+(double a, Expr b) { return make_const(a) + std::move(b); }
+inline Expr operator-(Expr a, double b) { return std::move(a) - make_const(b); }
+inline Expr operator-(double a, Expr b) { return make_const(a) - std::move(b); }
+inline Expr operator*(Expr a, double b) { return std::move(a) * make_const(b); }
+inline Expr operator*(double a, Expr b) { return make_const(a) * std::move(b); }
+inline Expr operator/(Expr a, double b) { return std::move(a) / make_const(b); }
+inline Expr operator/(double a, Expr b) { return make_const(a) / std::move(b); }
+
+/// Visit every node (pre-order).
+void visit(const Expr& e, const std::function<void(const ExprNode&)>& fn);
+
+/// Aggregate, per source slot, the access summary of all loads in `e`.
+/// Slots not loaded from get no entry. Throws if one slot is loaded with
+/// inconsistent sampling factors in some dimension.
+std::vector<std::pair<int, poly::Access>> collect_accesses(const Expr& e,
+                                                           int ndim);
+
+/// Human-readable rendering (used by codegen and diagnostics).
+/// `slot_names` supplies a name per source slot.
+std::string to_string(const Expr& e,
+                      const std::vector<std::string>& slot_names, int ndim);
+
+}  // namespace polymg::ir

@@ -1,0 +1,80 @@
+// FunctionDecl — one node of the pipeline DAG.
+//
+// Every step of a multigrid cycle (a smoothing iteration, the residual,
+// restriction, interpolation, correction) is one function: a definition
+// expression over a rectangular domain, plus a boundary rule for the ghost
+// ring around the interior. TStencil chains are expanded into one function
+// per time step at build time (sharing the step expression), which is what
+// gives the paper's Table 3 stage counts (e.g. 40 DAG nodes for
+// V-2D-4-4-4).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "polymg/ir/expr.hpp"
+
+namespace polymg::ir {
+
+using poly::Box;
+
+/// Boundary rule applied on domain ∖ interior.
+enum class BoundaryKind : std::uint8_t {
+  None,        ///< domain == interior; no ghost ring is written
+  Zero,        ///< ghost ring set to 0 (homogeneous Dirichlet)
+  CopySource,  ///< ghost ring copied from one source at identity index
+};
+
+/// Which language construct produced this function (provenance for
+/// diagnostics, Table 3 accounting and the dtile smoother-chain pass).
+enum class ConstructKind : std::uint8_t {
+  Function,
+  Stencil,
+  TStencilStep,
+  Restrict,
+  Interp,
+};
+
+/// One source of a function: an external grid or an earlier function.
+struct SourceSlot {
+  bool external = false;
+  int index = -1;  // into Pipeline::externals or Pipeline::funcs
+};
+
+struct FunctionDecl {
+  std::string name;
+  int ndim = 0;
+  Box domain;    ///< full allocated extent, incl. boundary ring
+  Box interior;  ///< where the definition expressions apply
+  BoundaryKind boundary = BoundaryKind::Zero;
+  int boundary_source = -1;  ///< slot copied when boundary == CopySource
+
+  std::vector<SourceSlot> sources;
+
+  /// Definition(s). Size 1 normally; size 2^ndim for parity-piecewise
+  /// definitions (the Interp construct). The parity case of point x is
+  /// flat index Σ_d (x_d & 1) << (ndim-1-d), i.e. 2-d case (y&1, x&1)
+  /// maps to y_par*2 + x_par, matching the paper's expr[dy][dx] layout.
+  std::vector<Expr> defs;
+  bool parity_piecewise = false;
+
+  ConstructKind construct = ConstructKind::Function;
+  int level = -1;       ///< multigrid level (finest = highest), -1 unknown
+  int time_chain = -1;  ///< TStencil chain id this step belongs to
+  int time_step = -1;   ///< position within the chain
+
+  /// Derived by finalize(): per-slot access summary merged over all defs.
+  std::vector<std::pair<int, poly::Access>> accesses;
+
+  /// Validate shape and compute access summaries. Called by the builder.
+  void finalize();
+
+  /// Access summary for one slot (must exist).
+  const poly::Access& access_for(int slot) const;
+
+  /// Whether any read of `slot` is non-unit-scale (sampled).
+  bool sampled_read(int slot) const;
+};
+
+}  // namespace polymg::ir

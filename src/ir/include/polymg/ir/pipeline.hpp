@@ -1,0 +1,46 @@
+// Pipeline — the feed-forward DAG of functions over external grids.
+//
+// As in PolyMage, the specification is a DAG with instance-wise
+// producer-consumer information (the access summaries on each edge); the
+// loop iterating whole multigrid cycles lives outside the pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "polymg/ir/function.hpp"
+
+namespace polymg::ir {
+
+/// A program input/output array (the paper's Grid construct, e.g. V and F
+/// of size [N+2, N+2]).
+struct ExternalGrid {
+  std::string name;
+  Box domain;
+};
+
+class Pipeline {
+public:
+  int ndim = 0;
+  std::vector<ExternalGrid> externals;
+  /// Topologically ordered: funcs[i] only sources funcs[j] with j < i.
+  std::vector<FunctionDecl> funcs;
+  /// Program outputs (function indices). Their buffers are caller-visible.
+  std::vector<int> outputs;
+
+  int num_stages() const { return static_cast<int>(funcs.size()); }
+
+  bool is_output(int func) const;
+
+  /// consumers()[i] lists (consumer func index, slot) pairs reading func i.
+  std::vector<std::vector<std::pair<int, int>>> consumers() const;
+
+  /// Structural validation: topological source order, ndim consistency,
+  /// at least one output, outputs in range. Throws Error on violation.
+  void validate() const;
+
+  /// Multi-line structural dump (names, domains, edges) for diagnostics.
+  std::string dump() const;
+};
+
+}  // namespace polymg::ir

@@ -1,0 +1,59 @@
+// The Stencil construct and source references.
+//
+// A SourceRef is what a function definition uses to read one of its
+// sources; it carries the source slot plus the sampling factors that the
+// Restrict / Interp constructs install (×2 and ÷2 respectively). The
+// Stencil helpers expand a weight matrix into a weighted sum of loads, as
+// the paper's `Stencil(f, (x,y), [[...]], scale)` construct does; the
+// center of an m×m stencil defaults to (m/2, m/2) (integer division) and
+// can be overridden.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "polymg/ir/expr.hpp"
+
+namespace polymg::ir {
+
+/// Handle through which a function definition reads one source.
+struct SourceRef {
+  int slot = -1;
+  int ndim = 0;
+  // Sampling per dimension: loads through this ref use
+  // floor(num·x/den) + offset.
+  std::array<int, kMaxDims> num{1, 1, 1};
+  std::array<int, kMaxDims> den{1, 1, 1};
+
+  /// Point load at the given offsets relative to the (sampled) index.
+  Expr at(index_t di, index_t dj) const;
+  Expr at(index_t di, index_t dj, index_t dk) const;
+  Expr at_offsets(const std::array<index_t, kMaxDims>& off) const;
+
+  /// Center load, e.g. v(y, x) in the paper's listings.
+  Expr operator()() const { return at_offsets({0, 0, 0}); }
+};
+
+/// 2-d weight matrix, row-major: w[di][dj] multiplies
+/// src(y + di - cy, x + dj - cx).
+using Weights2 = std::vector<std::vector<double>>;
+/// 3-d weight cube: w[di][dj][dk].
+using Weights3 = std::vector<std::vector<std::vector<double>>>;
+
+/// PolyMage Stencil construct for 2-d grids. Zero weights generate no
+/// loads. `scale` multiplies the whole sum (the 1.0/16 in the paper's
+/// examples). Throws on ragged weight matrices.
+Expr stencil2(const SourceRef& src, const Weights2& w, double scale = 1.0,
+              std::optional<std::array<int, 2>> center = std::nullopt);
+
+/// The 3-d extension of the construct (list of lists of lists).
+Expr stencil3(const SourceRef& src, const Weights3& w, double scale = 1.0,
+              std::optional<std::array<int, 3>> center = std::nullopt);
+
+/// Classic kernels used throughout the benchmarks.
+Weights2 five_point_laplacian_2d();       // [[0,-1,0],[-1,4,-1],[0,-1,0]]
+Weights3 seven_point_laplacian_3d();      // 6 neighbours, center 6
+Weights2 full_weighting_2d();             // [[1,2,1],[2,4,2],[1,2,1]] (/16)
+Weights3 full_weighting_3d();             // 27-point (/64)
+
+}  // namespace polymg::ir

@@ -1,0 +1,105 @@
+#include "polymg/ir/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::ir {
+
+bool Pipeline::is_output(int func) const {
+  return std::find(outputs.begin(), outputs.end(), func) != outputs.end();
+}
+
+std::vector<std::vector<std::pair<int, int>>> Pipeline::consumers() const {
+  std::vector<std::vector<std::pair<int, int>>> out(funcs.size());
+  for (int i = 0; i < num_stages(); ++i) {
+    const FunctionDecl& f = funcs[i];
+    for (int s = 0; s < static_cast<int>(f.sources.size()); ++s) {
+      if (!f.sources[s].external) {
+        out[f.sources[s].index].emplace_back(i, s);
+      }
+    }
+  }
+  return out;
+}
+
+void Pipeline::validate() const {
+  PMG_CHECK(ndim >= 1 && ndim <= poly::kMaxDims, "bad pipeline ndim");
+  PMG_CHECK(!funcs.empty(), "pipeline has no functions");
+  PMG_CHECK(!outputs.empty(), "pipeline has no outputs");
+  for (const ExternalGrid& g : externals) {
+    PMG_CHECK(g.domain.ndim() == ndim,
+              "external " << g.name << " ndim mismatch");
+  }
+  for (int i = 0; i < num_stages(); ++i) {
+    const FunctionDecl& f = funcs[i];
+    PMG_CHECK(f.ndim == ndim, "function " << f.name << " ndim mismatch");
+    for (const SourceSlot& s : f.sources) {
+      if (s.external) {
+        PMG_CHECK(s.index >= 0 && s.index < static_cast<int>(externals.size()),
+                  "function " << f.name << ": bad external index");
+      } else {
+        PMG_CHECK(s.index >= 0 && s.index < i,
+                  "function " << f.name
+                              << ": source must precede consumer (got func "
+                              << s.index << " for consumer " << i << ")");
+      }
+    }
+  }
+  for (int o : outputs) {
+    PMG_CHECK(o >= 0 && o < num_stages(), "output index out of range");
+  }
+
+  // Instance-wise bounds: everything a function reads must lie inside the
+  // producer's allocated domain (stencil footprints over the interior,
+  // and the full domain for boundary copies). Rejecting out-of-bounds
+  // programs here is what lets the executors run without per-point
+  // bounds checks.
+  for (const FunctionDecl& f : funcs) {
+    for (const auto& [slot, acc] : f.accesses) {
+      const SourceSlot& s = f.sources[static_cast<std::size_t>(slot)];
+      const Box& src_dom =
+          s.external ? externals[static_cast<std::size_t>(s.index)].domain
+                     : funcs[static_cast<std::size_t>(s.index)].domain;
+      const Box fp = poly::footprint(acc, f.interior);
+      PMG_CHECK(src_dom.contains(fp),
+                "function " << f.name << " reads "
+                            << fp << " of slot " << slot
+                            << " but the producer's domain is " << src_dom
+                            << " (shrink the interior or widen the ghost "
+                               "ring)");
+      if (f.boundary == BoundaryKind::CopySource &&
+          slot == f.boundary_source) {
+        PMG_CHECK(src_dom.contains(f.domain),
+                  "function " << f.name
+                              << ": boundary copy source domain too small");
+      }
+    }
+  }
+}
+
+std::string Pipeline::dump() const {
+  std::ostringstream os;
+  os << "pipeline: " << ndim << "-d, " << externals.size() << " externals, "
+     << funcs.size() << " functions\n";
+  for (const ExternalGrid& g : externals) {
+    os << "  input " << g.name << " " << g.domain << "\n";
+  }
+  for (int i = 0; i < num_stages(); ++i) {
+    const FunctionDecl& f = funcs[i];
+    os << "  [" << i << "] " << f.name << " " << f.domain;
+    if (f.level >= 0) os << " L" << f.level;
+    os << " <- ";
+    for (std::size_t s = 0; s < f.sources.size(); ++s) {
+      if (s) os << ", ";
+      os << (f.sources[s].external ? externals[f.sources[s].index].name
+                                   : funcs[f.sources[s].index].name);
+    }
+    if (is_output(i)) os << "  (output)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace polymg::ir

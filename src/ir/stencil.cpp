@@ -1,0 +1,121 @@
+#include "polymg/ir/stencil.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::ir {
+
+Expr SourceRef::at_offsets(const std::array<index_t, kMaxDims>& off) const {
+  PMG_CHECK(slot >= 0, "SourceRef not bound to a slot");
+  std::array<LoadIndex, kMaxDims> idx{};
+  for (int d = 0; d < ndim; ++d) {
+    idx[d] = LoadIndex{num[d], den[d], off[d]};
+  }
+  return make_load(slot, idx);
+}
+
+Expr SourceRef::at(index_t di, index_t dj) const {
+  PMG_CHECK(ndim == 2, "2-index access on " << ndim << "-d source");
+  return at_offsets({di, dj, 0});
+}
+
+Expr SourceRef::at(index_t di, index_t dj, index_t dk) const {
+  PMG_CHECK(ndim == 3, "3-index access on " << ndim << "-d source");
+  return at_offsets({di, dj, dk});
+}
+
+namespace {
+
+Expr accumulate(Expr acc, Expr term) {
+  return acc ? std::move(acc) + std::move(term) : std::move(term);
+}
+
+}  // namespace
+
+Expr stencil2(const SourceRef& src, const Weights2& w, double scale,
+              std::optional<std::array<int, 2>> center) {
+  PMG_CHECK(!w.empty(), "empty stencil");
+  const int rows = static_cast<int>(w.size());
+  const int cols = static_cast<int>(w[0].size());
+  for (const auto& row : w) {
+    PMG_CHECK(static_cast<int>(row.size()) == cols, "ragged stencil matrix");
+  }
+  const int cy = center ? (*center)[0] : rows / 2;
+  const int cx = center ? (*center)[1] : cols / 2;
+  Expr sum;
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (w[i][j] == 0.0) continue;
+      Expr load = src.at(i - cy, j - cx);
+      sum = accumulate(std::move(sum),
+                       w[i][j] == 1.0 ? std::move(load)
+                                      : make_const(w[i][j]) * std::move(load));
+    }
+  }
+  PMG_CHECK(sum != nullptr, "stencil with all-zero weights");
+  return scale == 1.0 ? sum : make_const(scale) * std::move(sum);
+}
+
+Expr stencil3(const SourceRef& src, const Weights3& w, double scale,
+              std::optional<std::array<int, 3>> center) {
+  PMG_CHECK(!w.empty() && !w[0].empty(), "empty stencil");
+  const int nz = static_cast<int>(w.size());
+  const int ny = static_cast<int>(w[0].size());
+  const int nx = static_cast<int>(w[0][0].size());
+  for (const auto& plane : w) {
+    PMG_CHECK(static_cast<int>(plane.size()) == ny, "ragged stencil cube");
+    for (const auto& row : plane) {
+      PMG_CHECK(static_cast<int>(row.size()) == nx, "ragged stencil cube");
+    }
+  }
+  const int cz = center ? (*center)[0] : nz / 2;
+  const int cy = center ? (*center)[1] : ny / 2;
+  const int cx = center ? (*center)[2] : nx / 2;
+  Expr sum;
+  for (int i = 0; i < nz; ++i) {
+    for (int j = 0; j < ny; ++j) {
+      for (int k = 0; k < nx; ++k) {
+        if (w[i][j][k] == 0.0) continue;
+        Expr load = src.at(i - cz, j - cy, k - cx);
+        sum = accumulate(
+            std::move(sum),
+            w[i][j][k] == 1.0
+                ? std::move(load)
+                : make_const(w[i][j][k]) * std::move(load));
+      }
+    }
+  }
+  PMG_CHECK(sum != nullptr, "stencil with all-zero weights");
+  return scale == 1.0 ? sum : make_const(scale) * std::move(sum);
+}
+
+Weights2 five_point_laplacian_2d() {
+  return {{0, -1, 0}, {-1, 4, -1}, {0, -1, 0}};
+}
+
+Weights3 seven_point_laplacian_3d() {
+  Weights3 w(3, Weights2(3, std::vector<double>(3, 0.0)));
+  w[1][1][1] = 6;
+  w[0][1][1] = w[2][1][1] = -1;
+  w[1][0][1] = w[1][2][1] = -1;
+  w[1][1][0] = w[1][1][2] = -1;
+  return w;
+}
+
+Weights2 full_weighting_2d() {
+  return {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+}
+
+Weights3 full_weighting_3d() {
+  Weights3 w(3, Weights2(3, std::vector<double>(3, 0.0)));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        const int dist = (i != 1) + (j != 1) + (k != 1);
+        w[i][j][k] = dist == 0 ? 8.0 : dist == 1 ? 4.0 : dist == 2 ? 2.0 : 1.0;
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace polymg::ir

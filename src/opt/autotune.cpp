@@ -1,0 +1,67 @@
+#include "polymg/opt/autotune.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::opt {
+
+TuneSpace TuneSpace::paper_default(int ndim) {
+  TuneSpace s;
+  if (ndim == 2) {
+    s.tiles[0] = {8, 16, 32, 64};
+    s.tiles[1] = {64, 128, 256, 512};
+  } else {
+    s.tiles[0] = {8, 16, 32};
+    s.tiles[1] = {8, 16, 32};
+    s.tiles[2] = {64, 128, 256};
+  }
+  s.group_limits = {2, 4, 6, 8, 12};
+  return s;
+}
+
+std::size_t TuneSpace::size(int ndim) const {
+  std::size_t n = group_limits.size();
+  for (int d = 0; d < ndim; ++d) {
+    if (!tiles[d].empty()) n *= tiles[d].size();
+  }
+  return n;
+}
+
+TuneResult autotune(
+    const TuneSpace& space, int ndim, const CompileOptions& base,
+    const std::function<double(const CompileOptions&)>& measure) {
+  PMG_CHECK(!space.group_limits.empty(), "empty grouping-limit set");
+  for (int d = 0; d < ndim; ++d) {
+    PMG_CHECK(!space.tiles[d].empty(), "empty tile set for dim " << d);
+  }
+
+  TuneResult res;
+  res.best.seconds = 1e300;
+  // Odometer over the per-dimension tile sets and the grouping limits.
+  std::array<std::size_t, 3> idx{0, 0, 0};
+  for (int gl : space.group_limits) {
+    for (;;) {
+      TunePoint pt;
+      pt.group_limit = gl;
+      for (int d = 0; d < ndim; ++d) pt.tile[d] = space.tiles[d][idx[d]];
+
+      CompileOptions o = base;
+      o.tile = pt.tile;
+      o.group_limit = gl;
+      pt.seconds = measure(o);
+      res.points.push_back(pt);
+      if (pt.seconds < res.best.seconds) res.best = pt;
+
+      // Advance the odometer (innermost dimension fastest).
+      int d = ndim - 1;
+      while (d >= 0 && ++idx[static_cast<std::size_t>(d)] ==
+                           space.tiles[d].size()) {
+        idx[static_cast<std::size_t>(d)] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+  return res;
+}
+
+}  // namespace polymg::opt

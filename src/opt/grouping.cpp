@@ -1,0 +1,155 @@
+#include "polymg/opt/grouping.hpp"
+
+#include <algorithm>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::opt {
+
+std::vector<std::vector<int>> find_smoother_chains(const Pipeline& pipe) {
+  std::vector<std::vector<int>> chains;
+  const auto consumers = pipe.consumers();
+  int i = 0;
+  while (i < pipe.num_stages()) {
+    const ir::FunctionDecl& f = pipe.funcs[i];
+    if (f.construct != ir::ConstructKind::TStencilStep || f.time_step != 0) {
+      ++i;
+      continue;
+    }
+    // Collect the maximal chain starting at this step-0 function. The
+    // builder emits chain steps contiguously; verify the links anyway.
+    std::vector<int> chain{i};
+    int j = i + 1;
+    while (j < pipe.num_stages() &&
+           pipe.funcs[j].construct == ir::ConstructKind::TStencilStep &&
+           pipe.funcs[j].time_chain == f.time_chain &&
+           pipe.funcs[j].time_step == static_cast<int>(chain.size())) {
+      chain.push_back(j);
+      ++j;
+    }
+    // Eligibility: every intermediate step must feed only the next step
+    // (no taps out of the middle of the chain), and the self access must
+    // be unit-scale (a plain time-iterated stencil).
+    bool ok = chain.size() >= 2;
+    for (std::size_t s = 0; ok && s < chain.size(); ++s) {
+      const ir::FunctionDecl& step = pipe.funcs[chain[s]];
+      ok = !step.sources.empty() && step.access_for(0).is_unit_scale();
+      if (ok && s + 1 < chain.size()) {
+        ok = consumers[chain[s]].size() == 1 &&
+             consumers[chain[s]][0].first == chain[s + 1] &&
+             !pipe.is_output(chain[s]);
+      }
+      if (ok && s > 0) {
+        // Steps must chain on slot 0, share one domain (the ping-pong
+        // buffer pair assumes it) and bind the same time-invariant
+        // sources in the remaining slots.
+        const ir::FunctionDecl& head = pipe.funcs[chain[0]];
+        ok = !step.sources[0].external &&
+             step.sources[0].index == chain[s - 1] &&
+             step.domain == head.domain &&
+             step.sources.size() == head.sources.size();
+        for (std::size_t q = 1; ok && q < step.sources.size(); ++q) {
+          ok = step.sources[q].external == head.sources[q].external &&
+               step.sources[q].index == head.sources[q].index;
+        }
+      }
+    }
+    if (ok) chains.push_back(std::move(chain));
+    i = j;
+  }
+  return chains;
+}
+
+Grouping auto_group(const Pipeline& pipe, const CompileOptions& opts) {
+  const int n = pipe.num_stages();
+  Grouping g;
+  g.groups.reserve(n);
+  g.group_of.assign(n, -1);
+
+  std::vector<bool> frozen;  // group may not merge (time-tiled or Naive)
+
+  // Pin smoother chains as fixed time-tiled groups for the dtile variant.
+  std::vector<int> chain_of(n, -1);
+  if (opts.variant == Variant::DtileOptPlus) {
+    const auto chains = find_smoother_chains(pipe);
+    for (const auto& chain : chains) {
+      const int gid = static_cast<int>(g.groups.size());
+      g.groups.push_back(chain);
+      for (int f : chain) {
+        g.group_of[f] = gid;
+        chain_of[f] = gid;
+      }
+      frozen.push_back(true);
+      g.time_tiled.push_back(true);
+    }
+  }
+
+  for (int f = 0; f < n; ++f) {
+    if (g.group_of[f] >= 0) continue;
+    g.group_of[f] = static_cast<int>(g.groups.size());
+    g.groups.push_back({f});
+    frozen.push_back(opts.variant == Variant::Naive);
+    g.time_tiled.push_back(false);
+  }
+
+  if (opts.variant == Variant::Naive) return g;
+
+  const auto consumers = pipe.consumers();
+  const poly::TileSizes tile = opts.resolved_tile(pipe.ndim);
+
+  // Greedy fixpoint: merge a group into its sole consumer group while the
+  // grouping limit and the redundancy threshold hold.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t gi = 0; gi < g.groups.size(); ++gi) {
+      if (g.groups[gi].empty() || frozen[gi]) continue;
+      // The unique group consuming gi's stages, if any.
+      int target = -1;
+      bool unique = true;
+      for (int f : g.groups[gi]) {
+        for (const auto& [cf, slot] : consumers[f]) {
+          (void)slot;
+          const int cg = g.group_of[cf];
+          if (cg == static_cast<int>(gi)) continue;
+          if (target == -1) {
+            target = cg;
+          } else if (target != cg) {
+            unique = false;
+          }
+        }
+      }
+      if (!unique || target < 0 || frozen[target]) continue;
+      if (static_cast<int>(g.groups[gi].size() + g.groups[target].size()) >
+          opts.group_limit) {
+        continue;
+      }
+      std::vector<int> merged = g.groups[gi];
+      merged.insert(merged.end(), g.groups[target].begin(),
+                    g.groups[target].end());
+      const GroupAnalysis ga =
+          analyze_group(pipe, merged, consumers, {}, tile);
+      if (!ga.valid || ga.max_redundancy > opts.overlap_threshold) continue;
+
+      // Commit: move everything into `target`, empty gi.
+      for (int f : g.groups[gi]) g.group_of[f] = target;
+      g.groups[target] = ga.order;
+      g.groups[gi].clear();
+      changed = true;
+    }
+  }
+
+  // Compact away emptied groups.
+  Grouping out;
+  out.group_of.assign(n, -1);
+  for (std::size_t gi = 0; gi < g.groups.size(); ++gi) {
+    if (g.groups[gi].empty()) continue;
+    const int ngid = static_cast<int>(out.groups.size());
+    for (int f : g.groups[gi]) out.group_of[f] = ngid;
+    out.groups.push_back(g.groups[gi]);
+    out.time_tiled.push_back(g.time_tiled[gi]);
+  }
+  return out;
+}
+
+}  // namespace polymg::opt

@@ -1,0 +1,49 @@
+// The PolyMage autotuner, adapted for multigrid (§3.2.4).
+//
+// Searches a small configuration space — tile sizes per dimension in
+// powers of two plus five grouping-limit values — measuring each
+// configuration through a caller-provided callback. The paper's spaces:
+// 2-d tiles 8:64 (outer) × 64:512 (inner) × 5 limits = 80 configurations;
+// 3-d tiles 8:32 × 8:32 (outer two) × 64:256 (inner) × 5 limits = 135.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "polymg/opt/options.hpp"
+
+namespace polymg::opt {
+
+struct TuneSpace {
+  /// Candidate tile edges per dimension (outermost first); dimensions
+  /// beyond the pipeline's rank are ignored.
+  std::array<std::vector<index_t>, 3> tiles;
+  /// Candidate grouping limits (the paper uses five values).
+  std::vector<int> group_limits{2, 4, 6, 8, 12};
+
+  /// The paper's search space for the given dimensionality.
+  static TuneSpace paper_default(int ndim);
+
+  /// Number of configurations the sweep will visit.
+  std::size_t size(int ndim) const;
+};
+
+struct TunePoint {
+  poly::TileSizes tile{};
+  int group_limit = 0;
+  double seconds = 0.0;
+};
+
+struct TuneResult {
+  std::vector<TunePoint> points;  ///< every visited configuration
+  TunePoint best;
+};
+
+/// Exhaustively sweep the space. `measure` receives fully-populated
+/// options (base + tile + group limit) and returns the configuration's
+/// execution time; smaller is better.
+TuneResult autotune(const TuneSpace& space, int ndim,
+                    const CompileOptions& base,
+                    const std::function<double(const CompileOptions&)>& measure);
+
+}  // namespace polymg::opt

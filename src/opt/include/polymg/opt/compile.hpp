@@ -1,0 +1,13 @@
+// Entry point of the PolyMG optimizer (Fig. 4's pipeline: grouping for
+// fusion & tiling -> schedules -> storage optimization -> plan).
+#pragma once
+
+#include "polymg/opt/plan.hpp"
+
+namespace polymg::opt {
+
+/// Compile a pipeline under the given options. The pipeline is consumed
+/// (stored inside the plan).
+CompiledPipeline compile(Pipeline pipe, const CompileOptions& opts);
+
+}  // namespace polymg::opt

@@ -1,0 +1,36 @@
+// Greedy auto-grouping for fusion (§3.1).
+//
+// PolyMage's heuristic, reused unchanged for multigrid (the paper notes no
+// changes to fusion/tiling were needed): start from singleton groups and
+// repeatedly merge a group into its unique consumer group when (a) the
+// merged node count stays within the grouping limit and (b) the
+// overlapped-tile redundant-computation ratio stays within the threshold.
+// Merging only into a sole consumer keeps the group DAG acyclic by
+// construction. For the dtile variant, maximal TStencil smoother chains
+// are pinned as fixed groups first and excluded from merging; they execute
+// via split/diamond time tiling instead of overlapped tiling.
+#pragma once
+
+#include <vector>
+
+#include "polymg/opt/options.hpp"
+#include "polymg/opt/plan.hpp"
+
+namespace polymg::opt {
+
+struct Grouping {
+  /// Disjoint groups covering all functions; members ascending.
+  std::vector<std::vector<int>> groups;
+  std::vector<int> group_of;  ///< func -> group index
+  /// Groups pinned for time tiling (dtile variant); parallel to groups.
+  std::vector<bool> time_tiled;
+};
+
+/// Maximal chains of TStencilStep functions eligible for time tiling:
+/// length >= 2, unit-scale self-access, single in-pipeline consumer per
+/// intermediate step.
+std::vector<std::vector<int>> find_smoother_chains(const Pipeline& pipe);
+
+Grouping auto_group(const Pipeline& pipe, const CompileOptions& opts);
+
+}  // namespace polymg::opt

@@ -1,0 +1,86 @@
+// Storage optimization passes (§3.2 of the paper).
+//
+// Both levels of buffer reuse — scratchpads within a group (§3.2.1) and
+// full arrays across groups (§3.2.2) — run the same two algorithms:
+//
+//   Algorithm 2 (getLastUseMap): scan the scheduled DAG for each
+//   function's last use time.
+//
+//   Algorithm 3 (remapStorage): walk functions in schedule order keeping
+//   a pool of free logical buffers per storage class; a function takes a
+//   pooled buffer of its class if one is free, else a fresh one; buffers
+//   whose owner's last use has passed return to the pool.
+//
+// This header exposes the generic machinery; the plan builder feeds it
+// scratchpads (schedule = position in the group's total order) and full
+// arrays (schedule = owning group's index).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "polymg/poly/box.hpp"
+
+namespace polymg::opt {
+
+using poly::index_t;
+
+/// One reusable entity handed to remapStorage.
+struct StorageItem {
+  int klass = 0;      ///< storage class id (only same-class reuse allowed)
+  int time = 0;       ///< schedule timestamp of the defining function
+  int last_use = 0;   ///< timestamp of the last consumer (>= time)
+  bool excluded = false;  ///< never reuses nor is reused (program IO)
+};
+
+struct RemapResult {
+  /// storage[i] is the logical buffer id assigned to item i. Buffer ids
+  /// are dense in [0, num_buffers); excluded items get unique buffers.
+  std::vector<int> storage;
+  int num_buffers = 0;
+};
+
+/// Algorithm 3. Items must be supplied in a deterministic order; they are
+/// processed sorted by (time, index). When `defer_same_time_release` is
+/// set, a buffer whose last use is at time t only becomes reusable by
+/// items with time > t — required for inter-group reuse, where several
+/// live-outs of one group share a timestamp and a tile of the group may
+/// still be reading a dying array while another tile writes the reuser.
+///
+/// Contract: without deferral, timestamps must be unique per item (the
+/// intra-group caller uses schedule positions). The paper's pseudocode
+/// releases a buffer as soon as its owner's last use equals the current
+/// timestamp, so duplicate timestamps would hand a still-live same-time
+/// buffer to a later same-time item.
+RemapResult remap_storage(const std::vector<StorageItem>& items,
+                          bool defer_same_time_release);
+
+/// Algorithm 2 helper: computes last_use per producer given, for each
+/// producer, the timestamps of its consumers. A producer with no
+/// consumers gets last_use == its own time.
+std::vector<int> last_use_map(const std::vector<int>& times,
+                              const std::vector<std::vector<int>>& consumers);
+
+/// Storage-class builder: buckets size vectors, relaxing equality by
+/// rounding each extent up to a multiple of (slack+1) (§3.2.1's
+/// ±constant threshold). Returns a class id per item and the per-class
+/// maximum extents (the allocation size of the class).
+class StorageClasses {
+public:
+  explicit StorageClasses(index_t slack) : slack_(slack) {}
+
+  int classify(const std::array<index_t, 3>& extents, int ndim);
+
+  int num_classes() const { return static_cast<int>(max_extents_.size()); }
+  const std::array<index_t, 3>& class_extents(int klass) const {
+    return max_extents_[klass];
+  }
+  index_t class_doubles(int klass) const;
+
+private:
+  index_t slack_;
+  std::vector<std::array<index_t, 3>> max_extents_;
+  std::vector<int> class_ndim_;
+};
+
+}  // namespace polymg::opt

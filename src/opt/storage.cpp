@@ -1,0 +1,121 @@
+#include "polymg/opt/storage.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::opt {
+
+std::vector<int> last_use_map(const std::vector<int>& times,
+                              const std::vector<std::vector<int>>& consumers) {
+  PMG_CHECK(times.size() == consumers.size(), "last_use_map size mismatch");
+  std::vector<int> last(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    int lu = times[i];
+    for (int ct : consumers[i]) lu = std::max(lu, ct);
+    last[i] = lu;
+  }
+  return last;
+}
+
+RemapResult remap_storage(const std::vector<StorageItem>& items,
+                          bool defer_same_time_release) {
+  RemapResult res;
+  res.storage.assign(items.size(), -1);
+
+  // Sort indices by (time, original index) — the paper's F_sorted.
+  std::vector<int> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return items[a].time < items[b].time;
+  });
+
+  // arrayPool: storage-class -> free buffer ids (LIFO pop, matching the
+  // paper's set-pop with deterministic order).
+  std::map<int, std::vector<int>> pool;
+  // Buffers that died at `pending_time`, awaiting release until the
+  // schedule moves past it (only when defer_same_time_release).
+  std::vector<std::pair<int, int>> pending;  // (class, buffer)
+  int pending_time = -1;
+
+  // lastUseMap: time -> items whose storage dies then.
+  std::map<int, std::vector<int>> dies_at;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].excluded) dies_at[items[i].last_use].push_back(static_cast<int>(i));
+  }
+
+  int next_buffer = 0;
+  for (int idx : order) {
+    const StorageItem& it = items[idx];
+
+    if (defer_same_time_release && it.time > pending_time) {
+      for (auto& [k, b] : pending) pool[k].push_back(b);
+      pending.clear();
+      pending_time = it.time;
+    }
+
+    if (it.excluded) {
+      res.storage[idx] = next_buffer++;
+    } else {
+      auto& free_list = pool[it.klass];
+      if (free_list.empty()) {
+        res.storage[idx] = next_buffer++;
+      } else {
+        res.storage[idx] = free_list.back();
+        free_list.pop_back();
+      }
+    }
+
+    // Return buffers of functions with no use after this timestamp.
+    if (auto d = dies_at.find(it.time); d != dies_at.end()) {
+      for (int dead : d->second) {
+        if (res.storage[dead] < 0) continue;  // not yet assigned
+        if (defer_same_time_release) {
+          pending.emplace_back(items[dead].klass, res.storage[dead]);
+        } else {
+          pool[items[dead].klass].push_back(res.storage[dead]);
+        }
+      }
+      d->second.clear();
+    }
+  }
+  res.num_buffers = next_buffer;
+  return res;
+}
+
+int StorageClasses::classify(const std::array<index_t, 3>& extents,
+                             int ndim) {
+  // Greedy first fit: join an existing class when every dimension is
+  // within ±slack of the class's current maximum (the paper's ±constant
+  // threshold relaxation of exact-size matching). The class max grows to
+  // cover all members, so the allocation always suffices.
+  for (int c = 0; c < num_classes(); ++c) {
+    if (class_ndim_[c] != ndim) continue;
+    bool fits = true;
+    for (int d = 0; d < ndim && fits; ++d) {
+      const index_t diff = extents[d] - max_extents_[c][d];
+      fits = diff <= slack_ && diff >= -slack_;
+    }
+    if (fits) {
+      for (int d = 0; d < ndim; ++d) {
+        max_extents_[c][d] = std::max(max_extents_[c][d], extents[d]);
+      }
+      return c;
+    }
+  }
+  max_extents_.push_back(extents);
+  class_ndim_.push_back(ndim);
+  return num_classes() - 1;
+}
+
+index_t StorageClasses::class_doubles(int klass) const {
+  PMG_CHECK(klass >= 0 && klass < num_classes(), "bad storage class");
+  index_t n = 1;
+  for (int d = 0; d < class_ndim_[klass]; ++d) {
+    n *= max_extents_[klass][d];
+  }
+  return n;
+}
+
+}  // namespace polymg::opt

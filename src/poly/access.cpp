@@ -1,0 +1,96 @@
+#include "polymg/poly/access.hpp"
+
+namespace polymg::poly {
+
+bool Access::is_unit_scale() const {
+  for (int i = 0; i < ndim; ++i) {
+    if (d[i].num != d[i].den) return false;
+  }
+  return true;
+}
+
+Access merge(const Access& a, const Access& b) {
+  PMG_CHECK(a.ndim == b.ndim, "access ndim mismatch");
+  Access r;
+  r.ndim = a.ndim;
+  for (int i = 0; i < a.ndim; ++i) {
+    PMG_CHECK(a.d[i].num == b.d[i].num && a.d[i].den == b.d[i].den,
+              "cannot merge accesses with different sampling factors in dim "
+                  << i << ": " << a.d[i] << " vs " << b.d[i]);
+    r.d[i] = DimAccess{a.d[i].num, a.d[i].den, std::min(a.d[i].lo, b.d[i].lo),
+                       std::max(a.d[i].hi, b.d[i].hi)};
+  }
+  return r;
+}
+
+Box footprint(const Access& a, const Box& region) {
+  PMG_CHECK(a.ndim == region.ndim(), "access/region ndim mismatch");
+  Box fp(a.ndim);
+  for (int i = 0; i < a.ndim; ++i) {
+    const DimAccess& da = a.d[i];
+    const Interval& iv = region.dim(i);
+    if (iv.empty()) {
+      fp.dim(i) = Interval{};  // empty
+      continue;
+    }
+    PMG_CHECK(da.num > 0 && da.den > 0, "non-positive sampling factor");
+    // floor(num*x/den) is monotone non-decreasing in x, so the image of a
+    // closed interval is exactly the interval of its endpoint images.
+    fp.dim(i) = Interval{floordiv(da.num * iv.lo, da.den) + da.lo,
+                         floordiv(da.num * iv.hi, da.den) + da.hi};
+  }
+  return fp;
+}
+
+Access compose(const Access& inner, const Access& outer) {
+  PMG_CHECK(inner.ndim == outer.ndim, "access ndim mismatch");
+  Access r;
+  r.ndim = inner.ndim;
+  for (int i = 0; i < inner.ndim; ++i) {
+    const DimAccess& in = inner.d[i];
+    const DimAccess& out = outer.d[i];
+    DimAccess c;
+    c.num = in.num * out.num;
+    c.den = in.den * out.den;
+    // Reduce the fraction so repeated restrict/interp pairs cancel.
+    for (int g = 2; g <= c.num && g <= c.den;) {
+      if (c.num % g == 0 && c.den % g == 0) {
+        c.num /= g;
+        c.den /= g;
+      } else {
+        ++g;
+      }
+    }
+    // idxA = floor(nb*(floor(nc*x/dc) + o)/db) + [blo, bhi], o ∈ [clo,chi].
+    // Bound the nested floor conservatively: the inner floor loses at most
+    // (dc-1)/dc, which after scaling by nb/db costs at most
+    // ceil(nb*(dc-1)/db) ≥ the true slack on the low side.
+    const index_t slack =
+        out.den > 1 ? ceildiv(static_cast<index_t>(in.num) * (out.den - 1),
+                              in.den)
+                    : 0;
+    c.lo = floordiv(in.num * out.lo, in.den) + in.lo - slack;
+    c.hi = ceildiv(in.num * out.hi, in.den) + in.hi;
+    r.d[i] = c;
+  }
+  return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const DimAccess& a) {
+  os << "(";
+  if (a.num != a.den) os << a.num << "/" << a.den << "·";
+  os << "x";
+  os << "+[" << a.lo << "," << a.hi << "])";
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const Access& a) {
+  os << "<";
+  for (int i = 0; i < a.ndim; ++i) {
+    if (i) os << ", ";
+    os << a.d[i];
+  }
+  return os << ">";
+}
+
+}  // namespace polymg::poly

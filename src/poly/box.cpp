@@ -1,0 +1,40 @@
+#include "polymg/poly/box.hpp"
+
+namespace polymg::poly {
+
+Box intersect(const Box& a, const Box& b) {
+  PMG_CHECK(a.ndim() == b.ndim(), "ndim mismatch in intersect");
+  Box r(a.ndim());
+  for (int i = 0; i < a.ndim(); ++i) {
+    r.dim(i) = intersect(a.dim(i), b.dim(i));
+  }
+  return r;
+}
+
+Box hull(const Box& a, const Box& b) {
+  if (a.ndim() == 0 || a.empty()) return b;
+  if (b.ndim() == 0 || b.empty()) return a;
+  PMG_CHECK(a.ndim() == b.ndim(), "ndim mismatch in hull");
+  Box r(a.ndim());
+  for (int i = 0; i < a.ndim(); ++i) {
+    r.dim(i) = hull(a.dim(i), b.dim(i));
+  }
+  return r;
+}
+
+Box dilate(const Box& a, index_t r) {
+  Box out(a.ndim());
+  for (int i = 0; i < a.ndim(); ++i) out.dim(i) = dilate(a.dim(i), r);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  os << "{";
+  for (int i = 0; i < b.ndim(); ++i) {
+    if (i) os << "x";
+    os << b.dim(i);
+  }
+  return os << "}";
+}
+
+}  // namespace polymg::poly

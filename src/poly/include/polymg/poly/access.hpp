@@ -1,0 +1,72 @@
+// Instance-wise access summaries.
+//
+// Every read a PolyMG function makes of a producer has, per dimension, the
+// form  in_index = floor(num * x / den) + offset  with num/den ∈ {1, 2,
+// 1/2} in practice (same-level stencils, Restrict's ×2 sampling, Interp's
+// ÷2 sampling). A DimAccess summarizes all such reads along one dimension
+// by the offset range [lo, hi]; an Access is the per-dimension product.
+// These summaries are what the overlapped-tiling planner composes to grow
+// tile footprints backwards through a fused group (the role ISL relations
+// play in the original PolyMage implementation).
+#pragma once
+
+#include <array>
+#include <ostream>
+
+#include "polymg/poly/box.hpp"
+
+namespace polymg::poly {
+
+/// Per-dimension affine sampled access: reads floor(num*x/den) + [lo, hi].
+struct DimAccess {
+  int num = 1;
+  int den = 1;
+  index_t lo = 0;
+  index_t hi = 0;
+
+  friend constexpr bool operator==(const DimAccess&, const DimAccess&) =
+      default;
+};
+
+/// Identity access (reads exactly index x).
+constexpr DimAccess identity_access() { return DimAccess{1, 1, 0, 0}; }
+
+/// A full access summary: one DimAccess per dimension of the consumer's
+/// iteration space.
+struct Access {
+  int ndim = 0;
+  std::array<DimAccess, kMaxDims> d{};
+
+  static Access identity(int ndim) {
+    Access a;
+    a.ndim = ndim;
+    for (int i = 0; i < ndim; ++i) a.d[i] = identity_access();
+    return a;
+  }
+
+  /// True iff same-scale (num == den) in every dimension.
+  bool is_unit_scale() const;
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// Merge two access summaries of the same source from the same consumer:
+/// scales must agree; offset ranges take the hull.
+Access merge(const Access& a, const Access& b);
+
+/// Region of the producer read when the consumer executes every point of
+/// `region`: per dimension [floor(num·lo/den)+alo, floor(num·hi/den)+ahi].
+/// Exact for num/den monotone maps over boxes.
+Box footprint(const Access& a, const Box& region);
+
+/// Compose accesses: if stage C reads B through `outer` and B reads A
+/// through `inner`, returns the access with which C (transitively) reads
+/// A. Offset ranges compose conservatively (exact when either side is
+/// unit-scale, which covers all multigrid pipelines: a chain never has two
+/// consecutive non-unit scales between the same pair in practice).
+Access compose(const Access& inner, const Access& outer);
+
+std::ostream& operator<<(std::ostream& os, const DimAccess& a);
+std::ostream& operator<<(std::ostream& os, const Access& a);
+
+}  // namespace polymg::poly

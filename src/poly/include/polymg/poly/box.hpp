@@ -1,0 +1,102 @@
+// Rectangular integer regions in up to three dimensions, with the algebra
+// the overlapped-tiling planner needs (intersection, hull, dilation,
+// point-count, containment).
+#pragma once
+
+#include <array>
+#include <initializer_list>
+#include <ostream>
+
+#include "polymg/common/error.hpp"
+#include "polymg/poly/interval.hpp"
+
+namespace polymg::poly {
+
+/// Maximum grid dimensionality supported (the paper evaluates 2-d and
+/// 3-d grids; 1-d falls out for free).
+inline constexpr int kMaxDims = 3;
+
+/// An axis-aligned box: the product of `ndim` closed intervals.
+/// Dimension 0 is the outermost loop dimension (y in the paper's 2-d
+/// listings, z in 3-d); the last dimension is the contiguous one.
+class Box {
+public:
+  Box() : ndim_(0) {}
+  explicit Box(int ndim) : ndim_(ndim) {
+    PMG_CHECK(ndim >= 0 && ndim <= kMaxDims, "bad ndim " << ndim);
+  }
+  Box(std::initializer_list<Interval> ivs) : ndim_(0) {
+    PMG_CHECK(static_cast<int>(ivs.size()) <= kMaxDims,
+              "too many dimensions");
+    for (const auto& iv : ivs) d_[ndim_++] = iv;
+  }
+
+  /// The cube [lo,hi]^ndim.
+  static Box cube(int ndim, index_t lo, index_t hi) {
+    Box b(ndim);
+    for (int i = 0; i < ndim; ++i) b.d_[i] = Interval{lo, hi};
+    return b;
+  }
+
+  int ndim() const { return ndim_; }
+  Interval& dim(int i) {
+    PMG_DCHECK(i >= 0 && i < ndim_, "dim " << i << " out of range");
+    return d_[i];
+  }
+  const Interval& dim(int i) const {
+    PMG_DCHECK(i >= 0 && i < ndim_, "dim " << i << " out of range");
+    return d_[i];
+  }
+
+  bool empty() const {
+    if (ndim_ == 0) return true;
+    for (int i = 0; i < ndim_; ++i) {
+      if (d_[i].empty()) return true;
+    }
+    return false;
+  }
+
+  /// Number of integer points.
+  index_t count() const {
+    if (empty()) return 0;
+    index_t n = 1;
+    for (int i = 0; i < ndim_; ++i) n *= d_[i].size();
+    return n;
+  }
+
+  bool contains(const Box& o) const {
+    if (o.empty()) return true;
+    PMG_DCHECK(o.ndim_ == ndim_, "ndim mismatch");
+    for (int i = 0; i < ndim_; ++i) {
+      if (!d_[i].contains(o.d_[i])) return false;
+    }
+    return true;
+  }
+
+  bool contains_point(std::array<index_t, kMaxDims> p) const {
+    for (int i = 0; i < ndim_; ++i) {
+      if (!d_[i].contains(p[i])) return false;
+    }
+    return ndim_ > 0;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    if (a.ndim_ != b.ndim_) return false;
+    for (int i = 0; i < a.ndim_; ++i) {
+      if (a.d_[i] != b.d_[i]) return false;
+    }
+    return true;
+  }
+
+private:
+  int ndim_;
+  std::array<Interval, kMaxDims> d_{};
+};
+
+Box intersect(const Box& a, const Box& b);
+Box hull(const Box& a, const Box& b);
+Box dilate(const Box& a, index_t r);
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+}  // namespace polymg::poly

@@ -1,0 +1,70 @@
+// Closed integer intervals — the 1-d building block of the rectangular
+// region algebra PolyMG's planner uses in place of full ISL sets. All
+// regions that arise from stencil footprints over rectangular domains are
+// boxes, so interval arithmetic is exact for this domain.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace polymg::poly {
+
+using index_t = std::int64_t;
+
+/// Floor division (round toward negative infinity), as used by sampled
+/// accesses like Interp's x/2.
+constexpr index_t floordiv(index_t a, index_t b) {
+  index_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division.
+constexpr index_t ceildiv(index_t a, index_t b) {
+  return -floordiv(-a, b);
+}
+
+/// Closed interval [lo, hi]; empty iff lo > hi.
+struct Interval {
+  index_t lo = 0;
+  index_t hi = -1;  // default-constructed interval is empty
+
+  constexpr Interval() = default;
+  constexpr Interval(index_t l, index_t h) : lo(l), hi(h) {}
+
+  constexpr bool empty() const { return lo > hi; }
+  constexpr index_t size() const { return empty() ? 0 : hi - lo + 1; }
+  constexpr bool contains(index_t x) const { return x >= lo && x <= hi; }
+  constexpr bool contains(const Interval& o) const {
+    return o.empty() || (lo <= o.lo && o.hi <= hi);
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) =
+      default;
+};
+
+constexpr Interval intersect(const Interval& a, const Interval& b) {
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+/// Smallest interval containing both (union hull). An empty side is
+/// ignored.
+constexpr Interval hull(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Expand both ends by r (shrink if r < 0).
+constexpr Interval dilate(const Interval& a, index_t r) {
+  if (a.empty()) return a;
+  return Interval{a.lo - r, a.hi + r};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  if (iv.empty()) return os << "[]";
+  return os << "[" << iv.lo << "," << iv.hi << "]";
+}
+
+}  // namespace polymg::poly

@@ -1,0 +1,43 @@
+// Tile partitioning helpers for overlapped tiling.
+//
+// Overlapped tiles partition the live-out (anchor) domain disjointly; the
+// overlap appears when the planner walks backwards through the fused group
+// growing each producer's required region via footprint(). This header
+// provides the disjoint partition of the anchor domain and the arithmetic
+// for sizing the per-stage scratchpad maxima.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "polymg/poly/access.hpp"
+
+namespace polymg::poly {
+
+/// Tile edge lengths, one per dimension (outermost first). Dimensions a
+/// pipeline does not have are ignored.
+using TileSizes = std::array<index_t, kMaxDims>;
+
+/// Grid of tiles covering `domain` disjointly, tile (i0,i1,...) covering
+/// [lo_d + i_d*size_d, min(lo_d + (i_d+1)*size_d - 1, hi_d)].
+struct TileGrid {
+  Box domain;
+  TileSizes sizes{};
+  std::array<index_t, kMaxDims> ntiles{};  // tiles per dimension
+  index_t total = 0;                       // product of ntiles
+
+  /// Box of the flat tile index t ∈ [0, total).
+  Box tile_box(index_t t) const;
+};
+
+/// Partition `domain` into tiles of at most `sizes` per dimension.
+/// Dimensions with size <= 0 become a single tile spanning the domain.
+TileGrid make_tile_grid(const Box& domain, const TileSizes& sizes);
+
+/// Upper bound on the per-dimension extent of footprint(a, region) given
+/// only the extent of `region` — used at plan time to size scratchpads
+/// before concrete tile coordinates exist. Exact up to the +1 slack a ÷2
+/// sampled access can add from floor alignment.
+index_t footprint_extent_bound(const DimAccess& a, index_t region_extent);
+
+}  // namespace polymg::poly

@@ -1,0 +1,285 @@
+#include "polymg/runtime/executor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/parallel.hpp"
+
+namespace polymg::runtime {
+
+using opt::GroupExec;
+using opt::GroupPlan;
+using opt::StagePlan;
+
+Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
+  array_ptr_.assign(plan_.arrays.size(), nullptr);
+  unpooled_.resize(plan_.arrays.size());
+  for (const GroupPlan& g : plan_.groups) {
+    arena_doubles_ = std::max(arena_doubles_, g.scratch_doubles_total);
+  }
+  arena_.resize(static_cast<std::size_t>(max_threads()));
+}
+
+View Executor::array_view(int array_id, const ir::FunctionDecl& shape) const {
+  PMG_CHECK(array_id >= 0 && array_ptr_[array_id] != nullptr,
+            "array for " << shape.name << " not live");
+  return View::over(array_ptr_[array_id], shape.domain);
+}
+
+void Executor::ensure_array(int array_id) {
+  if (array_ptr_[array_id] != nullptr) return;
+  const poly::index_t n = plan_.arrays[array_id].doubles;
+  if (plan_.opts.pooled_allocation) {
+    array_ptr_[array_id] = pool_.pool_allocate(n);
+  } else {
+    unpooled_[array_id] = grid::Buffer(static_cast<std::size_t>(n));
+    array_ptr_[array_id] = unpooled_[array_id].data();
+  }
+  live_array_doubles_ += n;
+  peak_array_doubles_ = std::max(peak_array_doubles_, live_array_doubles_);
+}
+
+void Executor::release_arrays(const std::vector<int>& ids) {
+  for (int id : ids) {
+    if (array_ptr_[id] == nullptr) continue;
+    pool_.pool_deallocate(array_ptr_[id]);
+    array_ptr_[id] = nullptr;
+    live_array_doubles_ -= plan_.arrays[id].doubles;
+  }
+}
+
+View Executor::resolve_source(const GroupPlan& g, const ir::SourceSlot& slot,
+                              std::span<const View> externals,
+                              const std::vector<View>& scratch_views) const {
+  if (slot.external) return externals[slot.index];
+  // Producer inside this group with a scratchpad? Then the tile-local
+  // view carries the halo the consumer may need.
+  for (std::size_t p = 0; p < g.stages.size(); ++p) {
+    if (g.stages[p].func == slot.index &&
+        g.stages[p].scratch_buffer >= 0 && !scratch_views.empty()) {
+      return scratch_views[p];
+    }
+  }
+  const int aid = plan_.array_of_func[slot.index];
+  return array_view(aid, plan_.pipe.funcs[slot.index]);
+}
+
+void Executor::run(std::span<const View> externals) {
+  PMG_CHECK(externals.size() == plan_.pipe.externals.size(),
+            "expected " << plan_.pipe.externals.size()
+                        << " external grids, got " << externals.size());
+  // Non-pooled variants re-allocate per invocation (the cost the pooled
+  // allocator removes): drop everything from the previous run.
+  if (!plan_.opts.pooled_allocation) {
+    for (std::size_t i = 0; i < array_ptr_.size(); ++i) {
+      array_ptr_[i] = nullptr;
+      unpooled_[i] = grid::Buffer();
+    }
+  }
+  live_array_doubles_ = 0;
+  peak_array_doubles_ = 0;
+  // Pooled mode keeps output arrays live across invocations; reset their
+  // liveness bookkeeping by releasing everything still held.
+  if (plan_.opts.pooled_allocation) {
+    for (std::size_t i = 0; i < array_ptr_.size(); ++i) {
+      if (array_ptr_[i] != nullptr) {
+        pool_.pool_deallocate(array_ptr_[i]);
+        array_ptr_[i] = nullptr;
+      }
+    }
+  }
+
+  for (std::size_t gi = 0; gi < plan_.groups.size(); ++gi) {
+    const GroupPlan& g = plan_.groups[gi];
+    for (const StagePlan& sp : g.stages) {
+      if (sp.array >= 0) ensure_array(sp.array);
+    }
+    if (g.exec == GroupExec::TimeTiled) ensure_array(g.time_temp_array);
+
+    switch (g.exec) {
+      case GroupExec::Loops:
+        run_loops_group(g, externals);
+        break;
+      case GroupExec::OverlapTiled:
+        run_overlap_group(g, externals);
+        break;
+      case GroupExec::TimeTiled:
+        run_timetile_group(g, externals);
+        break;
+    }
+    if (plan_.opts.pooled_allocation) {
+      // pool_deallocate as soon as all uses of an array are finished
+      // (§3.2.3) — but never the program outputs.
+      std::vector<int> releasable;
+      for (int id : plan_.release_after_group[gi]) {
+        if (!plan_.arrays[id].io) releasable.push_back(id);
+      }
+      release_arrays(releasable);
+    }
+  }
+}
+
+View Executor::output_view(int i) const {
+  PMG_CHECK(i >= 0 && i < static_cast<int>(plan_.pipe.outputs.size()),
+            "bad output index " << i);
+  const int func = plan_.pipe.outputs[i];
+  return array_view(plan_.array_of_func[func], plan_.pipe.funcs[func]);
+}
+
+void Executor::run_loops_group(const GroupPlan& g,
+                               std::span<const View> externals) {
+  for (const StagePlan& sp : g.stages) {
+    const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
+    const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
+    const View out = array_view(sp.array, f);
+    std::vector<View> srcs(f.sources.size());
+    for (std::size_t s = 0; s < f.sources.size(); ++s) {
+      srcs[s] = resolve_source(g, f.sources[s], externals, {});
+    }
+    // Straightforward parallelization: OpenMP on the outermost grid
+    // dimension, in slabs to amortize per-call setup.
+    const poly::Interval d0 = f.domain.dim(0);
+    const index_t slab = std::max<index_t>(
+        1, d0.size() / (static_cast<index_t>(max_threads()) * 8));
+    const index_t nslabs = poly::ceildiv(d0.size(), slab);
+#pragma omp parallel for schedule(static)
+    for (index_t si = 0; si < nslabs; ++si) {
+      Box part = f.domain;
+      part.dim(0) = poly::Interval{d0.lo + si * slab,
+                                   std::min(d0.lo + (si + 1) * slab - 1,
+                                            d0.hi)};
+      apply_stage(f, lowered, out, srcs, part);
+    }
+  }
+}
+
+void Executor::run_overlap_group(const GroupPlan& g,
+                                 std::span<const View> externals) {
+  const int nstages = static_cast<int>(g.stages.size());
+  const ir::FunctionDecl& anchor_f = plan_.pipe.funcs[g.stages[g.anchor].func];
+  const poly::TileGrid& tiles = g.tiles;
+
+  // Scratchpad offsets within the per-thread arena.
+  std::vector<index_t> scratch_off(g.scratch_sizes.size() + 1, 0);
+  std::partial_sum(g.scratch_sizes.begin(), g.scratch_sizes.end(),
+                   scratch_off.begin() + 1);
+
+  // The collapse(d) clause flattens the tile loops; a flat index loop is
+  // its runtime equivalent. Without collapse only the outermost tile
+  // dimension is parallel and inner tile loops run sequentially within
+  // each chunk — same work, coarser chunking.
+  const index_t parallel_extent =
+      g.collapse_depth > 1 ? tiles.total : tiles.ntiles[0];
+  const index_t tiles_per_chunk =
+      g.collapse_depth > 1 ? 1 : tiles.total / std::max<index_t>(1, tiles.ntiles[0]);
+
+#pragma omp parallel
+  {
+    const int tid = thread_id();
+    auto& arena = arena_[static_cast<std::size_t>(tid)];
+    if (static_cast<index_t>(arena.size()) < arena_doubles_) {
+      arena.resize(static_cast<std::size_t>(arena_doubles_));
+    }
+    std::vector<Box> regions(static_cast<std::size_t>(nstages));
+    std::vector<View> scratch_views(static_cast<std::size_t>(nstages));
+    std::vector<View> srcs;
+
+#pragma omp for schedule(static)
+    for (index_t pi = 0; pi < parallel_extent; ++pi) {
+      for (index_t ti = pi * tiles_per_chunk;
+           ti < (pi + 1) * tiles_per_chunk; ++ti) {
+        const Box tile = tiles.tile_box(ti);
+        opt::tile_regions(plan_.pipe, g, tile, regions);
+
+        // Bind scratchpad views for this tile's footprints.
+        for (int p = 0; p < nstages; ++p) {
+          const StagePlan& sp = g.stages[p];
+          if (sp.scratch_buffer < 0) continue;
+          // Always-on: an undersized scratchpad would corrupt the arena
+          // silently, so the plan-time bound is enforced per tile.
+          PMG_CHECK(regions[p].count() <=
+                        static_cast<index_t>(
+                            g.scratch_sizes[sp.scratch_buffer]),
+                    "scratchpad overflow on "
+                        << plan_.pipe.funcs[sp.func].name << ": region "
+                        << regions[p]);
+          scratch_views[p] = View::over(
+              arena.data() + scratch_off[sp.scratch_buffer], regions[p]);
+        }
+
+        for (int p = 0; p < nstages; ++p) {
+          const StagePlan& sp = g.stages[p];
+          const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
+          const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
+          srcs.assign(f.sources.size(), View{});
+          for (std::size_t s = 0; s < f.sources.size(); ++s) {
+            srcs[s] = resolve_source(g, f.sources[s], externals,
+                                     scratch_views);
+          }
+          if (sp.scratch_buffer >= 0) {
+            apply_stage(f, lowered, scratch_views[p], srcs, regions[p]);
+            if (sp.array >= 0) {
+              // Live-out with in-group consumers: publish the owned
+              // partition slice (disjoint across tiles).
+              const Box own = opt::owned_region(f, sp.rel, tile,
+                                                anchor_f.domain);
+              copy_view(array_view(sp.array, f), scratch_views[p], own);
+            }
+          } else {
+            // The anchor (and any consumer-less live-out) writes its
+            // disjoint region straight to the full array.
+            apply_stage(f, lowered, array_view(sp.array, f), srcs,
+                        regions[p]);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Executor::run_timetile_group(const GroupPlan& g,
+                                  std::span<const View> externals) {
+  const StagePlan& first = g.stages.front();
+  const StagePlan& last = g.stages.back();
+  const ir::FunctionDecl& step_fn = plan_.pipe.funcs[first.func];
+  const int steps = static_cast<int>(g.stages.size());
+  std::vector<ChainStep> chain(g.stages.size());
+  for (std::size_t t = 0; t < g.stages.size(); ++t) {
+    chain[t].fn = &plan_.pipe.funcs[g.stages[t].func];
+    chain[t].lowered = &plan_.lowered[g.stages[t].func];
+  }
+
+  const View out = array_view(last.array, step_fn);
+  const View tmp = array_view(g.time_temp_array, step_fn);
+  View bufs[2];
+  bufs[steps & 1] = out;
+  bufs[1 - (steps & 1)] = tmp;
+
+  // Bind the step's time-invariant sources; slot 0 (the previous level)
+  // is managed by the sweep.
+  std::vector<View> srcs(step_fn.sources.size());
+  const View v0 = resolve_source(g, step_fn.sources[0], externals, {});
+  for (std::size_t s = 1; s < step_fn.sources.size(); ++s) {
+    srcs[s] = resolve_source(g, step_fn.sources[s], externals, {});
+  }
+
+  // Level 0 into bufs[0]; ghost rings of both buffers obey the step's
+  // boundary rule once (smoother steps never move their ghost ring).
+  copy_view(bufs[0], v0, step_fn.domain);
+  for (View b : {bufs[0], bufs[1]}) {
+    for_each_boundary_slab(step_fn.domain, step_fn.interior,
+                           [&](const Box& slab) {
+                             if (step_fn.boundary == ir::BoundaryKind::Zero) {
+                               fill_view(b, slab, 0.0);
+                             } else {
+                               copy_view(b, v0, slab);
+                             }
+                           });
+  }
+
+  TimeTileParams params{g.dtile_H, g.dtile_W};
+  time_tiled_sweep(chain, bufs, srcs, params);
+}
+
+}  // namespace polymg::runtime

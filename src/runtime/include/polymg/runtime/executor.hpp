@@ -1,0 +1,67 @@
+// Executor — runs a CompiledPipeline.
+//
+// This is the runtime half of what PolyMG's ISL code generation produces:
+// group-by-group execution with (a) plain parallel loops, (b) fused
+// overlapped-tile loop nests using per-thread scratchpads, or (c)
+// split/diamond time tiling for smoother chains; full arrays served by a
+// pooled allocator (or per-cycle allocations for the variants without
+// pooling) with pool_deallocate emitted at each array's last-use group.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "polymg/grid/buffer.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/pool.hpp"
+#include "polymg/runtime/timetile.hpp"
+
+namespace polymg::runtime {
+
+class Executor {
+public:
+  explicit Executor(opt::CompiledPipeline plan);
+
+  /// Execute one pipeline invocation (one multigrid cycle). `externals`
+  /// binds the program input grids in pipeline order; each view must
+  /// cover the declared domain. Output arrays remain valid until the
+  /// next run() (they are never pooled away mid-run and never freed in
+  /// non-pooled mode until the next invocation).
+  void run(std::span<const View> externals);
+
+  /// View of the i-th pipeline output (pipe.outputs[i]) after run().
+  View output_view(int i) const;
+
+  const opt::CompiledPipeline& plan() const { return plan_; }
+  const MemoryPool& pool() const { return pool_; }
+
+  /// Peak bytes of full-array storage held during the last run.
+  index_t peak_array_doubles() const { return peak_array_doubles_; }
+
+private:
+  View array_view(int array_id, const ir::FunctionDecl& shape) const;
+  View resolve_source(const opt::GroupPlan& g, const ir::SourceSlot& slot,
+                      std::span<const View> externals,
+                      const std::vector<View>& group_scratch_views) const;
+
+  void ensure_array(int array_id);
+  void release_arrays(const std::vector<int>& ids);
+
+  void run_loops_group(const opt::GroupPlan& g,
+                       std::span<const View> externals);
+  void run_overlap_group(const opt::GroupPlan& g,
+                         std::span<const View> externals);
+  void run_timetile_group(const opt::GroupPlan& g,
+                          std::span<const View> externals);
+
+  opt::CompiledPipeline plan_;
+  MemoryPool pool_;
+  std::vector<double*> array_ptr_;        // per array id, null until live
+  std::vector<grid::Buffer> unpooled_;    // per array id (non-pooled mode)
+  std::vector<std::vector<double>> arena_;  // per-thread scratch arena
+  index_t arena_doubles_ = 0;
+  index_t peak_array_doubles_ = 0;
+  index_t live_array_doubles_ = 0;
+};
+
+}  // namespace polymg::runtime

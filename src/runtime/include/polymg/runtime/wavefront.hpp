@@ -1,0 +1,29 @@
+// Wavefront (time-skewed) smoothing — the Williams et al. technique the
+// paper's related work contrasts overlapped tiling against.
+//
+// T Jacobi steps are software-pipelined along the outermost space
+// dimension: sweep position r updates time level t at row/plane
+// r - (t - 1), keeping a 3-row (3-plane in 3-d) line-buffer window per
+// intermediate level so the whole working set between levels stays
+// cache-resident. Unlike overlapped tiling there is no redundant
+// computation, and unlike split/diamond tiling there is no concurrent
+// start — the pipeline fills over the first T sweeps and drains over the
+// last T (the startup/drain cost the paper calls out).
+#pragma once
+
+#include "polymg/grid/view.hpp"
+
+namespace polymg::runtime {
+
+using grid::View;
+using poly::index_t;
+
+/// Advance T weighted-Jacobi steps of the (2d+1)-point smoother
+///   v' = v - w·(inv_h2·(2d·v - Σ neighbours) - f)
+/// over the interior [1, n]^d. Reads v_in (level 0), writes v_out
+/// (level T); the two must not alias unless T == 0. Ghost ring is
+/// homogeneous Dirichlet (zero).
+void wavefront_jacobi(View v_in, View v_out, View f, index_t n, int ndim,
+                      double w, double inv_h2, int T);
+
+}  // namespace polymg::runtime

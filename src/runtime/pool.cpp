@@ -1,0 +1,57 @@
+#include "polymg/runtime/pool.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::runtime {
+
+double* MemoryPool::pool_allocate(index_t doubles) {
+  PMG_CHECK(doubles >= 0, "negative allocation");
+  // First fit over the free entries, preferring the tightest one so big
+  // buffers stay available for big requests.
+  Entry* best = nullptr;
+  for (Entry& e : entries_) {
+    if (e.free && e.doubles >= doubles &&
+        (best == nullptr || e.doubles < best->doubles)) {
+      best = &e;
+    }
+  }
+  if (best != nullptr) {
+    best->free = false;
+    ++reuse_hits_;
+    return best->data.get();
+  }
+  Entry e;
+  e.data = aligned_array<double>(static_cast<std::size_t>(doubles));
+  e.doubles = doubles;
+  e.free = false;
+  ++malloc_calls_;
+  entries_.push_back(std::move(e));
+  return entries_.back().data.get();
+}
+
+void MemoryPool::pool_deallocate(double* p) {
+  for (Entry& e : entries_) {
+    if (e.data.get() == p) {
+      PMG_CHECK(!e.free, "double pool_deallocate");
+      e.free = true;
+      return;
+    }
+  }
+  PMG_CHECK(false, "pool_deallocate of unknown pointer");
+}
+
+void MemoryPool::clear() { entries_.clear(); }
+
+int MemoryPool::live_buffers() const {
+  int n = 0;
+  for (const Entry& e : entries_) n += e.free ? 0 : 1;
+  return n;
+}
+
+index_t MemoryPool::total_doubles() const {
+  index_t n = 0;
+  for (const Entry& e : entries_) n += e.doubles;
+  return n;
+}
+
+}  // namespace polymg::runtime

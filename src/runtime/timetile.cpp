@@ -1,0 +1,107 @@
+#include "polymg/runtime/timetile.hpp"
+
+#include <vector>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::runtime {
+
+void split_tile_schedule(
+    index_t lo, index_t hi, int steps, const TimeTileParams& params,
+    const std::function<void(int, index_t, index_t)>& body) {
+  const index_t H = std::max<index_t>(1, params.H);
+  const index_t W = std::max<index_t>(2 * H, params.W);
+  const index_t extent = hi - lo + 1;
+  if (extent <= 0 || steps <= 0) return;
+  const index_t K = poly::ceildiv(extent, W);  // number of blocks
+
+  for (int t0 = 0; t0 < steps; t0 += static_cast<int>(H)) {
+    const int h = std::min<int>(static_cast<int>(H), steps - t0);
+
+    // Phase 1: shrinking trapezoids, one per block, concurrent start.
+    // Block k owns rows [b_k, e_k]; at step s it computes
+    // [b_k + s·(k>0), e_k - s·(k<K-1)] — the dependence cone stays inside
+    // the block, so blocks never exchange data within the phase. Domain
+    // edges never shrink: ghost rows are time-invariant.
+#pragma omp parallel for schedule(dynamic)
+    for (index_t k = 0; k < K; ++k) {
+      const index_t bk = lo + k * W;
+      const index_t ek = std::min(bk + W - 1, hi);
+      for (int s = 0; s < h; ++s) {
+        const index_t rlo = bk + (k > 0 ? s : 0);
+        const index_t rhi = ek - (k < K - 1 ? s : 0);
+        if (rlo <= rhi) body(t0 + s, rlo, rhi);
+      }
+    }
+
+    // Phase 2: inter-block wedges. Wedge k (between blocks k and k+1)
+    // computes rows [e_k - s + 1, e_k + s] at step s, reading phase-1
+    // results at step s-1 on its flanks and its own previous step in the
+    // middle. Wedges stay pairwise disjoint because W >= 2H.
+#pragma omp parallel for schedule(dynamic)
+    for (index_t k = 0; k < K - 1; ++k) {
+      const index_t ek = std::min(lo + (k + 1) * W - 1, hi);
+      for (int s = 1; s < h; ++s) {
+        const index_t rlo = ek - s + 1;
+        const index_t rhi = std::min(ek + s, hi);
+        if (rlo <= rhi) body(t0 + s, rlo, rhi);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Apply one time step over the dimension-0 row range [rlo, rhi] (full
+/// interior extent in the remaining dimensions).
+void step_rows(const ir::FunctionDecl& f, const ir::LoweredFunc& lowered,
+               View out, std::span<const View> srcs, index_t rlo,
+               index_t rhi) {
+  Box region = f.interior;
+  region.dim(0) = poly::Interval{std::max(rlo, f.interior.dim(0).lo),
+                                 std::min(rhi, f.interior.dim(0).hi)};
+  apply_stage_interior(f, lowered, out, srcs, region);
+}
+
+}  // namespace
+
+void plain_sweep(std::span<const ChainStep> steps, View bufs[2],
+                 std::span<const View> other_srcs) {
+  std::vector<View> srcs(other_srcs.begin(), other_srcs.end());
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    srcs[0] = bufs[t & 1];
+    apply_stage_interior(*steps[t].fn, *steps[t].lowered, bufs[(t + 1) & 1],
+                         srcs, steps[t].fn->interior);
+  }
+}
+
+void time_tiled_sweep(std::span<const ChainStep> steps, View bufs[2],
+                      std::span<const View> other_srcs,
+                      const TimeTileParams& params) {
+  if (steps.empty()) return;
+  const ir::FunctionDecl& first = *steps.front().fn;
+  for (const ChainStep& s : steps) {
+    // Split tiling shrinks by one row per time step: every step's
+    // self-dependence must have radius <= 1 along dimension 0, and all
+    // steps must share one domain (the ping-pong pair assumes it).
+    const poly::DimAccess& self0 = s.fn->access_for(0).d[0];
+    PMG_CHECK(self0.lo >= -1 && self0.hi <= 1,
+              "time tiling needs radius-1 self dependence along dim 0, got "
+                  << self0 << " in " << s.fn->name);
+    PMG_CHECK(s.fn->domain == first.domain,
+              "chain steps must share one domain");
+  }
+
+  split_tile_schedule(
+      first.interior.dim(0).lo, first.interior.dim(0).hi,
+      static_cast<int>(steps.size()), params,
+      [&](int t, index_t rlo, index_t rhi) {
+        // Thread-private source binding (slot 0 flips per time level).
+        std::vector<View> srcs(other_srcs.begin(), other_srcs.end());
+        srcs[0] = bufs[t & 1];
+        step_rows(*steps[t].fn, *steps[t].lowered, bufs[(t + 1) & 1], srcs,
+                  rlo, rhi);
+      });
+}
+
+}  // namespace polymg::runtime

@@ -1,0 +1,390 @@
+#include "polymg/solvers/cycles.hpp"
+
+#include <cmath>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::solvers {
+
+using ir::BoundaryKind;
+using ir::Expr;
+using ir::FuncSpec;
+using ir::Handle;
+using ir::PipelineBuilder;
+using ir::SourceRef;
+using poly::Box;
+
+index_t CycleConfig::level_n(int l) const {
+  // Odd interiors (n = 2^k - 1): coarse point i coincides with fine point
+  // 2i AND the Dirichlet boundaries align exactly at both ends
+  // (coarse n_c + 1 maps to fine n_f + 1). Even interiors would shift the
+  // coarse boundary one fine cell outward per level, which stalls (or
+  // with deep hierarchies destroys) convergence.
+  return ((n + 1) >> (levels - 1 - l)) - 1;
+}
+
+double CycleConfig::level_h(int l) const {
+  // With aligned hierarchies this equals both 1/(n_l + 1) and
+  // 2^(levels-1-l) / (n + 1).
+  return 1.0 / static_cast<double>(level_n(l) + 1);
+}
+
+double CycleConfig::smoother_weight(int l) const {
+  const double h = level_h(l);
+  return omega * h * h / (2.0 * ndim);
+}
+
+void CycleConfig::validate() const {
+  PMG_CHECK(ndim == 2 || ndim == 3, "cycle ndim must be 2 or 3");
+  PMG_CHECK(levels >= 1, "need at least one level");
+  PMG_CHECK((n + 1) % (index_t{1} << (levels - 1)) == 0,
+            "finest interior size " << n << ": n+1 must be divisible by 2^"
+                                    << (levels - 1)
+                                    << " (use n = 2^k - 1)");
+  PMG_CHECK(level_n(0) >= 2, "coarsest grid too small");
+  PMG_CHECK(n1 >= 0 && n2 >= 0 && n3 >= 0, "negative smoothing steps");
+  PMG_CHECK(n1 + n2 + n3 > 0, "cycle with no smoothing at all");
+}
+
+int expected_stages(const CycleConfig& cfg) {
+  PMG_CHECK(cfg.smoother == SmootherKind::Jacobi,
+            "expected_stages models the Jacobi stage counts of Table 3");
+  // Mirrors the builder's recursion, counting one DAG node per smoothing
+  // step, defect, restrict, interp and correct. A zero value (coarsest
+  // visit with a zero guess and no coarse smoothing) propagates without
+  // materializing stages, exactly as the paper's counts imply (V-10-0-0
+  // has 42 nodes, W-10-0-0 has 98).
+  struct Counter {
+    const CycleConfig& cfg;
+    int count = 0;
+    /// Returns whether the visit produced a non-trivially-zero value.
+    bool visit(int l, CycleKind k, bool guess) {
+      if (l == 0) {
+        count += cfg.n2;
+        return guess || cfg.n2 > 0;
+      }
+      const bool s1 = guess || cfg.n1 > 0;
+      count += cfg.n1;  // pre-smoothing (seed included for a zero guess)
+      count += 1;       // defect (a copy of f when s1 is zero)
+      count += 1;       // restrict
+      bool e = visit(l - 1, k, false);
+      // W-cycles recurse twice per level except just above the coarsest
+      // (the second coarsest-level solve would be redundant work); this
+      // matches the paper's DAG sizes (100 nodes for W-4-4-4).
+      if (k == CycleKind::W && l >= 2) e = visit(l - 1, k, e);
+      if (k == CycleKind::F) e = visit(l - 1, CycleKind::V, e);
+      count += 1;            // interp (a constant-zero stage when e is zero)
+      count += s1 ? 1 : 0;   // correct collapses to eh when s1 is zero
+      count += cfg.n3;       // post-smoothing
+      return true;
+    }
+  };
+  Counter c{cfg};
+  c.visit(cfg.levels - 1, cfg.kind, true);
+  return c.count;
+}
+
+namespace {
+
+/// Shared state of one cycle construction.
+struct CycleBuilder {
+  PipelineBuilder& b;
+  const CycleConfig& cfg;
+  Handle F_ext;  // finest-level RHS external
+
+  Box domain(int l) const {
+    return Box::cube(cfg.ndim, 0, cfg.level_n(l) + 1);
+  }
+  Box interior(int l) const {
+    return Box::cube(cfg.ndim, 1, cfg.level_n(l));
+  }
+
+  FuncSpec spec(const std::string& base, int l) const {
+    FuncSpec s;
+    s.name = base + "_L" + std::to_string(l);
+    s.domain = domain(l);
+    s.interior = interior(l);
+    s.boundary = BoundaryKind::Zero;
+    s.level = l;
+    return s;
+  }
+
+  /// The discrete operator A = -∇² applied through the Stencil construct:
+  /// (1/h²) · 5-point (2-d) or 7-point (3-d) Laplacian.
+  Expr apply_A(const SourceRef& v, int l) const {
+    const double inv_h2 = 1.0 / (cfg.level_h(l) * cfg.level_h(l));
+    return cfg.ndim == 2
+               ? ir::stencil2(v, ir::five_point_laplacian_2d(), inv_h2)
+               : ir::stencil3(v, ir::seven_point_laplacian_3d(), inv_h2);
+  }
+
+  /// smoother(v, f, l, n): n relaxation steps, dispatching on the
+  /// configured scheme. An invalid v means the zero initial guess of
+  /// coarse-level error equations; zero steps on a zero guess propagate
+  /// the (invalid) zero handle without a stage.
+  Handle smoother(Handle v, Handle f, int l, int steps,
+                  const std::string& tag) {
+    switch (cfg.smoother) {
+      case SmootherKind::GSRB:
+        return gsrb_smoother(v, f, l, steps, tag);
+      case SmootherKind::Chebyshev:
+        return chebyshev_smoother(v, f, l, steps, tag);
+      case SmootherKind::Jacobi:
+        break;
+    }
+    return jacobi_smoother(v, f, l, steps, tag);
+  }
+
+  Handle jacobi_smoother(Handle v, Handle f, int l, int steps,
+                         const std::string& tag) {
+    const double w = cfg.smoother_weight(l);
+    Handle v0 = v;
+    int remaining = steps;
+    if (!v0.valid()) {
+      if (steps == 0) return Handle{};
+      v0 = b.define(spec(tag + "_seed", l), {f},
+                    [&](std::span<const SourceRef> s) {
+                      return ir::make_const(w) * s[0]();
+                    });
+      remaining = steps - 1;
+    }
+    if (remaining == 0) return v0;
+    return b.define_tstencil(
+        spec(tag, l), v0, {f}, remaining, [&](std::span<const SourceRef> s) {
+          return s[0]() - ir::make_const(w) * (apply_A(s[0], l) - s[1]());
+        });
+  }
+
+  /// Red-black Gauss-Seidel: one step is a red half-sweep followed by a
+  /// black half-sweep. Each half-sweep is one parity-piecewise chain
+  /// stage — points of the active colour take the GS update (their 5-/7-
+  /// point neighbours are all of the other colour, so reading the
+  /// previous stage is an exact GS half-sweep), the rest copy through.
+  Handle gsrb_smoother(Handle v, Handle f, int l, int steps,
+                       const std::string& tag) {
+    if (steps == 0) return v;
+    const double w =
+        cfg.gsrb_omega * cfg.level_h(l) * cfg.level_h(l) / (2.0 * cfg.ndim);
+    const int ncases = 1 << cfg.ndim;
+    const auto case_color = [&](int c) {
+      int sum = 0;
+      for (int d = 0; d < cfg.ndim; ++d) sum += (c >> d) & 1;
+      return sum % 2;  // 0 = red (even coordinate sum)
+    };
+
+    Handle v0 = v;
+    int start_color = 0;
+    int remaining = 2 * steps;
+    if (!v0.valid()) {
+      // Seed: the red half-sweep applied to the zero grid.
+      v0 = b.define_piecewise(
+          spec(tag + "_seed", l), {f}, [&](std::span<const SourceRef> s) {
+            std::vector<Expr> cases(static_cast<std::size_t>(ncases));
+            for (int c = 0; c < ncases; ++c) {
+              cases[static_cast<std::size_t>(c)] =
+                  case_color(c) == 0 ? ir::make_const(w) * s[0]()
+                                     : ir::make_const(0.0);
+            }
+            return cases;
+          });
+      remaining -= 1;
+      start_color = 1;
+    }
+    if (remaining == 0) return v0;
+    return b.define_chain(
+        spec(tag + "_gsrb", l), v0, {f}, remaining,
+        [&](std::span<const SourceRef> s, int t) {
+          const int color = (start_color + t) % 2;
+          std::vector<Expr> cases(static_cast<std::size_t>(ncases));
+          for (int c = 0; c < ncases; ++c) {
+            cases[static_cast<std::size_t>(c)] =
+                case_color(c) == color
+                    ? s[0]() -
+                          ir::make_const(w) * (apply_A(s[0], l) - s[1]())
+                    : s[0]();
+          }
+          return cases;
+        },
+        /*parity_piecewise=*/true);
+  }
+
+  /// Chebyshev polynomial smoother targeting the upper part of A's
+  /// spectrum, [λmax/cheby_fraction, λmax] with λmax = 4d/h² for the
+  /// 2d·(1/h²) Laplacian. Each iterate needs the previous search
+  /// direction, so the stages form residual/direction/update triples
+  /// rather than a self-chained TStencil.
+  Handle chebyshev_smoother(Handle v, Handle f, int l, int steps,
+                            const std::string& tag) {
+    if (steps == 0) return v;
+    const double h = cfg.level_h(l);
+    const double lmax = 4.0 * cfg.ndim / (h * h);
+    const double lmin = lmax / cfg.cheby_fraction;
+    const double theta = 0.5 * (lmax + lmin);
+    const double delta = 0.5 * (lmax - lmin);
+    const double sigma = theta / delta;
+    double rho = 1.0 / sigma;
+
+    auto stage = [&](const std::string& base, int j) {
+      return spec(tag + "_cb_" + base + std::to_string(j), l);
+    };
+
+    // d_0 = r_0 / θ with r_0 = f - A v (just f/θ on a zero guess);
+    // v_1 = v + d_0.
+    Handle d;
+    if (v.valid()) {
+      d = b.define(stage("d", 0), {v, f}, [&](std::span<const SourceRef> s) {
+        return ir::make_const(1.0 / theta) * (s[1]() - apply_A(s[0], l));
+      });
+      v = b.define(stage("v", 0), {v, d}, [&](std::span<const SourceRef> s) {
+        return s[0]() + s[1]();
+      });
+    } else {
+      d = b.define(stage("d", 0), {f}, [&](std::span<const SourceRef> s) {
+        return ir::make_const(1.0 / theta) * s[0]();
+      });
+      v = d;  // v_1 = 0 + d_0
+    }
+
+    for (int j = 1; j < steps; ++j) {
+      const double rho_next = 1.0 / (2.0 * sigma - rho);
+      Handle r = b.define(stage("r", j), {v, f},
+                          [&](std::span<const SourceRef> s) {
+                            return s[1]() - apply_A(s[0], l);
+                          });
+      d = b.define(stage("d", j), {d, r},
+                   [&](std::span<const SourceRef> s) {
+                     return ir::make_const(rho_next * rho) * s[0]() +
+                            ir::make_const(2.0 * rho_next / delta) * s[1]();
+                   });
+      v = b.define(stage("v", j), {v, d},
+                   [&](std::span<const SourceRef> s) {
+                     return s[0]() + s[1]();
+                   });
+      rho = rho_next;
+    }
+    return v;
+  }
+
+  /// defect(v, f, l): r = f - A v (r = f when v is the zero grid).
+  Handle defect(Handle v, Handle f, int l) {
+    if (!v.valid()) {
+      return b.define(spec("defect", l), {f},
+                      [&](std::span<const SourceRef> s) { return s[0](); });
+    }
+    return b.define(spec("defect", l), {v, f},
+                    [&](std::span<const SourceRef> s) {
+                      return s[1]() - apply_A(s[0], l);
+                    });
+  }
+
+  /// restrict(r, l): full weighting onto level l-1.
+  Handle restrict_(Handle r, int l) {
+    return b.define_restrict(
+        spec("restrict", l - 1), {r}, [&](std::span<const SourceRef> s) {
+          return cfg.ndim == 2
+                     ? ir::stencil2(s[0], ir::full_weighting_2d(), 1.0 / 16)
+                     : ir::stencil3(s[0], ir::full_weighting_3d(), 1.0 / 64);
+        });
+  }
+
+  /// interpolate(e, l): bi/tri-linear prolongation from level l-1 to l.
+  /// An invalid e is the zero grid: the interp stage still exists in the
+  /// DAG (as the paper's counts imply) but reads nothing.
+  Handle interpolate(Handle e, int l) {
+    if (!e.valid()) {
+      return b.define(spec("interp", l), {},
+                      [&](std::span<const SourceRef>) {
+                        return ir::make_const(0.0);
+                      });
+    }
+    return b.define_interp(
+        spec("interp", l), {e}, [&](std::span<const SourceRef> s) {
+          // One expression per parity case, matching the paper's
+          // expr[dy][dx] table: even indices coincide with a coarse
+          // point; odd ones average the straddling coarse neighbours.
+          std::vector<Expr> cases;
+          const int ncases = 1 << cfg.ndim;
+          for (int c = 0; c < ncases; ++c) {
+            Expr sum;
+            int npts = 0;
+            // Sum coarse points at offsets {0, parity_d} per dimension.
+            for (int corner = 0; corner < ncases; ++corner) {
+              std::array<index_t, 3> off{};
+              bool skip = false;
+              for (int d = 0; d < cfg.ndim; ++d) {
+                const int parity = (c >> (cfg.ndim - 1 - d)) & 1;
+                const int pick = (corner >> (cfg.ndim - 1 - d)) & 1;
+                if (pick && !parity) skip = true;  // even dim: one point
+                off[d] = pick;
+              }
+              if (skip) continue;
+              Expr load = s[0].at_offsets(off);
+              sum = sum ? sum + load : load;
+              ++npts;
+            }
+            cases.push_back(npts == 1 ? sum
+                                      : ir::make_const(1.0 / npts) * sum);
+          }
+          return cases;
+        });
+  }
+
+  /// correct(v, e, l): v + e (collapses to e when v is the zero grid).
+  Handle correct(Handle v, Handle e, int l) {
+    if (!v.valid()) return e;
+    return b.define(spec("correct", l), {v, e},
+                    [&](std::span<const SourceRef> s) {
+                      return s[0]() + s[1]();
+                    });
+  }
+
+  /// One multigrid visit at level l: the recursive structure of
+  /// Algorithm 1 / Fig. 3, with gamma = 2 for W-cycles and an F-cycle
+  /// tail-recursion into V.
+  Handle visit(Handle v, Handle f, int l, CycleKind kind) {
+    if (l == 0) {
+      return smoother(v, f, 0, cfg.n2, "smooth_c");
+    }
+    Handle s1 = smoother(v, f, l, cfg.n1, "smooth_pre");
+    Handle r = defect(s1, f, l);
+    Handle r2 = restrict_(r, l);
+    Handle e = visit(Handle{}, r2, l - 1, kind);
+    if (kind == CycleKind::W && l >= 2) {
+      e = visit(e, r2, l - 1, kind);
+    } else if (kind == CycleKind::F) {
+      e = visit(e, r2, l - 1, CycleKind::V);
+    }
+    Handle eh = interpolate(e, l);
+    Handle vc = correct(s1, eh, l);
+    return smoother(vc, f, l, cfg.n3, "smooth_post");
+  }
+};
+
+}  // namespace
+
+ir::Pipeline build_cycle(const CycleConfig& cfg) {
+  cfg.validate();
+  PipelineBuilder b(cfg.ndim);
+  const Box dom = Box::cube(cfg.ndim, 0, cfg.n + 1);
+  Handle V = b.input("V", dom);
+  Handle F = b.input("F", dom);
+  CycleBuilder cb{b, cfg, F};
+  Handle out = cb.visit(V, F, cfg.levels - 1, cfg.kind);
+  b.mark_output(out);
+  return b.build();
+}
+
+ir::Pipeline build_smoother_only(const CycleConfig& cfg, int steps) {
+  cfg.validate();
+  PMG_CHECK(steps >= 1, "need at least one smoothing step");
+  PipelineBuilder b(cfg.ndim);
+  const Box dom = Box::cube(cfg.ndim, 0, cfg.n + 1);
+  Handle V = b.input("V", dom);
+  Handle F = b.input("F", dom);
+  CycleBuilder cb{b, cfg, F};
+  Handle out = cb.smoother(V, F, cfg.levels - 1, steps, "smooth");
+  b.mark_output(out);
+  return b.build();
+}
+
+}  // namespace polymg::solvers

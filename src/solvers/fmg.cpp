@@ -1,0 +1,157 @@
+#include "polymg/solvers/fmg.hpp"
+
+#include "polymg/common/error.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/metrics.hpp"
+
+namespace polymg::solvers {
+
+namespace {
+
+/// Full-weighting restriction of a right-hand side (host-side; the RHS
+/// hierarchy is built once per solve).
+void restrict_rhs(grid::View coarse, grid::View fine, index_t nc, int ndim) {
+  if (ndim == 2) {
+    for (index_t i = 1; i <= nc; ++i) {
+      for (index_t j = 1; j <= nc; ++j) {
+        const index_t fi = 2 * i, fj = 2 * j;
+        coarse.at2(i, j) =
+            (fine.at2(fi - 1, fj - 1) + 2 * fine.at2(fi - 1, fj) +
+             fine.at2(fi - 1, fj + 1) + 2 * fine.at2(fi, fj - 1) +
+             4 * fine.at2(fi, fj) + 2 * fine.at2(fi, fj + 1) +
+             fine.at2(fi + 1, fj - 1) + 2 * fine.at2(fi + 1, fj) +
+             fine.at2(fi + 1, fj + 1)) /
+            16.0;
+      }
+    }
+    return;
+  }
+  for (index_t i = 1; i <= nc; ++i) {
+    for (index_t j = 1; j <= nc; ++j) {
+      for (index_t k = 1; k <= nc; ++k) {
+        double acc = 0.0;
+        for (int di = -1; di <= 1; ++di) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int dk = -1; dk <= 1; ++dk) {
+              const int dist = (di != 0) + (dj != 0) + (dk != 0);
+              const double w =
+                  dist == 0 ? 8.0 : dist == 1 ? 4.0 : dist == 2 ? 2.0 : 1.0;
+              acc += w * fine.at3(2 * i + di, 2 * j + dj, 2 * k + dk);
+            }
+          }
+        }
+        coarse.at3(i, j, k) = acc / 64.0;
+      }
+    }
+  }
+}
+
+/// Trilinear/bilinear prolongation of a solution to the next-finer FMG
+/// level (overwrite, not correct: nested iteration transfers iterates).
+void prolong(grid::View fine, grid::View coarse, index_t nf, int ndim) {
+  if (ndim == 2) {
+    for (index_t i = 1; i <= nf; ++i) {
+      for (index_t j = 1; j <= nf; ++j) {
+        const index_t ci = i / 2, cj = j / 2;
+        double e;
+        if ((i & 1) == 0 && (j & 1) == 0) {
+          e = coarse.at2(ci, cj);
+        } else if ((i & 1) == 0) {
+          e = 0.5 * (coarse.at2(ci, cj) + coarse.at2(ci, cj + 1));
+        } else if ((j & 1) == 0) {
+          e = 0.5 * (coarse.at2(ci, cj) + coarse.at2(ci + 1, cj));
+        } else {
+          e = 0.25 * (coarse.at2(ci, cj) + coarse.at2(ci, cj + 1) +
+                      coarse.at2(ci + 1, cj) + coarse.at2(ci + 1, cj + 1));
+        }
+        fine.at2(i, j) = e;
+      }
+    }
+    return;
+  }
+  for (index_t i = 1; i <= nf; ++i) {
+    for (index_t j = 1; j <= nf; ++j) {
+      for (index_t k = 1; k <= nf; ++k) {
+        double acc = 0.0;
+        int npts = 0;
+        for (int di = 0; di <= (i & 1); ++di) {
+          for (int dj = 0; dj <= (j & 1); ++dj) {
+            for (int dk = 0; dk <= (k & 1); ++dk) {
+              acc += coarse.at3(i / 2 + di, j / 2 + dj, k / 2 + dk);
+              ++npts;
+            }
+          }
+        }
+        fine.at3(i, j, k) = acc / npts;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FmgResult fmg_solve(PoissonProblem& p, const CycleConfig& base,
+                    const FmgOptions& opts) {
+  PMG_CHECK(base.ndim == p.ndim && base.n == p.n,
+            "FMG hierarchy must match the problem geometry");
+  base.validate();
+  const int L = base.levels;
+
+  // Right-hand-side and iterate hierarchies.
+  std::vector<grid::Buffer> f_l(static_cast<std::size_t>(L));
+  std::vector<grid::Buffer> v_l(static_cast<std::size_t>(L));
+  auto lvl_dom = [&](int l) {
+    return poly::Box::cube(base.ndim, 0, base.level_n(l) + 1);
+  };
+  for (int l = 0; l < L; ++l) {
+    f_l[static_cast<std::size_t>(l)] = grid::make_grid(lvl_dom(l));
+    v_l[static_cast<std::size_t>(l)] = grid::make_grid(lvl_dom(l));
+  }
+  grid::copy_region(
+      grid::View::over(f_l[static_cast<std::size_t>(L - 1)].data(),
+                       lvl_dom(L - 1)),
+      p.f_view(), lvl_dom(L - 1));
+  for (int l = L - 1; l >= 1; --l) {
+    restrict_rhs(grid::View::over(f_l[static_cast<std::size_t>(l - 1)].data(),
+                                  lvl_dom(l - 1)),
+                 grid::View::over(f_l[static_cast<std::size_t>(l)].data(),
+                                  lvl_dom(l)),
+                 base.level_n(l - 1), base.ndim);
+  }
+
+  FmgResult res;
+  res.initial_residual = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+
+  // Climb: solve each level with a few V-cycles, prolong the iterate.
+  for (int l = 0; l < L; ++l) {
+    CycleConfig cfg = base;
+    cfg.n = base.level_n(l);
+    cfg.levels = l + 1;
+    runtime::Executor ex(opt::compile(
+        build_cycle(cfg),
+        opt::CompileOptions::for_variant(opts.variant, base.ndim)));
+    grid::View v = grid::View::over(v_l[static_cast<std::size_t>(l)].data(),
+                                    lvl_dom(l));
+    grid::View f = grid::View::over(f_l[static_cast<std::size_t>(l)].data(),
+                                    lvl_dom(l));
+    for (int c = 0; c < opts.cycles_per_level; ++c) {
+      const std::vector<grid::View> ext = {v, f};
+      ex.run(ext);
+      grid::copy_region(v, ex.output_view(0), lvl_dom(l));
+    }
+    if (l + 1 < L) {
+      prolong(grid::View::over(v_l[static_cast<std::size_t>(l + 1)].data(),
+                               lvl_dom(l + 1)),
+              v, base.level_n(l + 1), base.ndim);
+    }
+  }
+  grid::copy_region(p.v_view(),
+                    grid::View::over(v_l[static_cast<std::size_t>(L - 1)].data(),
+                                     lvl_dom(L - 1)),
+                    lvl_dom(L - 1));
+  res.residual = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  return res;
+}
+
+}  // namespace polymg::solvers

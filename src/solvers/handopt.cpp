@@ -1,0 +1,290 @@
+#include "polymg/solvers/handopt.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::solvers {
+
+namespace {
+
+/// One weighted-Jacobi row update, 2-d: rows [rlo, rhi] of `dst` from
+/// `src` (previous level values) and f.
+void jacobi_rows_2d(View dst, View src, View f, index_t rlo, index_t rhi,
+                    index_t n, double w, double inv_h2) {
+  for (index_t i = rlo; i <= rhi; ++i) {
+    const double* s0 = &src.at2(i - 1, 0);
+    const double* s1 = &src.at2(i, 0);
+    const double* s2 = &src.at2(i + 1, 0);
+    const double* fr = &f.at2(i, 0);
+    double* d = &dst.at2(i, 0);
+#pragma omp simd
+    for (index_t j = 1; j <= n; ++j) {
+      const double av =
+          inv_h2 * (4.0 * s1[j] - s0[j] - s2[j] - s1[j - 1] - s1[j + 1]);
+      d[j] = s1[j] - w * (av - fr[j]);
+    }
+  }
+}
+
+void jacobi_rows_3d(View dst, View src, View f, index_t rlo, index_t rhi,
+                    index_t n, double w, double inv_h2) {
+  for (index_t i = rlo; i <= rhi; ++i) {
+    for (index_t j = 1; j <= n; ++j) {
+      const double* c = &src.at3(i, j, 0);
+      const double* im = &src.at3(i - 1, j, 0);
+      const double* ip = &src.at3(i + 1, j, 0);
+      const double* jm = &src.at3(i, j - 1, 0);
+      const double* jp = &src.at3(i, j + 1, 0);
+      const double* fr = &f.at3(i, j, 0);
+      double* d = &dst.at3(i, j, 0);
+#pragma omp simd
+      for (index_t k = 1; k <= n; ++k) {
+        const double av = inv_h2 * (6.0 * c[k] - im[k] - ip[k] - jm[k] -
+                                    jp[k] - c[k - 1] - c[k + 1]);
+        d[k] = c[k] - w * (av - fr[k]);
+      }
+    }
+  }
+}
+
+void copy_interior(View dst, View src, index_t n, int ndim) {
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= n; ++i) {
+    if (ndim == 2) {
+      double* d = &dst.at2(i, 0);
+      const double* s = &src.at2(i, 0);
+      for (index_t j = 1; j <= n; ++j) d[j] = s[j];
+    } else {
+      for (index_t j = 1; j <= n; ++j) {
+        double* d = &dst.at3(i, j, 0);
+        const double* s = &src.at3(i, j, 0);
+        for (index_t k = 1; k <= n; ++k) d[k] = s[k];
+      }
+    }
+  }
+}
+
+void zero_grid(View v, index_t n, int ndim) {
+  const index_t total = n + 2;
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < total; ++i) {
+    if (ndim == 2) {
+      double* d = &v.at2(i, 0);
+      for (index_t j = 0; j < total; ++j) d[j] = 0.0;
+    } else {
+      for (index_t j = 0; j < total; ++j) {
+        double* d = &v.at3(i, j, 0);
+        for (index_t k = 0; k < total; ++k) d[k] = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HandOptSolver::HandOptSolver(const CycleConfig& cfg, bool time_tiled,
+                             runtime::TimeTileParams ttp)
+    : cfg_(cfg), time_tiled_(time_tiled), ttp_(ttp) {
+  cfg_.validate();
+  levels_.resize(static_cast<std::size_t>(cfg_.levels));
+  // Pooled allocation: every per-level buffer is created once here and
+  // reused by all subsequent cycle() calls.
+  for (int l = 0; l < cfg_.levels; ++l) {
+    Level& lv = levels_[static_cast<std::size_t>(l)];
+    lv.n = cfg_.level_n(l);
+    lv.h = cfg_.level_h(l);
+    lv.w = cfg_.smoother_weight(l);
+    const poly::Box dom = poly::Box::cube(cfg_.ndim, 0, lv.n + 1);
+    lv.tmp = grid::make_grid(dom);
+    lv.r = grid::make_grid(dom);
+    if (l < cfg_.levels - 1) {  // finest v/f are the caller's grids
+      lv.v = grid::make_grid(dom);
+      lv.f = grid::make_grid(dom);
+    }
+  }
+}
+
+void HandOptSolver::smooth(int l, View v, View f, int steps) {
+  if (steps <= 0) return;
+  Level& lv = levels_[static_cast<std::size_t>(l)];
+  View tmp = grid::View::over(lv.tmp.data(),
+                              poly::Box::cube(cfg_.ndim, 0, lv.n + 1));
+  View bufs[2] = {v, tmp};
+  const double inv_h2 = 1.0 / (lv.h * lv.h);
+
+  auto rows = [&](int t, index_t rlo, index_t rhi) {
+    View src = bufs[t & 1];
+    View dst = bufs[(t + 1) & 1];
+    if (cfg_.ndim == 2) {
+      jacobi_rows_2d(dst, src, f, rlo, rhi, lv.n, lv.w, inv_h2);
+    } else {
+      jacobi_rows_3d(dst, src, f, rlo, rhi, lv.n, lv.w, inv_h2);
+    }
+  };
+
+  if (time_tiled_) {
+    runtime::split_tile_schedule(1, lv.n, steps, ttp_, rows);
+  } else {
+    for (int t = 0; t < steps; ++t) {
+      const index_t chunk = std::max<index_t>(1, lv.n / 64);
+      const index_t nchunks = poly::ceildiv(lv.n, chunk);
+#pragma omp parallel for schedule(static)
+      for (index_t c = 0; c < nchunks; ++c) {
+        rows(t, 1 + c * chunk, std::min(lv.n, (c + 1) * chunk));
+      }
+    }
+  }
+  // Two modulo buffers: the result must end up in v (buffer 0); an odd
+  // step count lands in tmp and is copied back.
+  if (steps & 1) copy_interior(v, tmp, lv.n, cfg_.ndim);
+}
+
+void HandOptSolver::residual(int l, View v, View f, View r) const {
+  const Level& lv = levels_[static_cast<std::size_t>(l)];
+  const double inv_h2 = 1.0 / (lv.h * lv.h);
+  const index_t n = lv.n;
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= n; ++i) {
+    if (cfg_.ndim == 2) {
+      const double* s0 = &v.at2(i - 1, 0);
+      const double* s1 = &v.at2(i, 0);
+      const double* s2 = &v.at2(i + 1, 0);
+      const double* fr = &f.at2(i, 0);
+      double* d = &r.at2(i, 0);
+#pragma omp simd
+      for (index_t j = 1; j <= n; ++j) {
+        d[j] = fr[j] - inv_h2 * (4.0 * s1[j] - s0[j] - s2[j] - s1[j - 1] -
+                                 s1[j + 1]);
+      }
+    } else {
+      for (index_t j = 1; j <= n; ++j) {
+        const double* c = &v.at3(i, j, 0);
+        const double* im = &v.at3(i - 1, j, 0);
+        const double* ip = &v.at3(i + 1, j, 0);
+        const double* jm = &v.at3(i, j - 1, 0);
+        const double* jp = &v.at3(i, j + 1, 0);
+        const double* fr = &f.at3(i, j, 0);
+        double* d = &r.at3(i, j, 0);
+#pragma omp simd
+        for (index_t k = 1; k <= n; ++k) {
+          d[k] = fr[k] - inv_h2 * (6.0 * c[k] - im[k] - ip[k] - jm[k] -
+                                   jp[k] - c[k - 1] - c[k + 1]);
+        }
+      }
+    }
+  }
+}
+
+void HandOptSolver::restrict_to(int l, View r_fine, View f_coarse) const {
+  // Full weighting from level l onto level l-1.
+  const index_t nc = levels_[static_cast<std::size_t>(l - 1)].n;
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= nc; ++i) {
+    if (cfg_.ndim == 2) {
+      for (index_t j = 1; j <= nc; ++j) {
+        const index_t fi = 2 * i, fj = 2 * j;
+        f_coarse.at2(i, j) =
+            (r_fine.at2(fi - 1, fj - 1) + 2 * r_fine.at2(fi - 1, fj) +
+             r_fine.at2(fi - 1, fj + 1) + 2 * r_fine.at2(fi, fj - 1) +
+             4 * r_fine.at2(fi, fj) + 2 * r_fine.at2(fi, fj + 1) +
+             r_fine.at2(fi + 1, fj - 1) + 2 * r_fine.at2(fi + 1, fj) +
+             r_fine.at2(fi + 1, fj + 1)) /
+            16.0;
+      }
+    } else {
+      for (index_t j = 1; j <= nc; ++j) {
+        for (index_t k = 1; k <= nc; ++k) {
+          const index_t fi = 2 * i, fj = 2 * j, fk = 2 * k;
+          double acc = 0.0;
+          for (int di = -1; di <= 1; ++di) {
+            for (int dj = -1; dj <= 1; ++dj) {
+              for (int dk = -1; dk <= 1; ++dk) {
+                const int dist = (di != 0) + (dj != 0) + (dk != 0);
+                const double wgt =
+                    dist == 0 ? 8.0 : dist == 1 ? 4.0 : dist == 2 ? 2.0 : 1.0;
+                acc += wgt * r_fine.at3(fi + di, fj + dj, fk + dk);
+              }
+            }
+          }
+          f_coarse.at3(i, j, k) = acc / 64.0;
+        }
+      }
+    }
+  }
+}
+
+void HandOptSolver::interp_correct(int l, View e_coarse, View v_fine) const {
+  // Bi/tri-linear prolongation fused with the correction: v += P e.
+  const index_t nf = levels_[static_cast<std::size_t>(l)].n;
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= nf; ++i) {
+    if (cfg_.ndim == 2) {
+      for (index_t j = 1; j <= nf; ++j) {
+        const index_t ci = i / 2, cj = j / 2;
+        double e;
+        if ((i & 1) == 0 && (j & 1) == 0) {
+          e = e_coarse.at2(ci, cj);
+        } else if ((i & 1) == 0) {
+          e = 0.5 * (e_coarse.at2(ci, cj) + e_coarse.at2(ci, cj + 1));
+        } else if ((j & 1) == 0) {
+          e = 0.5 * (e_coarse.at2(ci, cj) + e_coarse.at2(ci + 1, cj));
+        } else {
+          e = 0.25 * (e_coarse.at2(ci, cj) + e_coarse.at2(ci, cj + 1) +
+                      e_coarse.at2(ci + 1, cj) + e_coarse.at2(ci + 1, cj + 1));
+        }
+        v_fine.at2(i, j) += e;
+      }
+    } else {
+      for (index_t j = 1; j <= nf; ++j) {
+        for (index_t k = 1; k <= nf; ++k) {
+          const index_t ci = i / 2, cj = j / 2, ck = k / 2;
+          double acc = 0.0;
+          int npts = 0;
+          for (int di = 0; di <= (i & 1); ++di) {
+            for (int dj = 0; dj <= (j & 1); ++dj) {
+              for (int dk = 0; dk <= (k & 1); ++dk) {
+                acc += e_coarse.at3(ci + di, cj + dj, ck + dk);
+                ++npts;
+              }
+            }
+          }
+          v_fine.at3(i, j, k) += acc / npts;
+        }
+      }
+    }
+  }
+}
+
+void HandOptSolver::visit(int l, View v, View f, bool zero_guess,
+                          CycleKind kind) {
+  Level& lv = levels_[static_cast<std::size_t>(l)];
+  if (zero_guess) zero_grid(v, lv.n, cfg_.ndim);
+  if (l == 0) {
+    smooth(0, v, f, cfg_.n2);
+    return;
+  }
+  smooth(l, v, f, cfg_.n1);
+  View r = grid::View::over(lv.r.data(),
+                            poly::Box::cube(cfg_.ndim, 0, lv.n + 1));
+  residual(l, v, f, r);
+
+  Level& clv = levels_[static_cast<std::size_t>(l - 1)];
+  View cv = grid::View::over(clv.v.data(),
+                             poly::Box::cube(cfg_.ndim, 0, clv.n + 1));
+  View cf = grid::View::over(clv.f.data(),
+                             poly::Box::cube(cfg_.ndim, 0, clv.n + 1));
+  restrict_to(l, r, cf);
+  visit(l - 1, cv, cf, /*zero_guess=*/true, kind);
+  if (kind == CycleKind::W && l >= 2) {
+    visit(l - 1, cv, cf, /*zero_guess=*/false, kind);
+  } else if (kind == CycleKind::F) {
+    visit(l - 1, cv, cf, /*zero_guess=*/false, CycleKind::V);
+  }
+  interp_correct(l, cv, v);
+  smooth(l, v, f, cfg_.n3);
+}
+
+void HandOptSolver::cycle(View v, View f) {
+  visit(cfg_.levels - 1, v, f, /*zero_guess=*/false, cfg_.kind);
+}
+
+}  // namespace polymg::solvers

@@ -1,0 +1,67 @@
+// Multigrid cycle builders over the PolyMG DSL.
+//
+// These are the C++ equivalents of the paper's Fig. 3 Python program: a
+// recursive specification of V- / W- / F-cycles for the Poisson problem
+// on (N+2)^d grids, expressed entirely with the DSL constructs
+// (TStencil smoothers, Stencil residuals, Restrict, Interp, point-wise
+// correction). The cycle pipeline maps grids (V, F) -> smoothed V; the
+// loop iterating whole cycles stays outside the pipeline, as in PolyMage.
+#pragma once
+
+#include "polymg/ir/builder.hpp"
+
+namespace polymg::solvers {
+
+using poly::index_t;
+
+enum class CycleKind { V, W, F };
+
+/// Relaxation scheme used by the smoothing steps.
+///
+/// The paper evaluates Jacobi and notes GSRB applies "if the red and
+/// black points are abstracted as two grids" — here red/black half-sweeps
+/// are parity-piecewise chain steps, so every optimization (grouping,
+/// overlapped tiling, split/diamond time tiling, storage reuse) applies
+/// unchanged. Chebyshev is the polynomial smoother of Ghysels,
+/// Klosiewicz & Vanroose [7] that raises arithmetic intensity.
+enum class SmootherKind { Jacobi, GSRB, Chebyshev };
+
+struct CycleConfig {
+  int ndim = 2;
+  index_t n = 1023;  ///< finest interior points per dim (2^k - 1 so the
+                     ///< coarse hierarchies align exactly)
+  int levels = 4;    ///< grid hierarchy depth (paper's benchmarks use 4)
+  CycleKind kind = CycleKind::V;
+  int n1 = 4;  ///< pre-smoothing steps
+  int n2 = 4;  ///< coarsest-level smoothing steps
+  int n3 = 4;  ///< post-smoothing steps
+  double omega = 2.0 / 3.0;  ///< weighted-Jacobi damping factor
+  SmootherKind smoother = SmootherKind::Jacobi;
+  double gsrb_omega = 1.0;   ///< GSRB over-relaxation (1 = plain GS)
+  /// Chebyshev eigenvalue-bound fraction: smooth [lmax/cheby_fraction,
+  /// lmax] of the spectrum of A.
+  double cheby_fraction = 4.0;
+
+  /// Interior size at level l (levels-1 = finest, 0 = coarsest).
+  index_t level_n(int l) const;
+  /// Mesh width at level l: 1 / (n_l + 1).
+  double level_h(int l) const;
+  /// The smoother's scalar weight at level l: omega * h^2 / (2*ndim)
+  /// (inverse diagonal of the discrete operator, damped).
+  double smoother_weight(int l) const;
+
+  void validate() const;
+};
+
+/// Number of DAG nodes the cycle expands to (Table 3's "Stages" column).
+int expected_stages(const CycleConfig& cfg);
+
+/// Build the full cycle pipeline. Externals: [0] = V (initial guess),
+/// [1] = F (right-hand side); single output = the cycle's result grid.
+ir::Pipeline build_cycle(const CycleConfig& cfg);
+
+/// Build a pipeline of just `steps` Jacobi smoothing iterations on the
+/// finest grid (the Fig. 11a smoother-only benchmark).
+ir::Pipeline build_smoother_only(const CycleConfig& cfg, int steps);
+
+}  // namespace polymg::solvers

@@ -1,0 +1,34 @@
+// Full multigrid (FMG): nested iteration from the coarsest grid up, with
+// a fixed number of V-cycles per level — the solver structure of HPGMG,
+// the community effort the paper plans to integrate with. One FMG pass
+// reaches discretization accuracy in O(N) work when the per-level cycle
+// count suffices.
+//
+// Each level's cycle is a compiled PolyMG pipeline, so FMG composes
+// `levels` compiled executors; the right-hand side hierarchy is built
+// once by full weighting.
+#pragma once
+
+#include "polymg/opt/options.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+
+struct FmgOptions {
+  int cycles_per_level = 1;
+  opt::Variant variant = opt::Variant::OptPlus;
+};
+
+struct FmgResult {
+  double residual = 0.0;         ///< |f - A v|_2 on the finest level
+  double initial_residual = 0.0;
+};
+
+/// Solve the problem in place by one FMG pass. `base` describes the
+/// finest-level hierarchy (its n/ndim must match the problem); every
+/// coarser FMG level reuses the same smoothing configuration over a
+/// correspondingly shallower hierarchy.
+FmgResult fmg_solve(PoissonProblem& p, const CycleConfig& base,
+                    const FmgOptions& opts = {});
+
+}  // namespace polymg::solvers

@@ -1,0 +1,55 @@
+// Hand-optimized reference multigrid (the paper's `handopt` baseline).
+//
+// Mirrors the manually optimized benchmarks of Ghysels & Vanroose the
+// paper compares against: explicit OpenMP loop parallelization of each
+// operator, storage reuse via two modulo buffers per level (the iterate
+// and one ping-pong partner), per-level RHS/residual arrays, and pooled
+// allocation (every level buffer allocated once, at first use, and kept
+// across cycles). Interpolation and correction are fused into one loop,
+// residual and restriction are separate sweeps — the hand-written idiom.
+//
+// With `time_tiled_smoothing` the Jacobi sweeps run under the
+// split/diamond time-tiling schedule instead of plain sweeps — the
+// paper's `handopt+pluto` variant.
+#pragma once
+
+#include "polymg/grid/ops.hpp"
+#include "polymg/runtime/timetile.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::solvers {
+
+using grid::View;
+
+class HandOptSolver {
+public:
+  HandOptSolver(const CycleConfig& cfg, bool time_tiled_smoothing = false,
+                runtime::TimeTileParams ttp = {});
+
+  /// Run one multigrid cycle in place: v <- cycle(v, f). Views must cover
+  /// the finest (n+2)^d domain.
+  void cycle(View v, View f);
+
+  const CycleConfig& config() const { return cfg_; }
+
+private:
+  struct Level {
+    index_t n = 0;
+    double h = 0.0;
+    double w = 0.0;        ///< smoother weight ω·h²/(2d)
+    grid::Buffer v, f, tmp, r;
+  };
+
+  void visit(int l, View v, View f, bool zero_guess, CycleKind kind);
+  void smooth(int l, View v, View f, int steps);
+  void residual(int l, View v, View f, View r) const;
+  void restrict_to(int l, View r_fine, View f_coarse) const;
+  void interp_correct(int l, View e_coarse, View v_fine) const;
+
+  CycleConfig cfg_;
+  bool time_tiled_;
+  runtime::TimeTileParams ttp_;
+  std::vector<Level> levels_;  ///< [0] = coarsest; finest tmp in [last]
+};
+
+}  // namespace polymg::solvers

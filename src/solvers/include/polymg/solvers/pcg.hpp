@@ -1,0 +1,42 @@
+// Preconditioned conjugate gradients with a multigrid V-cycle
+// preconditioner — the "multigrid as preconditioner for Krylov solvers"
+// use the paper's introduction names. The preconditioner application
+// z = M r is one compiled PolyMG cycle on the error equation (zero
+// initial guess, right-hand side r), so every optimization variant can
+// serve as the preconditioner engine.
+#pragma once
+
+#include "polymg/opt/options.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+
+struct PcgResult {
+  int iterations = 0;
+  double rel_residual = 1.0;
+  std::vector<double> history;  ///< |r|_2 after each iteration, incl. r0
+  bool converged = false;
+};
+
+struct PcgOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-8;  ///< on |r|/|r0|
+  bool use_mg_preconditioner = true;
+  opt::Variant variant = opt::Variant::OptPlus;
+};
+
+/// Solve A v = f (A = -∇²_h) for the problem in place; `precond`
+/// describes the V-cycle used as M (its n/ndim must match the problem).
+PcgResult pcg_solve(PoissonProblem& p, const CycleConfig& precond,
+                    const PcgOptions& opts);
+
+// Grid BLAS helpers used by the Krylov loop (interior-only).
+double dot_interior(grid::View a, grid::View b, index_t n);
+void axpy_interior(double alpha, grid::View x, grid::View y, index_t n);
+/// out = f - A v.
+void poisson_residual(grid::View out, grid::View v, grid::View f, index_t n,
+                      double h);
+/// out = A p.
+void poisson_apply(grid::View out, grid::View p, index_t n, double h);
+
+}  // namespace polymg::solvers

@@ -1,0 +1,38 @@
+// Poisson model problems (the paper's benchmark PDE, Eq. 1: ∇²u = f)
+// with homogeneous Dirichlet boundaries on the unit square/cube,
+// discretized by finite differences. The discrete system solved by the
+// cycles is A u = f with A = -∇²_h (the 5-/7-point Laplacian over h²),
+// matching the smoother/residual stencils of the DSL programs.
+#pragma once
+
+#include "polymg/grid/ops.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::solvers {
+
+struct PoissonProblem {
+  int ndim = 2;
+  index_t n = 0;       ///< interior points per dimension
+  double h = 0.0;      ///< mesh width 1/(n+1)
+  grid::Buffer v;      ///< iterate (initial guess), domain (n+2)^d
+  grid::Buffer f;      ///< right-hand side
+  grid::Buffer exact;  ///< manufactured exact solution (for error norms)
+
+  poly::Box domain() const { return poly::Box::cube(ndim, 0, n + 1); }
+  poly::Box interior() const { return poly::Box::cube(ndim, 1, n); }
+
+  grid::View v_view() { return grid::View::over(v.data(), domain()); }
+  grid::View f_view() { return grid::View::over(f.data(), domain()); }
+  grid::View exact_view() { return grid::View::over(exact.data(), domain()); }
+
+  /// Manufactured problem: u = Π_d sin(π x_d), f = A u = d·π²·u, zero
+  /// initial guess. The exact discrete solution differs from u by the
+  /// O(h²) discretization error; convergence tests measure the residual.
+  static PoissonProblem manufactured(int ndim, index_t n);
+
+  /// Random right-hand side (deterministic seed) with zero guess — used
+  /// by the equivalence tests so no special structure can mask bugs.
+  static PoissonProblem random_rhs(int ndim, index_t n, std::uint64_t seed);
+};
+
+}  // namespace polymg::solvers

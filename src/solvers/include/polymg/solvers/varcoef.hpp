@@ -1,0 +1,85 @@
+// Variable-coefficient (finite-volume flavoured) multigrid.
+//
+// The paper notes its techniques "are also applicable to a finite volume
+// discretization, which was used for benchmarks in some past work
+// [Basu et al., Williams et al.]" — miniGMG's operator family. This
+// module builds that problem class through the same DSL: the operator is
+//
+//   (A u)_i = (1/h²) Σ_d [ β_d(i+e_d/2)(u_i - u_{i+e_d})
+//                        + β_d(i-e_d/2)(u_i - u_{i-e_d}) ]
+//
+// with face-centred coefficients β supplied as extra pipeline inputs
+// (one grid per dimension, stored at the lower face of each cell). The
+// smoother is β-weighted Jacobi with the exact variable diagonal, again
+// expressed point-wise in the DSL; restriction/interpolation reuse the
+// constant-coefficient transfer operators. Coefficients restrict to
+// coarse levels by face averaging, computed host-side once per solve
+// (they are solve constants, like the paper's per-level h).
+#pragma once
+
+#include "polymg/ir/builder.hpp"
+#include "polymg/solvers/cycles.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+
+/// A variable-coefficient Poisson-like problem on the unit square/cube.
+struct VarCoefProblem {
+  int ndim = 2;
+  index_t n = 0;
+  double h = 0.0;
+  grid::Buffer v, f;
+  /// Face coefficients per dimension on the finest grid; beta[d] holds
+  /// β at the lower d-face of each cell, indexed like the cell grid.
+  std::vector<grid::Buffer> beta;
+
+  poly::Box domain() const { return poly::Box::cube(ndim, 0, n + 1); }
+  poly::Box interior() const { return poly::Box::cube(ndim, 1, n); }
+  grid::View v_view() { return grid::View::over(v.data(), domain()); }
+  grid::View f_view() { return grid::View::over(f.data(), domain()); }
+  grid::View beta_view(int d) {
+    return grid::View::over(beta[static_cast<std::size_t>(d)].data(),
+                            domain());
+  }
+
+  /// Smoothly varying positive coefficient field (β = 1 + ½sin products)
+  /// with a random RHS — the jump-free miniGMG test setting.
+  static VarCoefProblem smooth_coefficients(int ndim, index_t n,
+                                            std::uint64_t seed);
+
+  /// Piecewise-constant β with a high-contrast inclusion (β = ratio
+  /// inside a centred box) — the hard case for point smoothers.
+  static VarCoefProblem inclusion(int ndim, index_t n, double ratio,
+                                  std::uint64_t seed);
+};
+
+/// Restrict face coefficients one level: coarse face β = average of the
+/// 2^(d-1) fine faces it covers (standard FV coarsening).
+std::vector<grid::Buffer> coarsen_coefficients(
+    const std::vector<grid::Buffer>& fine, int ndim, index_t nf);
+
+/// Build a V/W/F-cycle pipeline for the variable-coefficient operator.
+/// Externals: [V, F, beta_0..beta_{d-1} per level, coarsest last] — the
+/// per-level coefficient grids are pipeline inputs, bound from
+/// VarCoefLevels at execution.
+ir::Pipeline build_varcoef_cycle(const CycleConfig& cfg);
+
+/// Per-level coefficient hierarchy matching build_varcoef_cycle's
+/// external layout, plus the view list builder.
+class VarCoefLevels {
+public:
+  VarCoefLevels(const CycleConfig& cfg, VarCoefProblem& p);
+
+  /// External views in pipeline order (V, F, then per level finest to
+  /// coarsest the ndim beta grids).
+  std::vector<grid::View> externals(VarCoefProblem& p);
+
+private:
+  CycleConfig cfg_;
+  std::vector<std::vector<grid::Buffer>> levels_;  // [level][dim]
+};
+
+/// Residual norm of the variable-coefficient operator (for tests).
+double varcoef_residual_norm(VarCoefProblem& p);
+
+}  // namespace polymg::solvers

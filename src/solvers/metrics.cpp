@@ -1,0 +1,43 @@
+#include "polymg/solvers/metrics.hpp"
+
+#include <cmath>
+
+namespace polymg::solvers {
+
+double residual_norm(View v, View f, index_t n, double h) {
+  const double inv_h2 = 1.0 / (h * h);
+  double sum = 0.0;
+  if (v.ndim == 2) {
+    for (index_t i = 1; i <= n; ++i) {
+      for (index_t j = 1; j <= n; ++j) {
+        const double av = inv_h2 * (4.0 * v.at2(i, j) - v.at2(i - 1, j) -
+                                    v.at2(i + 1, j) - v.at2(i, j - 1) -
+                                    v.at2(i, j + 1));
+        const double r = f.at2(i, j) - av;
+        sum += r * r;
+      }
+    }
+  } else {
+    for (index_t i = 1; i <= n; ++i) {
+      for (index_t j = 1; j <= n; ++j) {
+        for (index_t k = 1; k <= n; ++k) {
+          const double av =
+              inv_h2 * (6.0 * v.at3(i, j, k) - v.at3(i - 1, j, k) -
+                        v.at3(i + 1, j, k) - v.at3(i, j - 1, k) -
+                        v.at3(i, j + 1, k) - v.at3(i, j, k - 1) -
+                        v.at3(i, j, k + 1));
+          const double r = f.at3(i, j, k) - av;
+          sum += r * r;
+        }
+      }
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double error_norm(View v, View exact, index_t n) {
+  const poly::Box interior = poly::Box::cube(v.ndim, 1, n);
+  return grid::max_diff(v, exact, interior);
+}
+
+}  // namespace polymg::solvers

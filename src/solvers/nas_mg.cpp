@@ -1,0 +1,309 @@
+#include "polymg/solvers/nas_mg.hpp"
+
+#include <cmath>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/rng.hpp"
+#include "polymg/ir/stencil.hpp"
+
+namespace polymg::solvers {
+
+using ir::BoundaryKind;
+using ir::Expr;
+using ir::FuncSpec;
+using ir::Handle;
+using ir::PipelineBuilder;
+using ir::SourceRef;
+using poly::Box;
+
+void NasMgConfig::validate() const {
+  PMG_CHECK(levels >= 2, "NAS MG needs at least two levels");
+  PMG_CHECK(n % (index_t{1} << (levels - 1)) == 0,
+            "finest size " << n << " not divisible by 2^" << (levels - 1));
+  PMG_CHECK(level_n(0) >= 2, "coarsest NAS grid needs interior >= 2");
+}
+
+void nas_fill_rhs(View v, index_t n) {
+  // NPB places +1 at ten points and -1 at ten points chosen by its RNG;
+  // we scatter deterministically with our RNG over the interior.
+  Rng rng(271828182845ull);
+  for (int q = 0; q < 10; ++q) {
+    const index_t i = 1 + static_cast<index_t>(rng.below(std::uint64_t(n)));
+    const index_t j = 1 + static_cast<index_t>(rng.below(std::uint64_t(n)));
+    const index_t k = 1 + static_cast<index_t>(rng.below(std::uint64_t(n)));
+    v.at3(i, j, k) = -1.0;
+  }
+  for (int q = 0; q < 10; ++q) {
+    const index_t i = 1 + static_cast<index_t>(rng.below(std::uint64_t(n)));
+    const index_t j = 1 + static_cast<index_t>(rng.below(std::uint64_t(n)));
+    const index_t k = 1 + static_cast<index_t>(rng.below(std::uint64_t(n)));
+    v.at3(i, j, k) = 1.0;
+  }
+}
+
+namespace {
+
+/// Weight of the 27-point distance-class stencil at offset (di,dj,dk).
+inline int dist_class(int di, int dj, int dk) {
+  return (di != 0) + (dj != 0) + (dk != 0);
+}
+
+/// Sum of the 27-point distance-class application S(g) at (i,j,k).
+inline double apply27(const View& g, const std::array<double, 4>& w,
+                      index_t i, index_t j, index_t k) {
+  double acc = 0.0;
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      const double* row = g.ptr + g.offset3(i + di, j + dj, k - 1);
+      const int dc = (di != 0) + (dj != 0);
+      // k-1, k, k+1 have distance classes dc+1, dc, dc+1.
+      acc += w[dc + 1] * row[0] + w[dc] * row[1] + w[dc + 1] * row[2];
+    }
+  }
+  return acc;
+}
+
+ir::Weights3 class_weights(const std::array<double, 4>& w) {
+  ir::Weights3 s(3, ir::Weights2(3, std::vector<double>(3, 0.0)));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        s[i][j][k] = w[dist_class(i - 1, j - 1, k - 1)];
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+NasMgReference::NasMgReference(const NasMgConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  r_.resize(static_cast<std::size_t>(cfg_.levels));
+  e_.resize(static_cast<std::size_t>(cfg_.levels));
+  for (int l = 0; l < cfg_.levels; ++l) {
+    const Box dom = Box::cube(3, 0, cfg_.level_n(l) + 1);
+    r_[static_cast<std::size_t>(l)] = grid::make_grid(dom);
+    e_[static_cast<std::size_t>(l)] = grid::make_grid(dom);
+  }
+}
+
+void NasMgReference::resid(View r, View u, View v, index_t n) const {
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= n; ++i) {
+    for (index_t j = 1; j <= n; ++j) {
+      for (index_t k = 1; k <= n; ++k) {
+        r.at3(i, j, k) = v.at3(i, j, k) - apply27(u, cfg_.a, i, j, k);
+      }
+    }
+  }
+}
+
+void NasMgReference::psinv_add(View u, View r, index_t n) const {
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= n; ++i) {
+    for (index_t j = 1; j <= n; ++j) {
+      for (index_t k = 1; k <= n; ++k) {
+        u.at3(i, j, k) += apply27(r, cfg_.c, i, j, k);
+      }
+    }
+  }
+}
+
+void NasMgReference::rprj3(View coarse, View fine, index_t nc) const {
+  static const std::array<double, 4> w{1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16};
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= nc; ++i) {
+    for (index_t j = 1; j <= nc; ++j) {
+      for (index_t k = 1; k <= nc; ++k) {
+        double acc = 0.0;
+        for (int di = -1; di <= 1; ++di) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int dk = -1; dk <= 1; ++dk) {
+              acc += w[dist_class(di, dj, dk)] *
+                     fine.at3(2 * i + di, 2 * j + dj, 2 * k + dk);
+            }
+          }
+        }
+        coarse.at3(i, j, k) = acc;
+      }
+    }
+  }
+}
+
+void NasMgReference::interp_add(View fine, View coarse, index_t nf) const {
+#pragma omp parallel for schedule(static)
+  for (index_t i = 1; i <= nf; ++i) {
+    for (index_t j = 1; j <= nf; ++j) {
+      for (index_t k = 1; k <= nf; ++k) {
+        double acc = 0.0;
+        int npts = 0;
+        for (int di = 0; di <= (i & 1); ++di) {
+          for (int dj = 0; dj <= (j & 1); ++dj) {
+            for (int dk = 0; dk <= (k & 1); ++dk) {
+              acc += coarse.at3(i / 2 + di, j / 2 + dj, k / 2 + dk);
+              ++npts;
+            }
+          }
+        }
+        fine.at3(i, j, k) += acc / npts;
+      }
+    }
+  }
+}
+
+void NasMgReference::iterate(View u, View v) {
+  const int L = cfg_.levels;
+  auto rv = [&](int l) {
+    return grid::View::over(r_[static_cast<std::size_t>(l)].data(),
+                            Box::cube(3, 0, cfg_.level_n(l) + 1));
+  };
+  auto ev = [&](int l) {
+    return grid::View::over(e_[static_cast<std::size_t>(l)].data(),
+                            Box::cube(3, 0, cfg_.level_n(l) + 1));
+  };
+
+  resid(rv(L - 1), u, v, cfg_.level_n(L - 1));
+  for (int l = L - 1; l >= 1; --l) {
+    rprj3(rv(l - 1), rv(l), cfg_.level_n(l - 1));
+  }
+
+  // Coarsest: e = S r on a zero guess.
+  e_[0].fill(0.0);
+  psinv_add(ev(0), rv(0), cfg_.level_n(0));
+
+  for (int l = 1; l <= L - 2; ++l) {
+    e_[static_cast<std::size_t>(l)].fill(0.0);
+    interp_add(ev(l), ev(l - 1), cfg_.level_n(l));
+    // r_l <- r_l - A e  (reuse the residual kernel with v := r_l).
+    View r = rv(l);
+    View e = ev(l);
+    resid(r, e, r, cfg_.level_n(l));
+    psinv_add(e, r, cfg_.level_n(l));
+  }
+
+  interp_add(u, ev(L - 2), cfg_.level_n(L - 1));
+  resid(rv(L - 1), u, v, cfg_.level_n(L - 1));
+  psinv_add(u, rv(L - 1), cfg_.level_n(L - 1));
+}
+
+double NasMgReference::residual_norm(View u, View v) const {
+  const index_t n = cfg_.level_n(cfg_.levels - 1);
+  double sum = 0.0;
+  for (index_t i = 1; i <= n; ++i) {
+    for (index_t j = 1; j <= n; ++j) {
+      for (index_t k = 1; k <= n; ++k) {
+        const double r = v.at3(i, j, k) - apply27(u, cfg_.a, i, j, k);
+        sum += r * r;
+      }
+    }
+  }
+  const double pts = std::pow(static_cast<double>(n + 2), 3);
+  return std::sqrt(sum / pts);
+}
+
+ir::Pipeline build_nas_mg_pipeline(const NasMgConfig& cfg) {
+  cfg.validate();
+  PipelineBuilder b(3);
+  const int L = cfg.levels;
+
+  auto dom = [&](int l) { return Box::cube(3, 0, cfg.level_n(l) + 1); };
+  auto inter = [&](int l) { return Box::cube(3, 1, cfg.level_n(l)); };
+  auto spec = [&](const std::string& base, int l) {
+    FuncSpec s;
+    s.name = base + "_L" + std::to_string(l);
+    s.domain = dom(l);
+    s.interior = inter(l);
+    s.boundary = BoundaryKind::Zero;
+    s.level = l;
+    return s;
+  };
+
+  const ir::Weights3 A = class_weights(cfg.a);
+  const ir::Weights3 S = class_weights(cfg.c);
+  static const std::array<double, 4> rw{1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16};
+  const ir::Weights3 R = class_weights(rw);
+
+  Handle U = b.input("U", dom(L - 1));
+  Handle V = b.input("V", dom(L - 1));
+
+  // r = v - A u on the finest level.
+  Handle r = b.define(spec("resid", L - 1), {U, V},
+                      [&](std::span<const SourceRef> s) {
+                        return s[1]() - ir::stencil3(s[0], A);
+                      });
+
+  // Restriction chain.
+  std::vector<Handle> rl(static_cast<std::size_t>(L));
+  rl[static_cast<std::size_t>(L - 1)] = r;
+  for (int l = L - 1; l >= 1; --l) {
+    rl[static_cast<std::size_t>(l - 1)] = b.define_restrict(
+        spec("rprj3", l - 1), {rl[static_cast<std::size_t>(l)]},
+        [&](std::span<const SourceRef> s) { return ir::stencil3(s[0], R); });
+  }
+
+  // Coarsest: e = S r (zero guess).
+  Handle e = b.define(spec("psinv", 0), {rl[0]},
+                      [&](std::span<const SourceRef> s) {
+                        return ir::stencil3(s[0], S);
+                      });
+
+  auto interp_stage = [&](Handle coarse, int l) {
+    return b.define_interp(
+        spec("interp", l), {coarse}, [&](std::span<const SourceRef> s) {
+          std::vector<Expr> cases;
+          for (int c = 0; c < 8; ++c) {
+            Expr sum;
+            int npts = 0;
+            for (int corner = 0; corner < 8; ++corner) {
+              std::array<index_t, 3> off{};
+              bool skip = false;
+              for (int d = 0; d < 3; ++d) {
+                const int parity = (c >> (2 - d)) & 1;
+                const int pick = (corner >> (2 - d)) & 1;
+                if (pick && !parity) skip = true;
+                off[d] = pick;
+              }
+              if (skip) continue;
+              Expr load = s[0].at_offsets(off);
+              sum = sum ? sum + load : load;
+              ++npts;
+            }
+            cases.push_back(npts == 1 ? sum
+                                      : ir::make_const(1.0 / npts) * sum);
+          }
+          return cases;
+        });
+  };
+
+  for (int l = 1; l <= L - 2; ++l) {
+    Handle ei = interp_stage(e, l);
+    Handle rl2 = b.define(spec("resid", l), {ei, rl[static_cast<std::size_t>(l)]},
+                          [&](std::span<const SourceRef> s) {
+                            return s[1]() - ir::stencil3(s[0], A);
+                          });
+    e = b.define(spec("psinv", l), {ei, rl2},
+                 [&](std::span<const SourceRef> s) {
+                   return s[0]() + ir::stencil3(s[1], S);
+                 });
+  }
+
+  // Finest: u += interp; r = v - A u; u += S r.
+  Handle ei = interp_stage(e, L - 1);
+  Handle u1 = b.define(spec("correct", L - 1), {U, ei},
+                       [&](std::span<const SourceRef> s) {
+                         return s[0]() + s[1]();
+                       });
+  Handle r2 = b.define(spec("resid2", L - 1), {u1, V},
+                       [&](std::span<const SourceRef> s) {
+                         return s[1]() - ir::stencil3(s[0], A);
+                       });
+  Handle u2 = b.define(spec("psinv", L - 1), {u1, r2},
+                       [&](std::span<const SourceRef> s) {
+                         return s[0]() + ir::stencil3(s[1], S);
+                       });
+  b.mark_output(u2);
+  return b.build();
+}
+
+}  // namespace polymg::solvers

@@ -1,0 +1,151 @@
+#include "polymg/solvers/pcg.hpp"
+
+#include <cmath>
+
+#include "polymg/common/error.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+
+namespace polymg::solvers {
+
+namespace {
+
+template <typename Fn>
+void for_interior(int ndim, index_t n, Fn&& fn) {
+  if (ndim == 2) {
+    for (index_t i = 1; i <= n; ++i) {
+      for (index_t j = 1; j <= n; ++j) fn(i, j, index_t{0});
+    }
+  } else {
+    for (index_t i = 1; i <= n; ++i) {
+      for (index_t j = 1; j <= n; ++j) {
+        for (index_t k = 1; k <= n; ++k) fn(i, j, k);
+      }
+    }
+  }
+}
+
+double read(const grid::View& v, index_t i, index_t j, index_t k) {
+  return v.ndim == 2 ? v.at2(i, j) : v.at3(i, j, k);
+}
+
+double& ref(grid::View& v, index_t i, index_t j, index_t k) {
+  return v.ndim == 2 ? v.at2(i, j) : v.at3(i, j, k);
+}
+
+}  // namespace
+
+double dot_interior(grid::View a, grid::View b, index_t n) {
+  double s = 0.0;
+  for_interior(a.ndim, n, [&](index_t i, index_t j, index_t k) {
+    s += read(a, i, j, k) * read(b, i, j, k);
+  });
+  return s;
+}
+
+void axpy_interior(double alpha, grid::View x, grid::View y, index_t n) {
+  for_interior(x.ndim, n, [&](index_t i, index_t j, index_t k) {
+    ref(y, i, j, k) += alpha * read(x, i, j, k);
+  });
+}
+
+void poisson_apply(grid::View out, grid::View p, index_t n, double h) {
+  const double inv_h2 = 1.0 / (h * h);
+  for_interior(p.ndim, n, [&](index_t i, index_t j, index_t k) {
+    double a;
+    if (p.ndim == 2) {
+      a = 4.0 * p.at2(i, j) - p.at2(i - 1, j) - p.at2(i + 1, j) -
+          p.at2(i, j - 1) - p.at2(i, j + 1);
+    } else {
+      a = 6.0 * p.at3(i, j, k) - p.at3(i - 1, j, k) - p.at3(i + 1, j, k) -
+          p.at3(i, j - 1, k) - p.at3(i, j + 1, k) - p.at3(i, j, k - 1) -
+          p.at3(i, j, k + 1);
+    }
+    ref(out, i, j, k) = inv_h2 * a;
+  });
+}
+
+void poisson_residual(grid::View out, grid::View v, grid::View f, index_t n,
+                      double h) {
+  poisson_apply(out, v, n, h);
+  for_interior(v.ndim, n, [&](index_t i, index_t j, index_t k) {
+    ref(out, i, j, k) = read(f, i, j, k) - read(out, i, j, k);
+  });
+}
+
+PcgResult pcg_solve(PoissonProblem& p, const CycleConfig& precond,
+                    const PcgOptions& opts) {
+  PMG_CHECK(precond.ndim == p.ndim && precond.n == p.n,
+            "preconditioner cycle must match the problem geometry");
+  const poly::Box dom = p.domain();
+  grid::Buffer r_buf = grid::make_grid(dom);
+  grid::Buffer z_buf = grid::make_grid(dom);
+  grid::Buffer q_buf = grid::make_grid(dom);   // A p
+  grid::Buffer pd_buf = grid::make_grid(dom);  // search direction
+  grid::Buffer zero = grid::make_grid(dom);    // zero guess for M
+  grid::View r = grid::View::over(r_buf.data(), dom);
+  grid::View z = grid::View::over(z_buf.data(), dom);
+  grid::View q = grid::View::over(q_buf.data(), dom);
+  grid::View pd = grid::View::over(pd_buf.data(), dom);
+  grid::View v = p.v_view();
+
+  // The preconditioner: one V-cycle on A z = r with zero initial guess.
+  std::unique_ptr<runtime::Executor> mg;
+  if (opts.use_mg_preconditioner) {
+    mg = std::make_unique<runtime::Executor>(opt::compile(
+        build_cycle(precond),
+        opt::CompileOptions::for_variant(opts.variant, p.ndim)));
+  }
+  auto apply_M = [&](grid::View rhs, grid::View out) {
+    if (!mg) {
+      grid::copy_region(out, rhs, dom);  // identity: plain CG
+      return;
+    }
+    const std::vector<grid::View> ext = {
+        grid::View::over(zero.data(), dom), rhs};
+    mg->run(ext);
+    grid::copy_region(out, mg->output_view(0), dom);
+  };
+
+  PcgResult res;
+  poisson_residual(r, v, p.f_view(), p.n, p.h);
+  const double r0 = std::sqrt(dot_interior(r, r, p.n));
+  res.history.push_back(r0);
+  if (r0 == 0.0) {
+    res.converged = true;
+    res.rel_residual = 0.0;
+    return res;
+  }
+
+  apply_M(r, z);
+  grid::copy_region(pd, z, dom);
+  double rz = dot_interior(r, z, p.n);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    poisson_apply(q, pd, p.n, p.h);
+    const double alpha = rz / dot_interior(pd, q, p.n);
+    axpy_interior(alpha, pd, v, p.n);
+    axpy_interior(-alpha, q, r, p.n);
+
+    const double rn = std::sqrt(dot_interior(r, r, p.n));
+    res.history.push_back(rn);
+    res.iterations = it + 1;
+    res.rel_residual = rn / r0;
+    if (res.rel_residual < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    apply_M(r, z);
+    const double rz_next = dot_interior(r, z, p.n);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    // pd = z + beta * pd.
+    for_interior(p.ndim, p.n, [&](index_t i, index_t j, index_t k) {
+      ref(pd, i, j, k) = read(z, i, j, k) + beta * read(pd, i, j, k);
+    });
+  }
+  return res;
+}
+
+}  // namespace polymg::solvers

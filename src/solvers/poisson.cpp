@@ -1,0 +1,61 @@
+#include "polymg/solvers/poisson.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "polymg/common/rng.hpp"
+
+namespace polymg::solvers {
+
+namespace {
+
+PoissonProblem make_base(int ndim, index_t n) {
+  PoissonProblem p;
+  p.ndim = ndim;
+  p.n = n;
+  p.h = 1.0 / static_cast<double>(n + 1);
+  p.v = grid::make_grid(p.domain());
+  p.f = grid::make_grid(p.domain());
+  p.exact = grid::make_grid(p.domain());
+  return p;
+}
+
+}  // namespace
+
+PoissonProblem PoissonProblem::manufactured(int ndim, index_t n) {
+  PoissonProblem p = make_base(ndim, n);
+  const double pi = std::numbers::pi;
+  const double coeff = static_cast<double>(ndim) * pi * pi;
+  auto u = [&](index_t i, index_t j, index_t k) {
+    double val = std::sin(pi * p.h * static_cast<double>(i)) *
+                 std::sin(pi * p.h * static_cast<double>(j));
+    if (ndim == 3) val *= std::sin(pi * p.h * static_cast<double>(k));
+    return val;
+  };
+  grid::fill_region(p.exact_view(), p.interior(),
+                    [&](index_t i, index_t j, index_t k) {
+                      return u(i, j, k);
+                    });
+  grid::fill_region(p.f_view(), p.interior(),
+                    [&](index_t i, index_t j, index_t k) {
+                      return coeff * u(i, j, k);
+                    });
+  return p;
+}
+
+PoissonProblem PoissonProblem::random_rhs(int ndim, index_t n,
+                                          std::uint64_t seed) {
+  PoissonProblem p = make_base(ndim, n);
+  Rng rng(seed);
+  grid::fill_region(p.f_view(), p.interior(),
+                    [&](index_t, index_t, index_t) {
+                      return rng.uniform(-1.0, 1.0);
+                    });
+  grid::fill_region(p.v_view(), p.interior(),
+                    [&](index_t, index_t, index_t) {
+                      return rng.uniform(-0.1, 0.1);
+                    });
+  return p;
+}
+
+}  // namespace polymg::solvers

@@ -1,0 +1,385 @@
+#include "polymg/solvers/varcoef.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/rng.hpp"
+
+namespace polymg::solvers {
+
+using ir::BoundaryKind;
+using ir::Expr;
+using ir::FuncSpec;
+using ir::Handle;
+using ir::PipelineBuilder;
+using ir::SourceRef;
+using poly::Box;
+
+namespace {
+
+VarCoefProblem make_base(int ndim, index_t n) {
+  VarCoefProblem p;
+  p.ndim = ndim;
+  p.n = n;
+  p.h = 1.0 / static_cast<double>(n + 1);
+  p.v = grid::make_grid(p.domain());
+  p.f = grid::make_grid(p.domain());
+  for (int d = 0; d < ndim; ++d) {
+    p.beta.push_back(grid::make_grid(p.domain()));
+  }
+  return p;
+}
+
+void fill_rhs_and_guess(VarCoefProblem& p, std::uint64_t seed) {
+  Rng rng(seed);
+  grid::fill_region(p.f_view(), p.interior(),
+                    [&](index_t, index_t, index_t) {
+                      return rng.uniform(-1.0, 1.0);
+                    });
+}
+
+}  // namespace
+
+VarCoefProblem VarCoefProblem::smooth_coefficients(int ndim, index_t n,
+                                                   std::uint64_t seed) {
+  VarCoefProblem p = make_base(ndim, n);
+  const double pi = std::numbers::pi;
+  for (int d = 0; d < ndim; ++d) {
+    grid::fill_region(p.beta_view(d), p.domain(),
+                      [&](index_t i, index_t j, index_t k) {
+                        const double x = i * p.h, y = j * p.h, z = k * p.h;
+                        return 1.0 + 0.5 * std::sin(pi * x) *
+                                         std::sin(pi * y) *
+                                         (ndim == 3 ? std::sin(pi * z) : 1.0);
+                      });
+  }
+  fill_rhs_and_guess(p, seed);
+  return p;
+}
+
+VarCoefProblem VarCoefProblem::inclusion(int ndim, index_t n, double ratio,
+                                         std::uint64_t seed) {
+  VarCoefProblem p = make_base(ndim, n);
+  const index_t lo = (n + 1) / 4, hi = 3 * (n + 1) / 4;
+  for (int d = 0; d < ndim; ++d) {
+    grid::fill_region(p.beta_view(d), p.domain(),
+                      [&](index_t i, index_t j, index_t k) {
+                        const bool inside =
+                            i >= lo && i <= hi && j >= lo && j <= hi &&
+                            (ndim == 2 || (k >= lo && k <= hi));
+                        return inside ? ratio : 1.0;
+                      });
+  }
+  fill_rhs_and_guess(p, seed);
+  return p;
+}
+
+std::vector<grid::Buffer> coarsen_coefficients(
+    const std::vector<grid::Buffer>& fine, int ndim, index_t nf) {
+  const index_t nc = (nf + 1) / 2 - 1;
+  const Box fdom = Box::cube(ndim, 0, nf + 1);
+  const Box cdom = Box::cube(ndim, 0, nc + 1);
+  std::vector<grid::Buffer> coarse;
+  for (int d = 0; d < ndim; ++d) {
+    grid::Buffer cb = grid::make_grid(cdom);
+    grid::View cv = grid::View::over(cb.data(), cdom);
+    const grid::View fv = grid::View::over(
+        const_cast<double*>(fine[static_cast<std::size_t>(d)].data()), fdom);
+    // Coarse face (lower d-face of vertex x) spans two fine faces along
+    // dimension d; their arithmetic mean is the coarse coefficient.
+    grid::fill_region(cv, cdom, [&](index_t i, index_t j, index_t k) {
+      index_t a[3] = {2 * i, 2 * j, 2 * k};
+      index_t b[3] = {2 * i, 2 * j, 2 * k};
+      a[d] = std::max<index_t>(0, 2 * (d == 0 ? i : d == 1 ? j : k) - 1);
+      for (int q = 0; q < 3; ++q) {
+        a[q] = std::min(a[q], nf + 1);
+        b[q] = std::min(b[q], nf + 1);
+      }
+      const double fa = ndim == 2 ? fv.at2(a[0], a[1]) : fv.at3(a[0], a[1], a[2]);
+      const double fb = ndim == 2 ? fv.at2(b[0], b[1]) : fv.at3(b[0], b[1], b[2]);
+      return 0.5 * (fa + fb);
+    });
+    coarse.push_back(std::move(cb));
+  }
+  return coarse;
+}
+
+namespace {
+
+/// Recursive builder for the variable-coefficient cycle. Mirrors the
+/// Poisson CycleBuilder but the operator reads the per-level β inputs.
+struct VcBuilder {
+  PipelineBuilder& b;
+  const CycleConfig& cfg;
+  /// beta[l][d] external handles, l = level index.
+  std::vector<std::vector<Handle>> beta;
+
+  Box dom(int l) const { return Box::cube(cfg.ndim, 0, cfg.level_n(l) + 1); }
+  Box inter(int l) const { return Box::cube(cfg.ndim, 1, cfg.level_n(l)); }
+  FuncSpec spec(const std::string& base, int l) const {
+    FuncSpec s;
+    s.name = base + "_L" + std::to_string(l);
+    s.domain = dom(l);
+    s.interior = inter(l);
+    s.boundary = BoundaryKind::Zero;
+    s.level = l;
+    return s;
+  }
+
+  /// Flux sum Σ_d [β_d(x)(u(x)-u(x-e_d)) + β_d(x+e_d)(u(x)-u(x+e_d))],
+  /// given sources: u at slot su, β_d at slots sb..sb+ndim-1.
+  Expr flux(std::span<const SourceRef> s, int su, int sb) const {
+    Expr acc;
+    for (int d = 0; d < cfg.ndim; ++d) {
+      std::array<index_t, 3> lo{}, hi{};
+      lo[d] = -1;
+      hi[d] = 1;
+      const SourceRef& u = s[static_cast<std::size_t>(su)];
+      const SourceRef& bb = s[static_cast<std::size_t>(sb + d)];
+      Expr lo_term = bb.at_offsets({0, 0, 0}) *
+                     (u.at_offsets({0, 0, 0}) - u.at_offsets(lo));
+      std::array<index_t, 3> face{};
+      face[d] = 1;
+      Expr hi_term = bb.at_offsets(face) *
+                     (u.at_offsets({0, 0, 0}) - u.at_offsets(hi));
+      Expr term = lo_term + hi_term;
+      acc = acc ? acc + term : term;
+    }
+    return acc;
+  }
+
+  /// Variable diagonal scale Σ_d (β_d(x) + β_d(x+e_d)).
+  Expr diag_sum(std::span<const SourceRef> s, int sb) const {
+    Expr acc;
+    for (int d = 0; d < cfg.ndim; ++d) {
+      std::array<index_t, 3> face{};
+      face[d] = 1;
+      const SourceRef& bb = s[static_cast<std::size_t>(sb + d)];
+      Expr term = bb.at_offsets({0, 0, 0}) + bb.at_offsets(face);
+      acc = acc ? acc + term : term;
+    }
+    return acc;
+  }
+
+  std::vector<Handle> level_sources(int l, Handle f) const {
+    std::vector<Handle> src{f};
+    for (int d = 0; d < cfg.ndim; ++d) {
+      src.push_back(beta[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(d)]);
+    }
+    return src;
+  }
+
+  /// β-weighted Jacobi: u - ω (flux - h²f) / Σβ. The division by the
+  /// coefficient sum is genuinely point-wise-nonlinear in the loads, so
+  /// these stages exercise the bytecode fallback of the code generator.
+  Handle smoother(Handle v, Handle f, int l, int steps,
+                  const std::string& tag) {
+    if (steps == 0 && !v.valid()) return Handle{};
+    const double h2 = cfg.level_h(l) * cfg.level_h(l);
+    Handle v0 = v;
+    int remaining = steps;
+    if (!v0.valid()) {
+      v0 = b.define(spec(tag + "_seed", l), level_sources(l, f),
+                    [&](std::span<const SourceRef> s) {
+                      // One step from zero: ω·h²·f / Σβ.
+                      return ir::make_const(cfg.omega * h2) * s[0]() /
+                             diag_sum(s, 1);
+                    });
+      remaining = steps - 1;
+    }
+    if (remaining <= 0) return v0;
+    std::vector<Handle> others = level_sources(l, f);
+    return b.define_tstencil(
+        spec(tag, l), v0, others, remaining,
+        [&](std::span<const SourceRef> s) {
+          // Sources: [prev u, f, beta...].
+          return s[0]() - ir::make_const(cfg.omega) *
+                              (flux(s, 0, 2) - ir::make_const(h2) * s[1]()) /
+                              diag_sum(s, 2);
+        });
+  }
+
+  Handle defect(Handle v, Handle f, int l) {
+    if (!v.valid()) {
+      return b.define(spec("defect", l), {f},
+                      [&](std::span<const SourceRef> s) { return s[0](); });
+    }
+    std::vector<Handle> src{v, f};
+    for (int d = 0; d < cfg.ndim; ++d) {
+      src.push_back(beta[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(d)]);
+    }
+    const double inv_h2 = 1.0 / (cfg.level_h(l) * cfg.level_h(l));
+    return b.define(spec("defect", l), src,
+                    [&](std::span<const SourceRef> s) {
+                      return s[1]() -
+                             ir::make_const(inv_h2) * flux(s, 0, 2);
+                    });
+  }
+
+  Handle restrict_(Handle r, int l) {
+    return b.define_restrict(
+        spec("restrict", l - 1), {r}, [&](std::span<const SourceRef> s) {
+          return cfg.ndim == 2
+                     ? ir::stencil2(s[0], ir::full_weighting_2d(), 1.0 / 16)
+                     : ir::stencil3(s[0], ir::full_weighting_3d(), 1.0 / 64);
+        });
+  }
+
+  Handle interpolate(Handle e, int l) {
+    if (!e.valid()) {
+      return b.define(spec("interp", l), {},
+                      [&](std::span<const SourceRef>) {
+                        return ir::make_const(0.0);
+                      });
+    }
+    return b.define_interp(
+        spec("interp", l), {e}, [&](std::span<const SourceRef> s) {
+          std::vector<Expr> cases;
+          const int ncases = 1 << cfg.ndim;
+          for (int c = 0; c < ncases; ++c) {
+            Expr sum;
+            int npts = 0;
+            for (int corner = 0; corner < ncases; ++corner) {
+              std::array<index_t, 3> off{};
+              bool skip = false;
+              for (int d = 0; d < cfg.ndim; ++d) {
+                const int parity = (c >> (cfg.ndim - 1 - d)) & 1;
+                const int pick = (corner >> (cfg.ndim - 1 - d)) & 1;
+                if (pick && !parity) skip = true;
+                off[d] = pick;
+              }
+              if (skip) continue;
+              Expr load = s[0].at_offsets(off);
+              sum = sum ? sum + load : load;
+              ++npts;
+            }
+            cases.push_back(npts == 1 ? sum
+                                      : ir::make_const(1.0 / npts) * sum);
+          }
+          return cases;
+        });
+  }
+
+  Handle visit(Handle v, Handle f, int l, CycleKind kind) {
+    if (l == 0) return smoother(v, f, 0, cfg.n2, "smooth_c");
+    Handle s1 = smoother(v, f, l, cfg.n1, "smooth_pre");
+    Handle r = defect(s1, f, l);
+    Handle r2 = restrict_(r, l);
+    Handle e = visit(Handle{}, r2, l - 1, kind);
+    if (kind == CycleKind::W && l >= 2) {
+      e = visit(e, r2, l - 1, kind);
+    } else if (kind == CycleKind::F) {
+      e = visit(e, r2, l - 1, CycleKind::V);
+    }
+    Handle eh = interpolate(e, l);
+    Handle vc = s1.valid()
+                    ? b.define(spec("correct", l), {s1, eh},
+                               [&](std::span<const SourceRef> s) {
+                                 return s[0]() + s[1]();
+                               })
+                    : eh;
+    return smoother(vc, f, l, cfg.n3, "smooth_post");
+  }
+};
+
+}  // namespace
+
+ir::Pipeline build_varcoef_cycle(const CycleConfig& cfg) {
+  cfg.validate();
+  PMG_CHECK(cfg.smoother == SmootherKind::Jacobi,
+            "variable-coefficient cycles use beta-weighted Jacobi");
+  PipelineBuilder b(cfg.ndim);
+  const Box dom = Box::cube(cfg.ndim, 0, cfg.n + 1);
+  Handle V = b.input("V", dom);
+  Handle F = b.input("F", dom);
+  VcBuilder vb{b, cfg, {}};
+  vb.beta.resize(static_cast<std::size_t>(cfg.levels));
+  for (int l = cfg.levels - 1; l >= 0; --l) {
+    for (int d = 0; d < cfg.ndim; ++d) {
+      vb.beta[static_cast<std::size_t>(l)].push_back(b.input(
+          "beta" + std::to_string(d) + "_L" + std::to_string(l),
+          Box::cube(cfg.ndim, 0, cfg.level_n(l) + 1)));
+    }
+  }
+  Handle out = vb.visit(V, F, cfg.levels - 1, cfg.kind);
+  b.mark_output(out);
+  return b.build();
+}
+
+VarCoefLevels::VarCoefLevels(const CycleConfig& cfg, VarCoefProblem& p)
+    : cfg_(cfg) {
+  PMG_CHECK(cfg.n == p.n && cfg.ndim == p.ndim,
+            "cycle/problem geometry mismatch");
+  levels_.resize(static_cast<std::size_t>(cfg.levels));
+  // Finest level aliases the problem's coefficients; coarser ones are
+  // face-averaged copies computed once (they are solve constants).
+  const std::vector<grid::Buffer>* finer = &p.beta;
+  for (int l = cfg.levels - 2; l >= 0; --l) {
+    levels_[static_cast<std::size_t>(l)] =
+        coarsen_coefficients(*finer, cfg.ndim, cfg.level_n(l + 1));
+    finer = &levels_[static_cast<std::size_t>(l)];
+  }
+}
+
+std::vector<grid::View> VarCoefLevels::externals(VarCoefProblem& p) {
+  std::vector<grid::View> ext{p.v_view(), p.f_view()};
+  for (int l = cfg_.levels - 1; l >= 0; --l) {
+    for (int d = 0; d < cfg_.ndim; ++d) {
+      if (l == cfg_.levels - 1) {
+        ext.push_back(p.beta_view(d));
+      } else {
+        const Box dom = Box::cube(cfg_.ndim, 0, cfg_.level_n(l) + 1);
+        ext.push_back(grid::View::over(
+            levels_[static_cast<std::size_t>(l)]
+                   [static_cast<std::size_t>(d)].data(),
+            dom));
+      }
+    }
+  }
+  return ext;
+}
+
+double varcoef_residual_norm(VarCoefProblem& p) {
+  const double inv_h2 = 1.0 / (p.h * p.h);
+  const grid::View v = p.v_view();
+  const grid::View f = p.f_view();
+  double sum = 0.0;
+  if (p.ndim == 2) {
+    const grid::View b0 = p.beta_view(0), b1 = p.beta_view(1);
+    for (index_t i = 1; i <= p.n; ++i) {
+      for (index_t j = 1; j <= p.n; ++j) {
+        const double flux =
+            b0.at2(i, j) * (v.at2(i, j) - v.at2(i - 1, j)) +
+            b0.at2(i + 1, j) * (v.at2(i, j) - v.at2(i + 1, j)) +
+            b1.at2(i, j) * (v.at2(i, j) - v.at2(i, j - 1)) +
+            b1.at2(i, j + 1) * (v.at2(i, j) - v.at2(i, j + 1));
+        const double r = f.at2(i, j) - inv_h2 * flux;
+        sum += r * r;
+      }
+    }
+  } else {
+    const grid::View b0 = p.beta_view(0), b1 = p.beta_view(1),
+                     b2 = p.beta_view(2);
+    for (index_t i = 1; i <= p.n; ++i) {
+      for (index_t j = 1; j <= p.n; ++j) {
+        for (index_t k = 1; k <= p.n; ++k) {
+          const double flux =
+              b0.at3(i, j, k) * (v.at3(i, j, k) - v.at3(i - 1, j, k)) +
+              b0.at3(i + 1, j, k) * (v.at3(i, j, k) - v.at3(i + 1, j, k)) +
+              b1.at3(i, j, k) * (v.at3(i, j, k) - v.at3(i, j - 1, k)) +
+              b1.at3(i, j + 1, k) * (v.at3(i, j, k) - v.at3(i, j + 1, k)) +
+              b2.at3(i, j, k) * (v.at3(i, j, k) - v.at3(i, j, k - 1)) +
+              b2.at3(i, j, k + 1) * (v.at3(i, j, k) - v.at3(i, j, k + 1));
+          const double r = f.at3(i, j, k) - inv_h2 * flux;
+          sum += r * r;
+        }
+      }
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace polymg::solvers

@@ -1,0 +1,31 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "polymg/common/align.hpp"
+
+namespace polymg {
+namespace {
+
+TEST(Align, PointerIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    auto p = aligned_array<double>(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.get()) % kBufferAlignment,
+              0u);
+  }
+}
+
+TEST(Align, ZeroSizeStillValid) {
+  void* p = aligned_malloc(0);
+  EXPECT_NE(p, nullptr);
+  aligned_free(p);
+}
+
+TEST(Align, ArrayIsWritable) {
+  auto p = aligned_array<double>(128);
+  for (int i = 0; i < 128; ++i) p[i] = i;
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(p[i], i);
+}
+
+}  // namespace
+}  // namespace polymg

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/options.hpp"
+
+namespace polymg {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, KeyValueForms) {
+  const Options o = parse({"--n", "128", "--tile=32", "--verbose"});
+  EXPECT_EQ(o.get_int("n", 0), 128);
+  EXPECT_EQ(o.get_int("tile", 0), 32);
+  EXPECT_TRUE(o.get_flag("verbose"));
+  EXPECT_FALSE(o.get_flag("quiet"));
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+}
+
+TEST(Options, Positional) {
+  const Options o = parse({"run", "--n", "4", "fast"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "run");
+  EXPECT_EQ(o.positional()[1], "fast");
+}
+
+TEST(Options, DoubleAndBadInput) {
+  const Options o = parse({"--omega", "0.667", "--bad", "xyz"});
+  EXPECT_DOUBLE_EQ(o.get_double("omega", 0), 0.667);
+  EXPECT_THROW((void)o.get_int("bad", 0), Error);
+}
+
+TEST(Options, EnvironmentFallback) {
+  ::setenv("POLYMG_FROM_ENV", "42", 1);
+  const Options o = parse({});
+  EXPECT_EQ(o.get_int("from-env", 0), 42);
+  ::unsetenv("POLYMG_FROM_ENV");
+  EXPECT_EQ(o.get_int("from-env", 5), 5);
+}
+
+TEST(Options, FlagFollowedByFlagIsBareFlag) {
+  const Options o = parse({"--a", "--b", "3"});
+  EXPECT_TRUE(o.get_flag("a"));
+  EXPECT_EQ(o.get_int("b", 0), 3);
+}
+
+}  // namespace
+}  // namespace polymg

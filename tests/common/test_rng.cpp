@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "polymg/common/rng.hpp"
+
+namespace polymg {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RoughlyCentered) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace polymg

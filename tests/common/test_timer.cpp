@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "polymg/common/timer.hpp"
+
+namespace polymg {
+namespace {
+
+TEST(Timer, ElapsedIsMonotone) {
+  Timer t;
+  const double a = t.elapsed();
+  const double b = t.elapsed();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.reset();
+  EXPECT_LT(t.elapsed(), 0.005);
+}
+
+TEST(Timer, MinTimeOfRunsAllRepeats) {
+  int calls = 0;
+  const double m = min_time_of([&] { ++calls; }, 5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(m, 0.0);
+  EXPECT_LT(m, 1.0);
+}
+
+}  // namespace
+}  // namespace polymg

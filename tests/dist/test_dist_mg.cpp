@@ -1,0 +1,169 @@
+// Distributed-memory simulation: decomposition invariants, bitwise
+// agreement with the shared-memory solver for any rank count and ghost
+// depth, and the communication-aggregation accounting (deeper ghosts ->
+// fewer messages, more data + redundant compute).
+#include <gtest/gtest.h>
+
+#include "polymg/dist/dist_mg.hpp"
+#include "polymg/solvers/handopt.hpp"
+#include "polymg/solvers/metrics.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::dist {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::CycleKind;
+using solvers::PoissonProblem;
+
+CycleConfig cfg2d(CycleKind kind = CycleKind::V) {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  cfg.kind = kind;
+  return cfg;
+}
+
+TEST(Decomp, PartitionsEveryLevel) {
+  const CycleConfig cfg = cfg2d();
+  for (int ranks : {1, 2, 3, 4, 7}) {
+    const Decomp d(cfg, ranks);
+    for (int l = 0; l < cfg.levels; ++l) {
+      poly::index_t covered = 0;
+      poly::index_t expect_lo = 1;
+      for (int r = 0; r < ranks; ++r) {
+        const poly::Interval iv = d.owned(l, r);
+        EXPECT_EQ(iv.lo, expect_lo) << "level " << l << " rank " << r;
+        EXPECT_FALSE(iv.empty());
+        covered += iv.size();
+        expect_lo = iv.hi + 1;
+      }
+      EXPECT_EQ(covered, cfg.level_n(l)) << "level " << l;
+    }
+  }
+}
+
+TEST(Decomp, CoarseFineAlignment) {
+  const CycleConfig cfg = cfg2d();
+  const Decomp d(cfg, 3);
+  for (int l = 1; l < cfg.levels; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      const poly::Interval c = d.owned(l - 1, r);
+      const poly::Interval f = d.owned(l, r);
+      // Every owned coarse row's 2i image (and its ±1 halo start) lies in
+      // this rank's fine rows.
+      EXPECT_EQ(f.lo, 2 * c.lo - 1);
+      EXPECT_GE(f.hi, 2 * c.hi);
+    }
+  }
+}
+
+struct DistCase {
+  int ndim;
+  int ranks;
+  int ghost;
+  CycleKind kind;
+};
+
+class DistEquivalence : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistEquivalence, MatchesHandOptBitwise) {
+  const DistCase c = GetParam();
+  CycleConfig cfg;
+  cfg.ndim = c.ndim;
+  cfg.n = c.ndim == 2 ? 63 : 31;
+  cfg.levels = 3;
+  cfg.kind = c.kind;
+
+  PoissonProblem ref = PoissonProblem::random_rhs(cfg.ndim, cfg.n, 77);
+  PoissonProblem dst = PoissonProblem::random_rhs(cfg.ndim, cfg.n, 77);
+
+  solvers::HandOptSolver shared(cfg);
+  DistMgSolver dist(cfg, c.ranks, c.ghost);
+  dist.scatter(dst.v_view(), dst.f_view());
+
+  for (int i = 0; i < 2; ++i) {
+    shared.cycle(ref.v_view(), ref.f_view());
+    dist.cycle();
+  }
+  dist.gather(dst.v_view());
+  EXPECT_EQ(grid::max_diff(ref.v_view(), dst.v_view(), ref.interior()), 0.0)
+      << "ranks=" << c.ranks << " ghost=" << c.ghost;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DistEquivalence,
+    ::testing::Values(DistCase{2, 1, 1, CycleKind::V},
+                      DistCase{2, 2, 1, CycleKind::V},
+                      DistCase{2, 4, 1, CycleKind::V},
+                      DistCase{2, 4, 3, CycleKind::V},
+                      DistCase{2, 3, 2, CycleKind::W},
+                      DistCase{2, 2, 4, CycleKind::F},
+                      DistCase{3, 2, 1, CycleKind::V},
+                      DistCase{3, 3, 2, CycleKind::V},  // coarsest 7 rows
+                      DistCase{3, 2, 3, CycleKind::W}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      const DistCase& c = info.param;
+      return std::to_string(c.ndim) + "D_r" + std::to_string(c.ranks) +
+             "_g" + std::to_string(c.ghost) + "_" +
+             (c.kind == CycleKind::V   ? "V"
+              : c.kind == CycleKind::W ? "W"
+                                       : "F");
+    });
+
+TEST(DistMg, CommunicationAggregationTradesMessagesForBytes) {
+  CycleConfig cfg = cfg2d();
+  cfg.n1 = cfg.n2 = cfg.n3 = 4;
+  PoissonProblem p1 = PoissonProblem::random_rhs(2, cfg.n, 9);
+  PoissonProblem p4 = PoissonProblem::random_rhs(2, cfg.n, 9);
+
+  // Coarsest level has 15 rows: 3 ranks own 5 each, enough for depth 4.
+  DistMgSolver shallow(cfg, 3, /*ghost=*/1);
+  DistMgSolver deep(cfg, 3, /*ghost=*/4);
+  shallow.scatter(p1.v_view(), p1.f_view());
+  deep.scatter(p4.v_view(), p4.f_view());
+  shallow.reset_stats();
+  deep.reset_stats();
+  shallow.cycle();
+  deep.cycle();
+
+  // The aggregated version exchanges far fewer times...
+  EXPECT_LT(deep.stats().exchanges, shallow.stats().exchanges);
+  EXPECT_LT(deep.stats().messages, shallow.stats().messages);
+  // ...while shipping more doubles per exchange round overall.
+  EXPECT_GT(static_cast<double>(deep.stats().doubles_sent) /
+                static_cast<double>(deep.stats().messages),
+            static_cast<double>(shallow.stats().doubles_sent) /
+                static_cast<double>(shallow.stats().messages));
+}
+
+TEST(DistMg, ConvergesLikeSharedMemory) {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 127;
+  cfg.levels = 5;  // coarsest 7 rows: 3 ranks own >= 2 each
+  cfg.n2 = 30;
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  DistMgSolver dist(cfg, 3, 2);
+  dist.scatter(p.v_view(), p.f_view());
+  double prev = solvers::residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  for (int i = 0; i < 4; ++i) {
+    dist.cycle();
+    dist.gather(p.v_view());
+    const double r = solvers::residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+    EXPECT_LT(r, 0.25 * prev);
+    prev = r;
+  }
+}
+
+TEST(DistMg, RejectsInvalidConfigs) {
+  CycleConfig cfg = cfg2d();
+  EXPECT_THROW(DistMgSolver(cfg, 0), Error);
+  EXPECT_THROW(DistMgSolver(cfg, 100), Error);  // > coarsest rows
+  // Ghost depth deeper than a rank's coarsest block.
+  EXPECT_THROW(DistMgSolver(cfg, 7, 5), Error);
+}
+
+}  // namespace
+}  // namespace polymg::dist

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "polymg/grid/buffer.hpp"
+
+namespace polymg::grid {
+namespace {
+
+TEST(Buffer, FillAndIndex) {
+  Buffer b(100);
+  b.fill(3.5);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(b[i], 3.5);
+  b[7] = -1.0;
+  EXPECT_EQ(b[7], -1.0);
+}
+
+TEST(Buffer, CloneIsDeep) {
+  Buffer b(10);
+  b.fill(1.0);
+  Buffer c = b.clone();
+  c[0] = 9.0;
+  EXPECT_EQ(b[0], 1.0);
+  EXPECT_EQ(c[0], 9.0);
+  EXPECT_EQ(c.size(), 10u);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  Buffer b(10);
+  b.fill(2.0);
+  double* p = b.data();
+  Buffer c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_FALSE(b.allocated());  // NOLINT(bugprone-use-after-move)
+}
+
+}  // namespace
+}  // namespace polymg::grid

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "polymg/grid/ops.hpp"
+
+namespace polymg::grid {
+namespace {
+
+TEST(Ops, MakeGridZeroFilled) {
+  const Box dom = Box::cube(2, 0, 9);
+  Buffer b = make_grid(dom);
+  EXPECT_EQ(b.size(), 100u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0.0);
+}
+
+TEST(Ops, FillRegionAndNorms) {
+  const Box dom = Box::cube(2, 0, 4);
+  Buffer b = make_grid(dom);
+  View v = View::over(b.data(), dom);
+  fill_region(v, Box::cube(2, 1, 3), [](index_t i, index_t j, index_t) {
+    return static_cast<double>(i * 10 + j);
+  });
+  EXPECT_EQ(v.at2(2, 3), 23.0);
+  EXPECT_EQ(v.at2(0, 0), 0.0);  // outside region untouched
+  EXPECT_EQ(max_norm(v, dom), 33.0);
+  EXPECT_NEAR(l2_norm(v, Box{{1, 1}, {1, 2}}), std::sqrt(11. * 11 + 12 * 12),
+              1e-12);
+}
+
+TEST(Ops, CopyAndDiff) {
+  const Box dom = Box::cube(3, 0, 3);
+  Buffer a = make_grid(dom), b = make_grid(dom);
+  View va = View::over(a.data(), dom), vb = View::over(b.data(), dom);
+  fill_region(va, dom, [](index_t i, index_t j, index_t k) {
+    return static_cast<double>(i + j + k);
+  });
+  copy_region(vb, va, dom);
+  EXPECT_EQ(max_diff(va, vb, dom), 0.0);
+  vb.at3(1, 1, 1) += 0.5;
+  EXPECT_EQ(max_diff(va, vb, dom), 0.5);
+}
+
+}  // namespace
+}  // namespace polymg::grid

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "polymg/grid/buffer.hpp"
+#include "polymg/grid/view.hpp"
+
+namespace polymg::grid {
+namespace {
+
+TEST(View, RowMajorLayout2d) {
+  const Box box{{0, 3}, {0, 4}};  // 4 x 5
+  Buffer b(static_cast<std::size_t>(box.count()));
+  View v = View::over(b.data(), box);
+  EXPECT_EQ(v.stride[0], 5);
+  EXPECT_EQ(v.stride[1], 1);
+  v.at2(2, 3) = 42.0;
+  EXPECT_EQ(b[2 * 5 + 3], 42.0);
+}
+
+TEST(View, OffsetOrigin) {
+  // A scratchpad view over a footprint box with non-zero lower corner.
+  const Box box{{10, 13}, {20, 24}};
+  Buffer b(static_cast<std::size_t>(box.count()));
+  View v = View::over(b.data(), box);
+  v.at2(10, 20) = 1.0;
+  v.at2(13, 24) = 2.0;
+  EXPECT_EQ(b[0], 1.0);
+  EXPECT_EQ(b[box.count() - 1], 2.0);
+}
+
+TEST(View, ThreeDAndGenericAccessorAgree) {
+  const Box box{{0, 2}, {1, 3}, {2, 5}};
+  Buffer b(static_cast<std::size_t>(box.count()));
+  View v = View::over(b.data(), box);
+  v.at3(1, 2, 4) = 7.0;
+  EXPECT_EQ(v.at({1, 2, 4}), 7.0);
+  EXPECT_EQ(v.stride[2], 1);
+  EXPECT_EQ(v.stride[1], 4);
+  EXPECT_EQ(v.stride[0], 12);
+}
+
+}  // namespace
+}  // namespace polymg::grid

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "polymg/ir/builder.hpp"
+
+namespace polymg::ir {
+namespace {
+
+using poly::Box;
+
+FuncSpec spec(const std::string& name, int ndim, poly::index_t n) {
+  FuncSpec s;
+  s.name = name;
+  s.domain = Box::cube(ndim, 0, n + 1);
+  s.interior = Box::cube(ndim, 1, n);
+  return s;
+}
+
+TEST(Builder, SimplePipeline) {
+  PipelineBuilder b(2);
+  Handle in = b.input("in", Box::cube(2, 0, 9));
+  Handle f = b.define(spec("copy", 2, 8), {in},
+                      [](std::span<const SourceRef> s) { return s[0](); });
+  b.mark_output(f);
+  Pipeline p = b.build();
+  EXPECT_EQ(p.num_stages(), 1);
+  EXPECT_TRUE(p.is_output(0));
+  EXPECT_TRUE(p.funcs[0].sources[0].external);
+}
+
+TEST(Builder, TStencilExpandsSteps) {
+  PipelineBuilder b(2);
+  Handle v = b.input("v", Box::cube(2, 0, 9));
+  Handle f = b.input("f", Box::cube(2, 0, 9));
+  Handle out = b.define_tstencil(
+      spec("sm", 2, 8), v, {f}, 4, [](std::span<const SourceRef> s) {
+        return s[0]() + make_const(0.25) * s[1]();
+      });
+  b.mark_output(out);
+  Pipeline p = b.build();
+  EXPECT_EQ(p.num_stages(), 4);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(p.funcs[t].construct, ConstructKind::TStencilStep);
+    EXPECT_EQ(p.funcs[t].time_step, t);
+    EXPECT_EQ(p.funcs[t].time_chain, 0);
+  }
+  // Step 1 chains on step 0.
+  EXPECT_FALSE(p.funcs[1].sources[0].external);
+  EXPECT_EQ(p.funcs[1].sources[0].index, 0);
+}
+
+TEST(Builder, TStencilZeroStepsReturnsInput) {
+  PipelineBuilder b(2);
+  Handle v = b.input("v", Box::cube(2, 0, 9));
+  Handle out = b.define_tstencil(spec("sm", 2, 8), v, {}, 0,
+                                 [](std::span<const SourceRef> s) {
+                                   return s[0]();
+                                 });
+  EXPECT_TRUE(out.external);
+  EXPECT_EQ(out.index, v.index);
+}
+
+TEST(Builder, RestrictInstallsScaleTwo) {
+  PipelineBuilder b(2);
+  Handle in = b.input("fine", Box::cube(2, 0, 17));
+  Handle r = b.define_restrict(spec("r", 2, 7), {in},
+                               [](std::span<const SourceRef> s) {
+                                 return s[0].at(0, 0) + s[0].at(1, 1);
+                               });
+  b.mark_output(r);
+  Pipeline p = b.build();
+  const poly::Access& a = p.funcs[0].access_for(0);
+  EXPECT_EQ(a.d[0].num, 2);
+  EXPECT_EQ(a.d[0].den, 1);
+  EXPECT_EQ(a.d[0].hi, 1);
+  EXPECT_EQ(p.funcs[0].construct, ConstructKind::Restrict);
+}
+
+TEST(Builder, InterpInstallsScaleHalfAndParity) {
+  PipelineBuilder b(2);
+  Handle in = b.input("coarse", Box::cube(2, 0, 5));
+  Handle e = b.define_interp(
+      spec("e", 2, 8), {in}, [](std::span<const SourceRef> s) {
+        std::vector<Expr> cases;
+        for (int c = 0; c < 4; ++c) cases.push_back(s[0].at(0, 0));
+        return cases;
+      });
+  b.mark_output(e);
+  Pipeline p = b.build();
+  EXPECT_TRUE(p.funcs[0].parity_piecewise);
+  EXPECT_EQ(p.funcs[0].defs.size(), 4u);
+  const poly::Access& a = p.funcs[0].access_for(0);
+  EXPECT_EQ(a.d[0].num, 1);
+  EXPECT_EQ(a.d[0].den, 2);
+}
+
+TEST(Builder, RejectsForwardReferenceAndEmptyOutputs) {
+  PipelineBuilder b(2);
+  (void)b.input("in", Box::cube(2, 0, 9));
+  EXPECT_THROW((void)b.build(), Error);  // no functions / outputs
+}
+
+TEST(Builder, ValidateRejectsOutOfBoundsFootprint) {
+  // A radius-2 stencil whose interior only leaves a width-1 ghost ring
+  // would read outside the producer's domain: build() must reject it.
+  PipelineBuilder b(2);
+  Handle in = b.input("in", Box::cube(2, 0, 9));
+  Handle f = b.define(spec("wide", 2, 8), {in},
+                      [](std::span<const SourceRef> s) {
+                        return s[0].at(-2, 0) + s[0].at(2, 0);
+                      });
+  b.mark_output(f);
+  EXPECT_THROW((void)b.build(), Error);
+}
+
+TEST(Builder, ValidateAcceptsShrunkInteriorForWideStencil) {
+  PipelineBuilder b(2);
+  Handle in = b.input("in", Box::cube(2, 0, 9));
+  FuncSpec s = spec("wide", 2, 8);
+  s.interior = Box::cube(2, 2, 7);  // radius-2 ghost ring
+  Handle f = b.define(s, {in}, [](std::span<const SourceRef> r) {
+    return r[0].at(-2, 0) + r[0].at(2, 0);
+  });
+  b.mark_output(f);
+  (void)b.build();  // must not throw
+}
+
+TEST(Builder, ValidateCatchesInteriorEscape) {
+  PipelineBuilder b(2);
+  Handle in = b.input("in", Box::cube(2, 0, 9));
+  FuncSpec s = spec("bad", 2, 8);
+  s.interior = Box::cube(2, 0, 20);  // escapes the domain
+  EXPECT_THROW((void)b.define(s, {in},
+                              [](std::span<const SourceRef> r) {
+                                return r[0]();
+                              }),
+               Error);
+}
+
+}  // namespace
+}  // namespace polymg::ir

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "polymg/ir/bytecode.hpp"
+
+namespace polymg::ir {
+namespace {
+
+std::array<LoadIndex, kMaxDims> ident() {
+  return {LoadIndex{1, 1, 0}, LoadIndex{1, 1, 0}, LoadIndex{1, 1, 0}};
+}
+
+TEST(Bytecode, PostfixOrder) {
+  const Expr e = make_const(2.0) * make_load(0, ident()) + make_const(1.0);
+  const Bytecode bc = compile_bytecode(e);
+  ASSERT_EQ(bc.size(), 5u);
+  EXPECT_EQ(bc[0].kind, BcKind::PushConst);
+  EXPECT_EQ(bc[1].kind, BcKind::Load);
+  EXPECT_EQ(bc[2].kind, BcKind::Mul);
+  EXPECT_EQ(bc[3].kind, BcKind::PushConst);
+  EXPECT_EQ(bc[4].kind, BcKind::Add);
+}
+
+TEST(Bytecode, StackDepth) {
+  const Expr leaf = make_const(1.0);
+  EXPECT_EQ(stack_depth(compile_bytecode(leaf)), 1);
+  const Expr sum = (leaf + leaf) * (leaf + leaf);
+  EXPECT_EQ(stack_depth(compile_bytecode(sum)), 3);
+  const Expr neg = -leaf;
+  EXPECT_EQ(stack_depth(compile_bytecode(neg)), 1);
+}
+
+TEST(Bytecode, DeepRightAssociativeChain) {
+  Expr e = make_const(1.0);
+  for (int i = 0; i < 20; ++i) e = make_const(1.0) + e;
+  const Bytecode bc = compile_bytecode(e);
+  EXPECT_EQ(stack_depth(bc), 21);
+}
+
+}  // namespace
+}  // namespace polymg::ir

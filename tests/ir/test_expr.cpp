@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "polymg/ir/expr.hpp"
+
+namespace polymg::ir {
+namespace {
+
+std::array<LoadIndex, kMaxDims> idx2(LoadIndex a, LoadIndex b) {
+  return {a, b, LoadIndex{}};
+}
+
+TEST(Expr, OperatorSugarBuildsTree) {
+  const Expr e = make_const(2.0) * make_load(0, idx2({1, 1, 0}, {1, 1, 1})) +
+                 3.0;
+  ASSERT_EQ(e->kind, ExprKind::Add);
+  EXPECT_EQ(e->rhs->kind, ExprKind::Const);
+  EXPECT_EQ(e->rhs->value, 3.0);
+  EXPECT_EQ(e->lhs->kind, ExprKind::Mul);
+}
+
+TEST(Expr, CollectAccessesMergesOffsets) {
+  const Expr e = make_load(0, idx2({1, 1, -1}, {1, 1, 0})) +
+                 make_load(0, idx2({1, 1, 1}, {1, 1, 0})) +
+                 make_load(1, idx2({1, 1, 0}, {1, 1, 0}));
+  const auto acc = collect_accesses(e, 2);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].first, 0);
+  EXPECT_EQ(acc[0].second.d[0], (poly::DimAccess{1, 1, -1, 1}));
+  EXPECT_EQ(acc[1].first, 1);
+  EXPECT_TRUE(acc[1].second.is_unit_scale());
+}
+
+TEST(Expr, CollectAccessesRejectsMixedScaleOnOneSlot) {
+  const Expr e = make_load(0, idx2({1, 1, 0}, {1, 1, 0})) +
+                 make_load(0, idx2({2, 1, 0}, {1, 1, 0}));
+  EXPECT_THROW((void)collect_accesses(e, 2), Error);
+}
+
+TEST(Expr, ToStringReadable) {
+  const Expr e =
+      make_load(0, idx2({1, 1, 0}, {1, 1, 1})) - make_const(0.5);
+  const std::string s = to_string(e, {"v"}, 2);
+  EXPECT_NE(s.find("v(y, x+1)"), std::string::npos) << s;
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+TEST(Expr, VisitReachesAllNodes) {
+  const Expr e = -(make_const(1.0) + make_const(2.0));
+  int n = 0;
+  visit(e, [&](const ExprNode&) { ++n; });
+  EXPECT_EQ(n, 4);
+}
+
+}  // namespace
+}  // namespace polymg::ir

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "polymg/ir/lowering.hpp"
+#include "polymg/ir/stencil.hpp"
+
+namespace polymg::ir {
+namespace {
+
+SourceRef ref(int slot, int ndim = 2) {
+  SourceRef r;
+  r.slot = slot;
+  r.ndim = ndim;
+  return r;
+}
+
+TEST(Lowering, JacobiSmootherLinearizes) {
+  // v - w*(S(v)/h² - f): taps fold into a single linear form with a
+  // modified center coefficient and a +w tap on f.
+  const double w = 0.1, inv_h2 = 16.0;
+  const Expr e = ref(0)() - make_const(w) * (stencil2(ref(0),
+                     five_point_laplacian_2d(), inv_h2) - ref(1)());
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  ASSERT_EQ(lf->inputs.size(), 2u);
+  EXPECT_EQ(lf->inputs[0].taps.size(), 5u);
+  for (const Tap& t : lf->inputs[0].taps) {
+    if (t.off[0] == 0 && t.off[1] == 0) {
+      EXPECT_NEAR(t.coeff, 1.0 - w * 4.0 * inv_h2, 1e-15);
+    } else {
+      EXPECT_NEAR(t.coeff, w * inv_h2, 1e-15);
+    }
+  }
+  ASSERT_EQ(lf->inputs[1].taps.size(), 1u);
+  EXPECT_NEAR(lf->inputs[1].taps[0].coeff, w, 1e-15);
+  EXPECT_EQ(lf->constant, 0.0);
+}
+
+TEST(Lowering, DuplicateLoadsCoalesce) {
+  const Expr e = ref(0)() + ref(0)() + make_const(1.0);
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  ASSERT_EQ(lf->inputs[0].taps.size(), 1u);
+  EXPECT_EQ(lf->inputs[0].taps[0].coeff, 2.0);
+  EXPECT_EQ(lf->constant, 1.0);
+}
+
+TEST(Lowering, ZeroCoefficientTapsDrop) {
+  const Expr e = ref(0)() - ref(0)() + make_const(5.0);
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_TRUE(lf->inputs.empty());
+  EXPECT_EQ(lf->constant, 5.0);
+}
+
+TEST(Lowering, NonlinearFallsBack) {
+  const Expr prod = ref(0)() * ref(0)();
+  EXPECT_FALSE(try_linearize(prod, 2).has_value());
+  const Expr div = make_const(1.0) / ref(0)();
+  EXPECT_FALSE(try_linearize(div, 2).has_value());
+
+  FunctionDecl f;
+  f.name = "nl";
+  f.ndim = 2;
+  f.domain = poly::Box::cube(2, 0, 9);
+  f.interior = poly::Box::cube(2, 1, 8);
+  f.sources = {{true, 0}};
+  f.defs = {prod};
+  f.finalize();
+  const LoweredFunc lw = lower(f);
+  EXPECT_FALSE(lw.all_linear);
+  EXPECT_FALSE(lw.defs[0].linear.has_value());
+  EXPECT_FALSE(lw.defs[0].bytecode.empty());
+}
+
+TEST(Lowering, DivisionByConstantFolds) {
+  const Expr e = ref(0)() / 4.0;
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_EQ(lf->inputs[0].taps[0].coeff, 0.25);
+}
+
+TEST(Lowering, SampledAccessKeepsScale) {
+  SourceRef r = ref(0);
+  r.num = {2, 2, 1};
+  const Expr e = r.at(0, 1) + r.at(-1, 0);
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_EQ(lf->inputs[0].num[0], 2);
+  EXPECT_EQ(lf->inputs[0].taps.size(), 2u);
+}
+
+}  // namespace
+}  // namespace polymg::ir

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "polymg/ir/lowering.hpp"
+#include "polymg/ir/stencil.hpp"
+
+namespace polymg::ir {
+namespace {
+
+SourceRef ref2(int slot) {
+  SourceRef r;
+  r.slot = slot;
+  r.ndim = 2;
+  return r;
+}
+
+TEST(Stencil, FivePointLaplacianTaps) {
+  const Expr e = stencil2(ref2(0), five_point_laplacian_2d(), 1.0);
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  ASSERT_EQ(lf->inputs.size(), 1u);
+  EXPECT_EQ(lf->inputs[0].taps.size(), 5u);  // zero weights dropped
+  double center = 0;
+  for (const Tap& t : lf->inputs[0].taps) {
+    if (t.off[0] == 0 && t.off[1] == 0) center = t.coeff;
+  }
+  EXPECT_EQ(center, 4.0);
+}
+
+TEST(Stencil, ScaleMultipliesAllWeights) {
+  const Expr e = stencil2(ref2(0), full_weighting_2d(), 1.0 / 16);
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  double sum = 0;
+  for (const Tap& t : lf->inputs[0].taps) sum += t.coeff;
+  EXPECT_NEAR(sum, 1.0, 1e-15);  // full weighting preserves constants
+}
+
+TEST(Stencil, DefaultCenterIsHalfSize) {
+  // 3x3 stencil: weight w[0][0] lands at offset (-1, -1).
+  Weights2 w{{1, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  const Expr e = stencil2(ref2(0), w);
+  ASSERT_EQ(e->kind, ExprKind::Load);
+  EXPECT_EQ(e->idx[0].off, -1);
+  EXPECT_EQ(e->idx[1].off, -1);
+}
+
+TEST(Stencil, ExplicitCenterOverride) {
+  Weights2 w{{1, 0}, {0, 2}};
+  const Expr e = stencil2(ref2(0), w, 1.0, std::array<int, 2>{0, 0});
+  const auto lf = try_linearize(e, 2);
+  ASSERT_TRUE(lf.has_value());
+  ASSERT_EQ(lf->inputs[0].taps.size(), 2u);
+  EXPECT_EQ(lf->inputs[0].taps[0].off[0], 0);  // sorted by offset
+  EXPECT_EQ(lf->inputs[0].taps[1].off[0], 1);
+  EXPECT_EQ(lf->inputs[0].taps[1].coeff, 2.0);
+}
+
+TEST(Stencil, RejectsRaggedAndAllZero) {
+  EXPECT_THROW((void)stencil2(ref2(0), {{1, 2}, {3}}), Error);
+  EXPECT_THROW((void)stencil2(ref2(0), {{0, 0}, {0, 0}}), Error);
+}
+
+TEST(Stencil, ThreeDSevenPoint) {
+  SourceRef r = ref2(0);
+  r.ndim = 3;
+  const Expr e = stencil3(r, seven_point_laplacian_3d(), 1.0);
+  const auto lf = try_linearize(e, 3);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_EQ(lf->inputs[0].taps.size(), 7u);
+}
+
+TEST(Stencil, FullWeighting3dSumsToOne) {
+  SourceRef r = ref2(0);
+  r.ndim = 3;
+  const Expr e = stencil3(r, full_weighting_3d(), 1.0 / 64);
+  const auto lf = try_linearize(e, 3);
+  ASSERT_TRUE(lf.has_value());
+  EXPECT_EQ(lf->inputs[0].taps.size(), 27u);
+  double sum = 0;
+  for (const Tap& t : lf->inputs[0].taps) sum += t.coeff;
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace polymg::ir

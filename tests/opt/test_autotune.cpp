@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/autotune.hpp"
+
+namespace polymg::opt {
+namespace {
+
+TEST(Autotune, PaperSpaceSizes) {
+  // §3.2.4: "2D benchmarks are tuned for 80 configurations and 3D
+  // benchmarks are tuned for 135 configurations."
+  EXPECT_EQ(TuneSpace::paper_default(2).size(2), 80u);
+  EXPECT_EQ(TuneSpace::paper_default(3).size(3), 135u);
+}
+
+TEST(Autotune, VisitsEveryConfigurationOnce) {
+  const TuneSpace space = TuneSpace::paper_default(2);
+  const CompileOptions base = CompileOptions::for_variant(Variant::OptPlus, 2);
+  int calls = 0;
+  const TuneResult r = autotune(space, 2, base, [&](const CompileOptions&) {
+    return static_cast<double>(++calls);
+  });
+  EXPECT_EQ(calls, 80);
+  EXPECT_EQ(r.points.size(), 80u);
+  // Configurations are pairwise distinct.
+  for (std::size_t a = 0; a < r.points.size(); ++a) {
+    for (std::size_t b = a + 1; b < r.points.size(); ++b) {
+      EXPECT_FALSE(r.points[a].tile == r.points[b].tile &&
+                   r.points[a].group_limit == r.points[b].group_limit);
+    }
+  }
+}
+
+TEST(Autotune, PicksTheMinimum) {
+  TuneSpace space;
+  space.tiles[0] = {8, 16};
+  space.tiles[1] = {64, 128};
+  space.group_limits = {4, 8};
+  const CompileOptions base = CompileOptions::for_variant(Variant::OptPlus, 2);
+  // Synthetic cost: prefer tile {16, 128} with limit 8.
+  const TuneResult r = autotune(space, 2, base, [](const CompileOptions& o) {
+    double cost = 10.0;
+    if (o.tile[0] == 16) cost -= 1;
+    if (o.tile[1] == 128) cost -= 2;
+    if (o.group_limit == 8) cost -= 3;
+    return cost;
+  });
+  EXPECT_EQ(r.best.tile[0], 16);
+  EXPECT_EQ(r.best.tile[1], 128);
+  EXPECT_EQ(r.best.group_limit, 8);
+  EXPECT_DOUBLE_EQ(r.best.seconds, 4.0);
+}
+
+TEST(Autotune, PropagatesBaseOptions) {
+  TuneSpace space;
+  space.tiles[0] = {8};
+  space.tiles[1] = {64};
+  space.group_limits = {4};
+  CompileOptions base = CompileOptions::for_variant(Variant::Opt, 2);
+  base.overlap_threshold = 0.25;
+  autotune(space, 2, base, [&](const CompileOptions& o) {
+    EXPECT_EQ(o.variant, Variant::Opt);
+    EXPECT_DOUBLE_EQ(o.overlap_threshold, 0.25);
+    EXPECT_EQ(o.tile[0], 8);
+    EXPECT_EQ(o.group_limit, 4);
+    return 1.0;
+  });
+}
+
+}  // namespace
+}  // namespace polymg::opt

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::opt {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::CycleKind;
+
+CycleConfig cfg2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  return cfg;
+}
+
+TEST(Compile, NaiveGivesOneArrayPerStage) {
+  const auto cp = compile(solvers::build_cycle(cfg2d()),
+                          CompileOptions::for_variant(Variant::Naive, 2));
+  EXPECT_EQ(static_cast<int>(cp.arrays.size()), cp.pipe.num_stages());
+  for (int f = 0; f < cp.pipe.num_stages(); ++f) {
+    EXPECT_GE(cp.array_of_func[f], 0);
+  }
+  for (const GroupPlan& g : cp.groups) {
+    EXPECT_EQ(g.exec, GroupExec::Loops);
+    EXPECT_EQ(g.stages.size(), 1u);
+  }
+}
+
+TEST(Compile, IntraReuseShrinksScratchpads) {
+  CompileOptions with = CompileOptions::for_variant(Variant::OptPlus, 2);
+  CompileOptions without = with;
+  without.intra_group_reuse = false;
+  const auto a = compile(solvers::build_cycle(cfg2d()), with);
+  const auto b = compile(solvers::build_cycle(cfg2d()), without);
+  EXPECT_LT(a.scratch_buffers_with_reuse, a.scratch_buffers_without_reuse);
+  EXPECT_EQ(b.scratch_buffers_with_reuse, b.scratch_buffers_without_reuse);
+}
+
+TEST(Compile, InterReuseShrinksArrayFootprint) {
+  // W-cycles revisit levels, creating same-size arrays with disjoint
+  // lifetimes — the inter-group pass must share them. (A shallow V-cycle
+  // has no such disjoint pairs; the dynamic pool still helps there,
+  // which is exactly the paper's Fig. 11b observation.)
+  CycleConfig cfg = cfg2d();
+  cfg.kind = CycleKind::W;
+  cfg.levels = 4;
+  CompileOptions with = CompileOptions::for_variant(Variant::OptPlus, 2);
+  CompileOptions without = with;
+  without.inter_group_reuse = false;
+  const auto a = compile(solvers::build_cycle(cfg), with);
+  const auto b = compile(solvers::build_cycle(cfg), without);
+  EXPECT_LT(a.array_doubles_with_reuse, a.array_doubles_without_reuse);
+  EXPECT_EQ(b.array_doubles_with_reuse, b.array_doubles_without_reuse);
+  EXPECT_LT(a.arrays.size(), b.arrays.size());
+}
+
+TEST(Compile, OutputsNeverReused) {
+  const auto cp = compile(solvers::build_cycle(cfg2d()),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+  for (int out : cp.pipe.outputs) {
+    const int aid = cp.array_of_func[out];
+    ASSERT_GE(aid, 0);
+    EXPECT_TRUE(cp.arrays[aid].io);
+    // No other function maps onto an output's array.
+    for (int f = 0; f < cp.pipe.num_stages(); ++f) {
+      if (f != out && cp.array_of_func[f] == aid) {
+        FAIL() << "function " << cp.pipe.funcs[f].name
+               << " shares the output array";
+      }
+    }
+    // Output arrays are never pool-released.
+    for (const auto& rel : cp.release_after_group) {
+      for (int a : rel) EXPECT_NE(a, aid);
+    }
+  }
+}
+
+TEST(Compile, ReleasePointsAfterLastUse) {
+  const auto cp = compile(solvers::build_cycle(cfg2d()),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+  // Build func -> group map.
+  std::vector<int> group_of(static_cast<std::size_t>(cp.pipe.num_stages()));
+  for (std::size_t gi = 0; gi < cp.groups.size(); ++gi) {
+    for (const StagePlan& sp : cp.groups[gi].stages) {
+      group_of[static_cast<std::size_t>(sp.func)] = static_cast<int>(gi);
+    }
+  }
+  // An array must not be released before a group that reads it.
+  std::vector<int> released_at(cp.arrays.size(), 1 << 30);
+  for (std::size_t gi = 0; gi < cp.release_after_group.size(); ++gi) {
+    for (int a : cp.release_after_group[gi]) {
+      released_at[static_cast<std::size_t>(a)] = static_cast<int>(gi);
+    }
+  }
+  for (int f = 0; f < cp.pipe.num_stages(); ++f) {
+    for (const ir::SourceSlot& s : cp.pipe.funcs[f].sources) {
+      if (s.external) continue;
+      const int aid = cp.array_of_func[s.index];
+      if (aid < 0) continue;
+      EXPECT_GE(released_at[static_cast<std::size_t>(aid)],
+                group_of[static_cast<std::size_t>(f)])
+          << "array of " << cp.pipe.funcs[s.index].name
+          << " released before consumer " << cp.pipe.funcs[f].name;
+    }
+  }
+}
+
+TEST(Compile, DtileCreatesTimeTiledGroups) {
+  CycleConfig cfg = cfg2d();
+  const auto cp = compile(solvers::build_cycle(cfg),
+                          CompileOptions::for_variant(Variant::DtileOptPlus, 2));
+  int tt = 0;
+  for (const GroupPlan& g : cp.groups) {
+    if (g.exec == GroupExec::TimeTiled) {
+      ++tt;
+      EXPECT_GE(g.stages.size(), 2u);
+      EXPECT_GE(g.time_temp_array, 0);
+      EXPECT_GE(g.dtile_W, 2 * g.dtile_H);
+    }
+  }
+  EXPECT_GT(tt, 0);
+}
+
+TEST(Compile, CollapseDepthFollowsOption) {
+  CompileOptions opts = CompileOptions::for_variant(Variant::OptPlus, 2);
+  opts.collapse = false;
+  const auto cp = compile(solvers::build_cycle(cfg2d()), opts);
+  for (const GroupPlan& g : cp.groups) {
+    if (g.exec == GroupExec::OverlapTiled) EXPECT_EQ(g.collapse_depth, 1);
+  }
+}
+
+}  // namespace
+}  // namespace polymg::opt

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/grouping.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::opt {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::CycleKind;
+
+CycleConfig small_cfg(int ndim, CycleKind kind, int n1, int n2, int n3) {
+  CycleConfig cfg;
+  cfg.ndim = ndim;
+  cfg.n = ndim == 2 ? 63 : 15;
+  cfg.levels = 3;
+  cfg.kind = kind;
+  cfg.n1 = n1;
+  cfg.n2 = n2;
+  cfg.n3 = n3;
+  return cfg;
+}
+
+TEST(Grouping, NaiveKeepsSingletons) {
+  const auto pipe = solvers::build_cycle(small_cfg(2, CycleKind::V, 4, 4, 4));
+  CompileOptions opts = CompileOptions::for_variant(Variant::Naive, 2);
+  const Grouping g = auto_group(pipe, opts);
+  EXPECT_EQ(g.groups.size(), static_cast<std::size_t>(pipe.num_stages()));
+}
+
+TEST(Grouping, PartitionIsCompleteAndDisjoint) {
+  const auto pipe = solvers::build_cycle(small_cfg(2, CycleKind::V, 4, 4, 4));
+  CompileOptions opts = CompileOptions::for_variant(Variant::OptPlus, 2);
+  const Grouping g = auto_group(pipe, opts);
+  std::vector<int> seen(static_cast<std::size_t>(pipe.num_stages()), 0);
+  for (std::size_t gi = 0; gi < g.groups.size(); ++gi) {
+    for (int f : g.groups[gi]) {
+      seen[static_cast<std::size_t>(f)]++;
+      EXPECT_EQ(g.group_of[f], static_cast<int>(gi));
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Grouping, FusionActuallyHappens) {
+  const auto pipe = solvers::build_cycle(small_cfg(2, CycleKind::V, 4, 4, 4));
+  CompileOptions opts = CompileOptions::for_variant(Variant::OptPlus, 2);
+  const Grouping g = auto_group(pipe, opts);
+  EXPECT_LT(g.groups.size(), static_cast<std::size_t>(pipe.num_stages()));
+  std::size_t biggest = 0;
+  for (const auto& grp : g.groups) biggest = std::max(biggest, grp.size());
+  EXPECT_GE(biggest, 2u);
+  EXPECT_LE(biggest, static_cast<std::size_t>(opts.group_limit));
+}
+
+TEST(Grouping, GroupLimitRespected) {
+  const auto pipe = solvers::build_cycle(small_cfg(2, CycleKind::V, 10, 0, 0));
+  CompileOptions opts = CompileOptions::for_variant(Variant::OptPlus, 2);
+  opts.group_limit = 3;
+  const Grouping g = auto_group(pipe, opts);
+  for (const auto& grp : g.groups) {
+    EXPECT_LE(grp.size(), 3u);
+  }
+}
+
+TEST(Grouping, SmootherChainsFound) {
+  const auto pipe = solvers::build_cycle(small_cfg(2, CycleKind::V, 4, 4, 4));
+  const auto chains = find_smoother_chains(pipe);
+  // Pre at levels 2,1 + coarse + post at levels 1,2: all chains of 4 (the
+  // first step of a zero-guess chain is a seed stage, leaving 3).
+  EXPECT_GE(chains.size(), 3u);
+  for (const auto& c : chains) {
+    EXPECT_GE(c.size(), 2u);
+    for (std::size_t i = 1; i < c.size(); ++i) {
+      EXPECT_EQ(pipe.funcs[c[i]].time_chain, pipe.funcs[c[0]].time_chain);
+    }
+  }
+}
+
+TEST(Grouping, DtilePinsChains) {
+  const auto pipe = solvers::build_cycle(small_cfg(2, CycleKind::V, 4, 4, 4));
+  CompileOptions opts = CompileOptions::for_variant(Variant::DtileOptPlus, 2);
+  const Grouping g = auto_group(pipe, opts);
+  bool any_tt = false;
+  for (std::size_t gi = 0; gi < g.groups.size(); ++gi) {
+    any_tt = any_tt || g.time_tiled[gi];
+    if (g.time_tiled[gi]) {
+      for (int f : g.groups[gi]) {
+        EXPECT_EQ(pipe.funcs[f].construct, ir::ConstructKind::TStencilStep);
+      }
+    }
+  }
+  EXPECT_TRUE(any_tt);
+}
+
+}  // namespace
+}  // namespace polymg::opt

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::opt {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::CycleKind;
+
+CompiledPipeline compile_small(Variant v, int ndim = 2) {
+  CycleConfig cfg;
+  cfg.ndim = ndim;
+  cfg.n = ndim == 2 ? 63 : 15;
+  cfg.levels = 3;
+  CompileOptions opts = CompileOptions::for_variant(v, ndim);
+  opts.tile = ndim == 2 ? poly::TileSizes{16, 32, 0}
+                        : poly::TileSizes{8, 8, 16};
+  return compile(solvers::build_cycle(cfg), opts);
+}
+
+TEST(Plan, TileRegionsCoverConsumerFootprints) {
+  const CompiledPipeline cp = compile_small(Variant::OptPlus);
+  for (const GroupPlan& g : cp.groups) {
+    if (g.exec != GroupExec::OverlapTiled) continue;
+    std::vector<poly::Box> regions;
+    for (poly::index_t t = 0; t < g.tiles.total; ++t) {
+      tile_regions(cp.pipe, g, g.tiles.tile_box(t), regions);
+      for (std::size_t p = 0; p < g.stages.size(); ++p) {
+        const StagePlan& sp = g.stages[p];
+        const ir::FunctionDecl& cf = cp.pipe.funcs[sp.func];
+        // Every in-group producer region must cover what this stage reads.
+        for (const auto& [cpos, slot] : sp.in_group_consumers) {
+          (void)cpos;
+        }
+        for (std::size_t s = 0; s < cf.sources.size(); ++s) {
+          if (cf.sources[s].external) continue;
+          for (std::size_t q = 0; q < g.stages.size(); ++q) {
+            if (g.stages[q].func != cf.sources[s].index) continue;
+            const poly::Box need = poly::intersect(
+                poly::footprint(cf.access_for(static_cast<int>(s)),
+                                regions[p]),
+                cp.pipe.funcs[g.stages[q].func].domain);
+            EXPECT_TRUE(regions[q].contains(need))
+                << cf.name << " reads " << need << " of "
+                << cp.pipe.funcs[g.stages[q].func].name << " but region is "
+                << regions[q];
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Plan, OwnedRegionsPartitionLiveoutDomains) {
+  const CompiledPipeline cp = compile_small(Variant::OptPlus);
+  for (const GroupPlan& g : cp.groups) {
+    if (g.exec != GroupExec::OverlapTiled) continue;
+    const ir::FunctionDecl& anchor = cp.pipe.funcs[g.stages[g.anchor].func];
+    for (const StagePlan& sp : g.stages) {
+      if (sp.array < 0) continue;
+      const ir::FunctionDecl& f = cp.pipe.funcs[sp.func];
+      poly::index_t covered = 0;
+      std::vector<poly::Box> owned;
+      for (poly::index_t t = 0; t < g.tiles.total; ++t) {
+        const poly::Box own = owned_region(f, sp.rel, g.tiles.tile_box(t),
+                                           anchor.domain);
+        covered += own.count();
+        for (const poly::Box& prev : owned) {
+          EXPECT_TRUE(poly::intersect(own, prev).empty())
+              << f.name << ": overlapping owned regions";
+        }
+        owned.push_back(own);
+      }
+      EXPECT_EQ(covered, f.domain.count())
+          << f.name << ": owned regions must tile the domain";
+    }
+  }
+}
+
+TEST(Plan, ScratchExtentBoundsHold) {
+  const CompiledPipeline cp = compile_small(Variant::OptPlus);
+  for (const GroupPlan& g : cp.groups) {
+    if (g.exec != GroupExec::OverlapTiled) continue;
+    std::vector<poly::Box> regions;
+    for (poly::index_t t = 0; t < g.tiles.total; ++t) {
+      tile_regions(cp.pipe, g, g.tiles.tile_box(t), regions);
+      for (std::size_t p = 0; p < g.stages.size(); ++p) {
+        const StagePlan& sp = g.stages[p];
+        if (sp.scratch_buffer < 0) continue;
+        EXPECT_LE(regions[p].count(), g.scratch_sizes[sp.scratch_buffer])
+            << cp.pipe.funcs[sp.func].name;
+        for (int d = 0; d < cp.pipe.ndim; ++d) {
+          EXPECT_LE(regions[p].dim(d).size(), sp.scratch_extent[d]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Plan, GroupsTopologicallyOrdered) {
+  for (Variant v : {Variant::Naive, Variant::Opt, Variant::OptPlus,
+                    Variant::DtileOptPlus}) {
+    const CompiledPipeline cp = compile_small(v);
+    std::vector<int> group_of(static_cast<std::size_t>(cp.pipe.num_stages()),
+                              -1);
+    for (std::size_t gi = 0; gi < cp.groups.size(); ++gi) {
+      for (const StagePlan& sp : cp.groups[gi].stages) {
+        group_of[static_cast<std::size_t>(sp.func)] = static_cast<int>(gi);
+      }
+    }
+    for (int f = 0; f < cp.pipe.num_stages(); ++f) {
+      for (const ir::SourceSlot& s : cp.pipe.funcs[f].sources) {
+        if (s.external) continue;
+        EXPECT_LE(group_of[static_cast<std::size_t>(s.index)],
+                  group_of[static_cast<std::size_t>(f)]);
+      }
+    }
+  }
+}
+
+TEST(Plan, DumpMentionsEveryStage) {
+  const CompiledPipeline cp = compile_small(Variant::OptPlus);
+  const std::string d = cp.dump();
+  for (const ir::FunctionDecl& f : cp.pipe.funcs) {
+    EXPECT_NE(d.find(f.name), std::string::npos) << f.name;
+  }
+}
+
+}  // namespace
+}  // namespace polymg::opt

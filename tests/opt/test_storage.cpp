@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/storage.hpp"
+
+namespace polymg::opt {
+namespace {
+
+TEST(Storage, LastUseMap) {
+  // times: producer schedule positions; consumers: their timestamps.
+  const std::vector<int> times{0, 1, 2, 3};
+  const std::vector<std::vector<int>> cons{{1, 3}, {2}, {3}, {}};
+  const std::vector<int> last = last_use_map(times, cons);
+  EXPECT_EQ(last, (std::vector<int>{3, 2, 3, 3}));
+}
+
+TEST(Storage, PaperFigure7TwoColours) {
+  // Fig. 7: a chain interp -> correct -> 3 smooth steps, each node's
+  // output consumed only by the next: two buffers suffice.
+  std::vector<StorageItem> items;
+  for (int i = 0; i < 5; ++i) {
+    items.push_back(StorageItem{0, i, i + 1, false});
+  }
+  const RemapResult rr = remap_storage(items, false);
+  EXPECT_EQ(rr.num_buffers, 2);
+  // Alternating assignment.
+  EXPECT_EQ(rr.storage[0], rr.storage[2]);
+  EXPECT_EQ(rr.storage[1], rr.storage[3]);
+  EXPECT_NE(rr.storage[0], rr.storage[1]);
+}
+
+TEST(Storage, LongLivedBufferNotReused) {
+  // Item 0 is read until time 4; items 1..3 chain. Item 0's buffer must
+  // not be handed to anyone before time 4.
+  std::vector<StorageItem> items{
+      {0, 0, 4, false}, {0, 1, 2, false}, {0, 2, 3, false}, {0, 3, 4, false}};
+  const RemapResult rr = remap_storage(items, false);
+  EXPECT_EQ(rr.storage[0], 0);
+  for (int i = 1; i < 4; ++i) EXPECT_NE(rr.storage[i], 0);
+  EXPECT_EQ(rr.num_buffers, 3);  // 0 + two alternating
+}
+
+TEST(Storage, ClassesSeparateBuffers) {
+  // Alternating storage classes with each item dying exactly when the
+  // next same-class item is being assigned: the release happens after
+  // the assignment (Algorithm 3's order), so no reuse is possible and
+  // every item needs a fresh buffer. With a single class the same
+  // lifetimes would allow reuse — classes must keep them apart.
+  std::vector<StorageItem> items;
+  for (int i = 0; i < 4; ++i) {
+    items.push_back(StorageItem{i % 2, i, i + 2, false});
+  }
+  EXPECT_EQ(remap_storage(items, false).num_buffers, 4);
+  for (auto& it : items) it.klass = 0;
+  EXPECT_LT(remap_storage(items, false).num_buffers, 4);
+}
+
+TEST(Storage, ExcludedItemsNeverReuse) {
+  std::vector<StorageItem> items{
+      {0, 0, 1, false}, {0, 1, 2, true}, {0, 2, 3, false}};
+  const RemapResult rr = remap_storage(items, false);
+  EXPECT_NE(rr.storage[1], rr.storage[0]);
+  // Item 2 may reuse item 0's buffer (died at t=1), not the excluded one.
+  EXPECT_EQ(rr.storage[2], rr.storage[0]);
+}
+
+TEST(Storage, DeferredReleaseBlocksSameTimestamp) {
+  // Two live-outs of one group (same timestamp 1); the first's input dies
+  // at time 1. Without deferral the second live-out could grab it; with
+  // deferral it cannot.
+  std::vector<StorageItem> items{
+      {0, 0, 1, false},  // producer consumed by group 1
+      {0, 1, 2, false},  // live-out A of group 1
+      {0, 1, 2, false},  // live-out B of group 1
+  };
+  const RemapResult deferred = remap_storage(items, true);
+  EXPECT_NE(deferred.storage[1], deferred.storage[0]);
+  EXPECT_NE(deferred.storage[2], deferred.storage[0]);
+  const RemapResult eager = remap_storage(items, false);
+  // Eager mode would reuse — demonstrating what the deferral prevents.
+  EXPECT_EQ(eager.storage[2], eager.storage[0]);
+}
+
+TEST(StorageClasses, SlackBucketsSizes) {
+  StorageClasses sc(/*slack=*/8);
+  const int a = sc.classify({50, 530, 0}, 2);
+  const int b = sc.classify({52, 528, 0}, 2);  // within slack: same class
+  const int c = sc.classify({100, 530, 0}, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Class size is the member max.
+  EXPECT_EQ(sc.class_extents(a)[0], 52);
+  EXPECT_EQ(sc.class_doubles(a), 52 * 530);
+}
+
+TEST(StorageClasses, DimensionalitySeparates) {
+  StorageClasses sc(0);
+  const int a2 = sc.classify({10, 10, 0}, 2);
+  const int a3 = sc.classify({10, 10, 1}, 3);
+  EXPECT_NE(a2, a3);
+}
+
+}  // namespace
+}  // namespace polymg::opt

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "polymg/poly/access.hpp"
+
+namespace polymg::poly {
+namespace {
+
+TEST(Access, IdentityFootprint) {
+  const Access a = Access::identity(2);
+  const Box r{{1, 8}, {1, 8}};
+  EXPECT_EQ(footprint(a, r), r);
+  EXPECT_TRUE(a.is_unit_scale());
+}
+
+TEST(Access, StencilFootprintDilates) {
+  Access a = Access::identity(2);
+  a.d[0] = DimAccess{1, 1, -1, 1};
+  a.d[1] = DimAccess{1, 1, -2, 2};
+  const Box fp = footprint(a, Box{{4, 8}, {4, 8}});
+  EXPECT_EQ(fp.dim(0), (Interval{3, 9}));
+  EXPECT_EQ(fp.dim(1), (Interval{2, 10}));
+}
+
+TEST(Access, RestrictScaleTwo) {
+  // Restrict reads input(2x + [-1, 1]): coarse [1, 8] needs fine [1, 17].
+  Access a;
+  a.ndim = 2;
+  a.d[0] = a.d[1] = DimAccess{2, 1, -1, 1};
+  const Box fp = footprint(a, Box{{1, 8}, {1, 8}});
+  EXPECT_EQ(fp.dim(0), (Interval{1, 17}));
+  EXPECT_FALSE(a.is_unit_scale());
+}
+
+TEST(Access, InterpScaleHalfUsesFloor) {
+  // Interp reads input(x/2 + [0, 1]): fine [1, 16] needs coarse [0, 9].
+  Access a;
+  a.ndim = 2;
+  a.d[0] = a.d[1] = DimAccess{1, 2, 0, 1};
+  const Box fp = footprint(a, Box{{1, 16}, {1, 16}});
+  EXPECT_EQ(fp.dim(0), (Interval{0, 9}));
+}
+
+TEST(Access, MergeTakesOffsetHull) {
+  Access a = Access::identity(2);
+  a.d[0] = DimAccess{1, 1, -1, 0};
+  Access b = Access::identity(2);
+  b.d[0] = DimAccess{1, 1, 0, 2};
+  const Access m = merge(a, b);
+  EXPECT_EQ(m.d[0], (DimAccess{1, 1, -1, 2}));
+}
+
+TEST(Access, MergeRejectsMixedScales) {
+  Access a = Access::identity(2);
+  Access b = Access::identity(2);
+  b.d[0] = DimAccess{2, 1, 0, 0};
+  EXPECT_THROW((void)merge(a, b), Error);
+}
+
+TEST(Access, ComposeCancelsRestrictInterp) {
+  // interp(x/2) after restrict(2x) is unit scale overall.
+  Access restrict_a;
+  restrict_a.ndim = 1;
+  restrict_a.d[0] = DimAccess{2, 1, -1, 1};
+  Access interp_a;
+  interp_a.ndim = 1;
+  interp_a.d[0] = DimAccess{1, 2, 0, 1};
+  const Access c = compose(restrict_a, interp_a);
+  EXPECT_EQ(c.d[0].num, c.d[0].den);
+}
+
+TEST(Access, ComposeFootprintIsConservative) {
+  // The composed access footprint must cover the two-step footprint.
+  Access inner;  // B reads A at 2x + [-1, 1]
+  inner.ndim = 1;
+  inner.d[0] = DimAccess{2, 1, -1, 1};
+  Access outer;  // C reads B at x/2 + [0, 1]
+  outer.ndim = 1;
+  outer.d[0] = DimAccess{1, 2, 0, 1};
+  const Access c = compose(inner, outer);
+  for (index_t lo = 0; lo <= 5; ++lo) {
+    const Box region{{lo, lo + 7}};
+    const Box two_step = footprint(inner, footprint(outer, region));
+    const Box direct = footprint(c, region);
+    EXPECT_TRUE(direct.contains(two_step))
+        << "direct " << direct << " vs " << two_step;
+  }
+}
+
+}  // namespace
+}  // namespace polymg::poly

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "polymg/poly/box.hpp"
+
+namespace polymg::poly {
+namespace {
+
+TEST(Box, CountAndEmpty) {
+  const Box b = Box::cube(2, 0, 9);
+  EXPECT_EQ(b.count(), 100);
+  EXPECT_FALSE(b.empty());
+  Box e(2);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.count(), 0);
+  EXPECT_EQ(Box::cube(3, 1, 4).count(), 64);
+}
+
+TEST(Box, Contains) {
+  const Box outer = Box::cube(2, 0, 10);
+  EXPECT_TRUE(outer.contains(Box::cube(2, 2, 8)));
+  EXPECT_FALSE(outer.contains(Box::cube(2, 2, 11)));
+  EXPECT_TRUE(outer.contains_point({0, 10, 0}));
+  EXPECT_FALSE(outer.contains_point({0, 11, 0}));
+}
+
+TEST(Box, IntersectHull) {
+  const Box a{{0, 5}, {0, 5}};
+  const Box b{{3, 9}, {4, 9}};
+  const Box i = intersect(a, b);
+  EXPECT_EQ(i.dim(0), (Interval{3, 5}));
+  EXPECT_EQ(i.dim(1), (Interval{4, 5}));
+  const Box h = hull(a, b);
+  EXPECT_EQ(h.dim(0), (Interval{0, 9}));
+  EXPECT_EQ(h.dim(1), (Interval{0, 9}));
+  EXPECT_EQ(hull(Box{}, a), a);
+}
+
+TEST(Box, Dilate) {
+  const Box d = dilate(Box::cube(3, 2, 5), 2);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(d.dim(i), (Interval{0, 7}));
+}
+
+}  // namespace
+}  // namespace polymg::poly

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "polymg/poly/interval.hpp"
+
+namespace polymg::poly {
+namespace {
+
+TEST(Interval, EmptyAndSize) {
+  EXPECT_TRUE(Interval{}.empty());
+  EXPECT_EQ(Interval{}.size(), 0);
+  EXPECT_FALSE((Interval{2, 2}.empty()));
+  EXPECT_EQ((Interval{2, 2}.size()), 1);
+  EXPECT_EQ((Interval{-3, 3}.size()), 7);
+}
+
+TEST(Interval, Contains) {
+  const Interval iv{1, 8};
+  EXPECT_TRUE(iv.contains(1));
+  EXPECT_TRUE(iv.contains(8));
+  EXPECT_FALSE(iv.contains(0));
+  EXPECT_TRUE(iv.contains(Interval{2, 5}));
+  EXPECT_FALSE(iv.contains(Interval{0, 5}));
+  EXPECT_TRUE(iv.contains(Interval{}));  // empty always contained
+}
+
+TEST(Interval, IntersectHullDilate) {
+  EXPECT_EQ(intersect({1, 8}, {5, 12}), (Interval{5, 8}));
+  EXPECT_TRUE(intersect({1, 3}, {5, 7}).empty());
+  EXPECT_EQ(hull({1, 3}, {5, 7}), (Interval{1, 7}));
+  EXPECT_EQ(hull(Interval{}, {5, 7}), (Interval{5, 7}));
+  EXPECT_EQ(dilate({2, 4}, 1), (Interval{1, 5}));
+  EXPECT_EQ(dilate({2, 4}, -1), (Interval{3, 3}));
+}
+
+TEST(Interval, FloorCeilDiv) {
+  EXPECT_EQ(floordiv(7, 2), 3);
+  EXPECT_EQ(floordiv(-7, 2), -4);
+  EXPECT_EQ(floordiv(-8, 2), -4);
+  EXPECT_EQ(floordiv(0, 2), 0);
+  EXPECT_EQ(ceildiv(7, 2), 4);
+  EXPECT_EQ(ceildiv(-7, 2), -3);
+  EXPECT_EQ(ceildiv(8, 4), 2);
+}
+
+}  // namespace
+}  // namespace polymg::poly

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "polymg/poly/tiling.hpp"
+
+namespace polymg::poly {
+namespace {
+
+TEST(Tiling, PartitionCoversDisjointly) {
+  const Box dom{{0, 65}, {0, 129}};
+  const TileGrid g = make_tile_grid(dom, {32, 64, 0});
+  EXPECT_EQ(g.ntiles[0], 3);
+  EXPECT_EQ(g.ntiles[1], 3);
+  EXPECT_EQ(g.total, 9);
+  index_t covered = 0;
+  for (index_t t = 0; t < g.total; ++t) {
+    const Box b = g.tile_box(t);
+    EXPECT_TRUE(dom.contains(b));
+    covered += b.count();
+    for (index_t u = 0; u < t; ++u) {
+      EXPECT_TRUE(intersect(b, g.tile_box(u)).empty());
+    }
+  }
+  EXPECT_EQ(covered, dom.count());
+}
+
+TEST(Tiling, ZeroSizeMeansWholeDimension) {
+  const Box dom{{0, 99}, {0, 99}};
+  const TileGrid g = make_tile_grid(dom, {25, 0, 0});
+  EXPECT_EQ(g.ntiles[0], 4);
+  EXPECT_EQ(g.ntiles[1], 1);
+  EXPECT_EQ(g.tile_box(0).dim(1).size(), 100);
+}
+
+TEST(Tiling, OversizeTileClamps) {
+  const Box dom{{0, 9}, {0, 9}};
+  const TileGrid g = make_tile_grid(dom, {100, 100, 0});
+  EXPECT_EQ(g.total, 1);
+  EXPECT_EQ(g.tile_box(0), dom);
+}
+
+TEST(Tiling, FootprintExtentBoundCoversActual) {
+  // For every access shape used by multigrid, the plan-time bound must
+  // dominate the runtime footprint extent at any alignment.
+  const DimAccess shapes[] = {
+      {1, 1, -1, 1},  // smoother
+      {2, 1, -1, 1},  // restrict
+      {1, 2, 0, 1},   // interp
+      {1, 1, 0, 0},   // point-wise
+  };
+  for (const DimAccess& a : shapes) {
+    for (index_t lo = 0; lo <= 3; ++lo) {
+      for (index_t extent = 1; extent <= 40; ++extent) {
+        const Box fp = footprint(
+            Access{1, {a}}, Box{{lo, lo + extent - 1}});
+        EXPECT_LE(fp.dim(0).size(), footprint_extent_bound(a, extent))
+            << "access " << a << " lo " << lo << " extent " << extent;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polymg::poly

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "polymg/poly/tiling.hpp"
+
+namespace polymg::poly {
+namespace {
+
+TEST(Tiling3d, PartitionCoversDisjointly) {
+  const Box dom{{0, 33}, {0, 17}, {0, 129}};
+  const TileGrid g = make_tile_grid(dom, {8, 8, 64});
+  EXPECT_EQ(g.ntiles[0], 5);
+  EXPECT_EQ(g.ntiles[1], 3);
+  EXPECT_EQ(g.ntiles[2], 3);
+  index_t covered = 0;
+  for (index_t t = 0; t < g.total; ++t) {
+    const Box b = g.tile_box(t);
+    EXPECT_TRUE(dom.contains(b));
+    covered += b.count();
+  }
+  EXPECT_EQ(covered, dom.count());
+  // Spot-check disjointness on a sample of pairs (full n² too slow).
+  for (index_t t = 0; t < g.total; ++t) {
+    EXPECT_TRUE(intersect(g.tile_box(t),
+                          g.tile_box((t + 1) % g.total))
+                    .empty() ||
+                g.total == 1);
+  }
+}
+
+TEST(Tiling3d, FlatIndexLastDimFastest) {
+  const Box dom{{0, 15}, {0, 15}, {0, 15}};
+  const TileGrid g = make_tile_grid(dom, {8, 8, 8});
+  // Tiles 0 and 1 differ only in the last dimension.
+  const Box a = g.tile_box(0), b = g.tile_box(1);
+  EXPECT_EQ(a.dim(0), b.dim(0));
+  EXPECT_EQ(a.dim(1), b.dim(1));
+  EXPECT_NE(a.dim(2).lo, b.dim(2).lo);
+}
+
+}  // namespace
+}  // namespace polymg::poly

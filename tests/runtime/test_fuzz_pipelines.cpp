@@ -1,0 +1,199 @@
+// Randomized pipeline fuzzing: build random DAGs of stencil stages —
+// random radii/weights, point-wise combinations of two producers,
+// restrict (×2) and interp (÷2, parity-piecewise) edges, random boundary
+// rules — and require that every optimizer variant and a sweep of tile
+// shapes reproduce the naive execution exactly. This is the property the
+// whole compiler rests on: schedule and storage choices must never
+// change values.
+#include <gtest/gtest.h>
+
+#include "polymg/common/rng.hpp"
+#include "polymg/grid/ops.hpp"
+#include "polymg/ir/builder.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+
+namespace polymg::runtime {
+namespace {
+
+using ir::Expr;
+using ir::FuncSpec;
+using ir::Handle;
+using ir::PipelineBuilder;
+using ir::SourceRef;
+using opt::CompileOptions;
+using opt::Variant;
+using poly::Box;
+
+struct NodeInfo {
+  Handle h;
+  poly::index_t n;  // interior size of this stage's grid
+};
+
+/// Random weights with a given radius (zero-heavy so shapes vary).
+ir::Weights2 random_weights2(Rng& rng, int radius) {
+  const int m = 2 * radius + 1;
+  ir::Weights2 w(static_cast<std::size_t>(m),
+                 std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  bool any = false;
+  for (auto& row : w) {
+    for (double& x : row) {
+      if (rng.next_double() < 0.5) {
+        x = rng.uniform(-1.0, 1.0);
+        any = any || x != 0.0;
+      }
+    }
+  }
+  if (!any) w[static_cast<std::size_t>(radius)][static_cast<std::size_t>(radius)] = 1.0;
+  return w;
+}
+
+ir::Pipeline random_pipeline(std::uint64_t seed, poly::index_t n0,
+                             int nstages) {
+  Rng rng(seed);
+  PipelineBuilder b(2);
+  std::vector<NodeInfo> nodes;
+  const Box dom0 = Box::cube(2, 0, n0 + 1);
+  nodes.push_back({b.input("in0", dom0), n0});
+  nodes.push_back({b.input("in1", dom0), n0});
+
+  // A stage with read radius r must shrink its interior so footprints
+  // stay inside the producers' (n+2)^2 domains; the widened ghost ring
+  // takes the boundary rule.
+  auto spec_for = [&](poly::index_t n, int id, ir::BoundaryKind bk,
+                      poly::index_t radius = 1) {
+    FuncSpec s;
+    s.name = "s" + std::to_string(id);
+    s.domain = Box::cube(2, 0, n + 1);
+    s.interior = Box::cube(2, radius, n + 1 - radius);
+    s.boundary = bk;
+    return s;
+  };
+
+  for (int i = 0; i < nstages; ++i) {
+    // Pick a random producer; same-size second producer for point-wise
+    // combinations when available.
+    const NodeInfo src = nodes[rng.below(nodes.size())];
+    const ir::BoundaryKind bk = ir::BoundaryKind::Zero;
+    const double kind = rng.next_double();
+    Handle h;
+    poly::index_t n = src.n;
+    if (kind < 0.2 && src.n >= 15 && ((src.n + 1) % 2 == 0)) {
+      // Restrict to the coarser grid.
+      n = (src.n + 1) / 2 - 1;
+      const ir::Weights2 w = random_weights2(rng, 1);
+      h = b.define_restrict(spec_for(n, i, bk), {src.h},
+                            [&](std::span<const SourceRef> s) {
+                              return ir::stencil2(s[0], w,
+                                                  rng.uniform(0.1, 1.0));
+                            });
+    } else if (kind < 0.4 && src.n <= n0 / 2) {
+      // Interpolate to the finer grid (parity-piecewise).
+      n = 2 * src.n + 1;
+      h = b.define_interp(
+          spec_for(n, i, bk), {src.h}, [&](std::span<const SourceRef> s) {
+            std::vector<Expr> cases;
+            for (int c = 0; c < 4; ++c) {
+              Expr e = s[0].at(0, 0) * rng.uniform(0.2, 1.0);
+              if (c & 1) e = e + s[0].at(0, 1) * rng.uniform(0.2, 1.0);
+              if (c & 2) e = e + s[0].at(1, 0) * rng.uniform(0.2, 1.0);
+              cases.push_back(e);
+            }
+            return cases;
+          });
+    } else if (kind < 0.6) {
+      // Point-wise combination with another same-size node, if any.
+      std::vector<NodeInfo> same;
+      for (const NodeInfo& cand : nodes) {
+        if (cand.n == src.n) same.push_back(cand);
+      }
+      const NodeInfo other = same[rng.below(same.size())];
+      const double a = rng.uniform(-1, 1), c = rng.uniform(-1, 1);
+      h = b.define(spec_for(n, i, bk), {src.h, other.h},
+                   [&](std::span<const SourceRef> s) {
+                     return a * s[0]() + c * s[1]() +
+                            rng.uniform(-0.5, 0.5);
+                   });
+    } else {
+      // Plain stencil of random radius (1 or 2).
+      const int radius = rng.next_double() < 0.8 ? 1 : 2;
+      const ir::Weights2 w = random_weights2(rng, radius);
+      h = b.define(spec_for(n, i, bk, radius), {src.h},
+                   [&](std::span<const SourceRef> s) {
+                     return ir::stencil2(s[0], w, rng.uniform(0.2, 1.0));
+                   });
+    }
+    nodes.push_back({h, n});
+  }
+  // Mark one or two of the last nodes as outputs.
+  b.mark_output(nodes.back().h);
+  if (nodes.size() > 4 && rng.next_double() < 0.5) {
+    const NodeInfo& extra = nodes[nodes.size() - 2];
+    if (!extra.h.external) b.mark_output(extra.h);
+  }
+  return b.build();
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, AllVariantsMatchNaive) {
+  const std::uint64_t seed = GetParam();
+  const poly::index_t n0 = 63;
+  const ir::Pipeline proto = random_pipeline(seed, n0, 14);
+  const std::size_t nouts = proto.outputs.size();
+
+  // Random inputs (shared by all runs).
+  Rng rng(seed ^ 0xabcdef);
+  const Box dom0 = Box::cube(2, 0, n0 + 1);
+  grid::Buffer in0 = grid::make_grid(dom0), in1 = grid::make_grid(dom0);
+  for (std::size_t i = 0; i < in0.size(); ++i) in0[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < in1.size(); ++i) in1[i] = rng.uniform(-1, 1);
+  const std::vector<grid::View> ext = {grid::View::over(in0.data(), dom0),
+                                       grid::View::over(in1.data(), dom0)};
+
+  auto run = [&](Variant v, poly::TileSizes tile) {
+    CompileOptions o = CompileOptions::for_variant(v, 2);
+    o.tile = tile;
+    Executor ex(
+        opt::compile(random_pipeline(seed, n0, 14), o));
+    ex.run(ext);
+    std::vector<grid::Buffer> outs;
+    for (std::size_t i = 0; i < nouts; ++i) {
+      const grid::View ov = ex.output_view(static_cast<int>(i));
+      const ir::FunctionDecl& f =
+          ex.plan().pipe.funcs[ex.plan().pipe.outputs[i]];
+      grid::Buffer out = grid::make_grid(f.domain);
+      grid::copy_region(grid::View::over(out.data(), f.domain), ov,
+                        f.domain);
+      outs.push_back(std::move(out));
+    }
+    return outs;
+  };
+
+  const auto ref = run(Variant::Naive, {0, 0, 0});
+  for (Variant v : {Variant::Opt, Variant::OptPlus}) {
+    for (poly::TileSizes tile :
+         {poly::TileSizes{8, 16, 0}, poly::TileSizes{32, 32, 0},
+          poly::TileSizes{16, 128, 0}}) {
+      const auto got = run(v, tile);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(got[i].size(), ref[i].size());
+        double diff = 0;
+        for (std::size_t q = 0; q < ref[i].size(); ++q) {
+          diff = std::max(diff, std::abs(got[i][q] - ref[i][q]));
+        }
+        EXPECT_LE(diff, 1e-12)
+            << "seed " << seed << " variant " << opt::to_string(v)
+            << " tile " << tile[0] << "x" << tile[1] << " output " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+}  // namespace
+}  // namespace polymg::runtime

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "polymg/runtime/pool.hpp"
+
+namespace polymg::runtime {
+namespace {
+
+TEST(Pool, ReusesFreedBuffer) {
+  MemoryPool pool;
+  double* a = pool.pool_allocate(100);
+  pool.pool_deallocate(a);
+  double* b = pool.pool_allocate(80);  // fits in the freed 100
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.malloc_calls(), 1);
+  EXPECT_EQ(pool.reuse_hits(), 1);
+}
+
+TEST(Pool, TooSmallBufferNotReused) {
+  MemoryPool pool;
+  double* a = pool.pool_allocate(50);
+  pool.pool_deallocate(a);
+  double* b = pool.pool_allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.malloc_calls(), 2);
+}
+
+TEST(Pool, TightestFitPreferred) {
+  MemoryPool pool;
+  double* big = pool.pool_allocate(1000);
+  double* small = pool.pool_allocate(100);
+  pool.pool_deallocate(big);
+  pool.pool_deallocate(small);
+  EXPECT_EQ(pool.pool_allocate(90), small);
+  EXPECT_EQ(pool.pool_allocate(90), big);  // small now taken
+}
+
+TEST(Pool, DoubleFreeAndUnknownPointerThrow) {
+  MemoryPool pool;
+  double* a = pool.pool_allocate(10);
+  pool.pool_deallocate(a);
+  EXPECT_THROW(pool.pool_deallocate(a), Error);
+  double x;
+  EXPECT_THROW(pool.pool_deallocate(&x), Error);
+}
+
+TEST(Pool, SteadyStateHasNoMallocTraffic) {
+  MemoryPool pool;
+  // Simulate repeated multigrid cycles with identical allocation patterns.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    double* a = pool.pool_allocate(64 * 64);
+    double* b = pool.pool_allocate(32 * 32);
+    double* c = pool.pool_allocate(64 * 64);
+    pool.pool_deallocate(b);
+    pool.pool_deallocate(a);
+    pool.pool_deallocate(c);
+  }
+  EXPECT_EQ(pool.malloc_calls(), 3);  // first cycle only
+  EXPECT_EQ(pool.live_buffers(), 0);
+  EXPECT_EQ(pool.total_buffers(), 3);
+}
+
+TEST(Pool, ClearReleasesEverything) {
+  MemoryPool pool;
+  (void)pool.pool_allocate(10);
+  pool.clear();
+  EXPECT_EQ(pool.total_buffers(), 0);
+  EXPECT_EQ(pool.total_doubles(), 0);
+}
+
+}  // namespace
+}  // namespace polymg::runtime

@@ -1,0 +1,137 @@
+// Numerical behaviour. Two regimes are covered:
+//  - Deep hierarchies with an (almost) exact coarsest solve must contract
+//    at textbook weighted-Jacobi V-cycle rates (~0.1 per cycle in 2-d).
+//  - The paper's benchmark configurations (4 levels, fixed 4-4-4 or
+//    10-0-0 sweeps, Jacobi everywhere) trade convergence for arithmetic
+//    intensity; there we assert steady monotone contraction at the rate
+//    this algorithm actually achieves.
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/metrics.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+using opt::CompileOptions;
+using opt::Variant;
+
+/// Run `iters` cycles, returning the residual after each.
+std::vector<double> run_cycles(const CycleConfig& cfg, PoissonProblem& p,
+                               Variant v, int iters) {
+  runtime::Executor ex(
+      opt::compile(build_cycle(cfg), CompileOptions::for_variant(v, cfg.ndim)));
+  std::vector<double> res;
+  res.push_back(residual_norm(p.v_view(), p.f_view(), p.n, p.h));
+  for (int i = 0; i < iters; ++i) {
+    const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+    ex.run(ext);
+    grid::copy_region(p.v_view(), ex.output_view(0), p.domain());
+    res.push_back(residual_norm(p.v_view(), p.f_view(), p.n, p.h));
+  }
+  return res;
+}
+
+CycleConfig deep2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 127;
+  cfg.levels = 6;  // coarsest 3x3
+  cfg.n2 = 30;     // near-exact coarsest solve
+  return cfg;
+}
+
+TEST(Convergence, TextbookRate2d) {
+  CycleConfig cfg = deep2d();
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  const auto res = run_cycles(cfg, p, Variant::OptPlus, 6);
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LT(res[i], 0.15 * res[i - 1])
+        << "cycle " << i << ": " << res[i - 1] << " -> " << res[i];
+  }
+  EXPECT_LT(res.back() / res.front(), 1e-5);
+}
+
+TEST(Convergence, TextbookRate3d) {
+  CycleConfig cfg;
+  cfg.ndim = 3;
+  cfg.n = 31;
+  cfg.levels = 4;  // coarsest 3x3x3
+  cfg.n2 = 30;
+  PoissonProblem p = PoissonProblem::manufactured(3, cfg.n);
+  const auto res = run_cycles(cfg, p, Variant::OptPlus, 5);
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LT(res[i], 0.25 * res[i - 1]);
+  }
+}
+
+TEST(Convergence, PaperConfig444ContractsSteadily) {
+  // The paper's 4-level 4-4-4 setting: the coarsest level is only
+  // Jacobi-smoothed, so the globally smooth mode limits the rate.
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 127;
+  cfg.levels = 4;
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  const auto res = run_cycles(cfg, p, Variant::OptPlus, 10);
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LT(res[i], res[i - 1]);  // strictly monotone
+  }
+  EXPECT_LT(res.back() / res.front(), 0.5);
+}
+
+TEST(Convergence, WCycleAtLeastAsGoodAsV) {
+  CycleConfig v = deep2d();
+  CycleConfig w = v;
+  w.kind = CycleKind::W;
+  PoissonProblem pv = PoissonProblem::manufactured(2, v.n);
+  PoissonProblem pw = PoissonProblem::manufactured(2, w.n);
+  const double rv = run_cycles(v, pv, Variant::OptPlus, 3).back();
+  const double rw = run_cycles(w, pw, Variant::OptPlus, 3).back();
+  EXPECT_LE(rw, rv * 1.05);
+}
+
+TEST(Convergence, MoreSmoothingConvergesFasterPerCycle) {
+  CycleConfig a = deep2d();
+  a.n1 = a.n3 = 1;
+  CycleConfig b = deep2d();
+  b.n1 = b.n3 = 4;
+  PoissonProblem pa = PoissonProblem::manufactured(2, a.n);
+  PoissonProblem pb = PoissonProblem::manufactured(2, b.n);
+  const double ra = run_cycles(a, pa, Variant::OptPlus, 3).back();
+  const double rb = run_cycles(b, pb, Variant::OptPlus, 3).back();
+  EXPECT_LT(rb, ra);
+}
+
+TEST(Convergence, SolutionApproachesManufactured) {
+  CycleConfig cfg = deep2d();
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  (void)run_cycles(cfg, p, Variant::OptPlus, 12);
+  // After convergence the remaining error is the O(h²) discretization
+  // error of the 5-point scheme.
+  const double err = error_norm(p.v_view(), p.exact_view(), p.n);
+  EXPECT_LT(err, 5.0 * p.h * p.h);
+}
+
+TEST(Convergence, TenZeroZeroStillContracts) {
+  // 10-0-0 never smooths the coarsest level: contraction comes from the
+  // pre-smoothing alone and is correspondingly slower, but must persist.
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  cfg.n1 = 10;
+  cfg.n2 = 0;
+  cfg.n3 = 0;
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  const auto res = run_cycles(cfg, p, Variant::OptPlus, 8);
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LT(res[i], res[i - 1]);
+  }
+  EXPECT_LT(res.back() / res.front(), 0.8);
+}
+
+}  // namespace
+}  // namespace polymg::solvers

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+CycleConfig cfg(int ndim, CycleKind kind, int n1, int n2, int n3,
+                int levels = 4, index_t n = 63) {
+  CycleConfig c;
+  c.ndim = ndim;
+  c.n = n;
+  c.levels = levels;
+  c.kind = kind;
+  c.n1 = n1;
+  c.n2 = n2;
+  c.n3 = n3;
+  return c;
+}
+
+TEST(Cycles, PaperTable3StageCounts) {
+  // Table 3 of the paper, four-level hierarchies.
+  EXPECT_EQ(expected_stages(cfg(2, CycleKind::V, 4, 4, 4)), 40);
+  EXPECT_EQ(expected_stages(cfg(2, CycleKind::V, 10, 0, 0)), 42);
+  EXPECT_EQ(expected_stages(cfg(2, CycleKind::W, 4, 4, 4)), 100);
+  EXPECT_EQ(expected_stages(cfg(2, CycleKind::W, 10, 0, 0)), 98);
+  EXPECT_EQ(expected_stages(cfg(3, CycleKind::V, 4, 4, 4, 4, 31)), 40);
+  EXPECT_EQ(expected_stages(cfg(3, CycleKind::W, 10, 0, 0, 4, 31)), 98);
+}
+
+TEST(Cycles, BuilderMatchesExpectedStages) {
+  for (CycleKind k : {CycleKind::V, CycleKind::W, CycleKind::F}) {
+    for (auto [n1, n2, n3] : {std::tuple{4, 4, 4}, std::tuple{10, 0, 0},
+                              std::tuple{2, 1, 3}, std::tuple{1, 0, 1}}) {
+      const CycleConfig c = cfg(2, k, n1, n2, n3, 3, 31);
+      const ir::Pipeline p = build_cycle(c);
+      EXPECT_EQ(p.num_stages(), expected_stages(c))
+          << "kind " << static_cast<int>(k) << " " << n1 << n2 << n3;
+    }
+  }
+}
+
+TEST(Cycles, LevelGeometry) {
+  const CycleConfig c = cfg(2, CycleKind::V, 4, 4, 4, 4, 1023);
+  EXPECT_EQ(c.level_n(3), 1023);
+  EXPECT_EQ(c.level_n(2), 511);
+  EXPECT_EQ(c.level_n(0), 127);
+  EXPECT_DOUBLE_EQ(c.level_h(3), 1.0 / 1024);
+  EXPECT_GT(c.smoother_weight(0), c.smoother_weight(3));
+}
+
+TEST(Cycles, ValidationRejectsBadConfigs) {
+  CycleConfig c = cfg(2, CycleKind::V, 4, 4, 4);
+  c.n = 64;  // n+1 == 65 not divisible by 2^(levels-1)
+  EXPECT_THROW(c.validate(), Error);
+  c = cfg(4, CycleKind::V, 4, 4, 4);
+  EXPECT_THROW(c.validate(), Error);
+  c = cfg(2, CycleKind::V, 0, 0, 0);
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Cycles, PipelineShapeSanity) {
+  const ir::Pipeline p = build_cycle(cfg(2, CycleKind::V, 4, 4, 4, 3, 31));
+  p.validate();
+  ASSERT_EQ(p.externals.size(), 2u);
+  EXPECT_EQ(p.externals[0].name, "V");
+  ASSERT_EQ(p.outputs.size(), 1u);
+  // The output is the last post-smoothing step at the finest level.
+  const ir::FunctionDecl& out = p.funcs[p.outputs[0]];
+  EXPECT_EQ(out.level, 2);
+  EXPECT_EQ(out.construct, ir::ConstructKind::TStencilStep);
+  // Exactly one Restrict and one Interp per finer level of a V-cycle.
+  int restricts = 0, interps = 0;
+  for (const auto& f : p.funcs) {
+    restricts += f.construct == ir::ConstructKind::Restrict;
+    interps += f.construct == ir::ConstructKind::Interp;
+  }
+  EXPECT_EQ(restricts, 2);
+  EXPECT_EQ(interps, 2);
+}
+
+TEST(Cycles, SmootherOnlyPipeline) {
+  CycleConfig c = cfg(2, CycleKind::V, 4, 4, 4, 1, 31);
+  const ir::Pipeline p = build_smoother_only(c, 6);
+  EXPECT_EQ(p.num_stages(), 6);
+  for (const auto& f : p.funcs) {
+    EXPECT_EQ(f.construct, ir::ConstructKind::TStencilStep);
+  }
+}
+
+TEST(Cycles, WCycleVisitsCoarseTwicePerLevel) {
+  const ir::Pipeline v = build_cycle(cfg(2, CycleKind::V, 1, 1, 1, 3, 31));
+  const ir::Pipeline w = build_cycle(cfg(2, CycleKind::W, 1, 1, 1, 3, 31));
+  EXPECT_GT(w.num_stages(), v.num_stages());
+}
+
+}  // namespace
+}  // namespace polymg::solvers

@@ -1,0 +1,150 @@
+// Cross-variant equivalence: every execution variant of the compiled
+// pipeline (naive, opt, opt+, dtile-opt+, and every storage-flag subset)
+// must produce the same cycle result; the hand-optimized baselines must
+// agree to floating-point reassociation tolerance.
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/handopt.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg {
+namespace {
+
+using opt::CompileOptions;
+using opt::Variant;
+using solvers::CycleConfig;
+using solvers::CycleKind;
+using solvers::PoissonProblem;
+
+grid::Buffer run_dsl(const CycleConfig& cfg, PoissonProblem& p,
+                     const CompileOptions& opts) {
+  auto plan = opt::compile(solvers::build_cycle(cfg), opts);
+  runtime::Executor ex(std::move(plan));
+  const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  grid::Buffer out = grid::make_grid(p.domain());
+  grid::copy_region(grid::View::over(out.data(), p.domain()),
+                    ex.output_view(0), p.domain());
+  return out;
+}
+
+struct Case {
+  int ndim;
+  CycleKind kind;
+  int n1, n2, n3;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EquivalenceTest, AllVariantsMatchNaive) {
+  const Case c = GetParam();
+  CycleConfig cfg;
+  cfg.ndim = c.ndim;
+  cfg.n = c.ndim == 2 ? 63 : 15;
+  cfg.levels = 3;
+  cfg.kind = c.kind;
+  cfg.n1 = c.n1;
+  cfg.n2 = c.n2;
+  cfg.n3 = c.n3;
+
+  PoissonProblem p =
+      PoissonProblem::random_rhs(cfg.ndim, cfg.n, /*seed=*/12345);
+  grid::Buffer ref =
+      run_dsl(cfg, p, CompileOptions::for_variant(Variant::Naive, cfg.ndim));
+  const grid::View ref_view = grid::View::over(ref.data(), p.domain());
+
+  for (Variant v :
+       {Variant::Opt, Variant::OptPlus, Variant::DtileOptPlus}) {
+    CompileOptions opts = CompileOptions::for_variant(v, cfg.ndim);
+    // Small tiles stress the halo logic.
+    opts.tile = cfg.ndim == 2 ? poly::TileSizes{16, 32, 0}
+                              : poly::TileSizes{8, 8, 16};
+    grid::Buffer out = run_dsl(cfg, p, opts);
+    const double diff = grid::max_diff(
+        grid::View::over(out.data(), p.domain()), ref_view, p.domain());
+    EXPECT_LE(diff, 1e-13) << "variant " << opt::to_string(v);
+  }
+}
+
+TEST_P(EquivalenceTest, StorageFlagSubsetsMatchNaive) {
+  const Case c = GetParam();
+  CycleConfig cfg;
+  cfg.ndim = c.ndim;
+  cfg.n = c.ndim == 2 ? 31 : 15;
+  cfg.levels = 3;
+  cfg.kind = c.kind;
+  cfg.n1 = c.n1;
+  cfg.n2 = c.n2;
+  cfg.n3 = c.n3;
+
+  PoissonProblem p = PoissonProblem::random_rhs(cfg.ndim, cfg.n, 777);
+  grid::Buffer ref =
+      run_dsl(cfg, p, CompileOptions::for_variant(Variant::Naive, cfg.ndim));
+  const grid::View ref_view = grid::View::over(ref.data(), p.domain());
+
+  // The Fig. 11b breakdown configurations.
+  for (int mask = 0; mask < 8; ++mask) {
+    CompileOptions opts = CompileOptions::for_variant(Variant::OptPlus,
+                                                      cfg.ndim);
+    opts.intra_group_reuse = (mask & 1) != 0;
+    opts.pooled_allocation = (mask & 2) != 0;
+    opts.inter_group_reuse = (mask & 4) != 0;
+    grid::Buffer out = run_dsl(cfg, p, opts);
+    const double diff = grid::max_diff(
+        grid::View::over(out.data(), p.domain()), ref_view, p.domain());
+    EXPECT_LE(diff, 1e-13) << "storage mask " << mask;
+  }
+}
+
+TEST_P(EquivalenceTest, HandOptMatchesDsl) {
+  const Case c = GetParam();
+  CycleConfig cfg;
+  cfg.ndim = c.ndim;
+  cfg.n = c.ndim == 2 ? 63 : 15;
+  cfg.levels = 3;
+  cfg.kind = c.kind;
+  cfg.n1 = c.n1;
+  cfg.n2 = c.n2;
+  cfg.n3 = c.n3;
+
+  PoissonProblem p = PoissonProblem::random_rhs(cfg.ndim, cfg.n, 999);
+  grid::Buffer dsl =
+      run_dsl(cfg, p, CompileOptions::for_variant(Variant::Naive, cfg.ndim));
+
+  for (bool pluto : {false, true}) {
+    PoissonProblem q = PoissonProblem::random_rhs(cfg.ndim, cfg.n, 999);
+    solvers::HandOptSolver hand(cfg, pluto);
+    hand.cycle(q.v_view(), q.f_view());
+    const double diff =
+        grid::max_diff(q.v_view(), grid::View::over(dsl.data(), p.domain()),
+                       p.interior());
+    EXPECT_LE(diff, 1e-11) << "handopt" << (pluto ? "+pluto" : "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycles, EquivalenceTest,
+    ::testing::Values(Case{2, CycleKind::V, 4, 4, 4},
+                      Case{2, CycleKind::V, 10, 0, 0},
+                      Case{2, CycleKind::W, 4, 4, 4},
+                      Case{2, CycleKind::W, 10, 0, 0},
+                      Case{2, CycleKind::F, 3, 2, 1},
+                      Case{3, CycleKind::V, 4, 4, 4},
+                      Case{3, CycleKind::V, 10, 0, 0},
+                      Case{3, CycleKind::W, 4, 4, 4},
+                      Case{3, CycleKind::W, 10, 0, 0},
+                      Case{3, CycleKind::F, 2, 2, 2}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const Case& c = info.param;
+      return std::to_string(c.ndim) + "D_" +
+             (c.kind == CycleKind::V   ? "V"
+              : c.kind == CycleKind::W ? "W"
+                                       : "F") +
+             "_" + std::to_string(c.n1) + std::to_string(c.n2) +
+             std::to_string(c.n3);
+    });
+
+}  // namespace
+}  // namespace polymg

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/fmg.hpp"
+#include "polymg/solvers/metrics.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+CycleConfig deep(index_t n, int levels) {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = n;
+  cfg.levels = levels;
+  cfg.n2 = 20;
+  return cfg;
+}
+
+TEST(Fmg, OnePassReachesDiscretizationAccuracy) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 127);
+  FmgOptions opts;
+  opts.cycles_per_level = 2;
+  const FmgResult r = fmg_solve(p, deep(127, 6), opts);
+  EXPECT_LT(r.residual, 1e-2 * r.initial_residual);
+  // The point of FMG: one nested-iteration pass leaves only O(h²) error.
+  EXPECT_LT(error_norm(p.v_view(), p.exact_view(), p.n), 10.0 * p.h * p.h);
+}
+
+TEST(Fmg, BeatsSameWorkOfPlainVCycles) {
+  // FMG with one cycle per level vs the same number of finest-level
+  // V-cycles starting from zero: FMG lands at a much smaller error.
+  PoissonProblem p_fmg = PoissonProblem::manufactured(2, 127);
+  FmgOptions opts;
+  opts.cycles_per_level = 1;
+  const FmgResult fmg = fmg_solve(p_fmg, deep(127, 6), opts);
+
+  PoissonProblem p_v = PoissonProblem::manufactured(2, 127);
+  runtime::Executor ex(opt::compile(
+      build_cycle(deep(127, 6)),
+      opt::CompileOptions::for_variant(opt::Variant::OptPlus, 2)));
+  const std::vector<grid::View> ext = {p_v.v_view(), p_v.f_view()};
+  ex.run(ext);
+  grid::copy_region(p_v.v_view(), ex.output_view(0), p_v.domain());
+  const double v_res = residual_norm(p_v.v_view(), p_v.f_view(), p_v.n,
+                                     p_v.h);
+  EXPECT_LT(fmg.residual, v_res);
+}
+
+TEST(Fmg, WorksIn3d) {
+  PoissonProblem p = PoissonProblem::manufactured(3, 31);
+  CycleConfig cfg;
+  cfg.ndim = 3;
+  cfg.n = 31;
+  cfg.levels = 4;
+  cfg.n2 = 20;
+  FmgOptions opts;
+  opts.cycles_per_level = 2;
+  const FmgResult r = fmg_solve(p, cfg, opts);
+  EXPECT_LT(r.residual, 5e-2 * r.initial_residual);
+}
+
+TEST(Fmg, RejectsGeometryMismatch) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 63);
+  EXPECT_THROW((void)fmg_solve(p, deep(127, 6), {}), Error);
+}
+
+}  // namespace
+}  // namespace polymg::solvers

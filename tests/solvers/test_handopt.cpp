@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "polymg/solvers/handopt.hpp"
+#include "polymg/solvers/metrics.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+TEST(HandOpt, TextbookRateOnPoisson2d) {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 127;
+  cfg.levels = 6;  // coarsest 3x3
+  cfg.n2 = 30;     // near-exact coarsest solve
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  HandOptSolver solver(cfg);
+  double prev = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  for (int i = 0; i < 5; ++i) {
+    solver.cycle(p.v_view(), p.f_view());
+    const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+    EXPECT_LT(r, 0.15 * prev);
+    prev = r;
+  }
+}
+
+TEST(HandOpt, TextbookRateOnPoisson3d) {
+  CycleConfig cfg;
+  cfg.ndim = 3;
+  cfg.n = 31;
+  cfg.levels = 4;
+  cfg.n2 = 30;
+  PoissonProblem p = PoissonProblem::manufactured(3, cfg.n);
+  HandOptSolver solver(cfg);
+  double prev = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  for (int i = 0; i < 4; ++i) {
+    solver.cycle(p.v_view(), p.f_view());
+    const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+    EXPECT_LT(r, 0.25 * prev);
+    prev = r;
+  }
+}
+
+TEST(HandOpt, PaperConfigContractsSteadily) {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 127;
+  cfg.levels = 4;  // the paper's benchmark hierarchy
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  HandOptSolver solver(cfg);
+  double prev = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  double first = prev;
+  for (int i = 0; i < 10; ++i) {
+    solver.cycle(p.v_view(), p.f_view());
+    const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+  EXPECT_LT(prev / first, 0.5);
+}
+
+TEST(HandOpt, PlutoVariantBitwiseMatchesPlain) {
+  // Same arithmetic, only the schedule differs: results must be exact.
+  for (int ndim : {2, 3}) {
+    CycleConfig cfg;
+    cfg.ndim = ndim;
+    cfg.n = ndim == 2 ? 63 : 15;
+    cfg.levels = 3;
+    cfg.n1 = 10;
+    cfg.n2 = 0;
+    cfg.n3 = 0;
+    PoissonProblem a = PoissonProblem::random_rhs(ndim, cfg.n, 31);
+    PoissonProblem b = PoissonProblem::random_rhs(ndim, cfg.n, 31);
+    HandOptSolver plain(cfg, /*time_tiled=*/false);
+    HandOptSolver pluto(cfg, /*time_tiled=*/true, {4, 12});
+    plain.cycle(a.v_view(), a.f_view());
+    pluto.cycle(b.v_view(), b.f_view());
+    EXPECT_EQ(grid::max_diff(a.v_view(), b.v_view(), a.domain()), 0.0)
+        << ndim << "d";
+  }
+}
+
+TEST(HandOpt, WCycleMatchesVOrBetter) {
+  CycleConfig v;
+  v.ndim = 2;
+  v.n = 127;
+  v.levels = 6;
+  v.n2 = 30;
+  CycleConfig w = v;
+  w.kind = CycleKind::W;
+  PoissonProblem pv = PoissonProblem::manufactured(2, v.n);
+  PoissonProblem pw = PoissonProblem::manufactured(2, w.n);
+  HandOptSolver sv(v), sw(w);
+  for (int i = 0; i < 3; ++i) {
+    sv.cycle(pv.v_view(), pv.f_view());
+    sw.cycle(pw.v_view(), pw.f_view());
+  }
+  EXPECT_LE(residual_norm(pw.v_view(), pw.f_view(), pw.n, pw.h),
+            residual_norm(pv.v_view(), pv.f_view(), pv.n, pv.h) * 1.05);
+}
+
+}  // namespace
+}  // namespace polymg::solvers

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/nas_mg.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+using opt::CompileOptions;
+using opt::Variant;
+
+NasMgConfig small() {
+  NasMgConfig cfg;
+  cfg.n = 16;
+  cfg.levels = 3;
+  return cfg;
+}
+
+TEST(NasMg, ReferenceReducesResidual) {
+  const NasMgConfig cfg = small();
+  const poly::Box dom = poly::Box::cube(3, 0, cfg.n + 1);
+  grid::Buffer u = grid::make_grid(dom), v = grid::make_grid(dom);
+  grid::View uv = grid::View::over(u.data(), dom);
+  grid::View vv = grid::View::over(v.data(), dom);
+  nas_fill_rhs(vv, cfg.n);
+  NasMgReference ref(cfg);
+  double prev = ref.residual_norm(uv, vv);
+  for (int i = 0; i < 4; ++i) {
+    ref.iterate(uv, vv);
+    const double r = ref.residual_norm(uv, vv);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+  EXPECT_LT(prev, 0.2 * ref.residual_norm(grid::View::over(
+                            grid::make_grid(dom).data(), dom),
+                        vv));
+}
+
+TEST(NasMg, DslMatchesReference) {
+  const NasMgConfig cfg = small();
+  const poly::Box dom = poly::Box::cube(3, 0, cfg.n + 1);
+
+  grid::Buffer u_ref = grid::make_grid(dom), v = grid::make_grid(dom);
+  grid::View vv = grid::View::over(v.data(), dom);
+  nas_fill_rhs(vv, cfg.n);
+  NasMgReference ref(cfg);
+
+  grid::Buffer u_dsl = grid::make_grid(dom);
+  runtime::Executor ex(opt::compile(
+      build_nas_mg_pipeline(cfg), CompileOptions::for_variant(
+                                      Variant::OptPlus, 3)));
+
+  for (int i = 0; i < 3; ++i) {
+    ref.iterate(grid::View::over(u_ref.data(), dom), vv);
+    const std::vector<grid::View> ext = {
+        grid::View::over(u_dsl.data(), dom), vv};
+    ex.run(ext);
+    grid::copy_region(grid::View::over(u_dsl.data(), dom), ex.output_view(0),
+                      dom);
+    EXPECT_LE(grid::max_diff(grid::View::over(u_ref.data(), dom),
+                             grid::View::over(u_dsl.data(), dom), dom),
+              1e-12)
+        << "iteration " << i;
+  }
+}
+
+TEST(NasMg, AllVariantsAgree) {
+  const NasMgConfig cfg = small();
+  const poly::Box dom = poly::Box::cube(3, 0, cfg.n + 1);
+  grid::Buffer v = grid::make_grid(dom);
+  nas_fill_rhs(grid::View::over(v.data(), dom), cfg.n);
+
+  grid::Buffer ref_out;
+  for (Variant var : {Variant::Naive, Variant::Opt, Variant::OptPlus}) {
+    grid::Buffer u = grid::make_grid(dom);
+    runtime::Executor ex(opt::compile(
+        build_nas_mg_pipeline(cfg), CompileOptions::for_variant(var, 3)));
+    const std::vector<grid::View> ext = {grid::View::over(u.data(), dom),
+                                         grid::View::over(v.data(), dom)};
+    ex.run(ext);
+    grid::Buffer out = grid::make_grid(dom);
+    grid::copy_region(grid::View::over(out.data(), dom), ex.output_view(0),
+                      dom);
+    if (var == Variant::Naive) {
+      ref_out = std::move(out);
+    } else {
+      EXPECT_LE(grid::max_diff(grid::View::over(ref_out.data(), dom),
+                               grid::View::over(out.data(), dom), dom),
+                1e-13)
+          << opt::to_string(var);
+    }
+  }
+}
+
+TEST(NasMg, ConfigValidation) {
+  NasMgConfig cfg;
+  cfg.n = 20;  // not divisible by 2^(levels-1)
+  cfg.levels = 4;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.n = 16;
+  cfg.levels = 4;  // coarsest interior 2: OK
+  cfg.validate();
+  cfg.levels = 5;  // coarsest interior 1: too small
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(NasMg, PipelineStageCount) {
+  // 1 resid + (L-1) rprj3 + 1 coarsest psinv + 3·(L-2) mid-level up-steps
+  // + 4 finest up-steps.
+  const NasMgConfig cfg = small();
+  const ir::Pipeline p = build_nas_mg_pipeline(cfg);
+  const int L = cfg.levels;
+  EXPECT_EQ(p.num_stages(), 1 + (L - 1) + 1 + 3 * (L - 2) + 4);
+}
+
+}  // namespace
+}  // namespace polymg::solvers
