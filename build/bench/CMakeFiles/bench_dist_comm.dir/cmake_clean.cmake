@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_comm.dir/bench_dist_comm.cpp.o"
+  "CMakeFiles/bench_dist_comm.dir/bench_dist_comm.cpp.o.d"
+  "bench_dist_comm"
+  "bench_dist_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

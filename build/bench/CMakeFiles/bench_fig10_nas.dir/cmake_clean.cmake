@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_nas.dir/bench_fig10_nas.cpp.o"
+  "CMakeFiles/bench_fig10_nas.dir/bench_fig10_nas.cpp.o.d"
+  "bench_fig10_nas"
+  "bench_fig10_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_smoother.dir/bench_fig11a_smoother.cpp.o"
+  "CMakeFiles/bench_fig11a_smoother.dir/bench_fig11a_smoother.cpp.o.d"
+  "bench_fig11a_smoother"
+  "bench_fig11a_smoother.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

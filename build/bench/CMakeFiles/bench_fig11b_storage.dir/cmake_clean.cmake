@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_storage.dir/bench_fig11b_storage.cpp.o"
+  "CMakeFiles/bench_fig11b_storage.dir/bench_fig11b_storage.cpp.o.d"
+  "bench_fig11b_storage"
+  "bench_fig11b_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpolymg_bench_util.a"
+  "../lib/libpolymg_bench_util.pdb"
+  "CMakeFiles/polymg_bench_util.dir/util/harness.cpp.o"
+  "CMakeFiles/polymg_bench_util.dir/util/harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

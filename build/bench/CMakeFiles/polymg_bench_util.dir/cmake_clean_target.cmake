@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpolymg_bench_util.a"
+)

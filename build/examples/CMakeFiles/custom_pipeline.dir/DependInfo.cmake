@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_pipeline.cpp" "examples/CMakeFiles/custom_pipeline.dir/custom_pipeline.cpp.o" "gcc" "examples/CMakeFiles/custom_pipeline.dir/custom_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/polymg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/polymg_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/polymg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/polymg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/polymg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polymg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_mg.dir/distributed_mg.cpp.o"
+  "CMakeFiles/distributed_mg.dir/distributed_mg.cpp.o.d"
+  "distributed_mg"
+  "distributed_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

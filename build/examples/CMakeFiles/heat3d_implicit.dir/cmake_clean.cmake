@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat3d_implicit.dir/heat3d_implicit.cpp.o"
+  "CMakeFiles/heat3d_implicit.dir/heat3d_implicit.cpp.o.d"
+  "heat3d_implicit"
+  "heat3d_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat3d_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

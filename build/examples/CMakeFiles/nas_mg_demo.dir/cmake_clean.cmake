@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_mg_demo.dir/nas_mg_demo.cpp.o"
+  "CMakeFiles/nas_mg_demo.dir/nas_mg_demo.cpp.o.d"
+  "nas_mg_demo"
+  "nas_mg_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_mg_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

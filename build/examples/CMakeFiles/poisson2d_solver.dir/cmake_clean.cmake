@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson2d_solver.dir/poisson2d_solver.cpp.o"
+  "CMakeFiles/poisson2d_solver.dir/poisson2d_solver.cpp.o.d"
+  "poisson2d_solver"
+  "poisson2d_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson2d_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

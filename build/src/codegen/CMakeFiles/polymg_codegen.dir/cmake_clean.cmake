@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_codegen.dir/emit_c.cpp.o"
+  "CMakeFiles/polymg_codegen.dir/emit_c.cpp.o.d"
+  "libpolymg_codegen.a"
+  "libpolymg_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

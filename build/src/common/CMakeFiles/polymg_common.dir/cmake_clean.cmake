@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_common.dir/error.cpp.o"
+  "CMakeFiles/polymg_common.dir/error.cpp.o.d"
+  "CMakeFiles/polymg_common.dir/options.cpp.o"
+  "CMakeFiles/polymg_common.dir/options.cpp.o.d"
+  "CMakeFiles/polymg_common.dir/parallel.cpp.o"
+  "CMakeFiles/polymg_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/polymg_common.dir/timer.cpp.o"
+  "CMakeFiles/polymg_common.dir/timer.cpp.o.d"
+  "libpolymg_common.a"
+  "libpolymg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

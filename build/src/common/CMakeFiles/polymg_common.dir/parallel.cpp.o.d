@@ -1,0 +1,4 @@
+src/common/CMakeFiles/polymg_common.dir/parallel.cpp.o: \
+ /root/repo/src/common/parallel.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/common/include/polymg/common/parallel.hpp \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h

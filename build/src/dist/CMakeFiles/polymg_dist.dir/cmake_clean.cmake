@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_dist.dir/dist_mg.cpp.o"
+  "CMakeFiles/polymg_dist.dir/dist_mg.cpp.o.d"
+  "libpolymg_dist.a"
+  "libpolymg_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

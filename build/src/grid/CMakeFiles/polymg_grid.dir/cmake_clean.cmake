@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_grid.dir/buffer.cpp.o"
+  "CMakeFiles/polymg_grid.dir/buffer.cpp.o.d"
+  "CMakeFiles/polymg_grid.dir/ops.cpp.o"
+  "CMakeFiles/polymg_grid.dir/ops.cpp.o.d"
+  "libpolymg_grid.a"
+  "libpolymg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/polymg_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/bytecode.cpp" "src/ir/CMakeFiles/polymg_ir.dir/bytecode.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/bytecode.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/polymg_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/ir/CMakeFiles/polymg_ir.dir/function.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/function.cpp.o.d"
+  "/root/repo/src/ir/lowering.cpp" "src/ir/CMakeFiles/polymg_ir.dir/lowering.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/lowering.cpp.o.d"
+  "/root/repo/src/ir/pipeline.cpp" "src/ir/CMakeFiles/polymg_ir.dir/pipeline.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ir/stencil.cpp" "src/ir/CMakeFiles/polymg_ir.dir/stencil.cpp.o" "gcc" "src/ir/CMakeFiles/polymg_ir.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_ir.dir/builder.cpp.o"
+  "CMakeFiles/polymg_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/polymg_ir.dir/bytecode.cpp.o"
+  "CMakeFiles/polymg_ir.dir/bytecode.cpp.o.d"
+  "CMakeFiles/polymg_ir.dir/expr.cpp.o"
+  "CMakeFiles/polymg_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/polymg_ir.dir/function.cpp.o"
+  "CMakeFiles/polymg_ir.dir/function.cpp.o.d"
+  "CMakeFiles/polymg_ir.dir/lowering.cpp.o"
+  "CMakeFiles/polymg_ir.dir/lowering.cpp.o.d"
+  "CMakeFiles/polymg_ir.dir/pipeline.cpp.o"
+  "CMakeFiles/polymg_ir.dir/pipeline.cpp.o.d"
+  "CMakeFiles/polymg_ir.dir/stencil.cpp.o"
+  "CMakeFiles/polymg_ir.dir/stencil.cpp.o.d"
+  "libpolymg_ir.a"
+  "libpolymg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpolymg_ir.a"
+)

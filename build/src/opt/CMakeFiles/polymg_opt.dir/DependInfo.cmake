@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/autotune.cpp" "src/opt/CMakeFiles/polymg_opt.dir/autotune.cpp.o" "gcc" "src/opt/CMakeFiles/polymg_opt.dir/autotune.cpp.o.d"
+  "/root/repo/src/opt/compile.cpp" "src/opt/CMakeFiles/polymg_opt.dir/compile.cpp.o" "gcc" "src/opt/CMakeFiles/polymg_opt.dir/compile.cpp.o.d"
+  "/root/repo/src/opt/grouping.cpp" "src/opt/CMakeFiles/polymg_opt.dir/grouping.cpp.o" "gcc" "src/opt/CMakeFiles/polymg_opt.dir/grouping.cpp.o.d"
+  "/root/repo/src/opt/options.cpp" "src/opt/CMakeFiles/polymg_opt.dir/options.cpp.o" "gcc" "src/opt/CMakeFiles/polymg_opt.dir/options.cpp.o.d"
+  "/root/repo/src/opt/plan.cpp" "src/opt/CMakeFiles/polymg_opt.dir/plan.cpp.o" "gcc" "src/opt/CMakeFiles/polymg_opt.dir/plan.cpp.o.d"
+  "/root/repo/src/opt/storage.cpp" "src/opt/CMakeFiles/polymg_opt.dir/storage.cpp.o" "gcc" "src/opt/CMakeFiles/polymg_opt.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/polymg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_opt.dir/autotune.cpp.o"
+  "CMakeFiles/polymg_opt.dir/autotune.cpp.o.d"
+  "CMakeFiles/polymg_opt.dir/compile.cpp.o"
+  "CMakeFiles/polymg_opt.dir/compile.cpp.o.d"
+  "CMakeFiles/polymg_opt.dir/grouping.cpp.o"
+  "CMakeFiles/polymg_opt.dir/grouping.cpp.o.d"
+  "CMakeFiles/polymg_opt.dir/options.cpp.o"
+  "CMakeFiles/polymg_opt.dir/options.cpp.o.d"
+  "CMakeFiles/polymg_opt.dir/plan.cpp.o"
+  "CMakeFiles/polymg_opt.dir/plan.cpp.o.d"
+  "CMakeFiles/polymg_opt.dir/storage.cpp.o"
+  "CMakeFiles/polymg_opt.dir/storage.cpp.o.d"
+  "libpolymg_opt.a"
+  "libpolymg_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/access.cpp" "src/poly/CMakeFiles/polymg_poly.dir/access.cpp.o" "gcc" "src/poly/CMakeFiles/polymg_poly.dir/access.cpp.o.d"
+  "/root/repo/src/poly/box.cpp" "src/poly/CMakeFiles/polymg_poly.dir/box.cpp.o" "gcc" "src/poly/CMakeFiles/polymg_poly.dir/box.cpp.o.d"
+  "/root/repo/src/poly/tiling.cpp" "src/poly/CMakeFiles/polymg_poly.dir/tiling.cpp.o" "gcc" "src/poly/CMakeFiles/polymg_poly.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

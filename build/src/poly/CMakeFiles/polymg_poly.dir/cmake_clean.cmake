@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_poly.dir/access.cpp.o"
+  "CMakeFiles/polymg_poly.dir/access.cpp.o.d"
+  "CMakeFiles/polymg_poly.dir/box.cpp.o"
+  "CMakeFiles/polymg_poly.dir/box.cpp.o.d"
+  "CMakeFiles/polymg_poly.dir/tiling.cpp.o"
+  "CMakeFiles/polymg_poly.dir/tiling.cpp.o.d"
+  "libpolymg_poly.a"
+  "libpolymg_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

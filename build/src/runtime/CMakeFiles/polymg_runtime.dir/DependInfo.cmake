@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/polymg_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/polymg_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/kernels.cpp" "src/runtime/CMakeFiles/polymg_runtime.dir/kernels.cpp.o" "gcc" "src/runtime/CMakeFiles/polymg_runtime.dir/kernels.cpp.o.d"
+  "/root/repo/src/runtime/pool.cpp" "src/runtime/CMakeFiles/polymg_runtime.dir/pool.cpp.o" "gcc" "src/runtime/CMakeFiles/polymg_runtime.dir/pool.cpp.o.d"
+  "/root/repo/src/runtime/timetile.cpp" "src/runtime/CMakeFiles/polymg_runtime.dir/timetile.cpp.o" "gcc" "src/runtime/CMakeFiles/polymg_runtime.dir/timetile.cpp.o.d"
+  "/root/repo/src/runtime/wavefront.cpp" "src/runtime/CMakeFiles/polymg_runtime.dir/wavefront.cpp.o" "gcc" "src/runtime/CMakeFiles/polymg_runtime.dir/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/polymg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polymg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_runtime.dir/executor.cpp.o"
+  "CMakeFiles/polymg_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/polymg_runtime.dir/kernels.cpp.o"
+  "CMakeFiles/polymg_runtime.dir/kernels.cpp.o.d"
+  "CMakeFiles/polymg_runtime.dir/pool.cpp.o"
+  "CMakeFiles/polymg_runtime.dir/pool.cpp.o.d"
+  "CMakeFiles/polymg_runtime.dir/timetile.cpp.o"
+  "CMakeFiles/polymg_runtime.dir/timetile.cpp.o.d"
+  "CMakeFiles/polymg_runtime.dir/wavefront.cpp.o"
+  "CMakeFiles/polymg_runtime.dir/wavefront.cpp.o.d"
+  "libpolymg_runtime.a"
+  "libpolymg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

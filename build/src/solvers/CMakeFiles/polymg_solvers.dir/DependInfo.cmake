@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/cycles.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/cycles.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/cycles.cpp.o.d"
+  "/root/repo/src/solvers/fmg.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/fmg.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/fmg.cpp.o.d"
+  "/root/repo/src/solvers/handopt.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/handopt.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/handopt.cpp.o.d"
+  "/root/repo/src/solvers/metrics.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/metrics.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/metrics.cpp.o.d"
+  "/root/repo/src/solvers/nas_mg.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/nas_mg.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/nas_mg.cpp.o.d"
+  "/root/repo/src/solvers/pcg.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/pcg.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/pcg.cpp.o.d"
+  "/root/repo/src/solvers/poisson.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/poisson.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/poisson.cpp.o.d"
+  "/root/repo/src/solvers/varcoef.cpp" "src/solvers/CMakeFiles/polymg_solvers.dir/varcoef.cpp.o" "gcc" "src/solvers/CMakeFiles/polymg_solvers.dir/varcoef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/polymg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/polymg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polymg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

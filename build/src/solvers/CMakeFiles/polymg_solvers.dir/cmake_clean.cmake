@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymg_solvers.dir/cycles.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/cycles.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/fmg.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/fmg.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/handopt.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/handopt.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/metrics.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/metrics.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/nas_mg.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/nas_mg.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/pcg.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/pcg.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/poisson.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/poisson.cpp.o.d"
+  "CMakeFiles/polymg_solvers.dir/varcoef.cpp.o"
+  "CMakeFiles/polymg_solvers.dir/varcoef.cpp.o.d"
+  "libpolymg_solvers.a"
+  "libpolymg_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymg_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

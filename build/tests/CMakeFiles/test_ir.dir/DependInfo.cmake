@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/test_builder.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_builder.cpp.o.d"
+  "/root/repo/tests/ir/test_bytecode.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_bytecode.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_bytecode.cpp.o.d"
+  "/root/repo/tests/ir/test_expr.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_expr.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_expr.cpp.o.d"
+  "/root/repo/tests/ir/test_lowering.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_lowering.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_lowering.cpp.o.d"
+  "/root/repo/tests/ir/test_stencil.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_stencil.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/polymg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/polymg_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/polymg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/polymg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polymg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

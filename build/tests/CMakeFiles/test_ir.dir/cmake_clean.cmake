@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/test_builder.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_builder.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_bytecode.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_bytecode.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_expr.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_expr.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_lowering.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_lowering.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_stencil.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_stencil.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

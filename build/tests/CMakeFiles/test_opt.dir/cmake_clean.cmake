@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_autotune.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_autotune.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_compile.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_compile.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_grouping.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_grouping.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_plan.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_plan.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_storage.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_storage.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_storage_fuzz.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_storage_fuzz.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poly.dir/poly/test_access.cpp.o"
+  "CMakeFiles/test_poly.dir/poly/test_access.cpp.o.d"
+  "CMakeFiles/test_poly.dir/poly/test_box.cpp.o"
+  "CMakeFiles/test_poly.dir/poly/test_box.cpp.o.d"
+  "CMakeFiles/test_poly.dir/poly/test_interval.cpp.o"
+  "CMakeFiles/test_poly.dir/poly/test_interval.cpp.o.d"
+  "CMakeFiles/test_poly.dir/poly/test_tiling.cpp.o"
+  "CMakeFiles/test_poly.dir/poly/test_tiling.cpp.o.d"
+  "CMakeFiles/test_poly.dir/poly/test_tiling3d.cpp.o"
+  "CMakeFiles/test_poly.dir/poly/test_tiling3d.cpp.o.d"
+  "test_poly"
+  "test_poly.pdb"
+  "test_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_executor.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_executor.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_fuzz_pipelines.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_fuzz_pipelines.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_kernels.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_kernels.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_pool.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_pool.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_timetile.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_timetile.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_wavefront.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_wavefront.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

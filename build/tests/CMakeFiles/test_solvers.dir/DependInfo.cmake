@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solvers/test_convergence.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_convergence.cpp.o.d"
+  "/root/repo/tests/solvers/test_cycles.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_cycles.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_cycles.cpp.o.d"
+  "/root/repo/tests/solvers/test_equivalence.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_equivalence.cpp.o.d"
+  "/root/repo/tests/solvers/test_fmg.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_fmg.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_fmg.cpp.o.d"
+  "/root/repo/tests/solvers/test_handopt.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_handopt.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_handopt.cpp.o.d"
+  "/root/repo/tests/solvers/test_pcg.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_pcg.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_pcg.cpp.o.d"
+  "/root/repo/tests/solvers/test_smoothers.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_smoothers.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_smoothers.cpp.o.d"
+  "/root/repo/tests/solvers/test_varcoef.cpp" "tests/CMakeFiles/test_solvers.dir/solvers/test_varcoef.cpp.o" "gcc" "tests/CMakeFiles/test_solvers.dir/solvers/test_varcoef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/polymg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/polymg_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/polymg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/polymg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polymg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/polymg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/polymg_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solvers.dir/solvers/test_convergence.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_convergence.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_cycles.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_cycles.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_equivalence.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_equivalence.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_fmg.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_fmg.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_handopt.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_handopt.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_pcg.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_pcg.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_smoothers.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_smoothers.cpp.o.d"
+  "CMakeFiles/test_solvers.dir/solvers/test_varcoef.cpp.o"
+  "CMakeFiles/test_solvers.dir/solvers/test_varcoef.cpp.o.d"
+  "test_solvers"
+  "test_solvers.pdb"
+  "test_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
