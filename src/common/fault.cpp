@@ -1,0 +1,70 @@
+#include "polymg/common/fault.hpp"
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::fault {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector fi;
+  return fi;
+}
+
+void FaultInjector::arm(const std::string& site, long count,
+                        double probability, std::uint64_t seed) {
+  PMG_CHECK(count >= -1, "bad fault count " << count);
+  PMG_CHECK(probability >= 0.0 && probability <= 1.0,
+            "fault probability must lie in [0, 1]");
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];  // keeps `fired` across re-arms
+  s.remaining = count;
+  s.probability = probability;
+  s.rng = Rng(seed);
+  recount_locked();
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.remaining = 0;
+  recount_locked();
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fail(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.remaining == 0) return false;
+  Site& s = it->second;
+  if (s.probability < 1.0 && s.rng.next_double() >= s.probability) {
+    return false;
+  }
+  if (s.remaining > 0) {
+    --s.remaining;
+    if (s.remaining == 0) recount_locked();
+  }
+  ++s.fired;
+  return true;
+}
+
+long FaultInjector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+void FaultInjector::recount_locked() {
+  int n = 0;
+  for (const auto& [name, s] : sites_) {
+    (void)name;
+    if (s.remaining != 0) ++n;
+  }
+  armed_sites_.store(n, std::memory_order_relaxed);
+}
+
+}  // namespace polymg::fault

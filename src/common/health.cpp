@@ -1,0 +1,101 @@
+#include "polymg/common/health.hpp"
+
+#include <cmath>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::health {
+
+bool has_nonfinite(const double* p, std::size_t n) {
+  // x * 0.0 is exactly 0.0 for every finite x and NaN for NaN/±inf, so a
+  // plain sum detects any bad element without branches or libm calls.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += p[i] * 0.0;
+  return !(acc == 0.0);
+}
+
+bool has_nonfinite(const View& v, const Box& region) {
+  if (region.empty()) return false;
+  PMG_CHECK(v.ndim == region.ndim(),
+            "health scan ndim mismatch: view " << v.ndim << " vs region "
+                                               << region.ndim());
+  const int last = v.ndim - 1;
+  PMG_CHECK(v.stride[last] == 1,
+            "health scan requires a contiguous last dimension");
+  const std::size_t row =
+      static_cast<std::size_t>(region.dim(last).size());
+  if (v.ndim == 1) {
+    return has_nonfinite(v.ptr + (region.dim(0).lo - v.origin[0]), row);
+  }
+  if (v.ndim == 2) {
+    for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+      const double* p = v.ptr + v.offset2(i, region.dim(1).lo);
+      if (has_nonfinite(p, row)) return true;
+    }
+    return false;
+  }
+  for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+    for (index_t j = region.dim(1).lo; j <= region.dim(1).hi; ++j) {
+      const double* p = v.ptr + v.offset3(i, j, region.dim(2).lo);
+      if (has_nonfinite(p, row)) return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(Trend t) {
+  switch (t) {
+    case Trend::Converging:
+      return "converging";
+    case Trend::Stagnating:
+      return "stagnating";
+    case Trend::Diverging:
+      return "diverging";
+  }
+  return "?";
+}
+
+ResidualMonitor::ResidualMonitor(const Config& cfg) : cfg_(cfg) {
+  PMG_CHECK(cfg.divergence_factor > 1.0, "divergence factor must exceed 1");
+  PMG_CHECK(cfg.stagnation_ratio > 0.0 && cfg.stagnation_ratio <= 1.0,
+            "stagnation ratio must lie in (0, 1]");
+  PMG_CHECK(cfg.stagnation_window >= 1, "stagnation window must be >= 1");
+}
+
+Trend ResidualMonitor::observe(double residual) {
+  if (!std::isfinite(residual)) {
+    history_.push_back(residual);
+    trend_ = Trend::Diverging;
+    return trend_;
+  }
+  if (history_.empty()) {
+    history_.push_back(residual);
+    best_ = residual;
+    trend_ = Trend::Converging;
+    return trend_;
+  }
+  const double prev = history_.back();
+  history_.push_back(residual);
+  if (residual > cfg_.divergence_factor * best_) {
+    trend_ = Trend::Diverging;
+    return trend_;
+  }
+  if (residual >= cfg_.stagnation_ratio * prev) {
+    ++stalled_;
+  } else {
+    stalled_ = 0;
+  }
+  best_ = std::min(best_, residual);
+  trend_ = stalled_ >= cfg_.stagnation_window ? Trend::Stagnating
+                                              : Trend::Converging;
+  return trend_;
+}
+
+void ResidualMonitor::reset() {
+  history_.clear();
+  best_ = 0.0;
+  stalled_ = 0;
+  trend_ = Trend::Converging;
+}
+
+}  // namespace polymg::health

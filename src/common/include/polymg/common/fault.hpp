@@ -1,0 +1,97 @@
+// Deterministic fault injection for robustness tests.
+//
+// A process-wide registry of named fault sites. Production code asks
+// `fault::should_fail("pool.alloc")` at the points where a real system
+// could fail (allocation, kernel output, halo delivery); tests arm a site
+// for a bounded number of firings — optionally probabilistic via the
+// seeded splitmix64 Rng, so every run of a test observes the same fault
+// pattern. When nothing is armed the check is one relaxed atomic load,
+// cheap enough to leave compiled in everywhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "polymg/common/rng.hpp"
+
+namespace polymg::fault {
+
+/// Canonical site names (keep in sync with the call sites).
+inline constexpr const char* kPoolAlloc = "pool.alloc";
+inline constexpr const char* kKernelOutput = "kernel.output";
+inline constexpr const char* kDistHalo = "dist.halo";
+
+class FaultInjector {
+public:
+  static FaultInjector& instance();
+
+  /// Arm `site` to fail up to `count` times (-1 = unbounded). Each check
+  /// of an armed site fails with `probability` (1.0 = always), drawn from
+  /// a deterministic Rng seeded with `seed`. Re-arming replaces the
+  /// site's previous state but keeps its fired counter.
+  void arm(const std::string& site, long count = 1, double probability = 1.0,
+           std::uint64_t seed = 0x5eed5eedULL);
+
+  void disarm(const std::string& site);
+  /// Disarm every site and zero all counters.
+  void reset();
+
+  /// Consume one firing of `site` if it is armed; true means the caller
+  /// must simulate the failure. Thread-safe.
+  bool should_fail(const std::string& site);
+
+  /// How many times `site` actually fired (survives disarm, cleared by
+  /// reset).
+  long fired(const std::string& site) const;
+
+  /// Fast path: false iff no site is armed at all.
+  bool any_armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+private:
+  FaultInjector() = default;
+
+  struct Site {
+    long remaining = 0;  ///< -1 = unbounded
+    double probability = 1.0;
+    Rng rng{0};
+    long fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  std::atomic<int> armed_sites_{0};
+
+  void recount_locked();
+};
+
+/// Hot-path helper: one atomic load when nothing is armed.
+inline bool should_fail(const char* site) {
+  FaultInjector& fi = FaultInjector::instance();
+  return fi.any_armed() && fi.should_fail(site);
+}
+
+/// RAII arming for tests: arms in the constructor, disarms on scope exit.
+class ScopedFault {
+public:
+  explicit ScopedFault(std::string site, long count = 1,
+                       double probability = 1.0,
+                       std::uint64_t seed = 0x5eed5eedULL)
+      : site_(std::move(site)) {
+    FaultInjector::instance().arm(site_, count, probability, seed);
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  long fired() const { return FaultInjector::instance().fired(site_); }
+
+private:
+  std::string site_;
+};
+
+}  // namespace polymg::fault

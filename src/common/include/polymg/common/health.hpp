@@ -1,0 +1,79 @@
+// Numerical health checks for guarded execution.
+//
+// Two tools: a cheap vectorized non-finite scan over grid views (run on
+// pipeline outputs after each guarded invocation) and a ResidualMonitor
+// that watches the residual-norm history of a cycle loop and classifies
+// every new value as converging, stagnating or diverging. Both are
+// value-only — the guarded executor and solve driver decide what to do
+// with a bad verdict (fall back, degrade, abort).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "polymg/grid/view.hpp"
+#include "polymg/poly/box.hpp"
+
+namespace polymg::health {
+
+using grid::View;
+using poly::Box;
+using poly::index_t;
+
+/// True if any of the `n` doubles at `p` is NaN or ±inf. Branch-free
+/// accumulation (x·0 is 0 for finite x, NaN otherwise) so the loop
+/// auto-vectorizes; cost is one fused multiply-add per element.
+bool has_nonfinite(const double* p, std::size_t n);
+
+/// Non-finite scan of `region` through a view (the region must lie inside
+/// the view's addressable area; the last dimension must be contiguous,
+/// which holds for every view PolyMG creates).
+bool has_nonfinite(const View& v, const Box& region);
+
+/// Verdict on the latest residual observation.
+enum class Trend {
+  Converging,  ///< still contracting (or too early to tell)
+  Stagnating,  ///< contraction slower than the configured ratio for a
+               ///< full window of consecutive cycles
+  Diverging,   ///< non-finite residual, or growth past the divergence
+               ///< factor over the best value seen
+};
+
+const char* to_string(Trend t);
+
+/// Tracks the residual-norm history of an iterative solve and classifies
+/// each cycle. Deterministic and allocation-light; one instance per solve
+/// attempt.
+class ResidualMonitor {
+public:
+  struct Config {
+    /// r > divergence_factor · best-so-far => Diverging.
+    double divergence_factor = 1e3;
+    /// A cycle with r >= stagnation_ratio · r_prev counts as stalled.
+    double stagnation_ratio = 0.99;
+    /// Consecutive stalled cycles before the verdict is Stagnating.
+    int stagnation_window = 4;
+  };
+
+  ResidualMonitor() : ResidualMonitor(Config{}) {}
+  explicit ResidualMonitor(const Config& cfg);
+
+  /// Record one residual norm; returns the verdict for this cycle.
+  Trend observe(double residual);
+
+  /// Verdict of the last observe() (Converging before any observation).
+  Trend trend() const { return trend_; }
+  const std::vector<double>& history() const { return history_; }
+  double best() const { return best_; }
+  int stalled_cycles() const { return stalled_; }
+  void reset();
+
+private:
+  Config cfg_;
+  std::vector<double> history_;
+  double best_ = 0.0;
+  int stalled_ = 0;
+  Trend trend_ = Trend::Converging;
+};
+
+}  // namespace polymg::health

@@ -1,6 +1,9 @@
 #include "polymg/dist/dist_mg.hpp"
 
+#include <string>
+
 #include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
 
 namespace polymg::dist {
 
@@ -264,6 +267,29 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
   const index_t n = cfg_.level_n(level);
   const int R = decomp_.ranks();
   ++stats_.exchanges;
+  // One neighbour-to-neighbour message. A real network can drop or
+  // corrupt a delivery (fault site `dist.halo`); the copy only happens
+  // once a send attempt goes through, and each re-send is counted in
+  // CommStats::retries. Persistent failure surfaces as a typed error
+  // rather than smoothing against a stale halo.
+  const auto deliver = [&](View dst, View src, index_t rlo, index_t rhi) {
+    if (rlo > rhi) return;
+    int dropped = 0;
+    while (fault::should_fail(fault::kDistHalo)) {
+      ++dropped;
+      if (dropped > max_halo_retries_) {
+        throw Error(ErrorCode::HaloExchangeFailed,
+                    "halo message dropped " + std::to_string(dropped) +
+                        " times (level " + std::to_string(level) +
+                        ", rows " + std::to_string(rlo) + ".." +
+                        std::to_string(rhi) + "); retries exhausted");
+      }
+      ++stats_.retries;
+    }
+    copy_rows(cfg_.ndim, dst, src, rlo, rhi, n);
+    ++stats_.messages;
+    stats_.doubles_sent += (rhi - rlo + 1) * dst.stride[0];
+  };
   for (int r = 0; r < R; ++r) {
     RankLevel& me = lvl[static_cast<std::size_t>(r)];
     View mine = View::over(field_ptr(me, which), me.local_box);
@@ -271,26 +297,15 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
     if (r > 0) {
       RankLevel& nb = lvl[static_cast<std::size_t>(r - 1)];
       View theirs = View::over(field_ptr(nb, which), nb.local_box);
-      const index_t lo = me.owned.lo - depth;
-      const index_t hi = me.owned.lo - 1;
-      copy_rows(cfg_.ndim, mine, theirs, std::max(lo, nb.owned.lo), hi, n);
-      ++stats_.messages;
-      stats_.doubles_sent +=
-          (hi - std::max(lo, nb.owned.lo) + 1) * me.local_box.dim(1).size() *
-          (cfg_.ndim == 3 ? me.local_box.dim(2).size() : 1);
+      deliver(mine, theirs, std::max(me.owned.lo - depth, nb.owned.lo),
+              me.owned.lo - 1);
     }
     // Upper halo from rank r+1.
     if (r < R - 1) {
       RankLevel& nb = lvl[static_cast<std::size_t>(r + 1)];
       View theirs = View::over(field_ptr(nb, which), nb.local_box);
-      const index_t lo = me.owned.hi + 1;
-      const index_t hi = me.owned.hi + depth;
-      copy_rows(cfg_.ndim, mine, theirs, lo, std::min(hi, nb.owned.hi), n);
-      ++stats_.messages;
-      stats_.doubles_sent +=
-          (std::min(hi, nb.owned.hi) - lo + 1) *
-          me.local_box.dim(1).size() *
-          (cfg_.ndim == 3 ? me.local_box.dim(2).size() : 1);
+      deliver(mine, theirs, me.owned.hi + 1,
+              std::min(me.owned.hi + depth, nb.owned.hi));
     }
   }
 }

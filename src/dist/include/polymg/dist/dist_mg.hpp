@@ -34,6 +34,7 @@ struct CommStats {
   long messages = 0;
   long doubles_sent = 0;
   long exchanges = 0;  ///< collective halo-exchange rounds
+  long retries = 0;    ///< halo messages re-sent after a dropped delivery
 
   void clear() { *this = CommStats{}; }
 };
@@ -76,6 +77,12 @@ public:
   const CycleConfig& config() const { return cfg_; }
   int ranks() const { return decomp_.ranks(); }
 
+  /// A halo message that fails to deliver (fault site `dist.halo`) is
+  /// re-sent up to this many times — counted in CommStats::retries —
+  /// before the exchange throws Error(HaloExchangeFailed).
+  void set_max_halo_retries(int n) { max_halo_retries_ = n; }
+  int max_halo_retries() const { return max_halo_retries_; }
+
 private:
   struct RankLevel {
     poly::Interval owned;       ///< global interior rows owned
@@ -99,6 +106,7 @@ private:
   CycleConfig cfg_;
   Decomp decomp_;
   index_t ghost_depth_;
+  int max_halo_retries_ = 3;
   std::vector<std::vector<RankLevel>> state_;  // [level][rank]
   CommStats stats_;
 

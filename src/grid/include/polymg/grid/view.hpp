@@ -59,6 +59,28 @@ struct View {
     return ptr[offset3(i, j, k)];
   }
 
+  /// Conservative check that this view can address every point of `box`
+  /// without aliasing a neighbouring row: the origin must not exceed the
+  /// box's lower corner, the last dimension must be contiguous, and each
+  /// inner extent implied by the stride ratio must span the box. The
+  /// outermost allocation size is not recoverable from a raw pointer, so
+  /// a view can still pass while under-allocated along dimension 0 —
+  /// this catches the common misuse (a view built over a smaller or
+  /// shifted domain), not every possible one.
+  bool covers(const Box& box) const {
+    if (ptr == nullptr || ndim != box.ndim() || ndim == 0) return false;
+    if (stride[ndim - 1] != 1) return false;
+    for (int d = 0; d < ndim; ++d) {
+      if (origin[d] > box.dim(d).lo) return false;
+    }
+    for (int d = ndim - 1; d >= 1; --d) {
+      if (stride[d - 1] <= 0 || stride[d - 1] % stride[d] != 0) return false;
+      const index_t extent = stride[d - 1] / stride[d];
+      if (box.dim(d).hi - origin[d] + 1 > extent) return false;
+    }
+    return true;
+  }
+
   /// Generic accessor for dimension-agnostic code paths (tests, the
   /// bytecode evaluator).
   double& at(const std::array<index_t, kMaxDims>& p) {

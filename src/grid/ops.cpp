@@ -74,9 +74,12 @@ void copy_region(View dst, View src, const Box& region) {
 }
 
 double max_norm(View v, const Box& region) {
+  // std::max(m, NaN) silently keeps m, so a poisoned field would report
+  // a healthy norm; propagate NaN explicitly instead.
   double m = 0.0;
   for_each_point(region, [&](index_t i, index_t j, index_t k) {
-    m = std::max(m, std::abs(read(v, i, j, k)));
+    const double x = std::abs(read(v, i, j, k));
+    if (x > m || x != x) m = x;
   });
   return m;
 }
@@ -91,9 +94,11 @@ double l2_norm(View v, const Box& region) {
 }
 
 double max_diff(View a, View b, const Box& region) {
+  // NaN-propagating for the same reason as max_norm.
   double m = 0.0;
   for_each_point(region, [&](index_t i, index_t j, index_t k) {
-    m = std::max(m, std::abs(read(a, i, j, k) - read(b, i, j, k)));
+    const double x = std::abs(read(a, i, j, k) - read(b, i, j, k));
+    if (x > m || x != x) m = x;
   });
   return m;
 }

@@ -1,0 +1,34 @@
+// Compiled-plan validation for guarded execution.
+//
+// compile() is an aggressive optimizer (fusion, overlapped tiling,
+// two-level storage reuse, pooling); a bug in any pass can silently
+// corrupt a solve. validate_plan() re-derives the invariants a correct
+// plan must satisfy — schedule causality, storage-map consistency,
+// scratchpad sizing against every tile's real footprint, release points
+// after last use — and reports every violation. The guarded executor
+// runs it before trusting a plan; on failure it degrades to the
+// reference plan compiled with reference_options().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "polymg/opt/plan.hpp"
+
+namespace polymg::opt {
+
+/// All invariant violations found in `cp` (empty means the plan is
+/// valid). Does not throw; suitable for tests that corrupt plans.
+std::vector<std::string> plan_issues(const CompiledPipeline& cp);
+
+/// Throws Error(ErrorCode::InvalidPlan) listing every issue when the
+/// plan is inconsistent; returns normally otherwise.
+void validate_plan(const CompiledPipeline& cp);
+
+/// Options for the known-good fallback path: unfused per-stage loops,
+/// one array per stage, no storage reuse, no pooling, no time tiling.
+/// Tuning knobs (tile sizes, thresholds) are irrelevant to it; the
+/// variant is forced to Naive.
+CompileOptions reference_options(const CompileOptions& base);
+
+}  // namespace polymg::opt

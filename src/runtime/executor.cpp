@@ -1,9 +1,11 @@
 #include "polymg/runtime/executor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
 
 namespace polymg::runtime {
@@ -66,9 +68,20 @@ View Executor::resolve_source(const GroupPlan& g, const ir::SourceSlot& slot,
 }
 
 void Executor::run(std::span<const View> externals) {
-  PMG_CHECK(externals.size() == plan_.pipe.externals.size(),
-            "expected " << plan_.pipe.externals.size()
-                        << " external grids, got " << externals.size());
+  PMG_CHECK_CODE(externals.size() == plan_.pipe.externals.size(),
+                 ErrorCode::PreconditionViolated,
+                 "expected " << plan_.pipe.externals.size()
+                             << " external grids, got " << externals.size());
+  // Enforce the documented precondition instead of silently reading out
+  // of bounds: each bound view must cover its declared domain.
+  for (std::size_t i = 0; i < externals.size(); ++i) {
+    const ir::ExternalGrid& eg = plan_.pipe.externals[i];
+    PMG_CHECK_CODE(externals[i].covers(eg.domain),
+                   ErrorCode::PreconditionViolated,
+                   "external view " << i << " does not cover the domain of "
+                                    << eg.name << " (null, wrong ndim, "
+                                    << "offset origin or undersized rows)");
+  }
   // Non-pooled variants re-allocate per invocation (the cost the pooled
   // allocator removes): drop everything from the previous run.
   if (!plan_.opts.pooled_allocation) {
@@ -107,6 +120,23 @@ void Executor::run(std::span<const View> externals) {
       case GroupExec::TimeTiled:
         run_timetile_group(g, externals);
         break;
+    }
+    // Fault site: poison this group's freshest full-array result with a
+    // NaN at the interior midpoint (a point every downstream stencil
+    // reads), modelling a corrupted kernel output. Compiled in always;
+    // one relaxed atomic load when nothing is armed.
+    if (fault::should_fail(fault::kKernelOutput)) {
+      for (auto it = g.stages.rbegin(); it != g.stages.rend(); ++it) {
+        if (it->array < 0) continue;
+        const ir::FunctionDecl& f = plan_.pipe.funcs[it->func];
+        View v = array_view(it->array, f);
+        std::array<index_t, poly::kMaxDims> mid{};
+        for (int d = 0; d < f.ndim; ++d) {
+          mid[d] = (f.interior.dim(d).lo + f.interior.dim(d).hi) / 2;
+        }
+        v.at(mid) = std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
     }
     if (plan_.opts.pooled_allocation) {
       // pool_deallocate as soon as all uses of an array are finished

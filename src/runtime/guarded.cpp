@@ -1,0 +1,103 @@
+#include "polymg/runtime/guarded.hpp"
+
+#include "polymg/common/health.hpp"
+#include "polymg/opt/validate.hpp"
+
+namespace polymg::runtime {
+
+GuardedExecutor::GuardedExecutor(ir::Pipeline pipe,
+                                 const opt::CompileOptions& opts)
+    : pipe_(std::move(pipe)), opts_(opts) {
+  try {
+    opt::CompiledPipeline cp = opt::compile(ir::Pipeline(pipe_), opts_);
+    opt::validate_plan(cp);
+    optimized_ = std::make_unique<Executor>(std::move(cp));
+  } catch (const Error& e) {
+    note_incident(e.code() == ErrorCode::Generic ? ErrorCode::InvalidPlan
+                                                 : e.code(),
+                  e.what());
+  }
+}
+
+void GuardedExecutor::note_incident(ErrorCode code, const std::string& what) {
+  report_.last_error = code;
+  report_.last_incident = what;
+}
+
+void GuardedExecutor::ensure_reference() {
+  if (reference_ != nullptr) return;
+  // The reference plan must itself validate — if it does not, the bug is
+  // upstream of any optimization and there is nothing left to degrade to.
+  opt::CompiledPipeline cp = opt::compile(
+      ir::Pipeline(pipe_), opt::reference_options(opts_));
+  opt::validate_plan(cp);
+  reference_ = std::make_unique<Executor>(std::move(cp));
+}
+
+void GuardedExecutor::check_externals(
+    std::span<const View> externals) const {
+  PMG_CHECK_CODE(externals.size() == pipe_.externals.size(),
+                 ErrorCode::PreconditionViolated,
+                 "expected " << pipe_.externals.size()
+                             << " external grids, got " << externals.size());
+  for (std::size_t i = 0; i < externals.size(); ++i) {
+    PMG_CHECK_CODE(externals[i].covers(pipe_.externals[i].domain),
+                   ErrorCode::PreconditionViolated,
+                   "external view " << i << " does not cover the domain of "
+                                    << pipe_.externals[i].name);
+  }
+}
+
+bool GuardedExecutor::outputs_healthy(const Executor& ex) const {
+  for (std::size_t i = 0; i < pipe_.outputs.size(); ++i) {
+    const ir::FunctionDecl& f = pipe_.funcs[pipe_.outputs[i]];
+    if (health::has_nonfinite(ex.output_view(static_cast<int>(i)),
+                              f.domain)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void GuardedExecutor::run(std::span<const View> externals) {
+  check_externals(externals);
+  last_from_fallback_ = false;
+  if (optimized_ != nullptr) {
+    try {
+      optimized_->run(externals);
+      if (outputs_healthy(*optimized_)) {
+        ++report_.optimized_runs;
+        return;
+      }
+      note_incident(ErrorCode::NumericalDivergence,
+                    "non-finite values in optimized-plan output");
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::PreconditionViolated) throw;
+      note_incident(e.code(), e.what());
+    }
+  }
+  ensure_reference();
+  reference_->run(externals);
+  ++report_.fallback_runs;
+  report_.used_fallback = true;
+  last_from_fallback_ = true;
+  if (!outputs_healthy(*reference_)) {
+    throw Error(ErrorCode::NumericalDivergence,
+                "reference plan also produced non-finite outputs — the "
+                "inputs or the pipeline definition are bad");
+  }
+}
+
+View GuardedExecutor::output_view(int i) const {
+  const Executor* ex =
+      last_from_fallback_ ? reference_.get() : optimized_.get();
+  PMG_CHECK(ex != nullptr, "output_view before any successful run");
+  return ex->output_view(i);
+}
+
+const opt::CompiledPipeline& GuardedExecutor::plan() const {
+  PMG_CHECK(optimized_ != nullptr, "no valid optimized plan");
+  return optimized_->plan();
+}
+
+}  // namespace polymg::runtime

@@ -1,0 +1,74 @@
+// GuardedExecutor — Executor with plan validation, numerical health
+// checks and reference-plan fallback.
+//
+// The optimized plan (fusion, overlapped tiling, storage reuse, pooling)
+// is the fast path; a plan-invariant violation or a numerical fault in it
+// must not corrupt a solve. The guard (a) validates the compiled plan
+// before trusting it, (b) enforces the documented externals precondition
+// on every run, (c) scans pipeline outputs for non-finite values after
+// each invocation, and (d) on InvalidPlan / NumericalDivergence /
+// PoolExhausted (or any other internal failure) re-executes the same
+// invocation on a reference plan — the unfused, unpooled, untiled
+// compilation of the same pipeline. When the optimized path is healthy
+// its results are bitwise those of a plain Executor (it IS a plain
+// Executor); the guard adds only the output scan.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "polymg/ir/pipeline.hpp"
+#include "polymg/runtime/executor.hpp"
+
+namespace polymg::runtime {
+
+/// Running account of what the guard observed and did.
+struct GuardReport {
+  int optimized_runs = 0;  ///< invocations completed on the optimized plan
+  int fallback_runs = 0;   ///< invocations served by the reference plan
+  bool used_fallback = false;  ///< any fallback so far
+  ErrorCode last_error = ErrorCode::Generic;  ///< code of the last incident
+  std::string last_incident;  ///< human-readable note on the last incident
+};
+
+class GuardedExecutor {
+public:
+  /// Compiles `pipe` under `opts` and validates the plan. A plan that
+  /// fails validation is recorded (InvalidPlan) and every run() is served
+  /// by the reference plan instead of throwing here.
+  GuardedExecutor(ir::Pipeline pipe, const opt::CompileOptions& opts);
+
+  /// Execute one pipeline invocation with the guard. Precondition
+  /// violations (wrong external count, a view not covering its declared
+  /// domain) throw Error(PreconditionViolated) — caller bugs are not
+  /// recoverable by a different plan. Every other failure of the
+  /// optimized path falls back to the reference plan; if the reference
+  /// output is also non-finite, throws Error(NumericalDivergence).
+  void run(std::span<const View> externals);
+
+  /// View of the i-th pipeline output from whichever plan produced the
+  /// last run()'s result.
+  View output_view(int i) const;
+
+  /// The optimized plan (valid only when has_optimized_plan()).
+  const opt::CompiledPipeline& plan() const;
+  bool has_optimized_plan() const { return optimized_ != nullptr; }
+  /// Whether the last run() was served by the reference plan.
+  bool last_run_fell_back() const { return last_from_fallback_; }
+  const GuardReport& report() const { return report_; }
+
+private:
+  void note_incident(ErrorCode code, const std::string& what);
+  void ensure_reference();
+  void check_externals(std::span<const View> externals) const;
+  bool outputs_healthy(const Executor& ex) const;
+
+  ir::Pipeline pipe_;  ///< retained to compile the reference plan lazily
+  opt::CompileOptions opts_;
+  std::unique_ptr<Executor> optimized_;
+  std::unique_ptr<Executor> reference_;
+  bool last_from_fallback_ = false;
+  GuardReport report_;
+};
+
+}  // namespace polymg::runtime

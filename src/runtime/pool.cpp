@@ -1,11 +1,17 @@
 #include "polymg/runtime/pool.hpp"
 
 #include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
 
 namespace polymg::runtime {
 
 double* MemoryPool::pool_allocate(index_t doubles) {
   PMG_CHECK(doubles >= 0, "negative allocation");
+  if (fault::should_fail(fault::kPoolAlloc)) {
+    throw Error(ErrorCode::PoolExhausted,
+                "injected fault: pooled allocation of " +
+                    std::to_string(doubles) + " doubles failed");
+  }
   // First fit over the free entries, preferring the tightest one so big
   // buffers stay available for big requests.
   Entry* best = nullptr;

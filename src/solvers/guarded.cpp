@@ -1,0 +1,168 @@
+#include "polymg/solvers/guarded.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "polymg/common/error.hpp"
+#include "polymg/opt/validate.hpp"
+#include "polymg/runtime/guarded.hpp"
+#include "polymg/solvers/metrics.hpp"
+
+namespace polymg::solvers {
+
+namespace {
+
+/// One rung of the ladder: a full configuration to try from scratch.
+struct Rung {
+  CycleConfig cfg;
+  opt::CompileOptions opts;
+  std::string description;
+};
+
+const char* smoother_name(SmootherKind s) {
+  switch (s) {
+    case SmootherKind::Jacobi: return "Jacobi";
+    case SmootherKind::GSRB: return "GSRB";
+    case SmootherKind::Chebyshev: return "Chebyshev";
+  }
+  return "?";
+}
+
+/// Build the degradation ladder. Remedies are cumulative: once the plan
+/// has been dropped to reference, every later rung keeps it; once the
+/// smoother is Jacobi, omega backoff is the only lever left.
+std::vector<Rung> build_ladder(const CycleConfig& cfg,
+                               const opt::CompileOptions& opts,
+                               const GuardPolicy& policy) {
+  std::vector<Rung> ladder;
+  ladder.push_back({cfg, opts, "as configured"});
+  CycleConfig cur = cfg;
+  opt::CompileOptions cur_opts = opts;
+  while (static_cast<int>(ladder.size()) < policy.max_attempts) {
+    if (policy.allow_reference_plan &&
+        cur_opts.variant != opt::Variant::Naive) {
+      cur_opts = opt::reference_options(cur_opts);
+      ladder.push_back({cur, cur_opts, "reference plan"});
+    } else if (policy.allow_smoother_downgrade &&
+               cur.smoother != SmootherKind::Jacobi) {
+      std::string from = smoother_name(cur.smoother);
+      cur.smoother = SmootherKind::Jacobi;
+      ladder.push_back({cur, cur_opts, from + " -> Jacobi"});
+    } else if (policy.allow_omega_reduction) {
+      cur.omega *= policy.omega_backoff;
+      std::ostringstream os;
+      os << "omega -> " << cur.omega;
+      ladder.push_back({cur, cur_opts, os.str()});
+    } else {
+      break;  // no remedies left
+    }
+  }
+  return ladder;
+}
+
+}  // namespace
+
+SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
+                          double rel_tol, const GuardPolicy& policy,
+                          const opt::CompileOptions& opts) {
+  SolveReport report;
+  // Every retry restarts from the iterate the caller handed in.
+  const grid::Buffer v0 = p.v.clone();
+  const auto restore = [&] {
+    std::memcpy(p.v.data(), v0.data(), v0.size() * sizeof(double));
+  };
+
+  report.initial_residual = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  report.final_residual = report.initial_residual;
+  const double target =
+      rel_tol * report.initial_residual + policy.rel_tol_floor;
+  if (report.initial_residual <= target) {
+    report.converged = true;
+    return report;
+  }
+
+  for (const Rung& rung : build_ladder(cfg, opts, policy)) {
+    SolveAttempt attempt;
+    attempt.description = rung.description;
+    if (!report.attempts.empty()) restore();
+    attempt.first_residual =
+        residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+    attempt.last_residual = attempt.first_residual;
+
+    health::ResidualMonitor monitor(
+        {policy.divergence_factor, policy.stagnation_ratio,
+         policy.stagnation_window});
+    try {
+      runtime::GuardedExecutor ex(build_cycle(rung.cfg), rung.opts);
+      for (int c = 0; c < policy.max_cycles; ++c) {
+        const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+        ex.run(ext);
+        grid::copy_region(p.v_view(), ex.output_view(0), p.domain());
+        const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+        ++attempt.cycles;
+        ++report.total_cycles;
+        attempt.last_residual = r;
+        attempt.trend = monitor.observe(r);
+        if (r <= target) {
+          attempt.converged = true;
+          break;
+        }
+        if (attempt.trend != health::Trend::Converging) break;
+      }
+      attempt.executor_fallbacks = ex.report().fallback_runs;
+    } catch (const Error& e) {
+      attempt.threw = true;
+      attempt.error = e.what();
+      attempt.trend = health::Trend::Diverging;
+    }
+
+    const bool done = attempt.converged;
+    // An attempt that was still contracting when it hit the cycle cap
+    // ran out of budget, not of numerical health — no ladder rung fixes
+    // that, and every rung is a strictly weaker configuration. Stop and
+    // report instead of degrading a working solve.
+    const bool out_of_budget = !done && !attempt.threw &&
+                               attempt.trend == health::Trend::Converging;
+    report.attempts.push_back(std::move(attempt));
+    if (done) {
+      report.converged = true;
+      report.final_residual = report.attempts.back().last_residual;
+      return report;
+    }
+    if (out_of_budget) break;
+  }
+
+  // Ladder exhausted: leave the last attempt's iterate in place and
+  // report honestly. The final residual is the best the last rung got.
+  report.final_residual = report.attempts.empty()
+                              ? report.initial_residual
+                              : report.attempts.back().last_residual;
+  return report;
+}
+
+std::string SolveReport::summary() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "NOT converged") << ": residual "
+     << initial_residual << " -> " << final_residual << " in "
+     << total_cycles << " cycle(s), " << attempts.size()
+     << " attempt(s)\n";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const SolveAttempt& a = attempts[i];
+    os << "  [" << i << "] " << a.description << ": ";
+    if (a.threw) {
+      os << "failed (" << a.error << ")";
+    } else {
+      os << a.cycles << " cycle(s), " << a.first_residual << " -> "
+         << a.last_residual << ", " << health::to_string(a.trend);
+      if (a.converged) os << ", converged";
+      if (a.executor_fallbacks > 0) {
+        os << ", " << a.executor_fallbacks << " executor fallback(s)";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace polymg::solvers

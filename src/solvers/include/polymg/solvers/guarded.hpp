@@ -1,0 +1,81 @@
+// guarded_solve — a multigrid cycle loop that refuses to fail silently.
+//
+// The plain benchmarking loops (run N cycles, report the residual) trust
+// both the compiled plan and the numerics. guarded_solve trusts neither:
+// every cycle runs through runtime::GuardedExecutor (plan validation,
+// output health scan, reference-plan fallback) and its residual history
+// feeds a common::ResidualMonitor. When a configuration diverges or
+// stagnates, the solve restarts from the initial iterate one rung down a
+// degradation ladder — reference plan, then Chebyshev→Jacobi smoother
+// downgrade, then repeated damping-factor backoff — until it converges
+// or the ladder is exhausted. Every attempt is recorded in the returned
+// SolveReport, so a degraded solve is visible, not papered over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "polymg/common/health.hpp"
+#include "polymg/opt/options.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+
+/// Knobs for the guarded cycle loop and its degradation ladder.
+struct GuardPolicy {
+  int max_cycles = 50;    ///< per-attempt cycle cap
+  int max_attempts = 4;   ///< ladder length (attempt 0 = as configured)
+  double rel_tol_floor = 0.0;  ///< extra absolute tolerance (0 = off)
+
+  // Residual-monitor thresholds (see common::ResidualMonitor::Config).
+  double divergence_factor = 1e3;
+  double stagnation_ratio = 0.99;
+  int stagnation_window = 4;
+
+  // Which ladder rungs are allowed.
+  bool allow_reference_plan = true;      ///< drop to unfused/unpooled plan
+  bool allow_smoother_downgrade = true;  ///< Chebyshev/GSRB -> Jacobi
+  bool allow_omega_reduction = true;     ///< omega *= omega_backoff
+  double omega_backoff = 0.5;
+};
+
+/// One rung of the ladder, as actually executed.
+struct SolveAttempt {
+  std::string description;  ///< e.g. "as configured", "omega -> 0.475"
+  int cycles = 0;           ///< cycles run in this attempt
+  double first_residual = 0.0;
+  double last_residual = 0.0;
+  health::Trend trend = health::Trend::Converging;
+  bool converged = false;
+  bool threw = false;             ///< the executor threw mid-attempt
+  std::string error;              ///< what() of that throw, if any
+  int executor_fallbacks = 0;     ///< reference-plan runs inside this attempt
+};
+
+/// Full account of a guarded solve.
+struct SolveReport {
+  bool converged = false;
+  double final_residual = 0.0;
+  double initial_residual = 0.0;
+  int total_cycles = 0;
+  std::vector<SolveAttempt> attempts;
+  /// Multi-line human-readable account of the ladder walk.
+  std::string summary() const;
+};
+
+/// Iterate multigrid cycles on `p` until the residual drops below
+/// `rel_tol` times the initial residual (plus policy.rel_tol_floor
+/// absolutely), walking the degradation ladder on divergence, stagnation
+/// or executor failure. An attempt that is still contracting when it
+/// hits max_cycles ends the solve instead — it ran out of budget, not
+/// health, and every ladder rung is a weaker configuration. `p.v` holds
+/// the final iterate of the last attempt; each retry restarts from the
+/// iterate passed in. Never throws for numerical trouble — a solve the
+/// ladder cannot save returns converged == false with the evidence in
+/// `attempts`.
+SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
+                          double rel_tol, const GuardPolicy& policy = {},
+                          const opt::CompileOptions& opts =
+                              opt::CompileOptions{});
+
+}  // namespace polymg::solvers

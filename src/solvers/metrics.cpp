@@ -1,6 +1,7 @@
 #include "polymg/solvers/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace polymg::solvers {
 
@@ -32,6 +33,10 @@ double residual_norm(View v, View f, index_t n, double h) {
       }
     }
   }
+  // A poisoned iterate must read as "diverged", never as a small norm:
+  // collapse any non-finite accumulation (NaN, or inf from overflow) to
+  // a quiet NaN so callers get one canonical not-a-norm value.
+  if (!std::isfinite(sum)) return std::numeric_limits<double>::quiet_NaN();
   return std::sqrt(sum);
 }
 

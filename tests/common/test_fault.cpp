@@ -1,0 +1,111 @@
+#include "polymg/common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace polymg::fault {
+namespace {
+
+/// Every test leaves the process-global injector clean.
+class FaultTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultTest, NothingArmedNeverFails) {
+  EXPECT_FALSE(FaultInjector::instance().any_armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(should_fail(kPoolAlloc));
+    EXPECT_FALSE(should_fail(kKernelOutput));
+    EXPECT_FALSE(should_fail(kDistHalo));
+  }
+}
+
+TEST_F(FaultTest, BoundedCountFiresExactly) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(kPoolAlloc, 3);
+  EXPECT_TRUE(fi.any_armed());
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += should_fail(kPoolAlloc) ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fi.fired(kPoolAlloc), 3);
+  EXPECT_FALSE(fi.any_armed());  // exhausted sites disarm themselves
+}
+
+TEST_F(FaultTest, SitesAreAddressedIndependently) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(kDistHalo, 2);
+  EXPECT_FALSE(should_fail(kPoolAlloc));
+  EXPECT_FALSE(should_fail(kKernelOutput));
+  EXPECT_TRUE(should_fail(kDistHalo));
+  EXPECT_TRUE(should_fail(kDistHalo));
+  EXPECT_FALSE(should_fail(kDistHalo));
+  EXPECT_EQ(fi.fired(kPoolAlloc), 0);
+  EXPECT_EQ(fi.fired(kDistHalo), 2);
+}
+
+TEST_F(FaultTest, ProbabilisticFiringIsDeterministic) {
+  auto& fi = FaultInjector::instance();
+  const auto draw = [&](std::uint64_t seed) {
+    fi.reset();
+    fi.arm(kKernelOutput, -1, 0.5, seed);
+    std::vector<bool> pattern;
+    pattern.reserve(64);
+    for (int i = 0; i < 64; ++i) pattern.push_back(should_fail(kKernelOutput));
+    return pattern;
+  };
+  const auto a = draw(42);
+  const auto b = draw(42);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fault pattern";
+  const auto c = draw(43);
+  EXPECT_NE(a, c) << "different seeds should differ somewhere in 64 draws";
+  // p = 0.5 over 64 draws: both outcomes must occur.
+  int hits = 0;
+  for (bool x : a) hits += x ? 1 : 0;
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 64);
+}
+
+TEST_F(FaultTest, UnboundedUntilDisarm) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(kPoolAlloc, -1);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(should_fail(kPoolAlloc));
+  fi.disarm(kPoolAlloc);
+  EXPECT_FALSE(should_fail(kPoolAlloc));
+  EXPECT_EQ(fi.fired(kPoolAlloc), 50) << "fired count survives disarm";
+}
+
+TEST_F(FaultTest, RearmKeepsFiredCounter) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(kDistHalo, 1);
+  EXPECT_TRUE(should_fail(kDistHalo));
+  fi.arm(kDistHalo, 1);
+  EXPECT_TRUE(should_fail(kDistHalo));
+  EXPECT_EQ(fi.fired(kDistHalo), 2);
+}
+
+TEST_F(FaultTest, ResetClearsEverything) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(kPoolAlloc, -1);
+  ASSERT_TRUE(should_fail(kPoolAlloc));
+  fi.reset();
+  EXPECT_FALSE(fi.any_armed());
+  EXPECT_FALSE(should_fail(kPoolAlloc));
+  EXPECT_EQ(fi.fired(kPoolAlloc), 0);
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault f(kKernelOutput, 5);
+    EXPECT_TRUE(should_fail(kKernelOutput));
+    EXPECT_EQ(f.fired(), 1);
+  }
+  EXPECT_FALSE(should_fail(kKernelOutput));
+  // fired() survives the scope via the injector.
+  EXPECT_EQ(FaultInjector::instance().fired(kKernelOutput), 1);
+}
+
+}  // namespace
+}  // namespace polymg::fault

@@ -1,0 +1,134 @@
+#include "polymg/common/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "polymg/grid/buffer.hpp"
+
+namespace polymg::health {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(HasNonfinite, CleanBufferPasses) {
+  std::vector<double> a(1000, 0.0);
+  a[3] = -1.5e300;
+  a[999] = 2.25e-308;  // subnormal territory is still finite
+  EXPECT_FALSE(has_nonfinite(a.data(), a.size()));
+}
+
+TEST(HasNonfinite, DetectsNaNAndInfAnywhere) {
+  for (std::size_t pos : {std::size_t{0}, std::size_t{511}, std::size_t{999}}) {
+    std::vector<double> a(1000, 1.0);
+    a[pos] = kNaN;
+    EXPECT_TRUE(has_nonfinite(a.data(), a.size())) << "NaN at " << pos;
+    a[pos] = -kInf;
+    EXPECT_TRUE(has_nonfinite(a.data(), a.size())) << "-inf at " << pos;
+  }
+}
+
+TEST(HasNonfinite, EmptyRangeIsClean) {
+  EXPECT_FALSE(has_nonfinite(nullptr, 0));
+}
+
+TEST(HasNonfinite, ViewScanHonoursRegion) {
+  const poly::Box domain = poly::Box::cube(2, 0, 9);
+  grid::Buffer buf(static_cast<std::size_t>(domain.count()));
+  buf.fill(0.0);
+  grid::View v = grid::View::over(buf.data(), domain);
+  // Poison a corner outside the interior: an interior scan stays clean.
+  v.at2(0, 0) = kNaN;
+  EXPECT_FALSE(has_nonfinite(v, poly::Box::cube(2, 1, 8)));
+  EXPECT_TRUE(has_nonfinite(v, domain));
+  // Interior poison is seen by both.
+  v.at2(4, 7) = kInf;
+  EXPECT_TRUE(has_nonfinite(v, poly::Box::cube(2, 1, 8)));
+}
+
+TEST(HasNonfinite, ViewScan3d) {
+  const poly::Box domain = poly::Box::cube(3, 0, 5);
+  grid::Buffer buf(static_cast<std::size_t>(domain.count()));
+  buf.fill(1.0);
+  grid::View v = grid::View::over(buf.data(), domain);
+  EXPECT_FALSE(has_nonfinite(v, domain));
+  v.at3(3, 2, 4) = kNaN;
+  EXPECT_TRUE(has_nonfinite(v, domain));
+  EXPECT_FALSE(has_nonfinite(v, poly::Box::cube(3, 0, 1)));
+}
+
+TEST(ResidualMonitor, SteadyContractionIsConverging) {
+  ResidualMonitor m;
+  double r = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(m.observe(r), Trend::Converging);
+    r *= 0.1;
+  }
+  EXPECT_EQ(m.trend(), Trend::Converging);
+  EXPECT_EQ(m.stalled_cycles(), 0);
+}
+
+TEST(ResidualMonitor, NonfiniteResidualDiverges) {
+  ResidualMonitor m;
+  EXPECT_EQ(m.observe(1.0), Trend::Converging);
+  EXPECT_EQ(m.observe(kNaN), Trend::Diverging);
+  ResidualMonitor m2;
+  EXPECT_EQ(m2.observe(kInf), Trend::Diverging);
+}
+
+TEST(ResidualMonitor, GrowthPastFactorDiverges) {
+  ResidualMonitor::Config cfg;
+  cfg.divergence_factor = 100.0;
+  ResidualMonitor m(cfg);
+  EXPECT_EQ(m.observe(1.0), Trend::Converging);
+  EXPECT_EQ(m.observe(0.5), Trend::Converging);  // best = 0.5
+  EXPECT_EQ(m.observe(40.0), Trend::Converging); // 80x best: growing, not yet out
+  EXPECT_EQ(m.observe(60.0), Trend::Diverging);  // 120x best
+}
+
+TEST(ResidualMonitor, StallWindowTriggersStagnation) {
+  ResidualMonitor::Config cfg;
+  cfg.stagnation_window = 3;
+  cfg.stagnation_ratio = 0.99;
+  ResidualMonitor m(cfg);
+  EXPECT_EQ(m.observe(1.0), Trend::Converging);
+  EXPECT_EQ(m.observe(0.999), Trend::Converging);  // stall 1
+  EXPECT_EQ(m.observe(0.9985), Trend::Converging); // stall 2
+  EXPECT_EQ(m.observe(0.998), Trend::Stagnating);  // stall 3 = window
+  EXPECT_EQ(m.stalled_cycles(), 3);
+}
+
+TEST(ResidualMonitor, RealProgressResetsStallCount) {
+  ResidualMonitor::Config cfg;
+  cfg.stagnation_window = 2;
+  ResidualMonitor m(cfg);
+  m.observe(1.0);
+  m.observe(0.999);          // stall 1
+  m.observe(0.5);            // real contraction resets
+  EXPECT_EQ(m.stalled_cycles(), 0);
+  m.observe(0.4999);         // stall 1 again
+  EXPECT_EQ(m.observe(0.4998), Trend::Stagnating);
+}
+
+TEST(ResidualMonitor, ResetClearsHistory) {
+  ResidualMonitor m;
+  m.observe(1.0);
+  m.observe(std::numeric_limits<double>::quiet_NaN());
+  ASSERT_EQ(m.trend(), Trend::Diverging);
+  m.reset();
+  EXPECT_EQ(m.trend(), Trend::Converging);
+  EXPECT_TRUE(m.history().empty());
+  EXPECT_EQ(m.observe(5.0), Trend::Converging);
+}
+
+TEST(ResidualMonitor, ToStringNames) {
+  EXPECT_STREQ(to_string(Trend::Converging), "converging");
+  EXPECT_STREQ(to_string(Trend::Stagnating), "stagnating");
+  EXPECT_STREQ(to_string(Trend::Diverging), "diverging");
+}
+
+}  // namespace
+}  // namespace polymg::health

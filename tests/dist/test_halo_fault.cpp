@@ -1,0 +1,114 @@
+// Halo-exchange fault injection: dropped deliveries are retried (and
+// counted), a retried cycle still matches a clean one bitwise, and a
+// persistently dropped message surfaces as Error(HaloExchangeFailed).
+#include <gtest/gtest.h>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
+#include "polymg/dist/dist_mg.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::dist {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::PoissonProblem;
+
+class HaloFaultTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().reset(); }
+  void TearDown() override { fault::FaultInjector::instance().reset(); }
+};
+
+CycleConfig cfg2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  return cfg;
+}
+
+TEST_F(HaloFaultTest, NoFaultNoRetries) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 21);
+  DistMgSolver solver(cfg, 4);
+  solver.scatter(p.v_view(), p.f_view());
+  solver.cycle();
+  EXPECT_EQ(solver.stats().retries, 0);
+  EXPECT_GT(solver.stats().messages, 0);
+}
+
+TEST_F(HaloFaultTest, DroppedMessagesAreRetriedAndCounted) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 21);
+  DistMgSolver solver(cfg, 4);
+  solver.scatter(p.v_view(), p.f_view());
+  // Two drops, each below the retry cap: the exchange re-sends twice and
+  // completes.
+  fault::FaultInjector::instance().arm(fault::kDistHalo, 2);
+  solver.cycle();
+  EXPECT_EQ(solver.stats().retries, 2);
+  EXPECT_EQ(fault::FaultInjector::instance().fired(fault::kDistHalo), 2);
+}
+
+TEST_F(HaloFaultTest, RetriedCycleMatchesCleanCycleBitwise) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem clean = PoissonProblem::random_rhs(2, cfg.n, 33);
+  PoissonProblem faulty = PoissonProblem::random_rhs(2, cfg.n, 33);
+
+  DistMgSolver a(cfg, 3);
+  a.scatter(clean.v_view(), clean.f_view());
+  a.cycle();
+  a.gather(clean.v_view());
+
+  DistMgSolver b(cfg, 3);
+  b.set_max_halo_retries(1000);  // retry forever; only numerics on trial
+  b.scatter(faulty.v_view(), faulty.f_view());
+  // Probabilistic drops sprinkled over the whole cycle (deterministic
+  // seed): every one is re-sent, so the numerics are untouched.
+  fault::FaultInjector::instance().arm(fault::kDistHalo, -1, 0.2, 99);
+  b.cycle();
+  fault::FaultInjector::instance().disarm(fault::kDistHalo);
+  b.gather(faulty.v_view());
+
+  EXPECT_GT(b.stats().retries, 0) << "the fault pattern should drop some";
+  EXPECT_EQ(grid::max_diff(clean.v_view(), faulty.v_view(), clean.domain()),
+            0.0);
+}
+
+TEST_F(HaloFaultTest, PersistentDropThrowsHaloExchangeFailed) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 3);
+  DistMgSolver solver(cfg, 4);
+  ASSERT_EQ(solver.max_halo_retries(), 3) << "documented default";
+  solver.scatter(p.v_view(), p.f_view());
+  fault::FaultInjector::instance().arm(fault::kDistHalo, -1);
+  try {
+    solver.cycle();
+    FAIL() << "expected Error(HaloExchangeFailed)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::HaloExchangeFailed);
+  }
+  // The exchange gave up after the cap, not before.
+  EXPECT_EQ(solver.stats().retries, solver.max_halo_retries());
+}
+
+TEST_F(HaloFaultTest, RetryCapIsConfigurable) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 3);
+  DistMgSolver solver(cfg, 2);
+  solver.set_max_halo_retries(7);
+  solver.scatter(p.v_view(), p.f_view());
+  // 7 drops then clean: exactly at the cap, so the message goes through.
+  fault::FaultInjector::instance().arm(fault::kDistHalo, 7);
+  solver.cycle();
+  EXPECT_EQ(solver.stats().retries, 7);
+
+  solver.reset_stats();
+  solver.set_max_halo_retries(0);
+  fault::FaultInjector::instance().arm(fault::kDistHalo, 1);
+  EXPECT_THROW(solver.cycle(), Error) << "cap 0 means no second chances";
+}
+
+}  // namespace
+}  // namespace polymg::dist

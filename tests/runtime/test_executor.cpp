@@ -86,6 +86,41 @@ TEST(Executor, RejectsWrongExternalCount) {
   Executor ex(opt::compile(solvers::build_cycle(cfg),
                            CompileOptions::for_variant(Variant::Naive, 2)));
   const std::vector<View> ext = {p.v_view()};
+  try {
+    ex.run(ext);
+    FAIL() << "expected Error(PreconditionViolated)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::PreconditionViolated);
+  }
+}
+
+TEST(Executor, RejectsExternalViewNotCoveringItsDomain) {
+  CycleConfig cfg = small2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 9);
+  Executor ex(opt::compile(solvers::build_cycle(cfg),
+                           CompileOptions::for_variant(Variant::Naive, 2)));
+  // A view over a smaller grid: its inner extent cannot span the
+  // declared (n+2)^2 domain.
+  auto small = solvers::PoissonProblem::random_rhs(2, (cfg.n + 1) / 2 - 1, 9);
+  const std::vector<View> ext = {small.v_view(), p.f_view()};
+  try {
+    ex.run(ext);
+    FAIL() << "expected Error(PreconditionViolated)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::PreconditionViolated);
+  }
+}
+
+TEST(Executor, RejectsShiftedExternalView) {
+  CycleConfig cfg = small2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 9);
+  Executor ex(opt::compile(solvers::build_cycle(cfg),
+                           CompileOptions::for_variant(Variant::Naive, 2)));
+  // Right size, wrong origin: the view starts at (1,1) so it cannot
+  // address row 0 of the declared domain.
+  const poly::Box shifted = poly::Box::cube(2, 1, cfg.n + 2);
+  View bad = View::over(p.v.data(), shifted);
+  const std::vector<View> ext = {bad, p.f_view()};
   EXPECT_THROW(ex.run(ext), Error);
 }
 

@@ -11,6 +11,7 @@
 #include "polymg/grid/ops.hpp"
 #include "polymg/ir/builder.hpp"
 #include "polymg/opt/compile.hpp"
+#include "polymg/opt/validate.hpp"
 #include "polymg/runtime/executor.hpp"
 
 namespace polymg::runtime {
@@ -154,8 +155,11 @@ TEST_P(FuzzTest, AllVariantsMatchNaive) {
   auto run = [&](Variant v, poly::TileSizes tile) {
     CompileOptions o = CompileOptions::for_variant(v, 2);
     o.tile = tile;
-    Executor ex(
-        opt::compile(random_pipeline(seed, n0, 14), o));
+    opt::CompiledPipeline cp = opt::compile(random_pipeline(seed, n0, 14), o);
+    // Every fuzzed plan must also satisfy the guarded-execution
+    // invariants, not just reproduce the naive values.
+    opt::validate_plan(cp);
+    Executor ex(std::move(cp));
     ex.run(ext);
     std::vector<grid::Buffer> outs;
     for (std::size_t i = 0; i < nouts; ++i) {

@@ -1,0 +1,155 @@
+// GuardedExecutor: bitwise-transparent when healthy, reference-plan
+// fallback when the optimized path faults (pool exhaustion, poisoned
+// kernel output, invalid plan), hard errors for caller bugs.
+#include "polymg/runtime/guarded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "polymg/common/fault.hpp"
+#include "polymg/common/health.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/solvers/metrics.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::runtime {
+namespace {
+
+using opt::CompileOptions;
+using opt::Variant;
+using solvers::CycleConfig;
+using solvers::PoissonProblem;
+
+class GuardedExecutorTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().reset(); }
+  void TearDown() override { fault::FaultInjector::instance().reset(); }
+};
+
+CycleConfig small2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  return cfg;
+}
+
+TEST_F(GuardedExecutorTest, HealthyRunBitwiseMatchesPlainExecutor) {
+  const CycleConfig cfg = small2d();
+  const CompileOptions opts = CompileOptions::for_variant(Variant::OptPlus, 2);
+  PoissonProblem pa = PoissonProblem::random_rhs(2, cfg.n, 17);
+  PoissonProblem pb = PoissonProblem::random_rhs(2, cfg.n, 17);
+
+  Executor plain(opt::compile(build_cycle(cfg), opts));
+  GuardedExecutor guarded(build_cycle(cfg), opts);
+  ASSERT_TRUE(guarded.has_optimized_plan());
+
+  for (int c = 0; c < 3; ++c) {
+    const std::vector<grid::View> ea = {pa.v_view(), pa.f_view()};
+    plain.run(ea);
+    grid::copy_region(pa.v_view(), plain.output_view(0), pa.domain());
+    const std::vector<grid::View> eb = {pb.v_view(), pb.f_view()};
+    guarded.run(eb);
+    grid::copy_region(pb.v_view(), guarded.output_view(0), pb.domain());
+    EXPECT_FALSE(guarded.last_run_fell_back());
+    EXPECT_EQ(grid::max_diff(pa.v_view(), pb.v_view(), pa.domain()), 0.0)
+        << "cycle " << c << " not bitwise identical";
+  }
+  EXPECT_EQ(guarded.report().optimized_runs, 3);
+  EXPECT_EQ(guarded.report().fallback_runs, 0);
+  EXPECT_FALSE(guarded.report().used_fallback);
+}
+
+TEST_F(GuardedExecutorTest, PoolExhaustionFallsBackToReferencePlan) {
+  const CycleConfig cfg = small2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 5);
+  GuardedExecutor guarded(build_cycle(cfg),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+
+  fault::FaultInjector::instance().arm(fault::kPoolAlloc, 1);
+  const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+  guarded.run(ext);
+  EXPECT_TRUE(guarded.last_run_fell_back());
+  EXPECT_TRUE(guarded.report().used_fallback);
+  EXPECT_EQ(guarded.report().last_error, ErrorCode::PoolExhausted);
+  EXPECT_EQ(fault::FaultInjector::instance().fired(fault::kPoolAlloc), 1);
+
+  // The fallback result is the true cycle result: compare against a
+  // clean plain-executor run from the same inputs.
+  PoissonProblem q = PoissonProblem::random_rhs(2, cfg.n, 5);
+  Executor plain(opt::compile(build_cycle(cfg),
+                              CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const std::vector<grid::View> eq = {q.v_view(), q.f_view()};
+  plain.run(eq);
+  EXPECT_EQ(grid::max_diff(guarded.output_view(0), plain.output_view(0),
+                           p.domain()),
+            0.0);
+
+  // Fault consumed: the next run is optimized again.
+  guarded.run(ext);
+  EXPECT_FALSE(guarded.last_run_fell_back());
+  EXPECT_EQ(guarded.report().optimized_runs, 1);
+  EXPECT_EQ(guarded.report().fallback_runs, 1);
+}
+
+TEST_F(GuardedExecutorTest, PoisonedKernelOutputFallsBack) {
+  const CycleConfig cfg = small2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 9);
+  GuardedExecutor guarded(build_cycle(cfg),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+
+  // Poison one group's output mid-pipeline: the optimized run completes
+  // but its output scan sees the NaN and the guard re-runs on the
+  // reference plan (the fault is consumed, so the re-run is clean).
+  fault::FaultInjector::instance().arm(fault::kKernelOutput, 1);
+  const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+  guarded.run(ext);
+  EXPECT_TRUE(guarded.last_run_fell_back());
+  EXPECT_EQ(guarded.report().last_error, ErrorCode::NumericalDivergence);
+  EXPECT_FALSE(
+      health::has_nonfinite(guarded.output_view(0), p.domain()));
+}
+
+TEST_F(GuardedExecutorTest, PersistentPoisonThrowsNumericalDivergence) {
+  const CycleConfig cfg = small2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 9);
+  GuardedExecutor guarded(build_cycle(cfg),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+  // Unbounded poisoning hits the reference plan too: nothing left to
+  // fall back to, so the guard must report divergence, not return NaNs.
+  fault::FaultInjector::instance().arm(fault::kKernelOutput, -1);
+  const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+  try {
+    guarded.run(ext);
+    FAIL() << "expected Error(NumericalDivergence)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NumericalDivergence);
+  }
+}
+
+TEST_F(GuardedExecutorTest, WrongExternalCountIsPreconditionViolation) {
+  const CycleConfig cfg = small2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 1);
+  GuardedExecutor guarded(build_cycle(cfg),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+  const std::vector<grid::View> ext = {p.v_view()};  // f missing
+  try {
+    guarded.run(ext);
+    FAIL() << "expected Error(PreconditionViolated)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::PreconditionViolated);
+  }
+}
+
+TEST_F(GuardedExecutorTest, UndersizedExternalIsPreconditionViolation) {
+  const CycleConfig cfg = small2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 1);
+  GuardedExecutor guarded(build_cycle(cfg),
+                          CompileOptions::for_variant(Variant::OptPlus, 2));
+  // A view over a quarter-size domain cannot cover the finest grid.
+  PoissonProblem small = PoissonProblem::random_rhs(2, (cfg.n + 1) / 2 - 1, 1);
+  const std::vector<grid::View> ext = {small.v_view(), p.f_view()};
+  EXPECT_THROW(guarded.run(ext), Error);
+}
+
+}  // namespace
+}  // namespace polymg::runtime

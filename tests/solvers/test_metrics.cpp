@@ -1,0 +1,72 @@
+// NaN-awareness of the solver metrics: a poisoned iterate must never
+// report a healthy (small, finite) norm.
+#include "polymg/solvers/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Metrics, ResidualNormFiniteOnCleanProblem) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 31);
+  const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GT(r, 0.0);
+}
+
+TEST(Metrics, ResidualNormPropagatesNaNIterate) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 31);
+  p.v_view().at2(16, 16) = kNaN;
+  EXPECT_TRUE(std::isnan(residual_norm(p.v_view(), p.f_view(), p.n, p.h)));
+}
+
+TEST(Metrics, ResidualNormCollapsesInfToNaN) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 31);
+  p.v_view().at2(3, 7) = kInf;
+  EXPECT_TRUE(std::isnan(residual_norm(p.v_view(), p.f_view(), p.n, p.h)));
+}
+
+TEST(Metrics, ResidualNormPropagatesNaNRhs3d) {
+  PoissonProblem p = PoissonProblem::manufactured(3, 15);
+  p.f_view().at3(8, 8, 8) = kNaN;
+  EXPECT_TRUE(std::isnan(residual_norm(p.v_view(), p.f_view(), p.n, p.h)));
+}
+
+TEST(Metrics, ErrorNormPropagatesNaN) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 31);
+  EXPECT_TRUE(std::isfinite(error_norm(p.v_view(), p.exact_view(), p.n)));
+  p.v_view().at2(30, 1) = kNaN;
+  EXPECT_TRUE(std::isnan(error_norm(p.v_view(), p.exact_view(), p.n)));
+}
+
+TEST(Metrics, MaxNormAndMaxDiffPropagateNaN) {
+  PoissonProblem p = PoissonProblem::manufactured(2, 15);
+  const poly::Box interior = p.interior();
+  EXPECT_TRUE(std::isfinite(grid::max_norm(p.f_view(), interior)));
+  p.f_view().at2(5, 5) = kNaN;
+  EXPECT_TRUE(std::isnan(grid::max_norm(p.f_view(), interior)));
+  EXPECT_TRUE(std::isnan(grid::max_diff(p.f_view(), p.v_view(), interior)));
+  // ...even when later points are larger than anything seen before.
+  p.f_view().at2(6, 5) = 1e300;
+  EXPECT_TRUE(std::isnan(grid::max_norm(p.f_view(), interior)));
+}
+
+TEST(Metrics, BoundaryNaNOutsideInteriorIsIgnored) {
+  // The norms only read the interior plus the stencil ring it touches;
+  // a NaN in an untouched corner must not leak in.
+  PoissonProblem p = PoissonProblem::manufactured(2, 31);
+  p.v_view().at2(0, 0) = kNaN;  // corner: no interior stencil reads it
+  EXPECT_TRUE(std::isfinite(residual_norm(p.v_view(), p.f_view(), p.n, p.h)));
+  EXPECT_TRUE(std::isfinite(error_norm(p.v_view(), p.exact_view(), p.n)));
+}
+
+}  // namespace
+}  // namespace polymg::solvers
