@@ -4,7 +4,8 @@
 // summary lines.
 //
 // Flags: --paper (Table 2 sizes), --reps N (default 2; paper uses 5),
-//        --class B|C (restrict to one class).
+//        --class B|C (restrict to one class), --json <path> (machine-
+//        readable records next to the printed tables).
 #include "gbench.hpp"
 
 namespace polymg::bench {
@@ -59,5 +60,9 @@ int main(int argc, char** argv) {
               table.geomean_speedup("polymg-opt+", "polymg-opt"));
   std::printf("  polymg-opt+  over handopt+pluto: %.2fx (paper 2-d: 1.67x)\n",
               table.geomean_speedup("polymg-opt+", "handopt+pluto"));
+  if (const std::string json = opts.get("json", ""); !json.empty()) {
+    table.write_json(json, "fig9-2d", "polymg-naive");
+    std::printf("wrote %s\n", json.c_str());
+  }
   return 0;
 }

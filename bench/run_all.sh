@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the perf-tracking benchmark set and drop machine-readable results
+# at the repository root:
+#   BENCH_kernels.json — stack interpreter vs register row engine
+#   BENCH_fig9.json    — 2-d multigrid variant comparison (Fig. 9)
+#
+# Usage: bench/run_all.sh [build-dir]   (default: ./build)
+# Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo_root/build}"
+reps="${REPS:-3}"
+
+if [[ ! -x "$build/bench/bench_kernels" ]]; then
+  echo "error: $build/bench/bench_kernels not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== bench_kernels (reps=$reps) =="
+"$build/bench/bench_kernels" --reps "$reps" \
+  --json "$repo_root/BENCH_kernels.json"
+
+echo
+echo "== bench_fig9_2d (reps=$reps) =="
+fig9_args=(--reps "$reps" --json "$repo_root/BENCH_fig9.json")
+if [[ -n "${BENCH_CLASS:-}" ]]; then
+  fig9_args+=(--class "$BENCH_CLASS")
+fi
+"$build/bench/bench_fig9_2d" "${fig9_args[@]}" \
+  --benchmark_out_format=console
+
+echo
+echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json"

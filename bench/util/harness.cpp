@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/parallel.hpp"
 
 namespace polymg::bench {
 
@@ -190,6 +194,46 @@ void ResultTable::print(const std::string& title,
     }
     std::printf("\n");
   }
+}
+
+void ResultTable::write_json(const std::string& path,
+                             const std::string& bench,
+                             const std::string& baseline) const {
+  std::ofstream os(path);
+  PMG_CHECK(os.good(), "cannot open " << path << " for writing");
+  os << "[\n";
+  bool first = true;
+  for (const auto& row : row_order_) {
+    // Rows are "<benchmark point>/<size class>"; a row without the
+    // separator has no class tag.
+    const auto slash = row.rfind('/');
+    const std::string point = slash == std::string::npos
+                                  ? row
+                                  : row.substr(0, slash);
+    const std::string cls =
+        slash == std::string::npos ? "" : row.substr(slash + 1);
+    const auto& cells = data_.at(row);
+    const auto base = cells.find(baseline);
+    for (const auto& s : series_order_) {
+      const auto it = cells.find(s);
+      if (it == cells.end()) continue;
+      if (!first) os << ",\n";
+      first = false;
+      os << "  {\"bench\": \"" << bench << "/" << point << "\", "
+         << "\"variant\": \"" << s << "\", "
+         << "\"class\": \"" << cls << "\", "
+         << "\"threads\": " << max_threads() << ", "
+         << "\"ms\": " << it->second * 1e3 << ", "
+         << "\"speedup_vs_naive\": ";
+      if (base != cells.end() && it->second > 0) {
+        os << base->second / it->second;
+      } else {
+        os << "null";
+      }
+      os << "}";
+    }
+  }
+  os << "\n]\n";
 }
 
 double ResultTable::geomean_speedup(const std::string& series,

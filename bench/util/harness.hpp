@@ -100,6 +100,16 @@ public:
   double geomean_speedup(const std::string& series,
                          const std::string& baseline) const;
 
+  /// Machine-readable results: a JSON array with one record per
+  /// (row, series) cell —
+  ///   {"bench": "<bench>/<row>", "variant": "<series>",
+  ///    "class": "<suffix of row after the last '/'>",
+  ///    "threads": N, "ms": t, "speedup_vs_naive": base/t}
+  /// `baseline` names the series speedups are computed against (the
+  /// field is null for rows that lack the baseline).
+  void write_json(const std::string& path, const std::string& bench,
+                  const std::string& baseline) const;
+
 private:
   std::vector<std::string> row_order_;
   std::vector<std::string> series_order_;

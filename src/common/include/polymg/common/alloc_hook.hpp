@@ -1,0 +1,23 @@
+// Global allocation counter — a test hook for asserting that fast paths
+// stay off the heap.
+//
+// polymg_common replaces the global operator new/delete family with
+// malloc/free wrappers that bump one relaxed atomic per allocation. The
+// counter costs a single uncontended atomic increment per new — nothing
+// measurable against the allocation itself — and lets tests express
+// "this steady-state region performs zero heap allocations" exactly:
+//
+//   const auto before = polymg::allocation_count();
+//   exec.run(externals);                  // warmed-up fast path
+//   EXPECT_EQ(polymg::allocation_count(), before);
+#pragma once
+
+#include <cstdint>
+
+namespace polymg {
+
+/// Number of global operator new / new[] calls (any overload) performed
+/// by this process so far. Monotone; never reset.
+std::uint64_t allocation_count();
+
+}  // namespace polymg

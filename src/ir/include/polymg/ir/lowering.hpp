@@ -14,6 +14,7 @@
 
 #include "polymg/ir/bytecode.hpp"
 #include "polymg/ir/function.hpp"
+#include "polymg/ir/regprog.hpp"
 
 namespace polymg::ir {
 
@@ -52,6 +53,10 @@ std::optional<LinearForm> try_linearize(const Expr& e, int ndim);
 struct LoweredDef {
   std::optional<LinearForm> linear;  // fast path when present
   Bytecode bytecode;                 // always valid (reference/fallback)
+  /// Register program for the row engine (non-linear definitions).
+  /// Compiled at plan time; cleared when a plan opts out of the register
+  /// engine (the reference/oracle plans keep interpreting `bytecode`).
+  RegProgram regprog;
 };
 
 /// A whole function's lowered definitions (one per parity case).

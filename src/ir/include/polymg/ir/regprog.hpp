@@ -1,0 +1,69 @@
+// Register-bytecode programs: the row engine's executable form.
+//
+// The stack Bytecode is a faithful postfix rendering of the definition
+// expression, evaluated one point at a time — correct but interpretive.
+// A RegProgram is the same expression compiled once (at plan time) into a
+// linear three-address form over virtual registers, with
+//   (a) common-subexpression elimination by value numbering (identical
+//       constants, loads and operation trees share one register), and
+//   (b) loop-invariant hoisting: instructions whose operands are all
+//       position-independent (constants and arithmetic over constants)
+//       move to a prologue executed once per kernel invocation.
+// The runtime evaluates the body over whole rows in fixed-width batches
+// (each register is a short vector of lanes), which is what lets the
+// compiler vectorize arbitrary bytecode-only stages.
+#pragma once
+
+#include <vector>
+
+#include "polymg/ir/bytecode.hpp"
+
+namespace polymg::ir {
+
+enum class RegOpKind : std::uint8_t { Const, Load, Neg, Add, Sub, Mul, Div };
+
+struct RegInstr {
+  RegOpKind kind;
+  int dst = -1;
+  int a = -1;  // operand register (Neg and binary ops)
+  int b = -1;  // second operand register (binary ops)
+
+  double c = 0.0;                         // Const
+  int slot = -1;                          // Load: source slot
+  std::array<LoadIndex, kMaxDims> idx{};  // Load: sampled index per dim
+};
+
+/// Linearized register program. `prologue` holds the hoisted
+/// loop-invariant instructions (all Const and const-only arithmetic);
+/// `body` holds the per-point instructions in dependence order. Register
+/// numbering is shared: body instructions may read prologue registers.
+struct RegProgram {
+  std::vector<RegInstr> prologue;
+  std::vector<RegInstr> body;
+  int num_regs = 0;
+  int result = -1;  ///< register holding the definition's value
+  int num_loads = 0;  ///< Load instructions in the body
+
+  bool empty() const { return num_regs == 0; }
+};
+
+/// Capacity bounds the batch evaluator relies on; programs exceeding them
+/// are still valid RegPrograms but the runtime falls back to the stack
+/// interpreter (caps are validated where the engine is selected).
+inline constexpr int kRegEngineMaxRegs = 96;
+inline constexpr int kRegEngineMaxLoads = 48;
+
+/// Compile stack bytecode into a register program (CSE + hoisting).
+RegProgram compile_regprog(const Bytecode& bc);
+
+/// Structural validation: SSA-style single assignment per register,
+/// operands defined before use, register/slot indices in range, exactly
+/// loop-invariant instructions in the prologue, and a defined result.
+/// `num_slots` bounds Load slots (< 0 skips the slot check). Returns a
+/// human-readable issue list, empty when well-formed.
+std::vector<std::string> regprog_issues(const RegProgram& p, int num_slots);
+
+/// Whether the batch evaluator can run this program (capacity caps).
+bool regprog_fits_engine(const RegProgram& p);
+
+}  // namespace polymg::ir

@@ -67,10 +67,17 @@ CompiledPipeline compile(Pipeline pipe, const CompileOptions& opts) {
   CompiledPipeline cp;
   cp.opts = opts;
 
-  // Lower every function definition up front.
+  // Lower every function definition up front. Plans that opt out of the
+  // register engine (the guarded-execution reference) drop the register
+  // programs so their non-linear stages interpret bytecode point-wise.
   cp.lowered.reserve(pipe.funcs.size());
   for (const ir::FunctionDecl& f : pipe.funcs) {
     cp.lowered.push_back(ir::lower(f));
+    if (!opts.register_engine) {
+      for (ir::LoweredDef& ld : cp.lowered.back().defs) {
+        ld.regprog = ir::RegProgram{};
+      }
+    }
   }
 
   const Grouping grouping = auto_group(pipe, opts);
@@ -292,6 +299,23 @@ CompiledPipeline compile(Pipeline pipe, const CompileOptions& opts) {
     }
     for (const auto& [aid, lg] : last_group_of_array) {
       cp.release_after_group[lg].push_back(aid);
+    }
+  }
+
+  // ---- Plan-time kernel instance cache: precompute every tile's
+  // ---- per-stage regions so the executor's steady state re-derives
+  // ---- nothing (and allocates nothing) per tile.
+  for (GroupPlan& gp : cp.groups) {
+    if (gp.exec != GroupExec::OverlapTiled) continue;
+    const std::size_t nstages = gp.stages.size();
+    gp.tile_regions_cache.resize(
+        static_cast<std::size_t>(gp.tiles.total) * nstages);
+    std::vector<Box> regions(nstages);
+    for (poly::index_t t = 0; t < gp.tiles.total; ++t) {
+      tile_regions(pipe, gp, gp.tiles.tile_box(t), regions);
+      std::copy(regions.begin(), regions.end(),
+                gp.tile_regions_cache.begin() +
+                    static_cast<std::size_t>(t) * nstages);
     }
   }
 

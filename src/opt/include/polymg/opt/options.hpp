@@ -44,6 +44,11 @@ struct CompileOptions {
   bool pooled_allocation = true;  ///< pooled allocator across cycles
   bool collapse = true;           ///< collapse(d) on perfect tile loops
 
+  /// Row-batched register engine for non-linear definitions. Reference
+  /// (oracle) plans turn this off so they keep interpreting bytecode
+  /// point-wise — an implementation independent of the engine they check.
+  bool register_engine = true;
+
   /// ± size threshold (in elements per dimension) when classifying
   /// scratchpads into storage classes (§3.2.1).
   index_t storage_class_slack = 8;

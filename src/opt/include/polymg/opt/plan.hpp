@@ -62,6 +62,12 @@ struct GroupPlan {
   std::vector<poly::index_t> scratch_sizes;  ///< doubles per scratchpad id
   poly::index_t scratch_doubles_total = 0;
 
+  /// Plan-time kernel instance cache (OverlapTiled only): the per-tile
+  /// regions of every stage, row-major as [tile * nstages + stage]. The
+  /// executor indexes this instead of re-deriving regions per tile;
+  /// validate_plan rejects a cache that disagrees with a recomputation.
+  std::vector<Box> tile_regions_cache;
+
   // TimeTiled only:
   poly::index_t dtile_H = 0;  ///< time-block height
   poly::index_t dtile_W = 0;  ///< block width along dim 0

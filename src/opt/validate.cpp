@@ -210,9 +210,34 @@ std::vector<std::string> plan_issues(const CompiledPipeline& cp) {
       });
       // Scratchpad sizing vs. the real footprint of every tile — the
       // same bound the executor enforces per tile, checked eagerly here.
+      // The plan-time region cache must agree with a recomputation; a
+      // corrupted instance table would silently misdirect every kernel.
+      const std::size_t cache_expect =
+          static_cast<std::size_t>(g.tiles.total) * g.stages.size();
+      out.check(g.tile_regions_cache.empty() ||
+                    g.tile_regions_cache.size() == cache_expect,
+                [&](auto& o) {
+                  o << "group " << gi << " tile-region cache holds "
+                    << g.tile_regions_cache.size() << " boxes, expected "
+                    << cache_expect;
+                });
+      const bool cache_usable = g.tile_regions_cache.size() == cache_expect;
       std::vector<Box> regions(g.stages.size());
       for (poly::index_t t = 0; t < g.tiles.total; ++t) {
         tile_regions(pipe, g, g.tiles.tile_box(t), regions);
+        if (cache_usable) {
+          for (std::size_t p = 0; p < g.stages.size(); ++p) {
+            const Box& cached =
+                g.tile_regions_cache[static_cast<std::size_t>(t) *
+                                         g.stages.size() +
+                                     p];
+            out.check(cached == regions[p], [&](auto& o) {
+              o << "group " << gi << " cached region of tile " << t
+                << " stage " << p << " is " << cached << ", recomputed "
+                << regions[p];
+            });
+          }
+        }
         for (std::size_t p = 0; p < g.stages.size(); ++p) {
           const StagePlan& sp = g.stages[p];
           if (sp.scratch_buffer < 0 || sp.scratch_buffer >= nscratch) {
@@ -260,6 +285,28 @@ std::vector<std::string> plan_issues(const CompiledPipeline& cp) {
                     o << "ping-pong array of group " << gi
                       << " undersized";
                   });
+      }
+    }
+  }
+
+  // ---- Lowered register programs: structurally sound, and absent when
+  // ---- the plan opts out of the engine (oracle plans must interpret).
+  for (int f = 0; f < std::min(nfuncs, static_cast<int>(cp.lowered.size()));
+       ++f) {
+    const int nslots = static_cast<int>(pipe.funcs[f].sources.size());
+    for (std::size_t di = 0; di < cp.lowered[f].defs.size(); ++di) {
+      const ir::LoweredDef& ld = cp.lowered[f].defs[di];
+      if (ld.regprog.empty()) continue;
+      out.check(cp.opts.register_engine, [&](auto& o) {
+        o << pipe.funcs[f].name << " def " << di
+          << " carries a register program in a plan with the register "
+             "engine disabled";
+      });
+      for (const std::string& s : ir::regprog_issues(ld.regprog, nslots)) {
+        out.check(false, [&](auto& o) {
+          o << pipe.funcs[f].name << " def " << di << " register program: "
+            << s;
+        });
       }
     }
   }
@@ -321,6 +368,9 @@ CompileOptions reference_options(const CompileOptions& base) {
   o.inter_group_reuse = false;
   o.pooled_allocation = false;
   o.collapse = false;
+  // The oracle must stay implementation-independent of the fast path it
+  // cross-checks: interpret bytecode, never the register engine.
+  o.register_engine = false;
   return o;
 }
 

@@ -7,6 +7,7 @@
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
+#include "polymg/common/timer.hpp"
 
 namespace polymg::runtime {
 
@@ -20,7 +21,83 @@ Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
   for (const GroupPlan& g : plan_.groups) {
     arena_doubles_ = std::max(arena_doubles_, g.scratch_doubles_total);
   }
+  // Everything below resolves plan-derivable state once, up front: the
+  // steady-state run() touches only these caches and allocates nothing.
   arena_.resize(static_cast<std::size_t>(max_threads()));
+  for (auto& a : arena_) a.resize(static_cast<std::size_t>(arena_doubles_));
+
+  const std::size_t ngroups = plan_.groups.size();
+  binds_.resize(ngroups);
+  releasable_after_group_.resize(ngroups);
+  scratch_off_.resize(ngroups);
+  chain_.resize(ngroups);
+  std::size_t max_stages = 1;
+  std::size_t max_sources = 1;
+  for (std::size_t gi = 0; gi < ngroups; ++gi) {
+    const GroupPlan& g = plan_.groups[gi];
+    max_stages = std::max(max_stages, g.stages.size());
+
+    binds_[gi].resize(g.stages.size());
+    for (std::size_t p = 0; p < g.stages.size(); ++p) {
+      const ir::FunctionDecl& f = plan_.pipe.funcs[g.stages[p].func];
+      max_sources = std::max(max_sources, f.sources.size());
+      binds_[gi][p].resize(f.sources.size());
+      for (std::size_t s = 0; s < f.sources.size(); ++s) {
+        const ir::SourceSlot& slot = f.sources[s];
+        SourceBind& b = binds_[gi][p][s];
+        if (slot.external) {
+          b = SourceBind{SourceBind::kExternal, slot.index, -1};
+          continue;
+        }
+        // Producer inside an overlap-tiled group with a scratchpad? Then
+        // the tile-local view carries the halo the consumer may need.
+        b = SourceBind{SourceBind::kArray, plan_.array_of_func[slot.index],
+                       slot.index};
+        if (g.exec != GroupExec::OverlapTiled) continue;
+        for (std::size_t q = 0; q < g.stages.size(); ++q) {
+          if (g.stages[q].func == slot.index &&
+              g.stages[q].scratch_buffer >= 0) {
+            b = SourceBind{SourceBind::kScratch, static_cast<int>(q), -1};
+            break;
+          }
+        }
+      }
+    }
+
+    for (int id : plan_.release_after_group[gi]) {
+      if (!plan_.arrays[id].io) releasable_after_group_[gi].push_back(id);
+    }
+
+    scratch_off_[gi].assign(g.scratch_sizes.size() + 1, 0);
+    std::partial_sum(g.scratch_sizes.begin(), g.scratch_sizes.end(),
+                     scratch_off_[gi].begin() + 1);
+
+    if (g.exec == GroupExec::TimeTiled) {
+      chain_[gi].resize(g.stages.size());
+      for (std::size_t t = 0; t < g.stages.size(); ++t) {
+        chain_[gi][t].fn = &plan_.pipe.funcs[g.stages[t].func];
+        chain_[gi][t].lowered = &plan_.lowered[g.stages[t].func];
+      }
+    }
+  }
+
+  workspaces_.resize(static_cast<std::size_t>(max_threads()));
+  for (Workspace& ws : workspaces_) {
+    ws.regions.reserve(max_stages);
+    ws.scratch_views.reserve(max_stages);
+    ws.srcs.reserve(max_sources);
+  }
+  stage_srcs_.reserve(max_sources);
+
+  group_seconds_.assign(ngroups, 0.0);
+  stage_seconds_.assign(static_cast<std::size_t>(plan_.pipe.num_stages()),
+                        0.0);
+}
+
+void Executor::reset_timers() {
+  std::fill(group_seconds_.begin(), group_seconds_.end(), 0.0);
+  std::fill(stage_seconds_.begin(), stage_seconds_.end(), 0.0);
+  runs_timed_ = 0;
 }
 
 View Executor::array_view(int array_id, const ir::FunctionDecl& shape) const {
@@ -51,20 +128,18 @@ void Executor::release_arrays(const std::vector<int>& ids) {
   }
 }
 
-View Executor::resolve_source(const GroupPlan& g, const ir::SourceSlot& slot,
-                              std::span<const View> externals,
-                              const std::vector<View>& scratch_views) const {
-  if (slot.external) return externals[slot.index];
-  // Producer inside this group with a scratchpad? Then the tile-local
-  // view carries the halo the consumer may need.
-  for (std::size_t p = 0; p < g.stages.size(); ++p) {
-    if (g.stages[p].func == slot.index &&
-        g.stages[p].scratch_buffer >= 0 && !scratch_views.empty()) {
-      return scratch_views[p];
-    }
+View Executor::resolve_bind(const SourceBind& b,
+                            std::span<const View> externals,
+                            std::span<const View> scratch_views) const {
+  switch (b.kind) {
+    case SourceBind::kExternal:
+      return externals[b.index];
+    case SourceBind::kScratch:
+      return scratch_views[b.index];
+    case SourceBind::kArray:
+      break;
   }
-  const int aid = plan_.array_of_func[slot.index];
-  return array_view(aid, plan_.pipe.funcs[slot.index]);
+  return array_view(b.index, plan_.pipe.funcs[b.func]);
 }
 
 void Executor::run(std::span<const View> externals) {
@@ -110,16 +185,25 @@ void Executor::run(std::span<const View> externals) {
     }
     if (g.exec == GroupExec::TimeTiled) ensure_array(g.time_temp_array);
 
+    Timer gt;
     switch (g.exec) {
       case GroupExec::Loops:
-        run_loops_group(g, externals);
+        run_loops_group(static_cast<int>(gi), externals);
         break;
       case GroupExec::OverlapTiled:
-        run_overlap_group(g, externals);
+        run_overlap_group(static_cast<int>(gi), externals);
         break;
       case GroupExec::TimeTiled:
-        run_timetile_group(g, externals);
+        run_timetile_group(static_cast<int>(gi), externals);
         break;
+    }
+    const double dt = gt.elapsed();
+    group_seconds_[gi] += dt;
+    // Fused groups execute their stages interleaved per tile, so stage
+    // attribution lands on the anchor (Loops groups attribute per stage
+    // inside run_loops_group).
+    if (g.exec != GroupExec::Loops) {
+      stage_seconds_[static_cast<std::size_t>(g.stages[g.anchor].func)] += dt;
     }
     // Fault site: poison this group's freshest full-array result with a
     // NaN at the interior midpoint (a point every downstream stencil
@@ -140,14 +224,12 @@ void Executor::run(std::span<const View> externals) {
     }
     if (plan_.opts.pooled_allocation) {
       // pool_deallocate as soon as all uses of an array are finished
-      // (§3.2.3) — but never the program outputs.
-      std::vector<int> releasable;
-      for (int id : plan_.release_after_group[gi]) {
-        if (!plan_.arrays[id].io) releasable.push_back(id);
-      }
-      release_arrays(releasable);
+      // (§3.2.3) — but never the program outputs (filtered at
+      // construction).
+      release_arrays(releasable_after_group_[gi]);
     }
   }
+  ++runs_timed_;
 }
 
 View Executor::output_view(int i) const {
@@ -157,16 +239,19 @@ View Executor::output_view(int i) const {
   return array_view(plan_.array_of_func[func], plan_.pipe.funcs[func]);
 }
 
-void Executor::run_loops_group(const GroupPlan& g,
-                               std::span<const View> externals) {
-  for (const StagePlan& sp : g.stages) {
+void Executor::run_loops_group(int gi, std::span<const View> externals) {
+  const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
+  for (std::size_t p = 0; p < g.stages.size(); ++p) {
+    const StagePlan& sp = g.stages[p];
     const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
     const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
     const View out = array_view(sp.array, f);
-    std::vector<View> srcs(f.sources.size());
+    stage_srcs_.assign(f.sources.size(), View{});
     for (std::size_t s = 0; s < f.sources.size(); ++s) {
-      srcs[s] = resolve_source(g, f.sources[s], externals, {});
+      stage_srcs_[s] = resolve_bind(binds_[gi][p][s], externals, {});
     }
+    std::span<const View> srcs(stage_srcs_);
+    Timer st;
     // Straightforward parallelization: OpenMP on the outermost grid
     // dimension, in slabs to amortize per-call setup.
     const poly::Interval d0 = f.domain.dim(0);
@@ -181,19 +266,22 @@ void Executor::run_loops_group(const GroupPlan& g,
                                             d0.hi)};
       apply_stage(f, lowered, out, srcs, part);
     }
+    stage_seconds_[static_cast<std::size_t>(sp.func)] += st.elapsed();
   }
 }
 
-void Executor::run_overlap_group(const GroupPlan& g,
-                                 std::span<const View> externals) {
+void Executor::run_overlap_group(int gi, std::span<const View> externals) {
+  const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
   const int nstages = static_cast<int>(g.stages.size());
   const ir::FunctionDecl& anchor_f = plan_.pipe.funcs[g.stages[g.anchor].func];
   const poly::TileGrid& tiles = g.tiles;
-
-  // Scratchpad offsets within the per-thread arena.
-  std::vector<index_t> scratch_off(g.scratch_sizes.size() + 1, 0);
-  std::partial_sum(g.scratch_sizes.begin(), g.scratch_sizes.end(),
-                   scratch_off.begin() + 1);
+  const std::vector<index_t>& scratch_off =
+      scratch_off_[static_cast<std::size_t>(gi)];
+  // Plans built by opt::compile carry the per-tile region cache; keep a
+  // recompute fallback for hand-assembled plans (tests).
+  const bool cached =
+      g.tile_regions_cache.size() ==
+      static_cast<std::size_t>(tiles.total) * g.stages.size();
 
   // The collapse(d) clause flattens the tile loops; a flat index loop is
   // its runtime equivalent. Without collapse only the outermost tile
@@ -208,19 +296,24 @@ void Executor::run_overlap_group(const GroupPlan& g,
   {
     const int tid = thread_id();
     auto& arena = arena_[static_cast<std::size_t>(tid)];
-    if (static_cast<index_t>(arena.size()) < arena_doubles_) {
-      arena.resize(static_cast<std::size_t>(arena_doubles_));
-    }
-    std::vector<Box> regions(static_cast<std::size_t>(nstages));
-    std::vector<View> scratch_views(static_cast<std::size_t>(nstages));
-    std::vector<View> srcs;
+    Workspace& ws = workspaces_[static_cast<std::size_t>(tid)];
+    // Reserved at construction: these stay within capacity (no malloc).
+    ws.regions.assign(static_cast<std::size_t>(nstages), Box{});
+    ws.scratch_views.assign(static_cast<std::size_t>(nstages), View{});
 
 #pragma omp for schedule(static)
     for (index_t pi = 0; pi < parallel_extent; ++pi) {
       for (index_t ti = pi * tiles_per_chunk;
            ti < (pi + 1) * tiles_per_chunk; ++ti) {
         const Box tile = tiles.tile_box(ti);
-        opt::tile_regions(plan_.pipe, g, tile, regions);
+        const Box* regions;
+        if (cached) {
+          regions = g.tile_regions_cache.data() +
+                    static_cast<std::size_t>(ti) * g.stages.size();
+        } else {
+          opt::tile_regions(plan_.pipe, g, tile, ws.regions);
+          regions = ws.regions.data();
+        }
 
         // Bind scratchpad views for this tile's footprints.
         for (int p = 0; p < nstages; ++p) {
@@ -234,7 +327,7 @@ void Executor::run_overlap_group(const GroupPlan& g,
                     "scratchpad overflow on "
                         << plan_.pipe.funcs[sp.func].name << ": region "
                         << regions[p]);
-          scratch_views[p] = View::over(
+          ws.scratch_views[p] = View::over(
               arena.data() + scratch_off[sp.scratch_buffer], regions[p]);
         }
 
@@ -242,24 +335,25 @@ void Executor::run_overlap_group(const GroupPlan& g,
           const StagePlan& sp = g.stages[p];
           const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
           const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
-          srcs.assign(f.sources.size(), View{});
+          ws.srcs.assign(f.sources.size(), View{});
           for (std::size_t s = 0; s < f.sources.size(); ++s) {
-            srcs[s] = resolve_source(g, f.sources[s], externals,
-                                     scratch_views);
+            ws.srcs[s] =
+                resolve_bind(binds_[gi][p][s], externals, ws.scratch_views);
           }
           if (sp.scratch_buffer >= 0) {
-            apply_stage(f, lowered, scratch_views[p], srcs, regions[p]);
+            apply_stage(f, lowered, ws.scratch_views[p], ws.srcs,
+                        regions[p]);
             if (sp.array >= 0) {
               // Live-out with in-group consumers: publish the owned
               // partition slice (disjoint across tiles).
               const Box own = opt::owned_region(f, sp.rel, tile,
                                                 anchor_f.domain);
-              copy_view(array_view(sp.array, f), scratch_views[p], own);
+              copy_view(array_view(sp.array, f), ws.scratch_views[p], own);
             }
           } else {
             // The anchor (and any consumer-less live-out) writes its
             // disjoint region straight to the full array.
-            apply_stage(f, lowered, array_view(sp.array, f), srcs,
+            apply_stage(f, lowered, array_view(sp.array, f), ws.srcs,
                         regions[p]);
           }
         }
@@ -268,17 +362,12 @@ void Executor::run_overlap_group(const GroupPlan& g,
   }
 }
 
-void Executor::run_timetile_group(const GroupPlan& g,
-                                  std::span<const View> externals) {
-  const StagePlan& first = g.stages.front();
+void Executor::run_timetile_group(int gi, std::span<const View> externals) {
+  const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
   const StagePlan& last = g.stages.back();
-  const ir::FunctionDecl& step_fn = plan_.pipe.funcs[first.func];
+  const ir::FunctionDecl& step_fn = plan_.pipe.funcs[g.stages.front().func];
   const int steps = static_cast<int>(g.stages.size());
-  std::vector<ChainStep> chain(g.stages.size());
-  for (std::size_t t = 0; t < g.stages.size(); ++t) {
-    chain[t].fn = &plan_.pipe.funcs[g.stages[t].func];
-    chain[t].lowered = &plan_.lowered[g.stages[t].func];
-  }
+  const std::vector<ChainStep>& chain = chain_[static_cast<std::size_t>(gi)];
 
   const View out = array_view(last.array, step_fn);
   const View tmp = array_view(g.time_temp_array, step_fn);
@@ -288,10 +377,10 @@ void Executor::run_timetile_group(const GroupPlan& g,
 
   // Bind the step's time-invariant sources; slot 0 (the previous level)
   // is managed by the sweep.
-  std::vector<View> srcs(step_fn.sources.size());
-  const View v0 = resolve_source(g, step_fn.sources[0], externals, {});
+  stage_srcs_.assign(step_fn.sources.size(), View{});
+  const View v0 = resolve_bind(binds_[gi][0][0], externals, {});
   for (std::size_t s = 1; s < step_fn.sources.size(); ++s) {
-    srcs[s] = resolve_source(g, step_fn.sources[s], externals, {});
+    stage_srcs_[s] = resolve_bind(binds_[gi][0][s], externals, {});
   }
 
   // Level 0 into bufs[0]; ghost rings of both buffers obey the step's
@@ -309,7 +398,7 @@ void Executor::run_timetile_group(const GroupPlan& g,
   }
 
   TimeTileParams params{g.dtile_H, g.dtile_W};
-  time_tiled_sweep(chain, bufs, srcs, params);
+  time_tiled_sweep(chain, bufs, stage_srcs_, params);
 }
 
 }  // namespace polymg::runtime

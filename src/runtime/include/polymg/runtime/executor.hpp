@@ -6,8 +6,15 @@
 // split/diamond time tiling for smoother chains; full arrays served by a
 // pooled allocator (or per-cycle allocations for the variants without
 // pooling) with pool_deallocate emitted at each array's last-use group.
+//
+// Everything derivable from the plan alone — source bindings, scratchpad
+// offsets, time-tile chains, release lists, per-thread workspaces — is
+// resolved once at construction, so a steady-state run() performs no heap
+// allocation and no per-tile re-derivation (the per-tile regions come
+// from the plan's tile_regions_cache).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -38,21 +45,43 @@ public:
   /// Peak bytes of full-array storage held during the last run.
   index_t peak_array_doubles() const { return peak_array_doubles_; }
 
+  // --- Timing counters (accumulated across run() calls). ---
+  /// Seconds spent in each group, index parallel to plan().groups.
+  const std::vector<double>& group_seconds() const { return group_seconds_; }
+  /// Seconds attributed to each function's stage. Loops groups time every
+  /// stage individually; tiled groups fuse stages, so their whole group
+  /// time lands on the anchor stage.
+  const std::vector<double>& stage_seconds() const { return stage_seconds_; }
+  /// Completed run() invocations since construction / reset_timers().
+  std::int64_t runs_timed() const { return runs_timed_; }
+  void reset_timers();
+
 private:
+  /// Plan-time-resolved origin of one source slot.
+  struct SourceBind {
+    enum Kind : std::uint8_t { kExternal, kScratch, kArray };
+    Kind kind = kExternal;
+    int index = -1;  ///< external slot / stage position / array id
+    int func = -1;   ///< producing function (kArray: the view's shape)
+  };
+
+  /// Per-thread overlap-tile workspace, sized once at construction.
+  struct Workspace {
+    std::vector<Box> regions;        // fallback when a plan has no cache
+    std::vector<View> scratch_views;
+    std::vector<View> srcs;
+  };
+
   View array_view(int array_id, const ir::FunctionDecl& shape) const;
-  View resolve_source(const opt::GroupPlan& g, const ir::SourceSlot& slot,
-                      std::span<const View> externals,
-                      const std::vector<View>& group_scratch_views) const;
+  View resolve_bind(const SourceBind& b, std::span<const View> externals,
+                    std::span<const View> scratch_views) const;
 
   void ensure_array(int array_id);
   void release_arrays(const std::vector<int>& ids);
 
-  void run_loops_group(const opt::GroupPlan& g,
-                       std::span<const View> externals);
-  void run_overlap_group(const opt::GroupPlan& g,
-                         std::span<const View> externals);
-  void run_timetile_group(const opt::GroupPlan& g,
-                          std::span<const View> externals);
+  void run_loops_group(int gi, std::span<const View> externals);
+  void run_overlap_group(int gi, std::span<const View> externals);
+  void run_timetile_group(int gi, std::span<const View> externals);
 
   opt::CompiledPipeline plan_;
   MemoryPool pool_;
@@ -62,6 +91,18 @@ private:
   index_t arena_doubles_ = 0;
   index_t peak_array_doubles_ = 0;
   index_t live_array_doubles_ = 0;
+
+  // --- Construction-time caches (steady state allocates nothing). ---
+  std::vector<std::vector<std::vector<SourceBind>>> binds_;  // [g][stage][slot]
+  std::vector<std::vector<int>> releasable_after_group_;     // io filtered out
+  std::vector<std::vector<index_t>> scratch_off_;  // [g]: arena prefix sums
+  std::vector<std::vector<ChainStep>> chain_;      // [g] (TimeTiled only)
+  std::vector<Workspace> workspaces_;              // per thread
+  std::vector<View> stage_srcs_;  // Loops / TimeTiled source scratch
+
+  std::vector<double> group_seconds_;
+  std::vector<double> stage_seconds_;
+  std::int64_t runs_timed_ = 0;
 };
 
 }  // namespace polymg::runtime

@@ -8,6 +8,7 @@
 // so the same code runs on full arrays and tile scratchpads.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "polymg/grid/view.hpp"
@@ -26,11 +27,20 @@ void apply_linear(const ir::LinearForm& lf, View out,
                   std::array<index_t, 3> step = {1, 1, 1},
                   std::array<index_t, 3> phase = {0, 0, 0});
 
-/// Same contract, interpreting bytecode per point (fallback path).
+/// Same contract, interpreting bytecode per point (fallback path and the
+/// guarded-execution reference oracle).
 void apply_bytecode(const ir::Bytecode& bc, View out,
                     std::span<const View> srcs, const Box& region,
                     std::array<index_t, 3> step = {1, 1, 1},
                     std::array<index_t, 3> phase = {0, 0, 0});
+
+/// Same contract, evaluating a plan-time-compiled register program over
+/// whole rows in fixed-width lane batches (the fast path for non-linear
+/// definitions). The program must satisfy regprog_fits_engine().
+void apply_regprog(const ir::RegProgram& prog, View out,
+                   std::span<const View> srcs, const Box& region,
+                   std::array<index_t, 3> step = {1, 1, 1},
+                   std::array<index_t, 3> phase = {0, 0, 0});
 
 /// Execute one function over `region`: interior points via its lowered
 /// definition(s) (dispatching parity cases when piecewise) and the
@@ -44,9 +54,31 @@ void apply_stage_interior(const ir::FunctionDecl& f,
                           const ir::LoweredFunc& lowered, View out,
                           std::span<const View> srcs, const Box& region);
 
-/// Decompose region ∖ interior into disjoint slabs and invoke fn on each.
-void for_each_boundary_slab(const Box& region, const Box& interior,
-                            const std::function<void(const Box&)>& fn);
+/// Decompose region ∖ interior into disjoint slabs and invoke fn on each:
+/// peel below/above slabs dimension by dimension; the remaining core is
+/// region ∩ interior. Templated over the callback so capturing lambdas at
+/// call sites never round-trip through a heap-allocating std::function —
+/// this runs on every stage of every executor tile.
+template <typename Fn>
+void for_each_boundary_slab(const Box& region, const Box& interior, Fn&& fn) {
+  Box rest = region;
+  for (int d = 0; d < region.ndim(); ++d) {
+    const poly::Interval r = rest.dim(d);
+    const poly::Interval in = interior.dim(d);
+    if (r.lo < in.lo) {
+      Box slab = rest;
+      slab.dim(d) = poly::Interval{r.lo, std::min(r.hi, in.lo - 1)};
+      if (!slab.empty()) fn(slab);
+    }
+    if (r.hi > in.hi) {
+      Box slab = rest;
+      slab.dim(d) = poly::Interval{std::max(r.lo, in.hi + 1), r.hi};
+      if (!slab.empty()) fn(slab);
+    }
+    rest.dim(d) = poly::intersect(r, in);
+    if (rest.empty()) return;
+  }
+}
 
 /// Fill / copy helpers on views over a region (boundary rules).
 void fill_view(View v, const Box& region, double value);

@@ -17,6 +17,7 @@
 // full grids; level ℓ lives in buf[ℓ & 1].
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "polymg/runtime/kernels.hpp"
@@ -34,10 +35,52 @@ struct TimeTileParams {
 /// concurrently (body must be thread-safe); row ranges are pre-clamped
 /// to [lo, hi]. Both the DSL executor and the hand-optimized
 /// handopt+pluto baseline drive their loop bodies through this one
-/// schedule.
+/// schedule. Templated over the body so the capturing lambdas every
+/// caller passes stay on the stack — a std::function would heap-allocate
+/// per sweep and break the executor's zero-allocation steady state.
+template <typename Body>
 void split_tile_schedule(index_t lo, index_t hi, int steps,
-                         const TimeTileParams& params,
-                         const std::function<void(int, index_t, index_t)>& body);
+                         const TimeTileParams& params, const Body& body) {
+  const index_t H = std::max<index_t>(1, params.H);
+  const index_t W = std::max<index_t>(2 * H, params.W);
+  const index_t extent = hi - lo + 1;
+  if (extent <= 0 || steps <= 0) return;
+  const index_t K = poly::ceildiv(extent, W);  // number of blocks
+
+  for (int t0 = 0; t0 < steps; t0 += static_cast<int>(H)) {
+    const int h = std::min<int>(static_cast<int>(H), steps - t0);
+
+    // Phase 1: shrinking trapezoids, one per block, concurrent start.
+    // Block k owns rows [b_k, e_k]; at step s it computes
+    // [b_k + s·(k>0), e_k - s·(k<K-1)] — the dependence cone stays inside
+    // the block, so blocks never exchange data within the phase. Domain
+    // edges never shrink: ghost rows are time-invariant.
+#pragma omp parallel for schedule(dynamic)
+    for (index_t k = 0; k < K; ++k) {
+      const index_t bk = lo + k * W;
+      const index_t ek = std::min(bk + W - 1, hi);
+      for (int s = 0; s < h; ++s) {
+        const index_t rlo = bk + (k > 0 ? s : 0);
+        const index_t rhi = ek - (k < K - 1 ? s : 0);
+        if (rlo <= rhi) body(t0 + s, rlo, rhi);
+      }
+    }
+
+    // Phase 2: inter-block wedges. Wedge k (between blocks k and k+1)
+    // computes rows [e_k - s + 1, e_k + s] at step s, reading phase-1
+    // results at step s-1 on its flanks and its own previous step in the
+    // middle. Wedges stay pairwise disjoint because W >= 2H.
+#pragma omp parallel for schedule(dynamic)
+    for (index_t k = 0; k < K - 1; ++k) {
+      const index_t ek = std::min(lo + (k + 1) * W - 1, hi);
+      for (int s = 1; s < h; ++s) {
+        const index_t rlo = ek - s + 1;
+        const index_t rhi = std::min(ek + s, hi);
+        if (rlo <= rhi) body(t0 + s, rlo, rhi);
+      }
+    }
+  }
+}
 
 /// One time level of a smoother chain.
 struct ChainStep {

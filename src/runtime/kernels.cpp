@@ -31,6 +31,29 @@ DimLoop dim_loop(const poly::Interval& iv, index_t step, index_t phase) {
   return dl;
 }
 
+/// Map the ndim logical loops onto three loop levels, innermost (the
+/// contiguous dimension) at level 2. Returns false when any loop is
+/// empty. lo_dim is the logical dim of loop level 0 minus, i.e. logical
+/// dim d executes at level d + (3 - ndim).
+bool make_levels(const Box& region, int ndim,
+                 const std::array<index_t, 3>& step,
+                 const std::array<index_t, 3>& phase, DimLoop dl[3]) {
+  for (int d = 0; d < ndim; ++d) {
+    dl[d] = dim_loop(region.dim(d), step[d], phase[d]);
+    if (dl[d].count == 0) return false;
+  }
+  if (ndim == 2) {
+    dl[2] = dl[1];
+    dl[1] = dl[0];
+    dl[0] = DimLoop{0, 1, 1};
+  } else if (ndim == 1) {
+    dl[2] = dl[0];
+    dl[1] = DimLoop{0, 1, 1};
+    dl[0] = DimLoop{0, 1, 1};
+  }
+  return true;
+}
+
 /// One flattened tap of the fast path: a base pointer (for u == 0) plus
 /// per-loop-counter strides.
 struct FlatTap {
@@ -39,9 +62,14 @@ struct FlatTap {
   index_t s0, s1, s2;
 };
 
+/// Taps of a cached linear-form instance fit on the stack; lowering
+/// produces at most a few dozen taps (NAS rprj3 peaks at 27).
+inline constexpr int kMaxStackTaps = 64;
+
 template <int NT>
-inline void row_kernel_fixed(double* out, index_t os2, index_t count,
-                             double cst, const FlatTap* taps) {
+inline void row_kernel_fixed(double* __restrict__ out, index_t os2,
+                             index_t count, double cst,
+                             const FlatTap* __restrict__ taps) {
   // All-unit inner strides: the compiler can vectorize this form.
   bool unit = os2 == 1;
   for (int t = 0; t < NT; ++t) unit = unit && taps[t].s2 == 1;
@@ -59,6 +87,44 @@ inline void row_kernel_fixed(double* out, index_t os2, index_t count,
       }
       out[u * os2] = acc;
     }
+  }
+}
+
+/// Generic tap counts (variable-coefficient 3-d stencils land on 10–18)
+/// in blocks of four taps: each pass is a clean 4-term axpy the
+/// vectorizer handles, instead of a variable-trip-count inner tap loop.
+void row_kernel_blocked4(int nt, double* __restrict__ out, index_t os2,
+                         index_t count, double cst,
+                         const FlatTap* __restrict__ taps) {
+  bool unit = os2 == 1;
+  for (int t = 0; t < nt; ++t) unit = unit && taps[t].s2 == 1;
+  if (!unit) {
+    for (index_t u = 0; u < count; ++u) {
+      double acc = cst;
+      for (int t = 0; t < nt; ++t) {
+        acc += taps[t].coeff * taps[t].base[u * taps[t].s2];
+      }
+      out[u * os2] = acc;
+    }
+    return;
+  }
+  for (index_t u = 0; u < count; ++u) out[u] = cst;
+  int t = 0;
+  for (; t + 4 <= nt; t += 4) {
+    const double* __restrict__ b0 = taps[t + 0].base;
+    const double* __restrict__ b1 = taps[t + 1].base;
+    const double* __restrict__ b2 = taps[t + 2].base;
+    const double* __restrict__ b3 = taps[t + 3].base;
+    const double c0 = taps[t + 0].coeff, c1 = taps[t + 1].coeff;
+    const double c2 = taps[t + 2].coeff, c3 = taps[t + 3].coeff;
+    for (index_t u = 0; u < count; ++u) {
+      out[u] += c0 * b0[u] + c1 * b1[u] + c2 * b2[u] + c3 * b3[u];
+    }
+  }
+  for (; t < nt; ++t) {
+    const double* __restrict__ b = taps[t].base;
+    const double c = taps[t].coeff;
+    for (index_t u = 0; u < count; ++u) out[u] += c * b[u];
   }
 }
 
@@ -81,14 +147,9 @@ void row_kernel(int nt, double* out, index_t os2, index_t count, double cst,
     case 22: row_kernel_fixed<22>(out, os2, count, cst, taps); return;
     case 27: row_kernel_fixed<27>(out, os2, count, cst, taps); return;
     case 28: row_kernel_fixed<28>(out, os2, count, cst, taps); return;
-    default:
-      for (index_t u = 0; u < count; ++u) {
-        double acc = cst;
-        for (int t = 0; t < nt; ++t) {
-          acc += taps[t].coeff * taps[t].base[u * taps[t].s2];
-        }
-        out[u * os2] = acc;
-      }
+    // 10–18 (and anything past 28) run tap-blocked rather than falling
+    // back to the scalar variable-count loop.
+    default: row_kernel_blocked4(nt, out, os2, count, cst, taps); return;
   }
 }
 
@@ -111,26 +172,21 @@ void apply_linear_fast(const ir::LinearForm& lf, View out,
                        const std::array<index_t, 3>& phase) {
   const int ndim = out.ndim;
   DimLoop dl[3];
-  for (int d = 0; d < ndim; ++d) {
-    dl[d] = dim_loop(region.dim(d), step[d], phase[d]);
-    if (dl[d].count == 0) return;
-  }
-  // 2-d executes as a single outer plane.
-  if (ndim == 2) {
-    dl[2] = dl[1];
-    dl[1] = dl[0];
-    dl[0] = DimLoop{0, 1, 1};
-  } else if (ndim == 1) {
-    dl[2] = dl[0];
-    dl[1] = DimLoop{0, 1, 1};
-    dl[0] = DimLoop{0, 1, 1};
-  }
+  if (!make_levels(region, ndim, step, phase, dl)) return;
   const int lo_dim = 3 - ndim;  // logical dim of loop level 0
 
-  // Flatten taps with per-level strides and u==0 base pointers.
-  std::vector<FlatTap> taps;
-  taps.reserve(static_cast<std::size_t>(lf.total_taps()));
-  std::vector<double> coeffs;
+  // Flatten taps with per-level strides and u==0 base pointers. The
+  // steady-state path stays allocation-free: taps live on the stack up
+  // to kMaxStackTaps, with a heap fallback for outsized forms.
+  FlatTap taps_stack[kMaxStackTaps];
+  std::vector<FlatTap> taps_heap;
+  const int nt = lf.total_taps();
+  FlatTap* taps = taps_stack;
+  if (nt > kMaxStackTaps) {
+    taps_heap.resize(static_cast<std::size_t>(nt));
+    taps = taps_heap.data();
+  }
+  int ti = 0;
   for (const ir::InputTaps& it : lf.inputs) {
     const View& src = srcs[it.slot];
     PMG_DCHECK(src.ptr != nullptr, "unbound source view");
@@ -145,7 +201,7 @@ void apply_linear_fast(const ir::LinearForm& lf, View out,
           (floordiv(num * dl[lvl].start, den) - src.origin[d]) * src.stride[d];
     }
     for (const ir::Tap& t : it.taps) {
-      FlatTap ft;
+      FlatTap& ft = taps[ti++];
       index_t off = base0;
       for (int d = 0; d < ndim; ++d) off += t.off[d] * src.stride[d];
       ft.base = src.ptr + off;
@@ -153,10 +209,8 @@ void apply_linear_fast(const ir::LinearForm& lf, View out,
       ft.s0 = in_stride[0];
       ft.s1 = in_stride[1];
       ft.s2 = in_stride[2];
-      taps.push_back(ft);
     }
   }
-  const int nt = static_cast<int>(taps.size());
 
   index_t out_stride[3] = {0, 0, 0};
   index_t out_base = 0;
@@ -167,14 +221,21 @@ void apply_linear_fast(const ir::LinearForm& lf, View out,
     out_base += (dl[lvl].start - out.origin[d]) * out.stride[d];
   }
 
-  std::vector<FlatTap> row(taps);
+  FlatTap row_stack[kMaxStackTaps];
+  std::vector<FlatTap> row_heap;
+  FlatTap* row = row_stack;
+  if (nt > kMaxStackTaps) {
+    row_heap.resize(static_cast<std::size_t>(nt));
+    row = row_heap.data();
+  }
+  std::copy(taps, taps + nt, row);
   for (index_t u0 = 0; u0 < dl[0].count; ++u0) {
     for (index_t u1 = 0; u1 < dl[1].count; ++u1) {
       for (int t = 0; t < nt; ++t) {
         row[t].base = taps[t].base + u0 * taps[t].s0 + u1 * taps[t].s1;
       }
       double* o = out.ptr + out_base + u0 * out_stride[0] + u1 * out_stride[1];
-      row_kernel(nt, o, out_stride[2], dl[2].count, lf.constant, row.data());
+      row_kernel(nt, o, out_stride[2], dl[2].count, lf.constant, row);
     }
   }
 }
@@ -216,6 +277,107 @@ void apply_pointwise(View out, const Box& region,
         p[2] = dl[2].start + u2 * dl[2].step;
         out.at(p) = eval(p);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Register row engine: evaluate a RegProgram over whole rows in
+// fixed-width lane batches.
+// ---------------------------------------------------------------------
+
+/// Lanes per batch. 8 doubles = one AVX-512 register / two AVX2
+/// registers; the per-instruction dispatch cost is amortized over the
+/// whole batch and every lane loop is a fixed-trip-count vectorizable
+/// loop in the full-batch specialization.
+inline constexpr int kLanes = 8;
+
+/// Per-Load addressing, derived once per kernel invocation. The row
+/// base offset (everything except the innermost loop's contribution) is
+/// refreshed per row; the innermost dimension is strength-reduced to a
+/// constant advance when the sampling map is affine in the loop counter.
+struct RegLoadPlan {
+  const double* src_ptr = nullptr;
+  const double* row_ptr = nullptr;  // src_ptr + current row offset
+  // Outer (non-inner) logical dims: sampled-index parameters + layout.
+  int num[3] = {1, 1, 1};
+  int den[3] = {1, 1, 1};
+  index_t off[3] = {0, 0, 0};
+  index_t origin[3] = {0, 0, 0};
+  index_t stride[3] = {0, 0, 0};
+  // Innermost dimension.
+  bool inner_affine = true;
+  index_t adv = 0;     // address advance per loop iteration (affine)
+  index_t inner0 = 0;  // inner contribution at u == 0 (affine)
+  index_t stride_in = 1, origin_in = 0, off_in = 0;
+  int num_in = 1, den_in = 1;
+  index_t start_in = 0, step_in = 1;
+};
+
+/// One batch of `w` consecutive inner-loop iterations starting at `u`.
+/// `Full` pins w to kLanes so every lane loop has a constant trip count.
+template <bool Full>
+void regprog_batch(const ir::RegProgram& prog, RegLoadPlan* lp,
+                   double (*__restrict__ regs)[kLanes], index_t u,
+                   int w_in) {
+  const int w = Full ? kLanes : w_in;
+  int li = 0;
+  for (const ir::RegInstr& in : prog.body) {
+    double* __restrict__ d = regs[in.dst];
+    switch (in.kind) {
+      case ir::RegOpKind::Load: {
+        const RegLoadPlan& L = lp[li++];
+        if (L.inner_affine) {
+          const double* __restrict__ p = L.row_ptr + u * L.adv;
+          if (L.adv == 1) {
+            for (int l = 0; l < w; ++l) d[l] = p[l];
+          } else {
+            const index_t adv = L.adv;
+            for (int l = 0; l < w; ++l) d[l] = p[l * adv];
+          }
+        } else {
+          // floor(num·x/den) not affine in u (÷2 interpolation maps at
+          // unit step): per-lane index computation.
+          for (int l = 0; l < w; ++l) {
+            const index_t x = L.start_in + (u + l) * L.step_in;
+            const index_t q =
+                floordiv(L.num_in * x, L.den_in) + L.off_in;
+            d[l] = L.row_ptr[(q - L.origin_in) * L.stride_in];
+          }
+        }
+        break;
+      }
+      case ir::RegOpKind::Neg: {
+        const double* __restrict__ a = regs[in.a];
+        for (int l = 0; l < w; ++l) d[l] = -a[l];
+        break;
+      }
+      case ir::RegOpKind::Add: {
+        const double* __restrict__ a = regs[in.a];
+        const double* __restrict__ b = regs[in.b];
+        for (int l = 0; l < w; ++l) d[l] = a[l] + b[l];
+        break;
+      }
+      case ir::RegOpKind::Sub: {
+        const double* __restrict__ a = regs[in.a];
+        const double* __restrict__ b = regs[in.b];
+        for (int l = 0; l < w; ++l) d[l] = a[l] - b[l];
+        break;
+      }
+      case ir::RegOpKind::Mul: {
+        const double* __restrict__ a = regs[in.a];
+        const double* __restrict__ b = regs[in.b];
+        for (int l = 0; l < w; ++l) d[l] = a[l] * b[l];
+        break;
+      }
+      case ir::RegOpKind::Div: {
+        const double* __restrict__ a = regs[in.a];
+        const double* __restrict__ b = regs[in.b];
+        for (int l = 0; l < w; ++l) d[l] = a[l] / b[l];
+        break;
+      }
+      case ir::RegOpKind::Const:
+        break;  // hoisted; regprog_issues rejects Consts in the body
     }
   }
 }
@@ -300,26 +462,129 @@ void apply_bytecode(const ir::Bytecode& bc, View out,
       });
 }
 
-void for_each_boundary_slab(const Box& region, const Box& interior,
-                            const std::function<void(const Box&)>& fn) {
-  // Peel below/above slabs dimension by dimension; the remaining core is
-  // region ∩ interior.
-  Box rest = region;
-  for (int d = 0; d < region.ndim(); ++d) {
-    const poly::Interval r = rest.dim(d);
-    const poly::Interval in = interior.dim(d);
-    if (r.lo < in.lo) {
-      Box slab = rest;
-      slab.dim(d) = poly::Interval{r.lo, std::min(r.hi, in.lo - 1)};
-      if (!slab.empty()) fn(slab);
+void apply_regprog(const ir::RegProgram& prog, View out,
+                   std::span<const View> srcs, const Box& region,
+                   std::array<index_t, 3> step,
+                   std::array<index_t, 3> phase) {
+  if (region.empty()) return;
+  PMG_CHECK(ir::regprog_fits_engine(prog),
+            "register program exceeds engine capacity ("
+                << prog.num_regs << " regs, " << prog.num_loads << " loads)");
+  const int ndim = out.ndim;
+  DimLoop dl[3];
+  if (!make_levels(region, ndim, step, phase, dl)) return;
+  const int inner = ndim - 1;
+
+  // Loop-invariant prologue: evaluate scalars once, then broadcast into
+  // the lane-wide register file (body instructions treat every operand
+  // uniformly as a lane vector).
+  alignas(64) double regs[ir::kRegEngineMaxRegs][kLanes];
+  for (const ir::RegInstr& in : prog.prologue) {
+    double v = 0.0;
+    switch (in.kind) {
+      case ir::RegOpKind::Const: v = in.c; break;
+      case ir::RegOpKind::Neg: v = -regs[in.a][0]; break;
+      case ir::RegOpKind::Add: v = regs[in.a][0] + regs[in.b][0]; break;
+      case ir::RegOpKind::Sub: v = regs[in.a][0] - regs[in.b][0]; break;
+      case ir::RegOpKind::Mul: v = regs[in.a][0] * regs[in.b][0]; break;
+      case ir::RegOpKind::Div: v = regs[in.a][0] / regs[in.b][0]; break;
+      case ir::RegOpKind::Load:
+        PMG_CHECK(false, "Load hoisted into regprog prologue");
+        break;
     }
-    if (r.hi > in.hi) {
-      Box slab = rest;
-      slab.dim(d) = poly::Interval{std::max(r.lo, in.hi + 1), r.hi};
-      if (!slab.empty()) fn(slab);
+    for (int l = 0; l < kLanes; ++l) regs[in.dst][l] = v;
+  }
+
+  // Per-Load addressing plans (stack-resident, derived once).
+  RegLoadPlan lp[ir::kRegEngineMaxLoads];
+  {
+    int li = 0;
+    for (const ir::RegInstr& in : prog.body) {
+      if (in.kind != ir::RegOpKind::Load) continue;
+      RegLoadPlan& L = lp[li++];
+      const View& src = srcs[in.slot];
+      PMG_DCHECK(src.ptr != nullptr, "unbound source view");
+      L.src_ptr = src.ptr;
+      for (int d = 0; d < inner; ++d) {
+        L.num[d] = in.idx[d].num;
+        L.den[d] = in.idx[d].den;
+        L.off[d] = in.idx[d].off;
+        L.origin[d] = src.origin[d];
+        L.stride[d] = src.stride[d];
+      }
+      L.num_in = in.idx[inner].num;
+      L.den_in = in.idx[inner].den;
+      L.off_in = in.idx[inner].off;
+      L.origin_in = src.origin[inner];
+      L.stride_in = src.stride[inner];
+      L.start_in = dl[2].start;
+      L.step_in = dl[2].step;
+      L.inner_affine = (L.num_in * dl[2].step) % L.den_in == 0;
+      if (L.inner_affine) {
+        // Strength reduction along the unit-stride dim: the sampled
+        // address advances by a constant per iteration.
+        L.adv = (L.num_in * dl[2].step / L.den_in) * L.stride_in;
+        L.inner0 = (floordiv(L.num_in * dl[2].start, L.den_in) + L.off_in -
+                    L.origin_in) *
+                   L.stride_in;
+      }
     }
-    rest.dim(d) = poly::intersect(r, in);
-    if (rest.empty()) return;
+  }
+
+  // Output addressing per loop level (same mapping as the linear path).
+  const int lo_dim = 3 - ndim;
+  index_t out_stride[3] = {0, 0, 0};
+  index_t out_base = 0;
+  for (int lvl = 0; lvl < 3; ++lvl) {
+    const int d = lvl - lo_dim;
+    if (d < 0) continue;
+    out_stride[lvl] = dl[lvl].step * out.stride[d];
+    out_base += (dl[lvl].start - out.origin[d]) * out.stride[d];
+  }
+
+  const int nloads = prog.num_loads;
+  const index_t count = dl[2].count;
+  const double* __restrict__ res = regs[prog.result];
+  for (index_t u0 = 0; u0 < dl[0].count; ++u0) {
+    for (index_t u1 = 0; u1 < dl[1].count; ++u1) {
+      // Row coordinates of the outer logical dims.
+      index_t p[3] = {0, 0, 0};
+      if (ndim == 3) {
+        p[0] = dl[0].start + u0 * dl[0].step;
+        p[1] = dl[1].start + u1 * dl[1].step;
+      } else if (ndim == 2) {
+        p[0] = dl[1].start + u1 * dl[1].step;
+      }
+      // Refresh each load's row base: outer sampled offsets plus the
+      // inner dim's u == 0 contribution when affine.
+      for (int i = 0; i < nloads; ++i) {
+        RegLoadPlan& L = lp[i];
+        index_t base = L.inner_affine ? L.inner0 : 0;
+        for (int d = 0; d < inner; ++d) {
+          base += (floordiv(L.num[d] * p[d], L.den[d]) + L.off[d] -
+                   L.origin[d]) *
+                  L.stride[d];
+        }
+        L.row_ptr = L.src_ptr + base;
+      }
+      double* __restrict__ orow =
+          out.ptr + out_base + u0 * out_stride[0] + u1 * out_stride[1];
+      const index_t os2 = out_stride[2];
+      index_t u = 0;
+      for (; u + kLanes <= count; u += kLanes) {
+        regprog_batch<true>(prog, lp, regs, u, kLanes);
+        if (os2 == 1) {
+          for (int l = 0; l < kLanes; ++l) orow[u + l] = res[l];
+        } else {
+          for (int l = 0; l < kLanes; ++l) orow[(u + l) * os2] = res[l];
+        }
+      }
+      if (u < count) {
+        const int w = static_cast<int>(count - u);
+        regprog_batch<false>(prog, lp, regs, u, w);
+        for (int l = 0; l < w; ++l) orow[(u + l) * os2] = res[l];
+      }
+    }
   }
 }
 
@@ -375,16 +640,27 @@ void copy_view(View dst, View src, const Box& region) {
 
 namespace {
 
+/// Evaluate one lowered definition: tap-loop kernel for linear forms,
+/// register row engine for compiled non-linear forms, and the point-wise
+/// stack interpreter as the universal fallback (also the independent
+/// oracle of reference plans, which strip their register programs).
+void apply_def(const ir::LoweredDef& d, View out, std::span<const View> srcs,
+               const Box& region, const std::array<index_t, 3>& step,
+               const std::array<index_t, 3>& phase) {
+  if (d.linear) {
+    apply_linear(*d.linear, out, srcs, region, step, phase);
+  } else if (ir::regprog_fits_engine(d.regprog)) {
+    apply_regprog(d.regprog, out, srcs, region, step, phase);
+  } else {
+    apply_bytecode(d.bytecode, out, srcs, region, step, phase);
+  }
+}
+
 void apply_defs(const ir::FunctionDecl& f, const ir::LoweredFunc& lowered,
                 View out, std::span<const View> srcs, const Box& region) {
   if (region.empty()) return;
   if (!f.parity_piecewise) {
-    const ir::LoweredDef& d = lowered.defs[0];
-    if (d.linear) {
-      apply_linear(*d.linear, out, srcs, region);
-    } else {
-      apply_bytecode(d.bytecode, out, srcs, region);
-    }
+    apply_def(lowered.defs[0], out, srcs, region, {1, 1, 1}, {0, 0, 0});
     return;
   }
   const int cases = 1 << f.ndim;
@@ -393,12 +669,7 @@ void apply_defs(const ir::FunctionDecl& f, const ir::LoweredFunc& lowered,
     for (int d = 0; d < f.ndim; ++d) {
       phase[d] = (c >> (f.ndim - 1 - d)) & 1;
     }
-    const ir::LoweredDef& ld = lowered.defs[c];
-    if (ld.linear) {
-      apply_linear(*ld.linear, out, srcs, region, {2, 2, 2}, phase);
-    } else {
-      apply_bytecode(ld.bytecode, out, srcs, region, {2, 2, 2}, phase);
-    }
+    apply_def(lowered.defs[c], out, srcs, region, {2, 2, 2}, phase);
   }
 }
 

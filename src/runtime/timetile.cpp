@@ -1,56 +1,17 @@
 #include "polymg/runtime/timetile.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "polymg/common/error.hpp"
 
 namespace polymg::runtime {
 
-void split_tile_schedule(
-    index_t lo, index_t hi, int steps, const TimeTileParams& params,
-    const std::function<void(int, index_t, index_t)>& body) {
-  const index_t H = std::max<index_t>(1, params.H);
-  const index_t W = std::max<index_t>(2 * H, params.W);
-  const index_t extent = hi - lo + 1;
-  if (extent <= 0 || steps <= 0) return;
-  const index_t K = poly::ceildiv(extent, W);  // number of blocks
-
-  for (int t0 = 0; t0 < steps; t0 += static_cast<int>(H)) {
-    const int h = std::min<int>(static_cast<int>(H), steps - t0);
-
-    // Phase 1: shrinking trapezoids, one per block, concurrent start.
-    // Block k owns rows [b_k, e_k]; at step s it computes
-    // [b_k + s·(k>0), e_k - s·(k<K-1)] — the dependence cone stays inside
-    // the block, so blocks never exchange data within the phase. Domain
-    // edges never shrink: ghost rows are time-invariant.
-#pragma omp parallel for schedule(dynamic)
-    for (index_t k = 0; k < K; ++k) {
-      const index_t bk = lo + k * W;
-      const index_t ek = std::min(bk + W - 1, hi);
-      for (int s = 0; s < h; ++s) {
-        const index_t rlo = bk + (k > 0 ? s : 0);
-        const index_t rhi = ek - (k < K - 1 ? s : 0);
-        if (rlo <= rhi) body(t0 + s, rlo, rhi);
-      }
-    }
-
-    // Phase 2: inter-block wedges. Wedge k (between blocks k and k+1)
-    // computes rows [e_k - s + 1, e_k + s] at step s, reading phase-1
-    // results at step s-1 on its flanks and its own previous step in the
-    // middle. Wedges stay pairwise disjoint because W >= 2H.
-#pragma omp parallel for schedule(dynamic)
-    for (index_t k = 0; k < K - 1; ++k) {
-      const index_t ek = std::min(lo + (k + 1) * W - 1, hi);
-      for (int s = 1; s < h; ++s) {
-        const index_t rlo = ek - s + 1;
-        const index_t rhi = std::min(ek + s, hi);
-        if (rlo <= rhi) body(t0 + s, rlo, rhi);
-      }
-    }
-  }
-}
-
 namespace {
+
+/// Chain steps bind few sources (the previous level plus a couple of
+/// time-invariant grids), so per-row-range bindings fit on the stack and
+/// the sweep body stays allocation-free.
+inline constexpr int kMaxChainSrcs = 8;
 
 /// Apply one time step over the dimension-0 row range [rlo, rhi] (full
 /// interior extent in the remaining dimensions).
@@ -67,11 +28,16 @@ void step_rows(const ir::FunctionDecl& f, const ir::LoweredFunc& lowered,
 
 void plain_sweep(std::span<const ChainStep> steps, View bufs[2],
                  std::span<const View> other_srcs) {
-  std::vector<View> srcs(other_srcs.begin(), other_srcs.end());
+  PMG_CHECK(other_srcs.size() <= kMaxChainSrcs,
+            "chain binds " << other_srcs.size() << " sources (cap "
+                           << kMaxChainSrcs << ")");
+  View srcs[kMaxChainSrcs];
+  std::copy(other_srcs.begin(), other_srcs.end(), srcs);
+  const std::span<const View> srcs_span(srcs, other_srcs.size());
   for (std::size_t t = 0; t < steps.size(); ++t) {
     srcs[0] = bufs[t & 1];
     apply_stage_interior(*steps[t].fn, *steps[t].lowered, bufs[(t + 1) & 1],
-                         srcs, steps[t].fn->interior);
+                         srcs_span, steps[t].fn->interior);
   }
 }
 
@@ -92,15 +58,21 @@ void time_tiled_sweep(std::span<const ChainStep> steps, View bufs[2],
               "chain steps must share one domain");
   }
 
+  PMG_CHECK(other_srcs.size() <= kMaxChainSrcs,
+            "chain binds " << other_srcs.size() << " sources (cap "
+                           << kMaxChainSrcs << ")");
   split_tile_schedule(
       first.interior.dim(0).lo, first.interior.dim(0).hi,
       static_cast<int>(steps.size()), params,
       [&](int t, index_t rlo, index_t rhi) {
-        // Thread-private source binding (slot 0 flips per time level).
-        std::vector<View> srcs(other_srcs.begin(), other_srcs.end());
+        // Thread-private stack-resident source binding (slot 0 flips per
+        // time level) — the body runs inside an OpenMP region and must
+        // not touch the heap.
+        View srcs[kMaxChainSrcs];
+        std::copy(other_srcs.begin(), other_srcs.end(), srcs);
         srcs[0] = bufs[t & 1];
-        step_rows(*steps[t].fn, *steps[t].lowered, bufs[(t + 1) & 1], srcs,
-                  rlo, rhi);
+        step_rows(*steps[t].fn, *steps[t].lowered, bufs[(t + 1) & 1],
+                  std::span<const View>(srcs, other_srcs.size()), rlo, rhi);
       });
 }
 

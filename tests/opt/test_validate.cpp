@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "polymg/common/error.hpp"
+#include "polymg/ir/regprog.hpp"
 #include "polymg/opt/compile.hpp"
 #include "polymg/solvers/cycles.hpp"
+#include "polymg/solvers/varcoef.hpp"
 
 namespace polymg::opt {
 namespace {
@@ -160,6 +162,97 @@ TEST(ValidatePlan, RejectsBrokenTimeTileShape) {
     }
   }
   ASSERT_TRUE(corrupted) << "DtileOptPlus plan should time-tile a chain";
+  EXPECT_FALSE(plan_issues(cp).empty());
+}
+
+TEST(ValidatePlan, AcceptsPlanTimeTileRegionCache) {
+  // compile() precomputes every tile's per-stage region; the checker
+  // re-derives them and must agree (cache present AND valid).
+  CompiledPipeline cp = compile_cycle(small2d(), Variant::OptPlus);
+  bool has_cache = false;
+  for (const auto& g : cp.groups) {
+    if (g.exec == GroupExec::OverlapTiled) {
+      EXPECT_FALSE(g.tile_regions_cache.empty());
+      has_cache = has_cache || !g.tile_regions_cache.empty();
+    }
+  }
+  ASSERT_TRUE(has_cache) << "OptPlus plan should cache tile regions";
+  EXPECT_TRUE(plan_issues(cp).empty());
+}
+
+TEST(ValidatePlan, RejectsCorruptedTileRegionCache) {
+  CompiledPipeline cp = compile_cycle(small2d(), Variant::OptPlus);
+  bool corrupted = false;
+  for (auto& g : cp.groups) {
+    if (g.exec == GroupExec::OverlapTiled && !g.tile_regions_cache.empty()) {
+      // Shift one cached stage region: it no longer matches the
+      // re-derived footprint, so the instance table is stale.
+      poly::Box& b = g.tile_regions_cache.front();
+      b.dim(0) = poly::Interval{b.dim(0).lo + 1, b.dim(0).hi + 1};
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(plan_issues(cp).empty());
+}
+
+TEST(ValidatePlan, RejectsWrongSizedTileRegionCache) {
+  CompiledPipeline cp = compile_cycle(small2d(), Variant::OptPlus);
+  bool corrupted = false;
+  for (auto& g : cp.groups) {
+    if (g.exec == GroupExec::OverlapTiled && !g.tile_regions_cache.empty()) {
+      g.tile_regions_cache.pop_back();  // truncated instance table
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(plan_issues(cp).empty());
+}
+
+TEST(ValidatePlan, ReferencePlanCarriesNoRegisterPrograms) {
+  // The reference oracle must stay an independent implementation: its
+  // lowered functions interpret stack bytecode, never the register
+  // programs the engine under test executes.
+  const CompileOptions ref =
+      reference_options(CompileOptions::for_variant(Variant::OptPlus, 2));
+  EXPECT_FALSE(ref.register_engine);
+  CompiledPipeline cp = compile(solvers::build_cycle(small2d()), ref);
+  for (const auto& lf : cp.lowered) {
+    for (const auto& d : lf.defs) EXPECT_TRUE(d.regprog.empty());
+  }
+  EXPECT_TRUE(plan_issues(cp).empty());
+
+  // Smuggling a register program into a reference plan is a validation
+  // failure, not a silent fast path.
+  ASSERT_FALSE(cp.lowered.empty());
+  ASSERT_FALSE(cp.lowered[0].defs.empty());
+  cp.lowered[0].defs[0].regprog =
+      ir::compile_regprog(cp.lowered[0].defs[0].bytecode);
+  EXPECT_FALSE(plan_issues(cp).empty());
+}
+
+TEST(ValidatePlan, RejectsMalformedRegisterProgram) {
+  // The variable-coefficient smoother is a load·load product, so its
+  // OptPlus plan carries register programs to corrupt.
+  CycleConfig cfg = small2d();
+  CompiledPipeline cp = compile(solvers::build_varcoef_cycle(cfg),
+                                CompileOptions::for_variant(Variant::OptPlus,
+                                                            cfg.ndim));
+  EXPECT_TRUE(plan_issues(cp).empty());
+  bool corrupted = false;
+  for (auto& lf : cp.lowered) {
+    for (auto& d : lf.defs) {
+      if (!d.regprog.empty()) {
+        d.regprog.result = d.regprog.num_regs + 5;  // dangling result
+        corrupted = true;
+        break;
+      }
+    }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted) << "varcoef plan should carry register programs";
   EXPECT_FALSE(plan_issues(cp).empty());
 }
 

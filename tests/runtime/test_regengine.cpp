@@ -1,0 +1,259 @@
+// Register row engine properties: on every program the engine accepts it
+// must be BIT-exact with the point-wise stack interpreter (the guarded
+// reference oracle) — same CSE-shared subtrees evaluate the same ops in
+// the same order — across randomized expressions, region alignments,
+// (step, phase) parity lattices and ÷2/×2 sampled loads. Plus the
+// executor-level payoffs the engine exists for: an allocation-free
+// steady state and per-group/per-stage timing counters.
+#include <gtest/gtest.h>
+
+#include "polymg/common/alloc_hook.hpp"
+#include "polymg/common/parallel.hpp"
+#include "polymg/common/rng.hpp"
+#include "polymg/grid/ops.hpp"
+#include "polymg/ir/regprog.hpp"
+#include "polymg/ir/stencil.hpp"
+#include "polymg/opt/validate.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/runtime/kernels.hpp"
+#include "polymg/solvers/cycles.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::runtime {
+namespace {
+
+using grid::Buffer;
+using ir::Expr;
+using ir::LoadIndex;
+
+Buffer random_grid(const Box& dom, std::uint64_t seed) {
+  Buffer b = grid::make_grid(dom);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform(-1, 1);
+  return b;
+}
+
+/// Random load with per-dimension sampling drawn from the shapes
+/// multigrid produces: identity, ×2 restriction, ÷2 interpolation, each
+/// with a small offset.
+Expr random_load(Rng& rng, int ndim, int nslots) {
+  std::array<LoadIndex, ir::kMaxDims> idx{};
+  for (int d = 0; d < ndim; ++d) {
+    switch (rng.below(3)) {
+      case 0:
+        idx[d] = LoadIndex{1, 1, 0};
+        break;
+      case 1:
+        idx[d] = LoadIndex{2, 1, 0};
+        break;
+      default:
+        idx[d] = LoadIndex{1, 2, 0};
+        break;
+    }
+    idx[d].off = static_cast<index_t>(rng.below(3)) - 1;
+  }
+  return ir::make_load(static_cast<int>(rng.below(nslots)), idx);
+}
+
+/// Random expression tree. Divisions keep a const-offset denominator so
+/// values stay finite on random data; everything else is unconstrained.
+Expr random_expr(Rng& rng, int ndim, int nslots, int depth) {
+  if (depth == 0 || rng.below(4) == 0) {
+    return rng.below(3) == 0 ? ir::make_const(rng.uniform(-2, 2))
+                             : random_load(rng, ndim, nslots);
+  }
+  switch (rng.below(5)) {
+    case 0:
+      return random_expr(rng, ndim, nslots, depth - 1) +
+             random_expr(rng, ndim, nslots, depth - 1);
+    case 1:
+      return random_expr(rng, ndim, nslots, depth - 1) -
+             random_expr(rng, ndim, nslots, depth - 1);
+    case 2:
+      return random_expr(rng, ndim, nslots, depth - 1) *
+             random_expr(rng, ndim, nslots, depth - 1);
+    case 3:
+      return -random_expr(rng, ndim, nslots, depth - 1);
+    default:
+      return random_expr(rng, ndim, nslots, depth - 1) /
+             (random_load(rng, ndim, nslots) + 3.0);
+  }
+}
+
+/// Evaluate `e` through the row engine and the stack interpreter over
+/// `region` on the (step, phase) lattice and demand identical bits.
+void check_engine_vs_interpreter(const Expr& e, int ndim, int nslots,
+                                 const Box& src_dom, const Box& region,
+                                 std::array<index_t, 3> step = {1, 1, 1},
+                                 std::array<index_t, 3> phase = {0, 0, 0},
+                                 std::uint64_t seed = 42) {
+  const ir::Bytecode bc = ir::compile_bytecode(e);
+  const ir::RegProgram rp = ir::compile_regprog(bc);
+  ASSERT_TRUE(ir::regprog_fits_engine(rp));
+  ASSERT_TRUE(ir::regprog_issues(rp, nslots).empty());
+
+  std::vector<Buffer> src_bufs;
+  std::vector<View> srcs;
+  for (int s = 0; s < nslots; ++s) {
+    src_bufs.push_back(random_grid(src_dom, seed + static_cast<std::uint64_t>(s)));
+    srcs.push_back(View::over(src_bufs.back().data(), src_dom));
+  }
+  Buffer out_a = grid::make_grid(region);
+  Buffer out_b = grid::make_grid(region);
+  View va = View::over(out_a.data(), region);
+  View vb = View::over(out_b.data(), region);
+
+  apply_regprog(rp, va, srcs, region, step, phase);
+  apply_bytecode(bc, vb, srcs, region, step, phase);
+  EXPECT_EQ(grid::max_diff(va, vb, region), 0.0);
+}
+
+TEST(RegEngine, RandomExpressionsBitExact2d) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Expr e = random_expr(rng, 2, 2, 4);
+    // Random region alignment, including rows far shorter than a batch.
+    const index_t lo = static_cast<index_t>(rng.below(5));
+    const index_t hi = lo + 1 + static_cast<index_t>(rng.below(29));
+    check_engine_vs_interpreter(e, 2, 2, Box::cube(2, -3, 2 * hi + 3),
+                                Box::cube(2, lo, hi), {1, 1, 1}, {0, 0, 0},
+                                1000 + trial);
+  }
+}
+
+TEST(RegEngine, RandomExpressionsBitExact3d) {
+  Rng rng(777);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Expr e = random_expr(rng, 3, 2, 3);
+    check_engine_vs_interpreter(e, 3, 2, Box::cube(3, -3, 27),
+                                Box::cube(3, 1, 12), {1, 1, 1}, {0, 0, 0},
+                                2000 + trial);
+  }
+}
+
+TEST(RegEngine, ParityLatticesBitExact) {
+  // Every (step, phase) parity case of a ÷2-sampled non-linear update —
+  // the interpolation shape, made engine-only by a load·load product.
+  Rng rng(31337);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Expr e = random_expr(rng, 2, 2, 3);
+    for (int pi = 0; pi < 2; ++pi) {
+      for (int pj = 0; pj < 2; ++pj) {
+        check_engine_vs_interpreter(e, 2, 2, Box::cube(2, -3, 67),
+                                    Box::cube(2, 1, 30), {2, 2, 1},
+                                    {pi, pj, 0}, 3000 + trial);
+      }
+    }
+  }
+}
+
+TEST(RegEngine, OffsetOriginViewsBitExact) {
+  // Scratchpad-style views with origins away from zero.
+  ir::SourceRef u, c;
+  u.slot = 0;
+  u.ndim = 2;
+  c.slot = 1;
+  c.ndim = 2;
+  const Expr e =
+      c() * ir::stencil2(u, ir::five_point_laplacian_2d(), 0.25) +
+      0.5 * u.at(0, 0);
+  const Box src_dom{{37, 80}, {91, 140}};
+  const Box region{{40, 70}, {95, 130}};
+  check_engine_vs_interpreter(e, 2, 2, src_dom, region);
+}
+
+solvers::CycleConfig small2d() {
+  solvers::CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 31;
+  cfg.levels = 2;
+  return cfg;
+}
+
+TEST(RegEngine, ExecutorSteadyStateIsAllocationFree) {
+  // After warm-up, a pooled OptPlus executor must run whole cycles
+  // without a single operator-new anywhere in the process: bindings,
+  // tile regions and scratch views are all precomputed at plan time.
+  // Single-threaded so OpenMP's own lazy pool setup can't trip the
+  // counter.
+  const int threads_before = max_threads();
+  set_num_threads(1);
+  {
+    auto p = solvers::PoissonProblem::random_rhs(2, small2d().n, 11);
+    Executor ex(opt::compile(
+        solvers::build_cycle(small2d()),
+        opt::CompileOptions::for_variant(opt::Variant::OptPlus, 2)));
+    const std::vector<View> ext = {p.v_view(), p.f_view()};
+    ex.run(ext);
+    ex.run(ext);  // warmed: pool primed, lazy runtime state settled
+
+    const std::uint64_t before = polymg::allocation_count();
+    ex.run(ext);
+    EXPECT_EQ(polymg::allocation_count(), before);
+  }
+  set_num_threads(threads_before);
+}
+
+TEST(RegEngine, ExecutorTimersAccumulate) {
+  auto p = solvers::PoissonProblem::random_rhs(2, small2d().n, 12);
+  Executor ex(opt::compile(
+      solvers::build_cycle(small2d()),
+      opt::CompileOptions::for_variant(opt::Variant::OptPlus, 2)));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  EXPECT_EQ(ex.runs_timed(), 0);
+  ex.run(ext);
+  ex.run(ext);
+  EXPECT_EQ(ex.runs_timed(), 2);
+
+  double total_group = 0.0;
+  for (double s : ex.group_seconds()) {
+    EXPECT_GE(s, 0.0);
+    total_group += s;
+  }
+  EXPECT_GT(total_group, 0.0);
+  double total_stage = 0.0;
+  for (double s : ex.stage_seconds()) {
+    EXPECT_GE(s, 0.0);
+    total_stage += s;
+  }
+  EXPECT_GT(total_stage, 0.0);
+
+  ex.reset_timers();
+  EXPECT_EQ(ex.runs_timed(), 0);
+  for (double s : ex.group_seconds()) EXPECT_EQ(s, 0.0);
+}
+
+TEST(RegEngine, CachedTileRegionsSurviveValidationAndMatchFallback) {
+  // The plan-time kernel-instance cache must agree with on-the-fly
+  // derivation: a compiled OptPlus plan carries non-empty caches, passes
+  // validate_plan, and executes identically to the same plan with the
+  // caches stripped (forcing the executor's recompute fallback).
+  auto p = solvers::PoissonProblem::random_rhs(2, small2d().n, 13);
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+
+  opt::CompiledPipeline cached = opt::compile(
+      solvers::build_cycle(small2d()),
+      opt::CompileOptions::for_variant(opt::Variant::OptPlus, 2));
+  bool has_cache = false;
+  for (const auto& g : cached.groups) {
+    has_cache = has_cache || !g.tile_regions_cache.empty();
+  }
+  ASSERT_TRUE(has_cache);
+  EXPECT_NO_THROW(opt::validate_plan(cached));
+
+  opt::CompiledPipeline stripped = opt::compile(
+      solvers::build_cycle(small2d()),
+      opt::CompileOptions::for_variant(opt::Variant::OptPlus, 2));
+  for (auto& g : stripped.groups) g.tile_regions_cache.clear();
+
+  Executor ex_cached(std::move(cached));
+  Executor ex_stripped(std::move(stripped));
+  ex_cached.run(ext);
+  ex_stripped.run(ext);
+  EXPECT_EQ(grid::max_diff(ex_cached.output_view(0), ex_stripped.output_view(0),
+                           p.domain()),
+            0.0);
+}
+
+}  // namespace
+}  // namespace polymg::runtime
