@@ -1,30 +1,37 @@
 // Figure 12 — autotuning sweep for 2D-V-10-0-0 class C: execution time
 // of polymg-opt and polymg-opt+ across (group-size limit × tile size)
-// configurations. The paper's observations to reproduce: (i) opt+ beats
-// opt at every configuration, (ii) adjacent configurations sharing a
-// tile size behave alike (the repetitive pattern), and the tuner's best
-// configuration is reported at the end.
+// configurations, driven through the real tuner (opt::autotune) so the
+// sweep exercises its min-of-N protocol and >3× early-prune cutoff. The
+// paper's observations to reproduce: (i) opt+ beats opt at every
+// configuration, (ii) adjacent configurations sharing a tile size behave
+// alike (the repetitive pattern), and the tuner's best configuration is
+// reported at the end.
 //
 // The paper's 2-d space: outer tile 8:64, inner 64:512 (powers of two),
 // five grouping limits = 80 configurations; --full sweeps all of them,
 // the default subsamples to keep single-core runtime reasonable.
 //
-// Flags: --paper, --reps N, --full.
+// Flags: --paper, --reps N, --full, --json FILE.
+#include <cstdio>
+
 #include "gbench.hpp"
+#include "polymg/common/timer.hpp"
+#include "polymg/opt/autotune.hpp"
 
 namespace polymg::bench {
 namespace {
 
-SolveRunner tuned_runner(const CycleConfig& cfg, int cycles, Variant var,
-                         polymg::poly::index_t t0, polymg::poly::index_t t1,
-                         int group_limit) {
+using opt::TuneControls;
+using opt::TunePoint;
+using opt::TuneResult;
+using opt::TuneSpace;
+
+SolveRunner tuned_runner(const CycleConfig& cfg, int cycles,
+                         const CompileOptions& o) {
   SolveRunner r;
   auto p = std::make_shared<solvers::PoissonProblem>(
       solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 13));
   auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
-  CompileOptions o = CompileOptions::for_variant(var, cfg.ndim);
-  o.tile = {t0, t1, 0};
-  o.group_limit = group_limit;
   auto ex = std::make_shared<runtime::Executor>(
       opt::compile(solvers::build_cycle(cfg), o));
   r.run = [cycles, p, v0, ex] {
@@ -39,6 +46,13 @@ SolveRunner tuned_runner(const CycleConfig& cfg, int cycles, Variant var,
   return r;
 }
 
+std::string point_row(const TunePoint& pt) {
+  char row[64];
+  std::snprintf(row, sizeof row, "g%02d tile %3ldx%3ld", pt.group_limit,
+                static_cast<long>(pt.tile[0]), static_cast<long>(pt.tile[1]));
+  return row;
+}
+
 }  // namespace
 }  // namespace polymg::bench
 
@@ -48,7 +62,6 @@ int main(int argc, char** argv) {
   const bool paper = paper_sizes_requested(opts);
   const bool full = opts.get_flag("full", false);
   const int reps = static_cast<int>(opts.get_int("reps", 1));
-  benchmark::Initialize(&argc, argv);
 
   const SizeClass sc = size_classes(paper).back();  // class C
   CycleConfig cfg;
@@ -59,45 +72,55 @@ int main(int argc, char** argv) {
   cfg.n2 = 0;
   cfg.n3 = 0;
 
-  const std::vector<int> group_limits =
-      full ? std::vector<int>{2, 4, 6, 8, 12} : std::vector<int>{4, 8, 12};
-  const std::vector<polymg::poly::index_t> outer =
-      full ? std::vector<polymg::poly::index_t>{8, 16, 32, 64}
-           : std::vector<polymg::poly::index_t>{16, 32};
-  const std::vector<polymg::poly::index_t> inner =
-      full ? std::vector<polymg::poly::index_t>{64, 128, 256, 512}
-           : std::vector<polymg::poly::index_t>{128, 256};
-
-  for (int gl : group_limits) {
-    for (polymg::poly::index_t t0 : outer) {
-      for (polymg::poly::index_t t1 : inner) {
-        char row[64];
-        std::snprintf(row, sizeof row, "g%02d tile %3ldx%3ld", gl,
-                      static_cast<long>(t0), static_cast<long>(t1));
-        for (Variant v : {Variant::Opt, Variant::OptPlus}) {
-          register_point(row, polymg::opt::to_string(v),
-                         tuned_runner(cfg, sc.iters2d, v, t0, t1, gl), reps);
-        }
-      }
-    }
+  TuneSpace space;
+  if (full) {
+    space = TuneSpace::paper_default(2);
+  } else {
+    space.tiles[0] = {16, 32};
+    space.tiles[1] = {128, 256};
+    space.group_limits = {4, 8, 12};
   }
 
+  TuneControls ctl;
+  ctl.reps = reps;
+
   ResultTable table;
-  TableReporter reporter(&table);
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (Variant var : {Variant::Opt, Variant::OptPlus}) {
+    const std::string series = polymg::opt::to_string(var);
+    const CompileOptions base = CompileOptions::for_variant(var, 2);
+    const TuneResult tr = polymg::opt::autotune(
+        space, 2, base,
+        [&](const CompileOptions& o) {
+          SolveRunner r = tuned_runner(cfg, sc.iters2d, o);
+          polymg::Timer t;
+          r.run();
+          return t.elapsed();
+        },
+        ctl);
+    for (const TunePoint& pt : tr.points) {
+      table.record(point_row(pt), series, pt.seconds);
+    }
+    std::printf("%s: tuner best %s (%.4fs), pruned %d/%zu points after one "
+                "rep\n",
+                series.c_str(), point_row(tr.best).c_str(), tr.best.seconds,
+                tr.pruned, tr.points.size());
+  }
+
   table.print("Figure 12: autotuning configurations (2D-V-10-0-0/C)",
               "polymg-opt");
 
-  // Report the tuner's pick and the opt+-always-wins property.
+  // The opt+-always-wins property (pruned points still carry their
+  // one-rep measurement, so every cell is populated).
+  int optplus_wins = 0, points = 0;
   double best = 1e300;
   std::string best_cfg;
-  int optplus_wins = 0, points = 0;
-  for (int gl : group_limits) {
-    for (polymg::poly::index_t t0 : outer) {
-      for (polymg::poly::index_t t1 : inner) {
-        char row[64];
-        std::snprintf(row, sizeof row, "g%02d tile %3ldx%3ld", gl,
-                      static_cast<long>(t0), static_cast<long>(t1));
+  for (int gl : space.group_limits) {
+    for (polymg::poly::index_t t0 : space.tiles[0]) {
+      for (polymg::poly::index_t t1 : space.tiles[1]) {
+        TunePoint pt;
+        pt.group_limit = gl;
+        pt.tile = {t0, t1, 0};
+        const std::string row = point_row(pt);
         const double o = table.get(row, "polymg-opt");
         const double p = table.get(row, "polymg-opt+");
         ++points;
@@ -111,5 +134,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\nautotuner best: %s (%.4fs); opt+ <= opt at %d/%d points\n",
               best_cfg.c_str(), best, optplus_wins, points);
+
+  if (const std::string json = opts.get("json", ""); !json.empty()) {
+    table.write_json(json, "autotune", "polymg-opt");
+    std::printf("wrote %s\n", json.c_str());
+  }
   return 0;
 }

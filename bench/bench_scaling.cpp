@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cfg.ndim = 2;
   cfg.n = sc.n2d;
   cfg.levels = 4;
+  cfg.kind = polymg::solvers::CycleKind::W;  // the rows are W-2D-10-0-0
   cfg.n1 = 10;
   cfg.n2 = 0;
   cfg.n3 = 0;

@@ -1,0 +1,105 @@
+// Scheduler comparison: barrier (one fork/join per group) vs the
+// persistent-team dependence schedule, on W-2D-10-0-0 across thread
+// counts. The dependence schedule's claim is not more parallelism but
+// less synchronization: a W-cycle's deep coarse levels are dominated by
+// fork/join and barrier latency, which point-to-point tile releases and
+// the plan-time serial-grain fast path remove.
+//
+// Flags: --paper, --reps N, --threads "1,2,4", --json FILE.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gbench.hpp"
+#include "polymg/common/parallel.hpp"
+
+namespace polymg::bench {
+namespace {
+
+SolveRunner sched_runner(const CycleConfig& cfg, int cycles,
+                         const CompileOptions& o) {
+  SolveRunner r;
+  auto p = std::make_shared<solvers::PoissonProblem>(
+      solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 42));
+  auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
+  auto ex = std::make_shared<runtime::Executor>(
+      opt::compile(solvers::build_cycle(cfg), o));
+  r.run = [cycles, p, v0, ex] {
+    grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
+                      p->domain());
+    for (int i = 0; i < cycles; ++i) {
+      const std::vector<grid::View> ext = {p->v_view(), p->f_view()};
+      ex->run(ext);
+      grid::copy_region(p->v_view(), ex->output_view(0), p->domain());
+    }
+  };
+  return r;
+}
+
+std::vector<int> parse_threads(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? spec.npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace polymg::bench
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  const bool paper = paper_sizes_requested(opts);
+  const int reps = static_cast<int>(opts.get_int("reps", 3));
+  const std::vector<int> threads = parse_threads(opts.get("threads", "1,2,4"));
+
+  const SizeClass sc = size_classes(paper).back();  // class C
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = sc.n2d;
+  cfg.levels = 4;
+  cfg.kind = polymg::solvers::CycleKind::W;
+  cfg.n1 = 10;
+  cfg.n2 = 0;
+  cfg.n3 = 0;
+
+  CompileOptions dep = CompileOptions::for_variant(Variant::OptPlus, 2);
+  CompileOptions barrier = dep;
+  barrier.dependence_schedule = false;
+
+  ResultTable table;
+  for (int t : threads) {
+    polymg::set_num_threads(t);
+    const std::string row = "W-2D-10-0-0 @" + std::to_string(t) + "t/C";
+    for (const auto& [series, o] :
+         {std::pair<const char*, CompileOptions>{"barrier", barrier},
+          std::pair<const char*, CompileOptions>{"dependence", dep}}) {
+      SolveRunner r = sched_runner(cfg, sc.iters2d, o);
+      r.run();  // warm: allocate + first-touch pages
+      table.record(row, series, time_runner(r, reps));
+    }
+  }
+
+  table.print("Scheduler: barrier fork/join vs persistent-team dependence "
+              "(W-2D-10-0-0/C)",
+              "barrier");
+  std::printf("\ndependence-schedule speedup over barrier:\n");
+  for (int t : threads) {
+    const std::string row = "W-2D-10-0-0 @" + std::to_string(t) + "t/C";
+    std::printf("  %2d threads: %.2fx\n", t,
+                table.get(row, "barrier") / table.get(row, "dependence"));
+  }
+
+  if (const std::string json = opts.get("json", ""); !json.empty()) {
+    table.write_json(json, "sched", "barrier");
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Run the perf-tracking benchmark set and drop machine-readable results
 # at the repository root:
-#   BENCH_kernels.json — stack interpreter vs register row engine
-#   BENCH_fig9.json    — 2-d multigrid variant comparison (Fig. 9)
+#   BENCH_kernels.json  — stack interpreter vs register row engine
+#   BENCH_fig9.json     — 2-d multigrid variant comparison (Fig. 9)
+#   BENCH_sched.json    — barrier vs persistent-team dependence schedule
+#   BENCH_autotune.json — the Fig. 12 autotuning sweep
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
-# Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B).
+# Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B),
+# SCHED_THREADS (default "1,2,4").
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,4 +35,16 @@ fi
   --benchmark_out_format=console
 
 echo
-echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json"
+echo "== bench_sched (reps=$reps, threads=${SCHED_THREADS:-1,2,4}) =="
+"$build/bench/bench_sched" --reps "$reps" \
+  --threads "${SCHED_THREADS:-1,2,4}" \
+  --json "$repo_root/BENCH_sched.json"
+
+echo
+echo "== bench_fig12_autotune (reps=$reps) =="
+"$build/bench/bench_fig12_autotune" --reps "$reps" \
+  --json "$repo_root/BENCH_autotune.json"
+
+echo
+echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json" \
+     "$repo_root/BENCH_sched.json $repo_root/BENCH_autotune.json"

@@ -3,8 +3,18 @@
 #include <cmath>
 
 #include "polymg/common/error.hpp"
+#include "polymg/common/parallel.hpp"
 
 namespace polymg::health {
+
+namespace {
+
+/// Regions below this many doubles scan serially: the guarded path scans
+/// every output after every cycle, and for coarse grids the fork/join
+/// would cost more than the read-through.
+inline constexpr index_t kParallelScanGrain = 1 << 15;
+
+}  // namespace
 
 bool has_nonfinite(const double* p, std::size_t n) {
   // x * 0.0 is exactly 0.0 for every finite x and NaN for NaN/±inf, so a
@@ -27,14 +37,43 @@ bool has_nonfinite(const View& v, const Box& region) {
   if (v.ndim == 1) {
     return has_nonfinite(v.ptr + (region.dim(0).lo - v.origin[0]), row);
   }
+  const index_t lo0 = region.dim(0).lo;
+  const index_t hi0 = region.dim(0).hi;
+  const bool par = region.count() >= kParallelScanGrain && !in_parallel();
   if (v.ndim == 2) {
-    for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+    int bad = 0;
+    if (par) {
+      note_parallel_region();
+#pragma omp parallel for reduction(| : bad) schedule(static)
+      for (index_t i = lo0; i <= hi0; ++i) {
+        const double* p = v.ptr + v.offset2(i, region.dim(1).lo);
+        bad |= has_nonfinite(p, row) ? 1 : 0;
+        tsan_join_release();
+      }
+      tsan_join_acquire();
+      return bad != 0;
+    }
+    for (index_t i = lo0; i <= hi0; ++i) {
       const double* p = v.ptr + v.offset2(i, region.dim(1).lo);
       if (has_nonfinite(p, row)) return true;
     }
     return false;
   }
-  for (index_t i = region.dim(0).lo; i <= region.dim(0).hi; ++i) {
+  if (par) {
+    int bad = 0;
+    note_parallel_region();
+#pragma omp parallel for reduction(| : bad) schedule(static)
+    for (index_t i = lo0; i <= hi0; ++i) {
+      for (index_t j = region.dim(1).lo; j <= region.dim(1).hi; ++j) {
+        const double* p = v.ptr + v.offset3(i, j, region.dim(2).lo);
+        bad |= has_nonfinite(p, row) ? 1 : 0;
+      }
+      tsan_join_release();
+    }
+    tsan_join_acquire();
+    return bad != 0;
+  }
+  for (index_t i = lo0; i <= hi0; ++i) {
     for (index_t j = region.dim(1).lo; j <= region.dim(1).hi; ++j) {
       const double* p = v.ptr + v.offset3(i, j, region.dim(2).lo);
       if (has_nonfinite(p, row)) return true;

@@ -1,6 +1,15 @@
 // Thin wrappers over the OpenMP runtime so the rest of the library never
 // includes <omp.h> directly and builds (serially) even without OpenMP.
+//
+// Beyond the basic queries this header carries the primitives the
+// persistent-team executor needs: an in-parallel test (to pick orphaned
+// worksharing over nested regions), a team barrier usable from plain
+// functions, a polite spin-wait pause, and a process-global count of
+// parallel regions our code has opened — the instrumentation behind the
+// "exactly one parallel region per run()" scheduler invariant.
 #pragma once
+
+#include <cstdint>
 
 namespace polymg {
 
@@ -10,7 +19,60 @@ int max_threads();
 /// Calling thread's id inside a parallel region (0 outside).
 int thread_id();
 
+/// Number of threads in the current team (1 outside a parallel region).
+int team_size();
+
 /// Temporarily override the global thread count (returns previous value).
 int set_num_threads(int n);
+
+/// True when called from inside an active parallel region. Worksharing
+/// helpers use this to choose between forking a region and binding
+/// orphaned constructs to the enclosing team.
+bool in_parallel();
+
+/// Barrier across the innermost enclosing team (no-op outside a region).
+void team_barrier();
+
+/// Polite pause inside a spin-wait loop. After `spins` failed attempts
+/// the caller should escalate to yield_thread() — essential when the
+/// team is oversubscribed (more threads than cores), where hot spinning
+/// starves the one thread holding real work.
+void cpu_pause();
+
+/// Yield the processor to any other runnable thread.
+void yield_thread();
+
+/// Sleep for a few tens of microseconds. The last escalation step of a
+/// spin-wait: unlike yield_thread() it takes the caller off the run
+/// queue entirely, so on an oversubscribed host the thread holding real
+/// work gets whole scheduler timeslices instead of sharing them with
+/// spinners.
+void idle_sleep();
+
+/// Count of parallel regions entered by polymg code since process start.
+/// Every `#pragma omp parallel` site in the library reports itself (once
+/// per region, not per thread) via note_parallel_region(); tests diff the
+/// counter around a call to assert fork/join behaviour.
+std::uint64_t parallel_regions_entered();
+
+/// Report entry into a parallel region. Call from every polymg
+/// `#pragma omp parallel` site, by one thread only (thread_id() == 0).
+void note_parallel_region();
+
+/// ThreadSanitizer cannot see the happens-before edge established by
+/// libgomp's join barrier at the end of a parallel region (libgomp is
+/// not TSan-instrumented), so worker-thread writes appear to race with
+/// the master's later reads or frees. Under -fsanitize=thread each
+/// thread calls tsan_join_release() as its last act inside a region and
+/// the serial code calls tsan_join_acquire() immediately after it,
+/// rebuilding the same edge with TSan-visible atomics. Both are no-ops
+/// in normal builds.
+#if defined(__SANITIZE_THREAD__)
+void tsan_join_release();
+void tsan_join_acquire();
+#else
+inline void tsan_join_release() {}
+inline void tsan_join_acquire() {}
+#endif
 
 }  // namespace polymg

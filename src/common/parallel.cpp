@@ -1,10 +1,23 @@
 #include "polymg/common/parallel.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#define POLYMG_HAVE_PAUSE 1
+#endif
+
 namespace polymg {
+
+namespace {
+std::atomic<std::uint64_t> g_parallel_regions{0};
+}  // namespace
 
 int max_threads() {
 #ifdef _OPENMP
@@ -22,6 +35,14 @@ int thread_id() {
 #endif
 }
 
+int team_size() {
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
 int set_num_threads(int n) {
 #ifdef _OPENMP
   const int prev = omp_get_max_threads();
@@ -32,5 +53,60 @@ int set_num_threads(int n) {
   return 1;
 #endif
 }
+
+bool in_parallel() {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+void team_barrier() {
+#ifdef _OPENMP
+  if (omp_in_parallel()) {
+#pragma omp barrier
+  }
+#endif
+}
+
+void cpu_pause() {
+#ifdef POLYMG_HAVE_PAUSE
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+void yield_thread() { std::this_thread::yield(); }
+
+void idle_sleep() {
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+std::uint64_t parallel_regions_entered() {
+  return g_parallel_regions.load(std::memory_order_relaxed);
+}
+
+void note_parallel_region() {
+  g_parallel_regions.fetch_add(1, std::memory_order_relaxed);
+}
+
+#if defined(__SANITIZE_THREAD__)
+namespace {
+// A single counter is enough: every release RMW joins the calling
+// thread's clock into the variable's sync clock, and an acquire load
+// picks up the union of all of them.
+std::atomic<std::uint64_t> g_tsan_join{0};
+}  // namespace
+
+void tsan_join_release() {
+  g_tsan_join.fetch_add(1, std::memory_order_release);
+}
+
+void tsan_join_acquire() {
+  (void)g_tsan_join.load(std::memory_order_acquire);
+}
+#endif
 
 }  // namespace polymg

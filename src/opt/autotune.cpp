@@ -1,5 +1,7 @@
 #include "polymg/opt/autotune.hpp"
 
+#include <algorithm>
+
 #include "polymg/common/error.hpp"
 
 namespace polymg::opt {
@@ -29,10 +31,18 @@ std::size_t TuneSpace::size(int ndim) const {
 TuneResult autotune(
     const TuneSpace& space, int ndim, const CompileOptions& base,
     const std::function<double(const CompileOptions&)>& measure) {
+  return autotune(space, ndim, base, measure, TuneControls{});
+}
+
+TuneResult autotune(
+    const TuneSpace& space, int ndim, const CompileOptions& base,
+    const std::function<double(const CompileOptions&)>& measure,
+    const TuneControls& ctl) {
   PMG_CHECK(!space.group_limits.empty(), "empty grouping-limit set");
   for (int d = 0; d < ndim; ++d) {
     PMG_CHECK(!space.tiles[d].empty(), "empty tile set for dim " << d);
   }
+  PMG_CHECK(ctl.reps >= 1, "autotune needs at least one rep");
 
   TuneResult res;
   res.best.seconds = 1e300;
@@ -48,6 +58,19 @@ TuneResult autotune(
       o.tile = pt.tile;
       o.group_limit = gl;
       pt.seconds = measure(o);
+      pt.reps_run = 1;
+      const bool hopeless = ctl.prune_factor > 0.0 &&
+                            res.best.seconds < 1e299 &&
+                            pt.seconds > ctl.prune_factor * res.best.seconds;
+      if (hopeless) {
+        pt.pruned = true;
+        ++res.pruned;
+      } else {
+        for (int rep = 1; rep < ctl.reps; ++rep) {
+          pt.seconds = std::min(pt.seconds, measure(o));
+          ++pt.reps_run;
+        }
+      }
       res.points.push_back(pt);
       if (pt.seconds < res.best.seconds) res.best = pt;
 

@@ -32,11 +32,26 @@ struct TunePoint {
   poly::TileSizes tile{};
   int group_limit = 0;
   double seconds = 0.0;
+  int reps_run = 0;    ///< measurements actually taken
+  bool pruned = false; ///< remaining reps skipped by the prune cutoff
 };
 
 struct TuneResult {
   std::vector<TunePoint> points;  ///< every visited configuration
   TunePoint best;
+  int pruned = 0;  ///< configurations cut off after their first rep
+};
+
+/// Measurement protocol for one sweep.
+struct TuneControls {
+  /// Measurements per configuration; the minimum is kept (the paper's
+  /// min-of-N protocol).
+  int reps = 1;
+  /// A configuration whose FIRST measurement exceeds this multiple of
+  /// the incumbent best is dropped without its remaining reps — hopeless
+  /// corners of the space (tiny tiles, huge groups) are where the sweep
+  /// spends most of its time otherwise. <= 0 disables pruning.
+  double prune_factor = 3.0;
 };
 
 /// Exhaustively sweep the space. `measure` receives fully-populated
@@ -45,5 +60,11 @@ struct TuneResult {
 TuneResult autotune(const TuneSpace& space, int ndim,
                     const CompileOptions& base,
                     const std::function<double(const CompileOptions&)>& measure);
+
+/// Sweep with repetitions and early pruning (see TuneControls).
+TuneResult autotune(const TuneSpace& space, int ndim,
+                    const CompileOptions& base,
+                    const std::function<double(const CompileOptions&)>& measure,
+                    const TuneControls& ctl);
 
 }  // namespace polymg::opt

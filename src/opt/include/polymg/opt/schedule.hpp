@@ -1,0 +1,38 @@
+// Inter-group tile dependence graph (the plan side of the
+// persistent-team scheduler).
+//
+// The barrier executor serializes groups with a fork/join per group; a
+// W-cycle runs ~100 of them, so synchronization dominates exactly where
+// the paper's many-core numbers were earned. The dependence schedule
+// replaces the group barriers with task-level edges derived from the
+// same region machinery the overlapped-tiling planner already trusts:
+// a tile of group g+1 depends only on the tiles of group g whose owned
+// writes intersect its read footprint, so boundary tiles of g+1 start
+// while interior tiles of g are still in flight.
+//
+// Soundness rests on two rules the runtime enforces together:
+//   1. explicit edges between *adjacent* nodes (RAW, WAR and WAW at
+//      array granularity, intersected tile-wise), and
+//   2. a prefix gate: a task of node i may only start once every node
+//      <= i-2 has fully completed.
+// Rule 2 covers all dependences that span two or more nodes, so the
+// edge computation only ever looks one node back.
+#pragma once
+
+#include "polymg/opt/plan.hpp"
+
+namespace polymg::opt {
+
+/// Build the dependence schedule for a finished plan (groups, arrays and
+/// tile_regions_cache must be final). Deterministic: depends only on the
+/// plan, never on the machine's thread count.
+SchedGraph build_schedule(const CompiledPipeline& cp);
+
+/// Append every inconsistency between cp.sched and a fresh recomputation
+/// to `issues` (node skeleton, CSR shape, missing/extra/misdirected
+/// edges, predecessor counts). Called by plan_issues when a plan carries
+/// a non-empty schedule.
+void schedule_issues(const CompiledPipeline& cp,
+                     std::vector<std::string>& issues);
+
+}  // namespace polymg::opt

@@ -1,0 +1,537 @@
+#include "polymg/opt/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::opt {
+
+namespace {
+
+using poly::Box;
+using poly::index_t;
+using poly::Interval;
+using poly::kMaxDims;
+
+/// Target task count per Loops node. Plan-time constant on purpose: the
+/// schedule must not depend on the thread count of the machine that
+/// compiled it (and bit-exactness never depends on the partition).
+constexpr index_t kLoopsTasksTarget = 32;
+
+constexpr Interval kEmptyInterval{0, -1};
+
+bool overlaps(const Interval& a, const Interval& b) {
+  return !poly::intersect(a, b).empty();
+}
+
+const poly::Access* find_access(const ir::FunctionDecl& f, int slot) {
+  for (const auto& [s, a] : f.accesses) {
+    if (s == slot) return &a;
+  }
+  return nullptr;
+}
+
+/// Per-(node, array, direction) access summary, factored per dimension:
+/// per_dim[d][k] is the interval of array indices along d touched by any
+/// task with coordinate k in dimension d. Valid because every region the
+/// planner produces is separable — tile boxes, owned partitions and
+/// footprints all map dimension d of the task grid to dimension d of the
+/// array independently of the other coordinates.
+struct NodeAccess {
+  int array = -1;
+  bool write = false;
+  std::array<std::vector<Interval>, kMaxDims> per_dim;
+};
+
+/// Boxes one task of `node` reads/writes, at full-array granularity:
+/// appends (array, is_write, box). `coord` indexes the node's task grid;
+/// `regions` is caller-provided scratch.
+void task_boxes(const CompiledPipeline& cp, const SchedNode& node,
+                const std::array<index_t, kMaxDims>& coord,
+                std::vector<Box>& regions,
+                std::vector<std::tuple<int, bool, Box>>& out) {
+  const GroupPlan& g = cp.groups[static_cast<std::size_t>(node.group)];
+  const int ndim = cp.pipe.ndim;
+
+  // Read set of one stage computing `region`: footprints of every source
+  // slot that resolves to a full array, clipped to the producer's domain.
+  auto stage_reads = [&](int p, const Box& region) {
+    const StagePlan& sp = g.stages[static_cast<std::size_t>(p)];
+    const ir::FunctionDecl& f = cp.pipe.funcs[sp.func];
+    for (std::size_t s = 0; s < f.sources.size(); ++s) {
+      const ir::SourceSlot& slot = f.sources[s];
+      if (slot.external) continue;  // inputs are never written by a node
+      if (g.exec == GroupExec::OverlapTiled) {
+        // In-group producers with a scratchpad are read tile-locally.
+        bool scratch = false;
+        for (const StagePlan& q : g.stages) {
+          if (q.func == slot.index && q.scratch_buffer >= 0) {
+            scratch = true;
+            break;
+          }
+        }
+        if (scratch) continue;
+      }
+      const int array = cp.array_of_func[slot.index];
+      if (array < 0) continue;
+      const Box& src_dom = cp.pipe.funcs[slot.index].domain;
+      Box read(ndim);
+      const poly::Access* a = find_access(f, static_cast<int>(s));
+      if (a != nullptr) {
+        read = poly::footprint(*a, region);
+        for (int d = 0; d < ndim; ++d) {
+          read.dim(d) = Interval{std::max(read.dim(d).lo, src_dom.dim(d).lo),
+                                 std::min(read.dim(d).hi, src_dom.dim(d).hi)};
+        }
+      }
+      // A CopySource boundary rule reads the source at identity over the
+      // ghost portion of the region, whether or not the defs read it.
+      if (f.boundary == ir::BoundaryKind::CopySource &&
+          f.boundary_source == static_cast<int>(s)) {
+        for (int d = 0; d < ndim; ++d) {
+          read.dim(d) = hull(read.dim(d), region.dim(d));
+        }
+      }
+      if (a == nullptr &&
+          !(f.boundary == ir::BoundaryKind::CopySource &&
+            f.boundary_source == static_cast<int>(s))) {
+        continue;  // slot unused (defensive; finalize() rejects these)
+      }
+      out.emplace_back(array, false, read);
+    }
+  };
+
+  if (node.collective) {
+    // TimeTiled: the whole chain runs between barriers — summarize at
+    // whole-domain granularity (conservative is sound; edges only add
+    // synchronization).
+    const StagePlan& last = g.stages.back();
+    const ir::FunctionDecl& step_fn = cp.pipe.funcs[g.stages.front().func];
+    out.emplace_back(last.array, true, step_fn.domain);
+    out.emplace_back(g.time_temp_array, true, step_fn.domain);
+    for (std::size_t s = 0; s < step_fn.sources.size(); ++s) {
+      const ir::SourceSlot& slot = step_fn.sources[s];
+      if (slot.external) continue;
+      const int array = cp.array_of_func[slot.index];
+      if (array >= 0) {
+        out.emplace_back(array, false, cp.pipe.funcs[slot.index].domain);
+      }
+    }
+    return;
+  }
+
+  if (node.stage >= 0) {
+    // Loops node: the task is a dimension-0 slab of one stage's domain.
+    const StagePlan& sp = g.stages[static_cast<std::size_t>(node.stage)];
+    const ir::FunctionDecl& f = cp.pipe.funcs[sp.func];
+    Box part = f.domain;
+    if (!node.serial) {
+      const Interval d0 = f.domain.dim(0);
+      part.dim(0) = Interval{d0.lo + coord[0] * node.slab,
+                             std::min(d0.lo + (coord[0] + 1) * node.slab - 1,
+                                      d0.hi)};
+    }
+    out.emplace_back(sp.array, true, part);
+    stage_reads(node.stage, part);
+    return;
+  }
+
+  // OverlapTiled node: the task is one anchor tile (or, serially, the
+  // whole grid treated as a single tile — tile_regions and owned_region
+  // accept any anchor box, so the union over tiles is exact).
+  const ir::FunctionDecl& anchor_f = cp.pipe.funcs[g.stages[g.anchor].func];
+  const Box tile = node.serial
+                       ? g.tiles.domain
+                       : [&] {
+                           index_t flat = 0;
+                           for (int d = 0; d < ndim; ++d) {
+                             flat = flat * g.tiles.ntiles[d] + coord[d];
+                           }
+                           return g.tiles.tile_box(flat);
+                         }();
+  const std::size_t nstages = g.stages.size();
+  const bool cached =
+      !node.serial &&
+      g.tile_regions_cache.size() ==
+          static_cast<std::size_t>(g.tiles.total) * nstages;
+  const Box* regs;
+  if (cached) {
+    index_t flat = 0;
+    for (int d = 0; d < ndim; ++d) flat = flat * g.tiles.ntiles[d] + coord[d];
+    regs = g.tile_regions_cache.data() + static_cast<std::size_t>(flat) * nstages;
+  } else {
+    tile_regions(cp.pipe, g, tile, regions);
+    regs = regions.data();
+  }
+  for (std::size_t p = 0; p < nstages; ++p) {
+    const StagePlan& sp = g.stages[p];
+    if (sp.array >= 0) {
+      const ir::FunctionDecl& f = cp.pipe.funcs[sp.func];
+      const Box write = sp.scratch_buffer >= 0
+                            ? owned_region(f, sp.rel, tile, anchor_f.domain)
+                            : regs[p];
+      out.emplace_back(sp.array, true, write);
+    }
+    stage_reads(static_cast<int>(p), regs[p]);
+  }
+}
+
+/// Collapse a node's accesses into per-dimension interval tables, one
+/// entry per task coordinate. Built from `ndim` probe sweeps (coordinate
+/// k along dimension d, zero elsewhere) — separability makes dimension d
+/// of the probe's boxes exact for every task sharing that coordinate.
+std::vector<NodeAccess> node_tables(const CompiledPipeline& cp,
+                                    const SchedNode& node) {
+  const int ndim = cp.pipe.ndim;
+  std::vector<NodeAccess> tables;
+  std::vector<Box> regions_scratch;
+  std::vector<std::tuple<int, bool, Box>> boxes;
+
+  auto slot_of = [&](int array, bool write) -> NodeAccess& {
+    for (NodeAccess& t : tables) {
+      if (t.array == array && t.write == write) return t;
+    }
+    NodeAccess& t = tables.emplace_back();
+    t.array = array;
+    t.write = write;
+    for (int d = 0; d < kMaxDims; ++d) {
+      t.per_dim[d].assign(static_cast<std::size_t>(node.ntasks_dim[d]),
+                          kEmptyInterval);
+    }
+    return t;
+  };
+
+  for (int d = 0; d < std::max(ndim, 1); ++d) {
+    for (index_t k = 0; k < node.ntasks_dim[d]; ++k) {
+      std::array<index_t, kMaxDims> coord{};
+      coord[d] = k;
+      boxes.clear();
+      task_boxes(cp, node, coord, regions_scratch, boxes);
+      // Note: a box empty in some OTHER dimension still contributes its
+      // dim-d interval — the per-dimension product representation encodes
+      // emptiness in the dimension that owns it (hull ignores empties).
+      for (const auto& [array, write, box] : boxes) {
+        NodeAccess& t = slot_of(array, write);
+        auto& cell = t.per_dim[d][static_cast<std::size_t>(k)];
+        cell = hull(cell, box.dim(d));
+      }
+    }
+  }
+  return tables;
+}
+
+index_t flat_task(const SchedNode& node,
+                  const std::array<index_t, kMaxDims>& coord, int ndim) {
+  index_t flat = 0;
+  for (int d = 0; d < std::max(ndim, 1); ++d) {
+    flat = flat * node.ntasks_dim[d] + coord[d];
+  }
+  return flat;
+}
+
+/// Edges between one adjacent node pair, appended as (pred, succ) flat
+/// task ids. For every pair of accesses to the same array where at least
+/// one side writes, each task of `cur` depends on the rectangular range
+/// of `prev` tasks whose interval overlaps its own, per dimension.
+void pair_edges(const CompiledPipeline& cp, const SchedNode& prev,
+                const SchedNode& cur,
+                std::vector<std::pair<index_t, index_t>>& edges) {
+  const int ndim = std::max(cp.pipe.ndim, 1);
+  const std::vector<NodeAccess> pt = node_tables(cp, prev);
+  const std::vector<NodeAccess> ct = node_tables(cp, cur);
+
+  struct Range {
+    index_t lo = 0, hi = -1;
+  };
+  // rng[pair][d][c]: prev-coordinate range overlapping cur coordinate c.
+  std::vector<std::array<std::vector<Range>, kMaxDims>> rng;
+  std::vector<std::pair<const NodeAccess*, const NodeAccess*>> pairs;
+  for (const NodeAccess& a : ct) {
+    for (const NodeAccess& b : pt) {
+      if (a.array != b.array || (!a.write && !b.write)) continue;
+      pairs.emplace_back(&b, &a);
+    }
+  }
+  rng.resize(pairs.size());
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    const auto& [pa, ca] = pairs[pi];
+    for (int d = 0; d < ndim; ++d) {
+      auto& col = rng[pi][d];
+      col.resize(static_cast<std::size_t>(cur.ntasks_dim[d]));
+      for (index_t c = 0; c < cur.ntasks_dim[d]; ++c) {
+        const Interval q = ca->per_dim[d][static_cast<std::size_t>(c)];
+        Range r;
+        bool open = false;
+        for (index_t k = 0; k < prev.ntasks_dim[d]; ++k) {
+          if (overlaps(q, pa->per_dim[d][static_cast<std::size_t>(k)])) {
+            if (!open) {
+              r.lo = k;
+              open = true;
+            }
+            r.hi = k;
+          }
+        }
+        col[static_cast<std::size_t>(c)] = r;
+      }
+    }
+  }
+  if (pairs.empty()) return;
+
+  std::vector<index_t> preds;
+  std::array<index_t, kMaxDims> c{};
+  for (index_t t = 0; t < cur.ntasks; ++t) {
+    preds.clear();
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+      std::array<Range, kMaxDims> r{};
+      bool any = true;
+      for (int d = 0; d < ndim; ++d) {
+        r[d] = rng[pi][d][static_cast<std::size_t>(c[d])];
+        if (r[d].lo > r[d].hi) {
+          any = false;
+          break;
+        }
+      }
+      if (!any) continue;
+      std::array<index_t, kMaxDims> k{};
+      for (int d = 0; d < ndim; ++d) k[d] = r[d].lo;
+      while (true) {
+        preds.push_back(prev.task_base + flat_task(prev, k, ndim));
+        int d = ndim - 1;
+        while (d >= 0 && ++k[d] > r[d].hi) {
+          k[d] = r[d].lo;
+          --d;
+        }
+        if (d < 0) break;
+      }
+    }
+    if (!preds.empty()) {
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+      for (index_t p : preds) edges.emplace_back(p, cur.task_base + t);
+    }
+    // advance cur coordinate (last dimension fastest, matching tile_box)
+    int d = ndim - 1;
+    while (d >= 0 && ++c[d] >= cur.ntasks_dim[d]) {
+      c[d] = 0;
+      --d;
+    }
+  }
+}
+
+std::vector<SchedNode> make_nodes(const CompiledPipeline& cp) {
+  std::vector<SchedNode> nodes;
+  const index_t grain = std::max<index_t>(0, cp.opts.serial_grain);
+  for (std::size_t gi = 0; gi < cp.groups.size(); ++gi) {
+    const GroupPlan& g = cp.groups[gi];
+    switch (g.exec) {
+      case GroupExec::TimeTiled: {
+        SchedNode n;
+        n.group = static_cast<int>(gi);
+        n.collective = true;
+        nodes.push_back(n);
+        break;
+      }
+      case GroupExec::OverlapTiled: {
+        SchedNode n;
+        n.group = static_cast<int>(gi);
+        const index_t work =
+            g.tiles.domain.count() * static_cast<index_t>(g.stages.size());
+        if (work < grain || g.tiles.total <= 1) {
+          n.serial = true;
+        } else {
+          for (int d = 0; d < cp.pipe.ndim; ++d) {
+            n.ntasks_dim[d] = g.tiles.ntiles[d];
+          }
+          n.ntasks = g.tiles.total;
+        }
+        nodes.push_back(n);
+        break;
+      }
+      case GroupExec::Loops: {
+        for (std::size_t p = 0; p < g.stages.size(); ++p) {
+          const ir::FunctionDecl& f = cp.pipe.funcs[g.stages[p].func];
+          SchedNode n;
+          n.group = static_cast<int>(gi);
+          n.stage = static_cast<int>(p);
+          const Interval d0 = f.domain.dim(0);
+          if (f.domain.count() < grain || d0.size() <= 1) {
+            n.serial = true;
+          } else {
+            n.slab = std::max<index_t>(
+                1, poly::ceildiv(d0.size(), kLoopsTasksTarget));
+            n.ntasks_dim[0] = poly::ceildiv(d0.size(), n.slab);
+            n.ntasks = n.ntasks_dim[0];
+          }
+          nodes.push_back(n);
+        }
+        break;
+      }
+    }
+  }
+  index_t base = 0;
+  for (SchedNode& n : nodes) {
+    n.task_base = base;
+    base += n.ntasks;
+  }
+  return nodes;
+}
+
+SchedGraph graph_from_nodes(const CompiledPipeline& cp,
+                            std::vector<SchedNode> nodes) {
+  SchedGraph sg;
+  sg.nodes = std::move(nodes);
+  sg.total_tasks = 0;
+  for (const SchedNode& n : sg.nodes) sg.total_tasks += n.ntasks;
+
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (std::size_t i = 1; i < sg.nodes.size(); ++i) {
+    pair_edges(cp, sg.nodes[i - 1], sg.nodes[i], edges);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  sg.succ_off.assign(static_cast<std::size_t>(sg.total_tasks) + 1, 0);
+  sg.pred_count.assign(static_cast<std::size_t>(sg.total_tasks), 0);
+  for (const auto& [p, s] : edges) {
+    ++sg.succ_off[static_cast<std::size_t>(p) + 1];
+    ++sg.pred_count[static_cast<std::size_t>(s)];
+  }
+  for (std::size_t t = 1; t < sg.succ_off.size(); ++t) {
+    sg.succ_off[t] += sg.succ_off[t - 1];
+  }
+  sg.succ.resize(edges.size());
+  std::vector<index_t> fill(sg.succ_off.begin(), sg.succ_off.end() - 1);
+  for (const auto& [p, s] : edges) {
+    sg.succ[static_cast<std::size_t>(fill[static_cast<std::size_t>(p)]++)] = s;
+  }
+  return sg;
+}
+
+}  // namespace
+
+SchedGraph build_schedule(const CompiledPipeline& cp) {
+  return graph_from_nodes(cp, make_nodes(cp));
+}
+
+void schedule_issues(const CompiledPipeline& cp,
+                     std::vector<std::string>& issues) {
+  const SchedGraph& sg = cp.sched;
+  auto complain = [&](const std::string& msg) {
+    issues.push_back("sched: " + msg);
+  };
+
+  const SchedGraph ref = build_schedule(cp);
+  if (sg.nodes.size() != ref.nodes.size()) {
+    std::ostringstream os;
+    os << "node count " << sg.nodes.size() << " != expected "
+       << ref.nodes.size();
+    complain(os.str());
+    return;  // skeleton mismatch: task ids are not comparable
+  }
+  for (std::size_t i = 0; i < sg.nodes.size(); ++i) {
+    const SchedNode& a = sg.nodes[i];
+    const SchedNode& b = ref.nodes[i];
+    if (a.group != b.group || a.stage != b.stage ||
+        a.collective != b.collective || a.serial != b.serial ||
+        a.ntasks != b.ntasks || a.ntasks_dim != b.ntasks_dim ||
+        a.slab != b.slab || a.task_base != b.task_base) {
+      std::ostringstream os;
+      os << "node " << i << " disagrees with recomputation (group "
+         << a.group << " vs " << b.group << ", ntasks " << a.ntasks << " vs "
+         << b.ntasks << ")";
+      complain(os.str());
+      return;
+    }
+  }
+  if (sg.total_tasks != ref.total_tasks) {
+    complain("total_tasks disagrees with node list");
+    return;
+  }
+  if (sg.succ_off.size() != static_cast<std::size_t>(sg.total_tasks) + 1 ||
+      sg.pred_count.size() != static_cast<std::size_t>(sg.total_tasks)) {
+    complain("CSR arrays not sized total_tasks");
+    return;
+  }
+  if (sg.succ_off.front() != 0 ||
+      sg.succ_off.back() != static_cast<index_t>(sg.succ.size())) {
+    complain("succ_off endpoints inconsistent with succ");
+    return;
+  }
+  for (std::size_t t = 1; t < sg.succ_off.size(); ++t) {
+    if (sg.succ_off[t] < sg.succ_off[t - 1]) {
+      complain("succ_off not monotone");
+      return;
+    }
+  }
+
+  // Edge-set comparison against the recomputation: a dropped edge is a
+  // missed synchronization (rejected), an invented edge is at best a
+  // slowdown and at worst a deadlock with the prefix gate (rejected too).
+  auto edge_list = [](const SchedGraph& g) {
+    std::vector<std::pair<index_t, index_t>> e;
+    e.reserve(g.succ.size());
+    for (index_t t = 0; t < g.total_tasks; ++t) {
+      for (index_t k = g.succ_off[static_cast<std::size_t>(t)];
+           k < g.succ_off[static_cast<std::size_t>(t) + 1]; ++k) {
+        e.emplace_back(t, g.succ[static_cast<std::size_t>(k)]);
+      }
+    }
+    std::sort(e.begin(), e.end());
+    return e;
+  };
+  const auto have = edge_list(sg);
+  const auto want = edge_list(ref);
+  if (have != want) {
+    std::ostringstream os;
+    os << "edge set disagrees with recomputation (" << have.size()
+       << " stored vs " << want.size() << " derived)";
+    for (const auto& e : want) {
+      if (!std::binary_search(have.begin(), have.end(), e)) {
+        os << "; missing " << e.first << "->" << e.second;
+        break;
+      }
+    }
+    for (const auto& e : have) {
+      if (!std::binary_search(want.begin(), want.end(), e)) {
+        os << "; extra " << e.first << "->" << e.second;
+        break;
+      }
+    }
+    complain(os.str());
+  }
+
+  // Structural invariants every consumer relies on, checked on the
+  // stored graph itself (the recomputation satisfies them by build).
+  std::vector<index_t> node_of(static_cast<std::size_t>(sg.total_tasks));
+  for (std::size_t i = 0; i < sg.nodes.size(); ++i) {
+    const SchedNode& n = sg.nodes[i];
+    for (index_t t = 0; t < n.ntasks; ++t) {
+      node_of[static_cast<std::size_t>(n.task_base + t)] =
+          static_cast<index_t>(i);
+    }
+  }
+  std::vector<std::int32_t> preds(static_cast<std::size_t>(sg.total_tasks), 0);
+  for (index_t t = 0; t < sg.total_tasks; ++t) {
+    for (index_t k = sg.succ_off[static_cast<std::size_t>(t)];
+         k < sg.succ_off[static_cast<std::size_t>(t) + 1]; ++k) {
+      const index_t s = sg.succ[static_cast<std::size_t>(k)];
+      if (s < 0 || s >= sg.total_tasks) {
+        complain("successor task id out of range");
+        return;
+      }
+      if (node_of[static_cast<std::size_t>(s)] !=
+          node_of[static_cast<std::size_t>(t)] + 1) {
+        complain("edge does not target the adjacent node");
+        return;
+      }
+      ++preds[static_cast<std::size_t>(s)];
+    }
+  }
+  if (preds != sg.pred_count) {
+    complain("pred_count disagrees with the successor lists");
+  }
+}
+
+}  // namespace polymg::opt

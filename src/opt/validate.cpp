@@ -1,5 +1,7 @@
 #include "polymg/opt/validate.hpp"
 
+#include "polymg/opt/schedule.hpp"
+
 #include <algorithm>
 #include <numeric>
 #include <sstream>
@@ -348,7 +350,12 @@ std::vector<std::string> plan_issues(const CompiledPipeline& cp) {
     }
   }
 
-  return out.take();
+  // ---- Dependence schedule: the persistent-team executor trusts the
+  // ---- stored task graph blindly, so a dropped or misdirected edge is a
+  // ---- silent race. Cross-check against a full recomputation.
+  std::vector<std::string> issues = out.take();
+  if (!cp.sched.empty()) schedule_issues(cp, issues);
+  return issues;
 }
 
 void validate_plan(const CompiledPipeline& cp) {
@@ -371,6 +378,9 @@ CompileOptions reference_options(const CompileOptions& base) {
   // The oracle must stay implementation-independent of the fast path it
   // cross-checks: interpret bytecode, never the register engine.
   o.register_engine = false;
+  // Likewise execute in an independent order: per-group barrier schedule,
+  // not the persistent-team dependence schedule.
+  o.dependence_schedule = false;
   return o;
 }
 

@@ -13,6 +13,7 @@ namespace polymg::runtime {
 
 using opt::GroupExec;
 using opt::GroupPlan;
+using opt::SchedNode;
 using opt::StagePlan;
 
 Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
@@ -92,12 +93,60 @@ Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
   group_seconds_.assign(ngroups, 0.0);
   stage_seconds_.assign(static_cast<std::size_t>(plan_.pipe.num_stages()),
                         0.0);
+
+  // --- Dependence-scheduler state, preallocated so a steady-state run
+  // --- only resets it (no heap traffic inside or around the region).
+  const opt::SchedGraph& sg = plan_.sched;
+  sched_on_ = !sg.empty();
+  if (sched_on_) {
+    const std::size_t nnodes = sg.nodes.size();
+    const std::size_t ntasks = static_cast<std::size_t>(sg.total_tasks);
+    task_node_.assign(ntasks, 0);
+    phase_of_node_.assign(nnodes, 0);
+    for (std::size_t ni = 0; ni < nnodes; ++ni) {
+      const SchedNode& n = sg.nodes[ni];
+      for (index_t t = 0; t < n.ntasks; ++t) {
+        task_node_[static_cast<std::size_t>(n.task_base + t)] =
+            static_cast<std::int32_t>(ni);
+      }
+      if (n.collective) {
+        phases_.push_back(Phase{true, static_cast<int>(ni),
+                                static_cast<int>(ni) + 1});
+      } else if (!phases_.empty() && !phases_.back().collective &&
+                 phases_.back().end_node == static_cast<int>(ni)) {
+        phases_.back().end_node = static_cast<int>(ni) + 1;
+      } else {
+        phases_.push_back(Phase{false, static_cast<int>(ni),
+                                static_cast<int>(ni) + 1});
+      }
+      phase_of_node_[ni] = static_cast<int>(phases_.size()) - 1;
+    }
+    phase_total_.assign(phases_.size(), 0);
+    for (std::size_t ni = 0; ni < nnodes; ++ni) {
+      phase_total_[static_cast<std::size_t>(phase_of_node_[ni])] +=
+          sg.nodes[ni].ntasks;
+    }
+    pred_ = std::vector<std::atomic<std::int32_t>>(ntasks);
+    queue_ = std::vector<std::atomic<index_t>>(ntasks);
+    node_remaining_ = std::vector<std::atomic<index_t>>(nnodes);
+    node_complete_ = std::vector<std::atomic<std::uint8_t>>(nnodes);
+    phase_completed_ = std::vector<std::atomic<index_t>>(phases_.size());
+    group_ensured_ = std::vector<std::atomic<std::uint8_t>>(ngroups);
+    node_seconds_acc_.assign(workspaces_.size() * nnodes, 0.0);
+  }
 }
 
 void Executor::reset_timers() {
   std::fill(group_seconds_.begin(), group_seconds_.end(), 0.0);
   std::fill(stage_seconds_.begin(), stage_seconds_.end(), 0.0);
   runs_timed_ = 0;
+}
+
+bool Executor::dependence_scheduled() const {
+  // Armed fault sites force the barrier schedule: kPoolAlloc throws and
+  // kKernelOutput poisons shared state, neither of which may happen
+  // concurrently inside the persistent region.
+  return sched_on_ && !fault::FaultInjector::instance().any_armed();
 }
 
 View Executor::array_view(int array_id, const ir::FunctionDecl& shape) const {
@@ -178,6 +227,117 @@ void Executor::run(std::span<const View> externals) {
     }
   }
 
+  if (dependence_scheduled()) {
+    run_dependence(externals);
+  } else {
+    run_barrier(externals);
+  }
+  ++runs_timed_;
+}
+
+View Executor::output_view(int i) const {
+  PMG_CHECK(i >= 0 && i < static_cast<int>(plan_.pipe.outputs.size()),
+            "bad output index " << i);
+  const int func = plan_.pipe.outputs[i];
+  return array_view(plan_.array_of_func[func], plan_.pipe.funcs[func]);
+}
+
+// ---------------------------------------------------------------------------
+// Shared task kernels. Both schedules execute tiles and slabs through
+// these two functions, so the per-point computation — and therefore the
+// bit pattern of every result — is schedule-independent by construction.
+// ---------------------------------------------------------------------------
+
+void Executor::exec_loops_part(int gi, int p, const Box& part,
+                               std::span<const View> externals, int tid) {
+  const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
+  const StagePlan& sp = g.stages[static_cast<std::size_t>(p)];
+  const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
+  const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
+  const View out = array_view(sp.array, f);
+  Workspace& ws = workspaces_[static_cast<std::size_t>(tid)];
+  ws.srcs.assign(f.sources.size(), View{});
+  for (std::size_t s = 0; s < f.sources.size(); ++s) {
+    ws.srcs[s] = resolve_bind(binds_[gi][p][s], externals, {});
+  }
+  apply_stage(f, lowered, out, std::span<const View>(ws.srcs), part);
+}
+
+void Executor::exec_overlap_tile(int gi, index_t ti,
+                                 std::span<const View> externals, int tid) {
+  const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
+  const int nstages = static_cast<int>(g.stages.size());
+  const ir::FunctionDecl& anchor_f = plan_.pipe.funcs[g.stages[g.anchor].func];
+  const std::vector<index_t>& scratch_off =
+      scratch_off_[static_cast<std::size_t>(gi)];
+  // Plans built by opt::compile carry the per-tile region cache; keep a
+  // recompute fallback for hand-assembled plans (tests).
+  const bool cached =
+      g.tile_regions_cache.size() ==
+      static_cast<std::size_t>(g.tiles.total) * g.stages.size();
+
+  auto& arena = arena_[static_cast<std::size_t>(tid)];
+  Workspace& ws = workspaces_[static_cast<std::size_t>(tid)];
+  // Reserved at construction: these stay within capacity (no malloc).
+  ws.scratch_views.assign(static_cast<std::size_t>(nstages), View{});
+
+  const Box tile = g.tiles.tile_box(ti);
+  const Box* regions;
+  if (cached) {
+    regions = g.tile_regions_cache.data() +
+              static_cast<std::size_t>(ti) * g.stages.size();
+  } else {
+    ws.regions.assign(static_cast<std::size_t>(nstages), Box{});
+    opt::tile_regions(plan_.pipe, g, tile, ws.regions);
+    regions = ws.regions.data();
+  }
+
+  // Bind scratchpad views for this tile's footprints.
+  for (int p = 0; p < nstages; ++p) {
+    const StagePlan& sp = g.stages[p];
+    if (sp.scratch_buffer < 0) continue;
+    // Always-on: an undersized scratchpad would corrupt the arena
+    // silently, so the plan-time bound is enforced per tile.
+    PMG_CHECK(regions[p].count() <=
+                  static_cast<index_t>(g.scratch_sizes[sp.scratch_buffer]),
+              "scratchpad overflow on " << plan_.pipe.funcs[sp.func].name
+                                        << ": region " << regions[p]);
+    ws.scratch_views[p] = View::over(
+        arena.data() + scratch_off[sp.scratch_buffer], regions[p]);
+  }
+
+  for (int p = 0; p < nstages; ++p) {
+    const StagePlan& sp = g.stages[p];
+    const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
+    const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
+    ws.srcs.assign(f.sources.size(), View{});
+    for (std::size_t s = 0; s < f.sources.size(); ++s) {
+      ws.srcs[s] = resolve_bind(binds_[gi][p][s], externals,
+                                ws.scratch_views);
+    }
+    if (sp.scratch_buffer >= 0) {
+      apply_stage(f, lowered, ws.scratch_views[p],
+                  std::span<const View>(ws.srcs), regions[p]);
+      if (sp.array >= 0) {
+        // Live-out with in-group consumers: publish the owned
+        // partition slice (disjoint across tiles).
+        const Box own = opt::owned_region(f, sp.rel, tile, anchor_f.domain);
+        copy_view(array_view(sp.array, f), ws.scratch_views[p], own);
+      }
+    } else {
+      // The anchor (and any consumer-less live-out) writes its
+      // disjoint region straight to the full array.
+      apply_stage(f, lowered, array_view(sp.array, f),
+                  std::span<const View>(ws.srcs), regions[p]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier schedule: one fork/join per group, groups strictly in order.
+// ---------------------------------------------------------------------------
+
+void Executor::run_barrier(std::span<const View> externals) {
   for (std::size_t gi = 0; gi < plan_.groups.size(); ++gi) {
     const GroupPlan& g = plan_.groups[gi];
     for (const StagePlan& sp : g.stages) {
@@ -229,14 +389,6 @@ void Executor::run(std::span<const View> externals) {
       release_arrays(releasable_after_group_[gi]);
     }
   }
-  ++runs_timed_;
-}
-
-View Executor::output_view(int i) const {
-  PMG_CHECK(i >= 0 && i < static_cast<int>(plan_.pipe.outputs.size()),
-            "bad output index " << i);
-  const int func = plan_.pipe.outputs[i];
-  return array_view(plan_.array_of_func[func], plan_.pipe.funcs[func]);
 }
 
 void Executor::run_loops_group(int gi, std::span<const View> externals) {
@@ -244,44 +396,37 @@ void Executor::run_loops_group(int gi, std::span<const View> externals) {
   for (std::size_t p = 0; p < g.stages.size(); ++p) {
     const StagePlan& sp = g.stages[p];
     const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
-    const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
-    const View out = array_view(sp.array, f);
-    stage_srcs_.assign(f.sources.size(), View{});
-    for (std::size_t s = 0; s < f.sources.size(); ++s) {
-      stage_srcs_[s] = resolve_bind(binds_[gi][p][s], externals, {});
-    }
-    std::span<const View> srcs(stage_srcs_);
     Timer st;
+    // Grain fast path: a coarse level is a handful of rows — the
+    // fork/join alone dwarfs the work, so run it on the calling thread.
+    if (f.domain.count() < plan_.opts.serial_grain) {
+      exec_loops_part(gi, static_cast<int>(p), f.domain, externals, 0);
+      stage_seconds_[static_cast<std::size_t>(sp.func)] += st.elapsed();
+      continue;
+    }
     // Straightforward parallelization: OpenMP on the outermost grid
     // dimension, in slabs to amortize per-call setup.
     const poly::Interval d0 = f.domain.dim(0);
     const index_t slab = std::max<index_t>(
         1, d0.size() / (static_cast<index_t>(max_threads()) * 8));
     const index_t nslabs = poly::ceildiv(d0.size(), slab);
+    note_parallel_region();
 #pragma omp parallel for schedule(static)
     for (index_t si = 0; si < nslabs; ++si) {
       Box part = f.domain;
-      part.dim(0) = poly::Interval{d0.lo + si * slab,
-                                   std::min(d0.lo + (si + 1) * slab - 1,
-                                            d0.hi)};
-      apply_stage(f, lowered, out, srcs, part);
+      part.dim(0) = poly::Interval{
+          d0.lo + si * slab, std::min(d0.lo + (si + 1) * slab - 1, d0.hi)};
+      exec_loops_part(gi, static_cast<int>(p), part, externals, thread_id());
+      tsan_join_release();
     }
+    tsan_join_acquire();
     stage_seconds_[static_cast<std::size_t>(sp.func)] += st.elapsed();
   }
 }
 
 void Executor::run_overlap_group(int gi, std::span<const View> externals) {
   const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
-  const int nstages = static_cast<int>(g.stages.size());
-  const ir::FunctionDecl& anchor_f = plan_.pipe.funcs[g.stages[g.anchor].func];
   const poly::TileGrid& tiles = g.tiles;
-  const std::vector<index_t>& scratch_off =
-      scratch_off_[static_cast<std::size_t>(gi)];
-  // Plans built by opt::compile carry the per-tile region cache; keep a
-  // recompute fallback for hand-assembled plans (tests).
-  const bool cached =
-      g.tile_regions_cache.size() ==
-      static_cast<std::size_t>(tiles.total) * g.stages.size();
 
   // The collapse(d) clause flattens the tile loops; a flat index loop is
   // its runtime equivalent. Without collapse only the outermost tile
@@ -290,76 +435,23 @@ void Executor::run_overlap_group(int gi, std::span<const View> externals) {
   const index_t parallel_extent =
       g.collapse_depth > 1 ? tiles.total : tiles.ntiles[0];
   const index_t tiles_per_chunk =
-      g.collapse_depth > 1 ? 1 : tiles.total / std::max<index_t>(1, tiles.ntiles[0]);
+      g.collapse_depth > 1 ? 1
+                           : tiles.total / std::max<index_t>(1, tiles.ntiles[0]);
 
+  note_parallel_region();
 #pragma omp parallel
   {
     const int tid = thread_id();
-    auto& arena = arena_[static_cast<std::size_t>(tid)];
-    Workspace& ws = workspaces_[static_cast<std::size_t>(tid)];
-    // Reserved at construction: these stay within capacity (no malloc).
-    ws.regions.assign(static_cast<std::size_t>(nstages), Box{});
-    ws.scratch_views.assign(static_cast<std::size_t>(nstages), View{});
-
 #pragma omp for schedule(static)
     for (index_t pi = 0; pi < parallel_extent; ++pi) {
-      for (index_t ti = pi * tiles_per_chunk;
-           ti < (pi + 1) * tiles_per_chunk; ++ti) {
-        const Box tile = tiles.tile_box(ti);
-        const Box* regions;
-        if (cached) {
-          regions = g.tile_regions_cache.data() +
-                    static_cast<std::size_t>(ti) * g.stages.size();
-        } else {
-          opt::tile_regions(plan_.pipe, g, tile, ws.regions);
-          regions = ws.regions.data();
-        }
-
-        // Bind scratchpad views for this tile's footprints.
-        for (int p = 0; p < nstages; ++p) {
-          const StagePlan& sp = g.stages[p];
-          if (sp.scratch_buffer < 0) continue;
-          // Always-on: an undersized scratchpad would corrupt the arena
-          // silently, so the plan-time bound is enforced per tile.
-          PMG_CHECK(regions[p].count() <=
-                        static_cast<index_t>(
-                            g.scratch_sizes[sp.scratch_buffer]),
-                    "scratchpad overflow on "
-                        << plan_.pipe.funcs[sp.func].name << ": region "
-                        << regions[p]);
-          ws.scratch_views[p] = View::over(
-              arena.data() + scratch_off[sp.scratch_buffer], regions[p]);
-        }
-
-        for (int p = 0; p < nstages; ++p) {
-          const StagePlan& sp = g.stages[p];
-          const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
-          const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
-          ws.srcs.assign(f.sources.size(), View{});
-          for (std::size_t s = 0; s < f.sources.size(); ++s) {
-            ws.srcs[s] =
-                resolve_bind(binds_[gi][p][s], externals, ws.scratch_views);
-          }
-          if (sp.scratch_buffer >= 0) {
-            apply_stage(f, lowered, ws.scratch_views[p], ws.srcs,
-                        regions[p]);
-            if (sp.array >= 0) {
-              // Live-out with in-group consumers: publish the owned
-              // partition slice (disjoint across tiles).
-              const Box own = opt::owned_region(f, sp.rel, tile,
-                                                anchor_f.domain);
-              copy_view(array_view(sp.array, f), ws.scratch_views[p], own);
-            }
-          } else {
-            // The anchor (and any consumer-less live-out) writes its
-            // disjoint region straight to the full array.
-            apply_stage(f, lowered, array_view(sp.array, f), ws.srcs,
-                        regions[p]);
-          }
-        }
+      for (index_t ti = pi * tiles_per_chunk; ti < (pi + 1) * tiles_per_chunk;
+           ++ti) {
+        exec_overlap_tile(gi, ti, externals, tid);
       }
     }
+    tsan_join_release();
   }
+  tsan_join_acquire();
 }
 
 void Executor::run_timetile_group(int gi, std::span<const View> externals) {
@@ -399,6 +491,325 @@ void Executor::run_timetile_group(int gi, std::span<const View> externals) {
 
   TimeTileParams params{g.dtile_H, g.dtile_W};
   time_tiled_sweep(chain, bufs, stage_srcs_, params);
+}
+
+// ---------------------------------------------------------------------------
+// Dependence schedule: one persistent parallel region per run().
+//
+// Liveness argument, in brief: every task's predecessor counter is
+// decremented exactly once per explicit edge plus exactly once when its
+// node's gate opens; the counter therefore reaches zero exactly once and
+// the task enters the queue exactly once. Gates open in node order
+// (node 0 and 1 up front, node k+2 when the completion frontier passes
+// node k), and the frontier always advances because the thread finishing
+// a node's last task advances it before reporting the task complete.
+// ---------------------------------------------------------------------------
+
+void Executor::reset_sched_state() {
+  const opt::SchedGraph& sg = plan_.sched;
+  for (std::size_t t = 0; t < pred_.size(); ++t) {
+    // +1 is the gate predecessor (prefix rule).
+    pred_[t].store(sg.pred_count[t] + 1, std::memory_order_relaxed);
+    queue_[t].store(0, std::memory_order_relaxed);
+  }
+  qhead_.store(0, std::memory_order_relaxed);
+  qtail_.store(0, std::memory_order_relaxed);
+  for (std::size_t ni = 0; ni < node_remaining_.size(); ++ni) {
+    node_remaining_[ni].store(sg.nodes[ni].ntasks,
+                              std::memory_order_relaxed);
+    node_complete_[ni].store(0, std::memory_order_relaxed);
+  }
+  frontier_.store(0, std::memory_order_relaxed);
+  for (auto& pc : phase_completed_) pc.store(0, std::memory_order_relaxed);
+  for (auto& ge : group_ensured_) ge.store(0, std::memory_order_relaxed);
+  std::fill(node_seconds_acc_.begin(), node_seconds_acc_.end(), 0.0);
+}
+
+void Executor::ensure_group_arrays_locked(int gi) {
+  if (group_ensured_[static_cast<std::size_t>(gi)].load(
+          std::memory_order_relaxed)) {
+    return;
+  }
+  for (const StagePlan& sp : plan_.groups[static_cast<std::size_t>(gi)].stages) {
+    if (sp.array >= 0) ensure_array(sp.array);
+  }
+  // Release pairs with the acquire fast path in ensure_group_arrays: a
+  // thread seeing 1 sees the array_ptr_ stores above.
+  group_ensured_[static_cast<std::size_t>(gi)].store(
+      1, std::memory_order_release);
+}
+
+void Executor::ensure_group_arrays(int gi) {
+  if (group_ensured_[static_cast<std::size_t>(gi)].load(
+          std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  ensure_group_arrays_locked(gi);
+}
+
+void Executor::push_task(index_t t) {
+  const index_t slot = qtail_.fetch_add(1, std::memory_order_relaxed);
+  // Stored +1 so an unpublished slot reads as zero.
+  queue_[static_cast<std::size_t>(slot)].store(t + 1,
+                                               std::memory_order_release);
+}
+
+bool Executor::pop_task(index_t& out) {
+  index_t h = qhead_.load(std::memory_order_relaxed);
+  while (true) {
+    if (h >= qtail_.load(std::memory_order_acquire)) return false;
+    if (qhead_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      // The producer bumps qtail before publishing the slot: spin for
+      // the release-store (bounded — the producer is between the two).
+      index_t v;
+      while ((v = queue_[static_cast<std::size_t>(h)].load(
+                  std::memory_order_acquire)) == 0) {
+        cpu_pause();
+      }
+      out = v - 1;
+      return true;
+    }
+  }
+}
+
+void Executor::open_gate(index_t node) {
+  const opt::SchedGraph& sg = plan_.sched;
+  if (node >= static_cast<index_t>(sg.nodes.size())) return;
+  const SchedNode& n = sg.nodes[static_cast<std::size_t>(node)];
+  // Collective nodes are ordered by their phase's barriers.
+  if (n.collective) return;
+  for (index_t t = n.task_base; t < n.task_base + n.ntasks; ++t) {
+    if (pred_[static_cast<std::size_t>(t)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      push_task(t);
+    }
+  }
+}
+
+void Executor::retire_node(index_t k) {
+  const opt::SchedGraph& sg = plan_.sched;
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  // Pool releases stay sound under overlap: an array released here had
+  // its last use in a group whose nodes all sit at or before the
+  // frontier, and the only nodes still in flight are at most one past it
+  // — by definition in a strictly later group than the released array's
+  // last reader.
+  const int g = sg.nodes[static_cast<std::size_t>(k)].group;
+  const bool group_done =
+      k + 1 == static_cast<index_t>(sg.nodes.size()) ||
+      sg.nodes[static_cast<std::size_t>(k) + 1].group != g;
+  if (group_done && plan_.opts.pooled_allocation) {
+    release_arrays(releasable_after_group_[static_cast<std::size_t>(g)]);
+  }
+  // The frontier reached k+1, so the gate of node k+2 may open.
+  open_gate(k + 2);
+}
+
+void Executor::advance_frontier() {
+  const index_t nnodes = static_cast<index_t>(plan_.sched.nodes.size());
+  index_t f = frontier_.load(std::memory_order_acquire);
+  while (f < nnodes &&
+         node_complete_[static_cast<std::size_t>(f)].load(
+             std::memory_order_acquire) != 0) {
+    if (frontier_.compare_exchange_weak(f, f + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      retire_node(f);
+      ++f;
+    }
+  }
+}
+
+void Executor::node_done(int node) {
+  node_complete_[static_cast<std::size_t>(node)].store(
+      1, std::memory_order_release);
+  advance_frontier();
+}
+
+void Executor::finish_task(index_t t, int node) {
+  const opt::SchedGraph& sg = plan_.sched;
+  for (index_t k = sg.succ_off[static_cast<std::size_t>(t)];
+       k < sg.succ_off[static_cast<std::size_t>(t) + 1]; ++k) {
+    const index_t s = sg.succ[static_cast<std::size_t>(k)];
+    // Collective successors never enter the queue — the phase barrier
+    // structure runs them; their counter still drains for uniformity.
+    if (pred_[static_cast<std::size_t>(s)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1 &&
+        !sg.nodes[static_cast<std::size_t>(task_node_[
+            static_cast<std::size_t>(s)])].collective) {
+      push_task(s);
+    }
+  }
+  if (node_remaining_[static_cast<std::size_t>(node)].fetch_sub(
+          1, std::memory_order_acq_rel) == 1) {
+    node_done(node);
+  }
+  // Last: the phase exit test must observe the retirement chain above.
+  phase_completed_[static_cast<std::size_t>(phase_of_node_[
+      static_cast<std::size_t>(node)])]
+      .fetch_add(1, std::memory_order_release);
+}
+
+void Executor::exec_task(index_t t, std::span<const View> externals,
+                         int tid) {
+  const int ni = task_node_[static_cast<std::size_t>(t)];
+  const SchedNode& n = plan_.sched.nodes[static_cast<std::size_t>(ni)];
+  ensure_group_arrays(n.group);
+  Timer tm;
+  if (n.stage >= 0) {
+    const GroupPlan& g = plan_.groups[static_cast<std::size_t>(n.group)];
+    const ir::FunctionDecl& f =
+        plan_.pipe.funcs[g.stages[static_cast<std::size_t>(n.stage)].func];
+    Box part = f.domain;
+    if (!n.serial) {
+      const index_t lt = t - n.task_base;
+      const poly::Interval d0 = f.domain.dim(0);
+      part.dim(0) = poly::Interval{
+          d0.lo + lt * n.slab,
+          std::min(d0.lo + (lt + 1) * n.slab - 1, d0.hi)};
+    }
+    exec_loops_part(n.group, n.stage, part, externals, tid);
+  } else if (n.serial) {
+    const GroupPlan& g = plan_.groups[static_cast<std::size_t>(n.group)];
+    for (index_t ti = 0; ti < g.tiles.total; ++ti) {
+      exec_overlap_tile(n.group, ti, externals, tid);
+    }
+  } else {
+    exec_overlap_tile(n.group, t - n.task_base, externals, tid);
+  }
+  node_seconds_acc_[static_cast<std::size_t>(tid) *
+                        plan_.sched.nodes.size() +
+                    static_cast<std::size_t>(ni)] += tm.elapsed();
+  finish_task(t, ni);
+}
+
+void Executor::task_loop(int phase, std::span<const View> externals,
+                         int tid) {
+  const index_t target = phase_total_[static_cast<std::size_t>(phase)];
+  auto& completed = phase_completed_[static_cast<std::size_t>(phase)];
+  int idle = 0;
+  while (completed.load(std::memory_order_acquire) < target) {
+    index_t t;
+    if (pop_task(t)) {
+      idle = 0;
+      exec_task(t, externals, tid);
+    } else if (++idle < 128) {
+      cpu_pause();
+    } else if (idle < 1024) {
+      // Oversubscribed teams (more threads than cores) must yield or the
+      // spinners starve the one thread holding real work.
+      yield_thread();
+    } else {
+      // Still nothing after ~1k attempts: the remaining work is a serial
+      // chain on some other thread. Sleep instead of yield-storming — on
+      // an oversubscribed host a constantly-yielding spinner still takes
+      // its scheduler timeslices from the worker.
+      idle_sleep();
+      idle = 128;  // re-enter the yield band, skip the pause burst
+    }
+  }
+}
+
+void Executor::run_collective_phase(const Phase& ph,
+                                    std::span<const View> externals,
+                                    int tid) {
+  const int ni = ph.first_node;
+  const SchedNode& n = plan_.sched.nodes[static_cast<std::size_t>(ni)];
+  const int gi = n.group;
+  const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
+  Timer tm;
+  if (tid == 0) {
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      ensure_group_arrays_locked(gi);
+      ensure_array(g.time_temp_array);
+    }
+    // Prologue identical to the barrier path's run_timetile_group.
+    const StagePlan& last = g.stages.back();
+    const ir::FunctionDecl& step_fn = plan_.pipe.funcs[g.stages.front().func];
+    const int steps = static_cast<int>(g.stages.size());
+    time_bufs_[steps & 1] = array_view(last.array, step_fn);
+    time_bufs_[1 - (steps & 1)] = array_view(g.time_temp_array, step_fn);
+    stage_srcs_.assign(step_fn.sources.size(), View{});
+    const View v0 = resolve_bind(binds_[gi][0][0], externals, {});
+    for (std::size_t s = 1; s < step_fn.sources.size(); ++s) {
+      stage_srcs_[s] = resolve_bind(binds_[gi][0][s], externals, {});
+    }
+    copy_view(time_bufs_[0], v0, step_fn.domain);
+    for (View b : {time_bufs_[0], time_bufs_[1]}) {
+      for_each_boundary_slab(
+          step_fn.domain, step_fn.interior, [&](const Box& slab) {
+            if (step_fn.boundary == ir::BoundaryKind::Zero) {
+              fill_view(b, slab, 0.0);
+            } else {
+              copy_view(b, v0, slab);
+            }
+          });
+    }
+  }
+  team_barrier();
+  {
+    const ir::FunctionDecl& step_fn = plan_.pipe.funcs[g.stages.front().func];
+    (void)step_fn;
+    TimeTileParams params{g.dtile_H, g.dtile_W};
+    time_tiled_sweep_team(chain_[static_cast<std::size_t>(gi)], time_bufs_,
+                          stage_srcs_, params);
+  }
+  team_barrier();
+  if (tid == 0) {
+    node_seconds_acc_[static_cast<std::size_t>(ni)] += tm.elapsed();
+    finish_task(n.task_base, ni);
+  }
+}
+
+void Executor::run_dependence(std::span<const View> externals) {
+  reset_sched_state();
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    open_gate(0);
+    open_gate(1);
+  }
+  // Cap the team at the capacity resolved at construction (workspaces,
+  // arenas, timer slots are per-thread).
+  const int nteam =
+      std::min(max_threads(), static_cast<int>(workspaces_.size()));
+  note_parallel_region();
+#pragma omp parallel num_threads(nteam)
+  {
+    const int tid = thread_id();
+    for (std::size_t p = 0; p < phases_.size(); ++p) {
+      const Phase& ph = phases_[p];
+      // One barrier per phase boundary; in the common all-tile pipeline
+      // there is a single phase, i.e. one barrier per run.
+#pragma omp barrier
+      if (ph.collective) {
+        run_collective_phase(ph, externals, tid);
+      } else {
+        task_loop(static_cast<int>(p), externals, tid);
+      }
+    }
+    tsan_join_release();
+  }
+  tsan_join_acquire();
+  // Fold the per-thread task timers into the public counters. Dependence
+  // runs attribute CPU seconds (groups overlap in wall time by design).
+  const std::size_t nnodes = plan_.sched.nodes.size();
+  for (std::size_t ni = 0; ni < nnodes; ++ni) {
+    double s = 0.0;
+    for (std::size_t tid = 0; tid < workspaces_.size(); ++tid) {
+      s += node_seconds_acc_[tid * nnodes + ni];
+    }
+    if (s == 0.0) continue;
+    const SchedNode& n = plan_.sched.nodes[ni];
+    const GroupPlan& g = plan_.groups[static_cast<std::size_t>(n.group)];
+    group_seconds_[static_cast<std::size_t>(n.group)] += s;
+    const int func = n.stage >= 0
+                         ? g.stages[static_cast<std::size_t>(n.stage)].func
+                         : g.stages[static_cast<std::size_t>(g.anchor)].func;
+    stage_seconds_[static_cast<std::size_t>(func)] += s;
+  }
 }
 
 }  // namespace polymg::runtime

@@ -7,14 +7,33 @@
 // pooled allocator (or per-cycle allocations for the variants without
 // pooling) with pool_deallocate emitted at each array's last-use group.
 //
+// Two schedules share the same per-tile/per-slab kernels:
+//
+//  * barrier schedule — one fork/join per group, groups strictly in
+//    order. Used when the plan has no dependence graph (Naive, the
+//    guarded reference oracle) and whenever fault injection is armed.
+//  * dependence schedule — ONE parallel region per run(). Threads pull
+//    ready tasks from an atomic queue and release successors through the
+//    plan's SchedGraph (point-to-point atomic decrements), so tiles of
+//    group g+1 start while tiles of g are still in flight. A prefix
+//    "gate" keeps every task at least two nodes behind the completion
+//    frontier, which is what lets edges look only one node back.
+//
+// Outputs are bit-exact across the two schedules and any thread count:
+// tasks never share a written point and the executor performs no
+// cross-point reductions, so the partition cannot change any value.
+//
 // Everything derivable from the plan alone — source bindings, scratchpad
-// offsets, time-tile chains, release lists, per-thread workspaces — is
-// resolved once at construction, so a steady-state run() performs no heap
-// allocation and no per-tile re-derivation (the per-tile regions come
-// from the plan's tile_regions_cache).
+// offsets, time-tile chains, release lists, per-thread workspaces, the
+// scheduler's atomic state — is resolved once at construction, so a
+// steady-state run() performs no heap allocation and no per-tile
+// re-derivation (the per-tile regions come from the plan's
+// tile_regions_cache).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -42,11 +61,18 @@ public:
   const opt::CompiledPipeline& plan() const { return plan_; }
   const MemoryPool& pool() const { return pool_; }
 
+  /// True when run() executes the dependence schedule (plan carries a
+  /// graph and no fault site is armed).
+  bool dependence_scheduled() const;
+
   /// Peak bytes of full-array storage held during the last run.
   index_t peak_array_doubles() const { return peak_array_doubles_; }
 
   // --- Timing counters (accumulated across run() calls). ---
   /// Seconds spent in each group, index parallel to plan().groups.
+  /// Barrier schedule: wall time per group. Dependence schedule: CPU
+  /// seconds summed over the team's task executions (equal to wall time
+  /// at one thread; groups overlap in wall time by design otherwise).
   const std::vector<double>& group_seconds() const { return group_seconds_; }
   /// Seconds attributed to each function's stage. Loops groups time every
   /// stage individually; tiled groups fuse stages, so their whole group
@@ -72,6 +98,15 @@ private:
     std::vector<View> srcs;
   };
 
+  /// A maximal run of non-collective schedule nodes (task phase), or a
+  /// single collective (TimeTiled) node executed by the whole team
+  /// between barriers.
+  struct Phase {
+    bool collective = false;
+    int first_node = 0;
+    int end_node = 0;  ///< exclusive
+  };
+
   View array_view(int array_id, const ir::FunctionDecl& shape) const;
   View resolve_bind(const SourceBind& b, std::span<const View> externals,
                     std::span<const View> scratch_views) const;
@@ -79,9 +114,40 @@ private:
   void ensure_array(int array_id);
   void release_arrays(const std::vector<int>& ids);
 
+  // --- Barrier schedule (also the fault-injection path). ---
+  void run_barrier(std::span<const View> externals);
   void run_loops_group(int gi, std::span<const View> externals);
   void run_overlap_group(int gi, std::span<const View> externals);
   void run_timetile_group(int gi, std::span<const View> externals);
+
+  // --- Shared task kernels (both schedules route through these). ---
+  void exec_overlap_tile(int gi, index_t ti,
+                         std::span<const View> externals, int tid);
+  void exec_loops_part(int gi, int p, const Box& part,
+                       std::span<const View> externals, int tid);
+
+  // --- Dependence schedule (persistent team). ---
+  void run_dependence(std::span<const View> externals);
+  void reset_sched_state();
+  void task_loop(int phase, std::span<const View> externals, int tid);
+  void exec_task(index_t t, std::span<const View> externals, int tid);
+  void finish_task(index_t t, int node);
+  void push_task(index_t t);
+  bool pop_task(index_t& out);
+  void node_done(int node);
+  void advance_frontier();
+  void retire_node(index_t k);
+  /// Release the gate predecessor of every task of `node` (skips
+  /// collectives — their ordering comes from the phase barriers).
+  /// Serialized by pool_mu_.
+  void open_gate(index_t node);
+  /// Make a group's arrays live on first use (double-checked: arrays are
+  /// allocated when the group's first task starts, not when its gate
+  /// opens, so pooled lifetimes match the barrier schedule's).
+  void ensure_group_arrays(int gi);
+  void ensure_group_arrays_locked(int gi);
+  void run_collective_phase(const Phase& ph,
+                            std::span<const View> externals, int tid);
 
   opt::CompiledPipeline plan_;
   MemoryPool pool_;
@@ -99,6 +165,25 @@ private:
   std::vector<std::vector<ChainStep>> chain_;      // [g] (TimeTiled only)
   std::vector<Workspace> workspaces_;              // per thread
   std::vector<View> stage_srcs_;  // Loops / TimeTiled source scratch
+
+  // --- Dependence-scheduler state (preallocated; reset per run). ---
+  bool sched_on_ = false;
+  std::vector<Phase> phases_;
+  std::vector<int> phase_of_node_;
+  std::vector<std::int32_t> task_node_;  // flat task id -> node index
+  std::vector<std::atomic<std::int32_t>> pred_;  // remaining preds + gate
+  std::vector<std::atomic<index_t>> queue_;      // MPMC ready queue
+  std::atomic<index_t> qhead_{0};
+  std::atomic<index_t> qtail_{0};
+  std::vector<std::atomic<index_t>> node_remaining_;
+  std::vector<std::atomic<std::uint8_t>> node_complete_;
+  std::atomic<index_t> frontier_{0};
+  std::vector<std::atomic<index_t>> phase_completed_;
+  std::vector<index_t> phase_total_;
+  std::vector<std::atomic<std::uint8_t>> group_ensured_;  // per group, this run
+  std::mutex pool_mu_;  // pool / array_ptr_ mutations inside the region
+  View time_bufs_[2];   // collective-phase ping-pong pair (set by tid 0)
+  std::vector<double> node_seconds_acc_;  // [tid * nnodes + node]
 
   std::vector<double> group_seconds_;
   std::vector<double> stage_seconds_;

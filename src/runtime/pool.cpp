@@ -2,8 +2,38 @@
 
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
+#include "polymg/common/parallel.hpp"
 
 namespace polymg::runtime {
+
+namespace {
+
+/// First-touch page placement for a fresh slab: fault pages in with the
+/// same static thread partition the executor's parallel loops use, so on
+/// a NUMA machine each page lands on the memory node of the thread that
+/// will process that part of the grid. Inside a parallel region (the
+/// persistent-team scheduler allocates under its pool lock) the calling
+/// thread touches the slab serially — no nested fork. Small slabs are
+/// not worth a fork either way.
+void first_touch_pages(double* p, index_t doubles) {
+  constexpr index_t kDoublesPerPage =
+      static_cast<index_t>(4096 / sizeof(double));
+  if (doubles <= 0) return;
+  if (doubles >= (index_t{1} << 16) && !in_parallel()) {
+    note_parallel_region();
+#pragma omp parallel for schedule(static)
+    for (index_t i = 0; i < doubles; i += kDoublesPerPage) {
+      p[i] = 0.0;
+      tsan_join_release();
+    }
+    tsan_join_acquire();
+  } else {
+    for (index_t i = 0; i < doubles; i += kDoublesPerPage) p[i] = 0.0;
+  }
+  p[doubles - 1] = 0.0;  // the tail page
+}
+
+}  // namespace
 
 double* MemoryPool::pool_allocate(index_t doubles) {
   PMG_CHECK(doubles >= 0, "negative allocation");
@@ -28,6 +58,7 @@ double* MemoryPool::pool_allocate(index_t doubles) {
   }
   Entry e;
   e.data = aligned_array<double>(static_cast<std::size_t>(doubles));
+  first_touch_pages(e.data.get(), doubles);
   e.doubles = doubles;
   e.free = false;
   ++malloc_calls_;

@@ -41,10 +41,10 @@ void plain_sweep(std::span<const ChainStep> steps, View bufs[2],
   }
 }
 
-void time_tiled_sweep(std::span<const ChainStep> steps, View bufs[2],
-                      std::span<const View> other_srcs,
-                      const TimeTileParams& params) {
-  if (steps.empty()) return;
+namespace {
+
+void check_chain(std::span<const ChainStep> steps,
+                 std::span<const View> other_srcs) {
   const ir::FunctionDecl& first = *steps.front().fn;
   for (const ChainStep& s : steps) {
     // Split tiling shrinks by one row per time step: every step's
@@ -57,23 +57,53 @@ void time_tiled_sweep(std::span<const ChainStep> steps, View bufs[2],
     PMG_CHECK(s.fn->domain == first.domain,
               "chain steps must share one domain");
   }
-
   PMG_CHECK(other_srcs.size() <= kMaxChainSrcs,
             "chain binds " << other_srcs.size() << " sources (cap "
                            << kMaxChainSrcs << ")");
-  split_tile_schedule(
-      first.interior.dim(0).lo, first.interior.dim(0).hi,
-      static_cast<int>(steps.size()), params,
-      [&](int t, index_t rlo, index_t rhi) {
-        // Thread-private stack-resident source binding (slot 0 flips per
-        // time level) — the body runs inside an OpenMP region and must
-        // not touch the heap.
-        View srcs[kMaxChainSrcs];
-        std::copy(other_srcs.begin(), other_srcs.end(), srcs);
-        srcs[0] = bufs[t & 1];
-        step_rows(*steps[t].fn, *steps[t].lowered, bufs[(t + 1) & 1],
-                  std::span<const View>(srcs, other_srcs.size()), rlo, rhi);
-      });
+}
+
+/// Shared sweep body: thread-private stack-resident source binding
+/// (slot 0 flips per time level) — runs inside an OpenMP region and must
+/// not touch the heap.
+struct SweepBody {
+  std::span<const ChainStep> steps;
+  View* bufs;
+  std::span<const View> other_srcs;
+
+  void operator()(int t, index_t rlo, index_t rhi) const {
+    View srcs[kMaxChainSrcs];
+    std::copy(other_srcs.begin(), other_srcs.end(), srcs);
+    srcs[0] = bufs[t & 1];
+    step_rows(*steps[static_cast<std::size_t>(t)].fn,
+              *steps[static_cast<std::size_t>(t)].lowered,
+              bufs[(t + 1) & 1],
+              std::span<const View>(srcs, other_srcs.size()), rlo, rhi);
+  }
+};
+
+}  // namespace
+
+void time_tiled_sweep(std::span<const ChainStep> steps, View bufs[2],
+                      std::span<const View> other_srcs,
+                      const TimeTileParams& params) {
+  if (steps.empty()) return;
+  check_chain(steps, other_srcs);
+  const ir::FunctionDecl& first = *steps.front().fn;
+  split_tile_schedule(first.interior.dim(0).lo, first.interior.dim(0).hi,
+                      static_cast<int>(steps.size()), params,
+                      SweepBody{steps, bufs, other_srcs});
+}
+
+void time_tiled_sweep_team(std::span<const ChainStep> steps, View bufs[2],
+                           std::span<const View> other_srcs,
+                           const TimeTileParams& params) {
+  if (steps.empty()) return;
+  check_chain(steps, other_srcs);
+  const ir::FunctionDecl& first = *steps.front().fn;
+  split_tile_schedule_team(first.interior.dim(0).lo,
+                           first.interior.dim(0).hi,
+                           static_cast<int>(steps.size()), params,
+                           SweepBody{steps, bufs, other_srcs});
 }
 
 }  // namespace polymg::runtime

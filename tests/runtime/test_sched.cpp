@@ -1,0 +1,168 @@
+// Persistent-team dependence scheduler: schedule selection, bit-exact
+// results across schedules and thread counts, and the one-parallel-
+// region-per-run() invariant the fork/join elimination exists for.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "polymg/common/parallel.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/cycles.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::runtime {
+namespace {
+
+using opt::CompileOptions;
+using opt::Variant;
+using solvers::CycleConfig;
+using solvers::CycleKind;
+
+CycleConfig w2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  cfg.kind = CycleKind::W;
+  return cfg;
+}
+
+/// Compile + run one cycle at `nthreads` and return the raw output bits.
+std::vector<double> run_bits(const CycleConfig& cfg, CompileOptions o,
+                             int nthreads) {
+  const int prev = max_threads();
+  set_num_threads(nthreads);
+  auto p = solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 21);
+  Executor ex(opt::compile(solvers::build_cycle(cfg), o));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  const View out = ex.output_view(0);
+  const int func = ex.plan().pipe.outputs[0];
+  const index_t count = ex.plan().pipe.funcs[func].domain.count();
+  std::vector<double> bits(static_cast<std::size_t>(count));
+  std::memcpy(bits.data(), out.ptr, sizeof(double) * bits.size());
+  set_num_threads(prev);
+  return bits;
+}
+
+TEST(Sched, DependenceScheduleSelection) {
+  const CycleConfig cfg = w2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 5);
+  // Optimized variants carry a graph and run the persistent-team
+  // schedule; Naive (and the guarded reference oracle, which reuses its
+  // options) keeps per-group fork/join.
+  for (Variant v : {Variant::Opt, Variant::OptPlus, Variant::DtileOptPlus}) {
+    Executor ex(opt::compile(solvers::build_cycle(cfg),
+                             CompileOptions::for_variant(v, 2)));
+    EXPECT_TRUE(ex.dependence_scheduled())
+        << "variant " << opt::to_string(v);
+    EXPECT_FALSE(ex.plan().sched.empty());
+  }
+  Executor naive(opt::compile(solvers::build_cycle(cfg),
+                              CompileOptions::for_variant(Variant::Naive, 2)));
+  EXPECT_FALSE(naive.dependence_scheduled());
+  EXPECT_TRUE(naive.plan().sched.empty());
+}
+
+TEST(Sched, BitExactAcrossSchedules) {
+  // Same variant, same problem: barrier vs dependence schedule must give
+  // byte-identical outputs (tasks never share a written point and the
+  // executor performs no cross-point reductions).
+  for (Variant v : {Variant::Opt, Variant::OptPlus, Variant::DtileOptPlus}) {
+    for (CycleKind kind : {CycleKind::V, CycleKind::W}) {
+      CycleConfig cfg = w2d();
+      cfg.kind = kind;
+      CompileOptions dep = CompileOptions::for_variant(v, 2);
+      CompileOptions barrier = dep;
+      barrier.dependence_schedule = false;
+      const std::vector<double> a = run_bits(cfg, dep, max_threads());
+      const std::vector<double> b = run_bits(cfg, barrier, max_threads());
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(0, std::memcmp(a.data(), b.data(), sizeof(double) * a.size()))
+          << "variant " << opt::to_string(v) << " kind "
+          << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(Sched, BitExactAcrossThreadCounts) {
+  // OMP_NUM_THREADS ∈ {1, 2, 4}: the dependence schedule's task shapes
+  // are fixed at plan time, so the partition — and therefore every
+  // computed bit — cannot depend on the team size.
+  for (Variant v : {Variant::OptPlus, Variant::DtileOptPlus}) {
+    const CompileOptions o = CompileOptions::for_variant(v, 2);
+    const std::vector<double> ref = run_bits(w2d(), o, 1);
+    for (int threads : {2, 4}) {
+      const std::vector<double> got = run_bits(w2d(), o, threads);
+      ASSERT_EQ(ref.size(), got.size());
+      EXPECT_EQ(0,
+                std::memcmp(ref.data(), got.data(), sizeof(double) * ref.size()))
+          << "variant " << opt::to_string(v) << " threads " << threads;
+    }
+  }
+}
+
+TEST(Sched, ExactlyOneParallelRegionPerRun) {
+  const CycleConfig cfg = w2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 9);
+  Executor ex(opt::compile(solvers::build_cycle(cfg),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  ASSERT_TRUE(ex.dependence_scheduled());
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  // Cold run: array allocation happens inside the region (first-touch
+  // stays serial there), so even the first invocation opens exactly one.
+  std::uint64_t before = parallel_regions_entered();
+  ex.run(ext);
+  EXPECT_EQ(parallel_regions_entered() - before, 1u);
+  // Steady state.
+  for (int i = 0; i < 3; ++i) {
+    before = parallel_regions_entered();
+    ex.run(ext);
+    EXPECT_EQ(parallel_regions_entered() - before, 1u);
+  }
+  // The barrier schedule by contrast forks per group/stage.
+  CompileOptions barrier = CompileOptions::for_variant(Variant::OptPlus, 2);
+  barrier.dependence_schedule = false;
+  Executor exb(opt::compile(solvers::build_cycle(cfg), barrier));
+  before = parallel_regions_entered();
+  exb.run(ext);
+  EXPECT_GT(parallel_regions_entered() - before, 1u);
+}
+
+TEST(Sched, RepeatedDependenceRunsAreIdentical) {
+  const CycleConfig cfg = w2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 13);
+  Executor ex(opt::compile(solvers::build_cycle(cfg),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  ASSERT_TRUE(ex.dependence_scheduled());
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  const int func = ex.plan().pipe.outputs[0];
+  const index_t count = ex.plan().pipe.funcs[func].domain.count();
+  std::vector<double> first(static_cast<std::size_t>(count));
+  std::memcpy(first.data(), ex.output_view(0).ptr,
+              sizeof(double) * first.size());
+  for (int i = 0; i < 3; ++i) {
+    ex.run(ext);
+    EXPECT_EQ(0, std::memcmp(first.data(), ex.output_view(0).ptr,
+                             sizeof(double) * first.size()));
+  }
+}
+
+TEST(Sched, TimersAccumulateUnderDependenceSchedule) {
+  const CycleConfig cfg = w2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 17);
+  Executor ex(opt::compile(solvers::build_cycle(cfg),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  EXPECT_EQ(ex.runs_timed(), 1);
+  double total = 0.0;
+  for (double s : ex.group_seconds()) total += s;
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace polymg::runtime
