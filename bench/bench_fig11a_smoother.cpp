@@ -64,6 +64,7 @@ SolveRunner wavefront_runner(const CycleConfig& cfg, int steps, int sweeps) {
 int main(int argc, char** argv) {
   using namespace polymg::bench;
   const polymg::Options opts = parse_bench_options(argc, argv);
+  TraceFromOptions trace(opts);
   const bool paper = paper_sizes_requested(opts);
   const int reps = static_cast<int>(opts.get_int("reps", 3));
   const int ndim = static_cast<int>(opts.get_int("ndim", 3));

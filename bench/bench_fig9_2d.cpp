@@ -47,6 +47,7 @@ void register_all(const Options& opts) {
 int main(int argc, char** argv) {
   using namespace polymg::bench;
   const polymg::Options opts = parse_bench_options(argc, argv);
+  TraceFromOptions trace(opts);
   benchmark::Initialize(&argc, argv);
   register_all(opts);
   ResultTable table;

@@ -17,13 +17,15 @@ namespace polymg::bench {
 namespace {
 
 SolveRunner sched_runner(const CycleConfig& cfg, int cycles,
-                         const CompileOptions& o) {
+                         const CompileOptions& o,
+                         std::shared_ptr<runtime::Executor>* ex_out = nullptr) {
   SolveRunner r;
   auto p = std::make_shared<solvers::PoissonProblem>(
       solvers::PoissonProblem::random_rhs(cfg.ndim, cfg.n, 42));
   auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
   auto ex = std::make_shared<runtime::Executor>(
       opt::compile(solvers::build_cycle(cfg), o));
+  if (ex_out != nullptr) *ex_out = ex;
   r.run = [cycles, p, v0, ex] {
     grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
                       p->domain());
@@ -56,6 +58,7 @@ std::vector<int> parse_threads(const std::string& spec) {
 int main(int argc, char** argv) {
   using namespace polymg::bench;
   const polymg::Options opts = parse_bench_options(argc, argv);
+  TraceFromOptions trace(opts);
   const bool paper = paper_sizes_requested(opts);
   const int reps = static_cast<int>(opts.get_int("reps", 3));
   const std::vector<int> threads = parse_threads(opts.get("threads", "1,2,4"));
@@ -75,15 +78,19 @@ int main(int argc, char** argv) {
   barrier.dependence_schedule = false;
 
   ResultTable table;
+  std::shared_ptr<polymg::runtime::Executor> last_dep_ex;
   for (int t : threads) {
     polymg::set_num_threads(t);
     const std::string row = "W-2D-10-0-0 @" + std::to_string(t) + "t/C";
     for (const auto& [series, o] :
          {std::pair<const char*, CompileOptions>{"barrier", barrier},
           std::pair<const char*, CompileOptions>{"dependence", dep}}) {
-      SolveRunner r = sched_runner(cfg, sc.iters2d, o);
+      std::shared_ptr<polymg::runtime::Executor> ex;
+      SolveRunner r = sched_runner(cfg, sc.iters2d, o, &ex);
       r.run();  // warm: allocate + first-touch pages
+      ex->reset_timers();  // attribute only the measured repetitions
       table.record(row, series, time_runner(r, reps));
+      if (std::string(series) == "dependence") last_dep_ex = ex;
     }
   }
 
@@ -95,6 +102,15 @@ int main(int argc, char** argv) {
     const std::string row = "W-2D-10-0-0 @" + std::to_string(t) + "t/C";
     std::printf("  %2d threads: %.2fx\n", t,
                 table.get(row, "barrier") / table.get(row, "dependence"));
+  }
+
+  if (opts.get_flag("report") || trace.active()) {
+    // Per-group/per-stage attribution plus the metrics snapshot for the
+    // dependence executor at the last thread count.
+    polymg::obs::RunReport rr = last_dep_ex->run_report();
+    rr.title = "dependence schedule, W-2D-10-0-0/C @" +
+               std::to_string(threads.back()) + " thread(s)";
+    std::printf("\n%s", rr.render().c_str());
   }
 
   if (const std::string json = opts.get("json", ""); !json.empty()) {

@@ -8,12 +8,22 @@
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
 # Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B),
-# SCHED_THREADS (default "1,2,4").
+# SCHED_THREADS (default "1,2,4"), POLYMG_TRACE=1 to additionally write a
+# Chrome trace (TRACE_<bench>.json per driver, Perfetto-loadable) next to
+# each BENCH_*.json.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo_root/build}"
 reps="${REPS:-3}"
+
+# Per-bench trace paths when POLYMG_TRACE is set (any value): each driver
+# gets its own file so one run's ring snapshot doesn't clobber another's.
+trace_arg() {  # usage: trace_arg <name> -> echoes --trace <path> or nothing
+  if [[ -n "${POLYMG_TRACE:-}" ]]; then
+    echo "--trace $repo_root/TRACE_$1.json"
+  fi
+}
 
 if [[ ! -x "$build/bench/bench_kernels" ]]; then
   echo "error: $build/bench/bench_kernels not found — build first:" >&2
@@ -23,7 +33,7 @@ fi
 
 echo "== bench_kernels (reps=$reps) =="
 "$build/bench/bench_kernels" --reps "$reps" \
-  --json "$repo_root/BENCH_kernels.json"
+  --json "$repo_root/BENCH_kernels.json" $(trace_arg kernels)
 
 echo
 echo "== bench_fig9_2d (reps=$reps) =="
@@ -31,19 +41,19 @@ fig9_args=(--reps "$reps" --json "$repo_root/BENCH_fig9.json")
 if [[ -n "${BENCH_CLASS:-}" ]]; then
   fig9_args+=(--class "$BENCH_CLASS")
 fi
-"$build/bench/bench_fig9_2d" "${fig9_args[@]}" \
+"$build/bench/bench_fig9_2d" "${fig9_args[@]}" $(trace_arg fig9) \
   --benchmark_out_format=console
 
 echo
 echo "== bench_sched (reps=$reps, threads=${SCHED_THREADS:-1,2,4}) =="
 "$build/bench/bench_sched" --reps "$reps" \
   --threads "${SCHED_THREADS:-1,2,4}" \
-  --json "$repo_root/BENCH_sched.json"
+  --json "$repo_root/BENCH_sched.json" $(trace_arg sched)
 
 echo
 echo "== bench_fig12_autotune (reps=$reps) =="
 "$build/bench/bench_fig12_autotune" --reps "$reps" \
-  --json "$repo_root/BENCH_autotune.json"
+  --json "$repo_root/BENCH_autotune.json" $(trace_arg autotune)
 
 echo
 echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json" \

@@ -30,18 +30,14 @@ public:
       const std::string row = name.substr(0, bar);
       const std::string series = name.substr(bar + 1);
       const double secs = run.GetAdjustedRealTime() / 1e3;  // ms -> s
-      const double prev = best_.count(name) ? best_[name] : 1e300;
-      if (secs < prev) {
-        best_[name] = secs;
-        table_->record(row, series, secs);
-      }
+      // Every repetition folds into the cell's running min/mean/stddev.
+      table_->record(row, series, secs);
     }
     ConsoleReporter::ReportRuns(reports);
   }
 
 private:
   ResultTable* table_;
-  std::map<std::string, double> best_;
 };
 
 /// Register one measured point. The runner executes once per benchmark

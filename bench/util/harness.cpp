@@ -6,6 +6,8 @@
 
 #include "polymg/common/error.hpp"
 #include "polymg/common/parallel.hpp"
+#include "polymg/obs/report.hpp"
+#include "polymg/obs/trace.hpp"
 
 namespace polymg::bench {
 
@@ -139,8 +141,26 @@ SolveRunner make_nas_runner(Series s, const solvers::NasMgConfig& cfg,
   return r;
 }
 
-double time_runner(const SolveRunner& r, int repetitions) {
+Stats time_runner(const SolveRunner& r, int repetitions) {
   return min_time_of(r.run, repetitions);
+}
+
+TraceFromOptions::TraceFromOptions(const Options& opts)
+    : path_(opts.get("trace", "")) {
+  if (path_.empty()) return;
+  if (path_ == "1" || path_ == "true") path_ = "trace.json";
+  obs::TraceSession::start();
+  std::printf("tracing enabled -> %s\n", path_.c_str());
+}
+
+TraceFromOptions::~TraceFromOptions() {
+  if (path_.empty()) return;
+  obs::TraceSession::stop();
+  const auto events = obs::TraceSession::snapshot();
+  obs::write_chrome_trace_file(path_, events);
+  std::printf("wrote %zu trace event(s) to %s (%llu dropped)\n",
+              events.size(), path_.c_str(),
+              static_cast<unsigned long long>(obs::TraceSession::dropped()));
 }
 
 void ResultTable::record(const std::string& row, const std::string& series,
@@ -149,11 +169,25 @@ void ResultTable::record(const std::string& row, const std::string& series,
   bool seen = false;
   for (const auto& s : series_order_) seen = seen || s == series;
   if (!seen) series_order_.push_back(series);
-  data_[row][series] = seconds;
+  data_[row][series].observe(seconds);
+}
+
+void ResultTable::record(const std::string& row, const std::string& series,
+                         const Stats& stats) {
+  if (data_.find(row) == data_.end()) row_order_.push_back(row);
+  bool seen = false;
+  for (const auto& s : series_order_) seen = seen || s == series;
+  if (!seen) series_order_.push_back(series);
+  data_[row][series] = stats;
 }
 
 double ResultTable::get(const std::string& row,
                         const std::string& series) const {
+  return data_.at(row).at(series).min;
+}
+
+const Stats& ResultTable::get_stats(const std::string& row,
+                                    const std::string& series) const {
   return data_.at(row).at(series);
 }
 
@@ -173,7 +207,7 @@ void ResultTable::print(const std::string& title,
       if (it == data_.at(row).end()) {
         std::printf(" %17s", "-");
       } else {
-        std::printf(" %17.4f", it->second);
+        std::printf(" %17.4f", it->second.min);
       }
     }
     std::printf("\n");
@@ -186,10 +220,10 @@ void ResultTable::print(const std::string& title,
     std::printf("%-24s", row.c_str());
     for (const auto& s : series_order_) {
       auto it = data_.at(row).find(s);
-      if (it == data_.at(row).end() || it->second <= 0) {
+      if (it == data_.at(row).end() || it->second.min <= 0) {
         std::printf(" %17s", "-");
       } else {
-        std::printf(" %16.2fx", base->second / it->second);
+        std::printf(" %16.2fx", base->second.min / it->second.min);
       }
     }
     std::printf("\n");
@@ -223,10 +257,13 @@ void ResultTable::write_json(const std::string& path,
          << "\"variant\": \"" << s << "\", "
          << "\"class\": \"" << cls << "\", "
          << "\"threads\": " << max_threads() << ", "
-         << "\"ms\": " << it->second * 1e3 << ", "
+         << "\"ms\": " << it->second.min * 1e3 << ", "
+         << "\"mean_ms\": " << it->second.mean * 1e3 << ", "
+         << "\"stddev_ms\": " << it->second.stddev * 1e3 << ", "
+         << "\"reps\": " << it->second.n << ", "
          << "\"speedup_vs_naive\": ";
-      if (base != cells.end() && it->second > 0) {
-        os << base->second / it->second;
+      if (base != cells.end() && it->second.min > 0) {
+        os << base->second.min / it->second.min;
       } else {
         os << "null";
       }
@@ -243,8 +280,8 @@ double ResultTable::geomean_speedup(const std::string& series,
   for (const auto& [row, m] : data_) {
     const auto a = m.find(baseline);
     const auto b = m.find(series);
-    if (a == m.end() || b == m.end() || b->second <= 0) continue;
-    log_sum += std::log(a->second / b->second);
+    if (a == m.end() || b == m.end() || b->second.min <= 0) continue;
+    log_sum += std::log(a->second.min / b->second.min);
     ++n;
   }
   return n ? std::exp(log_sum / n) : 0.0;

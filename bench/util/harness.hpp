@@ -72,8 +72,27 @@ SolveRunner make_runner(Series s, const CycleConfig& cfg, int cycles,
 SolveRunner make_nas_runner(Series s, const solvers::NasMgConfig& cfg,
                             int iters);
 
-/// min-of-repetitions timing (the paper uses min of five).
-double time_runner(const SolveRunner& r, int repetitions);
+/// min-of-repetitions timing (the paper uses min of five); mean/stddev
+/// ride along in the returned Stats.
+Stats time_runner(const SolveRunner& r, int repetitions);
+
+/// RAII trace toggle for the bench drivers: when `--trace <path>` is
+/// passed (or the POLYMG_TRACE environment variable names a path — the
+/// Options env fallback), starts an obs::TraceSession on construction
+/// and writes the buffered events as Chrome trace JSON to the path on
+/// destruction. A bare "1" maps to "trace.json". Inactive otherwise.
+class TraceFromOptions {
+public:
+  explicit TraceFromOptions(const Options& opts);
+  ~TraceFromOptions();
+  TraceFromOptions(const TraceFromOptions&) = delete;
+  TraceFromOptions& operator=(const TraceFromOptions&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+private:
+  std::string path_;
+};
 
 /// NAS-MG size classes: (n, levels, iters) scaled from Table 2's
 /// 256³/20 and 512³/20.
@@ -89,9 +108,18 @@ std::vector<NasClass> nas_classes(bool paper);
 /// speedup tables (speedup over Naive) plus geometric-mean summaries.
 class ResultTable {
 public:
+  /// Fold one timing observation (seconds) into the cell's running
+  /// min/mean/stddev (repeated calls accumulate — the gbench reporter
+  /// records every repetition).
   void record(const std::string& row, const std::string& series,
               double seconds);
+  /// Set a cell from a precomputed Stats (replaces prior observations).
+  void record(const std::string& row, const std::string& series,
+              const Stats& stats);
+  /// Minimum seconds of a cell (the paper's reported number).
   double get(const std::string& row, const std::string& series) const;
+  const Stats& get_stats(const std::string& row,
+                         const std::string& series) const;
 
   /// Print execution times and speedup-over-naive, one row per problem.
   void print(const std::string& title, const std::string& baseline) const;
@@ -104,7 +132,8 @@ public:
   /// (row, series) cell —
   ///   {"bench": "<bench>/<row>", "variant": "<series>",
   ///    "class": "<suffix of row after the last '/'>",
-  ///    "threads": N, "ms": t, "speedup_vs_naive": base/t}
+  ///    "threads": N, "ms": min, "mean_ms": m, "stddev_ms": s,
+  ///    "reps": n, "speedup_vs_naive": base/min}
   /// `baseline` names the series speedups are computed against (the
   /// field is null for rows that lack the baseline).
   void write_json(const std::string& path, const std::string& bench,
@@ -113,7 +142,7 @@ public:
 private:
   std::vector<std::string> row_order_;
   std::vector<std::string> series_order_;
-  std::map<std::string, std::map<std::string, double>> data_;
+  std::map<std::string, std::map<std::string, Stats>> data_;
 };
 
 }  // namespace polymg::bench

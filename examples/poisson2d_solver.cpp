@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
           runtime::Executor ex(opt::compile(solvers::build_cycle(cfg), o));
           const std::vector<grid::View> in = {trial.v_view(), trial.f_view()};
           ex.run(in);  // warm (first-touch)
-          return min_time_of([&] { ex.run(in); }, 2);
+          return min_time_of([&] { ex.run(in); }, 2).min;
         });
     copts.tile = tr.best.tile;
     copts.group_limit = tr.best.group_limit;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 
 namespace polymg {
@@ -16,6 +17,14 @@ public:
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Nanoseconds elapsed since construction or the last reset() — the
+  /// resolution the obs trace layer stamps events at.
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
   void reset() { start_ = Clock::now(); }
 
 private:
@@ -23,19 +32,44 @@ private:
   Clock::time_point start_;
 };
 
-/// Run `fn` `repeats` times and return the minimum wall time of a single
-/// run in seconds. The paper reports the minimum of five runs; benchmarks
-/// here follow the same protocol with a configurable repeat count.
+/// Summary of repeated timings, all in seconds. The paper's protocol
+/// reports the minimum; mean/stddev ride along so BENCH_*.json can show
+/// run-to-run noise next to it.
+struct Stats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population stddev (0 for a single repeat)
+  int n = 0;
+
+  /// Fold one observation in (Welford's running mean/M2).
+  void observe(double x) {
+    if (n == 0 || x < min) min = x;
+    if (n == 0 || x > max) max = x;
+    ++n;
+    const double delta = x - mean;
+    mean += delta / n;
+    m2_ += delta * (x - mean);
+    stddev = n > 1 ? std::sqrt(m2_ / n) : 0.0;
+  }
+
+private:
+  double m2_ = 0.0;
+};
+
+/// Run `fn` `repeats` times and return min/mean/stddev of a single run in
+/// seconds. The paper reports the minimum of five runs; benchmarks here
+/// follow the same protocol (`.min`) with a configurable repeat count and
+/// record the spread alongside.
 template <typename Fn>
-double min_time_of(Fn&& fn, int repeats) {
-  double best = 1e300;
+Stats min_time_of(Fn&& fn, int repeats) {
+  Stats s;
   for (int r = 0; r < repeats; ++r) {
     Timer t;
     fn();
-    const double dt = t.elapsed();
-    if (dt < best) best = dt;
+    s.observe(t.elapsed());
   }
-  return best;
+  return s;
 }
 
 }  // namespace polymg

@@ -4,6 +4,8 @@
 
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
 
 namespace polymg::dist {
 
@@ -226,6 +228,11 @@ DistMgSolver::DistMgSolver(const CycleConfig& cfg, int ranks,
   cfg_.validate();
   PMG_CHECK(cfg_.smoother == solvers::SmootherKind::Jacobi,
             "the distributed backend implements Jacobi smoothing");
+  auto& m = obs::Metrics::instance();
+  ctr_exchanges_ = &m.counter("dist.exchanges");
+  ctr_messages_ = &m.counter("dist.messages");
+  ctr_retries_ = &m.counter("dist.halo_retries");
+  ctr_doubles_sent_ = &m.counter("dist.doubles_sent");
   // The halo exchange reads only the adjacent rank: its owned block must
   // cover the deepest halo at every level.
   for (int l = 0; l < cfg_.levels; ++l) {
@@ -267,6 +274,9 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
   const index_t n = cfg_.level_n(level);
   const int R = decomp_.ranks();
   ++stats_.exchanges;
+  ctr_exchanges_->add(1);
+  PMG_TRACE_NOW(x0);
+  const long doubles_before = stats_.doubles_sent;
   // One neighbour-to-neighbour message. A real network can drop or
   // corrupt a delivery (fault site `dist.halo`); the copy only happens
   // once a send attempt goes through, and each re-send is counted in
@@ -277,6 +287,9 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
     int dropped = 0;
     while (fault::should_fail(fault::kDistHalo)) {
       ++dropped;
+      obs::Metrics::instance().counter("fault.dist_halo").add(1);
+      PMG_TRACE_INSTANT(FaultInjected, level, which, /*site=*/2,
+                        static_cast<double>(dropped));
       if (dropped > max_halo_retries_) {
         throw Error(ErrorCode::HaloExchangeFailed,
                     "halo message dropped " + std::to_string(dropped) +
@@ -285,9 +298,13 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
                         std::to_string(rhi) + "); retries exhausted");
       }
       ++stats_.retries;
+      ctr_retries_->add(1);
+      PMG_TRACE_INSTANT(HaloRetry, level, which,
+                        static_cast<int>(rlo), static_cast<double>(dropped));
     }
     copy_rows(cfg_.ndim, dst, src, rlo, rhi, n);
     ++stats_.messages;
+    ctr_messages_->add(1);
     stats_.doubles_sent += (rhi - rlo + 1) * dst.stride[0];
   };
   for (int r = 0; r < R; ++r) {
@@ -308,6 +325,10 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
               std::min(me.owned.hi + depth, nb.owned.hi));
     }
   }
+  ctr_doubles_sent_->add(stats_.doubles_sent - doubles_before);
+  PMG_TRACE_SPAN(HaloExchange, x0, level, which,
+                 static_cast<int>(depth),
+                 static_cast<double>(stats_.doubles_sent - doubles_before));
 }
 
 void DistMgSolver::smooth(int level, int steps) {

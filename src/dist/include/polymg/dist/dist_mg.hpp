@@ -23,6 +23,10 @@
 #include "polymg/grid/ops.hpp"
 #include "polymg/solvers/cycles.hpp"
 
+namespace polymg::obs {
+class Counter;
+}
+
 namespace polymg::dist {
 
 using grid::View;
@@ -109,6 +113,12 @@ private:
   int max_halo_retries_ = 3;
   std::vector<std::vector<RankLevel>> state_;  // [level][rank]
   CommStats stats_;
+
+  // obs metrics handles (resolved once at construction).
+  obs::Counter* ctr_exchanges_ = nullptr;     // dist.exchanges
+  obs::Counter* ctr_messages_ = nullptr;      // dist.messages
+  obs::Counter* ctr_retries_ = nullptr;       // dist.halo_retries
+  obs::Counter* ctr_doubles_sent_ = nullptr;  // dist.doubles_sent
 
   void visit(int level, bool zero_guess, solvers::CycleKind kind);
   double* field_ptr(RankLevel& rl, int which);

@@ -1,0 +1,86 @@
+// polymg::obs — process-wide metrics registry.
+//
+// Named monotonic counters and gauges, always on (like the allocation
+// hook and fault injector): an increment is one relaxed atomic add, cheap
+// enough to leave compiled in everywhere. Hot paths resolve their
+// Counter/Gauge handles once (constructor or first use) and then touch
+// only the atomic — registry lookups never sit on a per-tile path.
+// Handles are stable for the process lifetime; reset() zeroes values but
+// keeps every registration, so telemetry deltas around a run are
+// well-defined.
+//
+// snapshot_json() serializes the whole registry for run reports, bench
+// JSON sidecars and the CI artifacts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace polymg::obs {
+
+/// Monotonic counter (until reset()).
+class Counter {
+public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Level gauge with a high-water mark. add() moves the level by a delta
+/// (e.g. pool bytes live); the peak tracks the maximum level seen.
+class Gauge {
+public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    raise_peak(v);
+  }
+  void add(std::int64_t delta) {
+    raise_peak(v_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  void raise_peak(std::int64_t v) {
+    std::int64_t p = peak_.load(std::memory_order_relaxed);
+    while (v > p &&
+           !peak_.compare_exchange_weak(p, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// The registry. counter()/gauge() register on first use and return a
+/// stable reference (one mutex-guarded map lookup — resolve once, not
+/// per increment).
+class Metrics {
+public:
+  static Metrics& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// {"counters": {name: value, ...},
+  ///  "gauges": {name: {"value": v, "peak": p}, ...}} with names sorted.
+  std::string snapshot_json() const;
+
+  /// Zero every counter and gauge; registrations (and handles) survive.
+  void reset();
+
+private:
+  Metrics() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace polymg::obs

@@ -1,0 +1,66 @@
+// polymg::obs — exporters.
+//
+// Two consumers of the trace/metrics substrate:
+//  * write_chrome_trace — Chrome trace_event JSON (the format
+//    chrome://tracing and Perfetto load), one track per polymg thread,
+//    spans as "X" complete events and instants as "i" events with the
+//    event taxonomy in args;
+//  * RunReport — a human-readable merge of per-group/per-stage time
+//    attribution (filled by Executor::run_report) with convergence
+//    telemetry (filled from SolveReport by solvers::attach_convergence)
+//    and a metrics snapshot.
+//
+// obs stays a leaf library: the structs here know nothing about plans or
+// solvers — the higher layers fill them in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "polymg/obs/trace.hpp"
+
+namespace polymg::obs {
+
+/// Serialize `events` as Chrome trace_event JSON ("JSON Object Format":
+/// a root object whose traceEvents array Perfetto accepts). Timestamps
+/// are microseconds relative to the session epoch; `process_name` labels
+/// the single pid's track group.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const std::string& process_name = "polymg");
+
+/// write_chrome_trace into a file; throws Error on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const std::string& process_name = "polymg");
+
+/// Merged per-run account: time attribution + convergence + metrics.
+struct RunReport {
+  std::string title;
+
+  struct TimeRow {
+    std::string label;
+    double seconds = 0.0;
+  };
+  std::vector<TimeRow> groups;  ///< per-group attribution, plan order
+  std::vector<TimeRow> stages;  ///< per-stage attribution, pipeline order
+  std::int64_t runs = 0;        ///< run() invocations covered
+
+  // Convergence telemetry (optional; set have_convergence when filled).
+  bool have_convergence = false;
+  bool converged = false;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  int total_cycles = 0;
+  std::vector<std::string> attempt_lines;  ///< one per ladder attempt
+  std::vector<double> residual_history;
+
+  std::string metrics_json;  ///< optional Metrics::snapshot_json()
+
+  /// Human-readable panel: time tables (with % of total), the ladder
+  /// walk, the residual history and the raw metrics snapshot.
+  std::string render() const;
+};
+
+}  // namespace polymg::obs

@@ -1,0 +1,73 @@
+#include "polymg/obs/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace polymg::obs {
+
+struct Metrics::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: references handed out stay valid forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+};
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl i;
+  return i;
+}
+
+Metrics& Metrics::instance() {
+  static Metrics m;
+  return m;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  auto& slot = i.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  auto& slot = i.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::string Metrics::snapshot_json() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : i.counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << c->value();
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : i.gauges) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": {\"value\": " << g->value()
+       << ", \"peak\": " << g->peak() << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Metrics::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+}
+
+}  // namespace polymg::obs

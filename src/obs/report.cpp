@@ -1,0 +1,107 @@
+#include "polymg/obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "polymg/common/error.hpp"
+
+namespace polymg::obs {
+
+namespace {
+
+/// Chrome trace timestamps are microseconds (doubles are accepted).
+double us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+void emit_event(std::ostream& os, const TraceEvent& e) {
+  os << "    {\"name\": \"" << to_string(e.kind) << "\", \"cat\": \""
+     << to_string(e.kind) << "\", \"ph\": \""
+     << (e.dur_ns > 0 ? "X" : "i") << "\", \"ts\": " << us(e.ts_ns);
+  if (e.dur_ns > 0) {
+    os << ", \"dur\": " << us(e.dur_ns);
+  } else {
+    os << ", \"s\": \"t\"";  // instant scope: thread
+  }
+  os << ", \"pid\": 1, \"tid\": " << static_cast<int>(e.tid)
+     << ", \"args\": {\"group\": " << e.group << ", \"stage\": " << e.stage
+     << ", \"id\": " << e.id << ", \"value\": " << e.value << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const std::string& process_name) {
+  os << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  os << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \"" << process_name << "\"}}";
+  int last_tid = -1;
+  for (const TraceEvent& e : events) {
+    // Events arrive grouped by thread: name each track once.
+    if (static_cast<int>(e.tid) != last_tid) {
+      last_tid = static_cast<int>(e.tid);
+      os << ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+         << "\"tid\": " << last_tid << ", \"args\": {\"name\": \"worker "
+         << last_tid << "\"}}";
+    }
+    os << ",\n";
+    emit_event(os, e);
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const std::string& process_name) {
+  std::ofstream os(path);
+  PMG_CHECK(os.good(), "cannot open " << path << " for writing");
+  write_chrome_trace(os, events, process_name);
+  PMG_CHECK(os.good(), "write to " << path << " failed");
+}
+
+std::string RunReport::render() const {
+  std::ostringstream os;
+  os << "== run report";
+  if (!title.empty()) os << ": " << title;
+  os << " ==\n";
+
+  double total = 0.0;
+  for (const TimeRow& r : groups) total += r.seconds;
+  char line[256];
+  if (!groups.empty()) {
+    os << "time by group (" << runs << " run(s), "
+       << static_cast<int>(total * 1e3) << " ms total):\n";
+    for (const TimeRow& r : groups) {
+      std::snprintf(line, sizeof(line), "  %-40s %10.3f ms %6.1f%%\n",
+                    r.label.c_str(), r.seconds * 1e3,
+                    total > 0 ? 100.0 * r.seconds / total : 0.0);
+      os << line;
+    }
+  }
+  if (!stages.empty()) {
+    os << "time by stage:\n";
+    for (const TimeRow& r : stages) {
+      std::snprintf(line, sizeof(line), "  %-40s %10.3f ms %6.1f%%\n",
+                    r.label.c_str(), r.seconds * 1e3,
+                    total > 0 ? 100.0 * r.seconds / total : 0.0);
+      os << line;
+    }
+  }
+
+  if (have_convergence) {
+    os << "convergence: " << (converged ? "converged" : "NOT converged")
+       << ", residual " << initial_residual << " -> " << final_residual
+       << " in " << total_cycles << " cycle(s)\n";
+    for (const std::string& a : attempt_lines) os << "  " << a << "\n";
+    if (!residual_history.empty()) {
+      os << "residual history:";
+      for (double r : residual_history) os << " " << r;
+      os << "\n";
+    }
+  }
+  if (!metrics_json.empty()) os << "metrics: " << metrics_json << "\n";
+  return os.str();
+}
+
+}  // namespace polymg::obs

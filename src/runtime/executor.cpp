@@ -8,6 +8,8 @@
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
 #include "polymg/common/timer.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
 
 namespace polymg::runtime {
 
@@ -17,6 +19,18 @@ using opt::SchedNode;
 using opt::StagePlan;
 
 Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
+  // Metrics handles resolve here, not on the hot paths: steady-state
+  // run() touches only their relaxed atomics.
+  obs::Metrics& m = obs::Metrics::instance();
+  ctr_tiles_ = &m.counter("executor.tiles");
+  ctr_slabs_ = &m.counter("executor.slabs");
+  ctr_pops_ = &m.counter("executor.queue_pops");
+  ctr_spins_ = &m.counter("executor.queue_spins");
+  ctr_gate_opens_ = &m.counter("executor.gate_opens");
+  ctr_runs_ = &m.counter("executor.runs");
+  ctr_regions_cached_ = &m.counter("executor.tile_regions_cached");
+  ctr_regions_recomputed_ = &m.counter("executor.tile_regions_recomputed");
+
   array_ptr_.assign(plan_.arrays.size(), nullptr);
   unpooled_.resize(plan_.arrays.size());
   for (const GroupPlan& g : plan_.groups) {
@@ -139,7 +153,34 @@ Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
 void Executor::reset_timers() {
   std::fill(group_seconds_.begin(), group_seconds_.end(), 0.0);
   std::fill(stage_seconds_.begin(), stage_seconds_.end(), 0.0);
+  std::fill(node_seconds_acc_.begin(), node_seconds_acc_.end(), 0.0);
+  queue_pops_.store(0, std::memory_order_relaxed);
+  queue_spins_.store(0, std::memory_order_relaxed);
   runs_timed_ = 0;
+}
+
+obs::RunReport Executor::run_report() const {
+  obs::RunReport rep;
+  rep.runs = runs_timed_;
+  static const char* kExecName[] = {"loops", "overlap", "time-tiled"};
+  for (std::size_t gi = 0; gi < plan_.groups.size(); ++gi) {
+    const GroupPlan& g = plan_.groups[gi];
+    std::string label = "g" + std::to_string(gi) + " [" +
+                        kExecName[static_cast<int>(g.exec)] + "] " +
+                        plan_.pipe.funcs[g.stages[static_cast<std::size_t>(
+                                                      g.anchor)].func].name;
+    if (g.stages.size() > 1) {
+      label += " (+" + std::to_string(g.stages.size() - 1) + " stage(s))";
+    }
+    rep.groups.push_back({std::move(label), group_seconds_[gi]});
+  }
+  for (std::size_t f = 0; f < plan_.pipe.funcs.size() &&
+                          f < stage_seconds_.size();
+       ++f) {
+    rep.stages.push_back({plan_.pipe.funcs[f].name, stage_seconds_[f]});
+  }
+  rep.metrics_json = obs::Metrics::instance().snapshot_json();
+  return rep;
 }
 
 bool Executor::dependence_scheduled() const {
@@ -233,6 +274,7 @@ void Executor::run(std::span<const View> externals) {
     run_barrier(externals);
   }
   ++runs_timed_;
+  ctr_runs_->add(1);
 }
 
 View Executor::output_view(int i) const {
@@ -250,6 +292,7 @@ View Executor::output_view(int i) const {
 
 void Executor::exec_loops_part(int gi, int p, const Box& part,
                                std::span<const View> externals, int tid) {
+  PMG_TRACE_NOW(t0);
   const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
   const StagePlan& sp = g.stages[static_cast<std::size_t>(p)];
   const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
@@ -261,10 +304,15 @@ void Executor::exec_loops_part(int gi, int p, const Box& part,
     ws.srcs[s] = resolve_bind(binds_[gi][p][s], externals, {});
   }
   apply_stage(f, lowered, out, std::span<const View>(ws.srcs), part);
+  ctr_slabs_->add(1);
+  PMG_TRACE_SPAN(SlabExec, t0, gi, sp.func,
+                 static_cast<int>(part.dim(0).lo),
+                 static_cast<double>(part.count()));
 }
 
 void Executor::exec_overlap_tile(int gi, index_t ti,
                                  std::span<const View> externals, int tid) {
+  PMG_TRACE_NOW(t0);
   const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
   const int nstages = static_cast<int>(g.stages.size());
   const ir::FunctionDecl& anchor_f = plan_.pipe.funcs[g.stages[g.anchor].func];
@@ -275,6 +323,7 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
   const bool cached =
       g.tile_regions_cache.size() ==
       static_cast<std::size_t>(g.tiles.total) * g.stages.size();
+  (cached ? ctr_regions_cached_ : ctr_regions_recomputed_)->add(1);
 
   auto& arena = arena_[static_cast<std::size_t>(tid)];
   Workspace& ws = workspaces_[static_cast<std::size_t>(tid)];
@@ -293,6 +342,7 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
   }
 
   // Bind scratchpad views for this tile's footprints.
+  index_t scratch_doubles = 0;
   for (int p = 0; p < nstages; ++p) {
     const StagePlan& sp = g.stages[p];
     if (sp.scratch_buffer < 0) continue;
@@ -304,6 +354,11 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
                                         << ": region " << regions[p]);
     ws.scratch_views[p] = View::over(
         arena.data() + scratch_off[sp.scratch_buffer], regions[p]);
+    scratch_doubles += regions[p].count();
+  }
+  if (scratch_doubles > 0) {
+    PMG_TRACE_INSTANT(ScratchBind, gi, -1, static_cast<int>(ti),
+                      static_cast<double>(scratch_doubles) * 8.0);
   }
 
   for (int p = 0; p < nstages; ++p) {
@@ -331,6 +386,9 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
                   std::span<const View>(ws.srcs), regions[p]);
     }
   }
+  ctr_tiles_->add(1);
+  PMG_TRACE_SPAN(TileExec, t0, gi, -1, static_cast<int>(ti),
+                 static_cast<double>(tile.count()));
 }
 
 // ---------------------------------------------------------------------------
@@ -345,6 +403,7 @@ void Executor::run_barrier(std::span<const View> externals) {
     }
     if (g.exec == GroupExec::TimeTiled) ensure_array(g.time_temp_array);
 
+    PMG_TRACE_NOW(g0);
     Timer gt;
     switch (g.exec) {
       case GroupExec::Loops:
@@ -358,6 +417,8 @@ void Executor::run_barrier(std::span<const View> externals) {
         break;
     }
     const double dt = gt.elapsed();
+    PMG_TRACE_SPAN(GroupExec, g0, static_cast<int>(gi), -1,
+                   static_cast<int>(gi), 0.0);
     group_seconds_[gi] += dt;
     // Fused groups execute their stages interleaved per tile, so stage
     // attribution lands on the anchor (Loops groups attribute per stage
@@ -370,6 +431,9 @@ void Executor::run_barrier(std::span<const View> externals) {
     // reads), modelling a corrupted kernel output. Compiled in always;
     // one relaxed atomic load when nothing is armed.
     if (fault::should_fail(fault::kKernelOutput)) {
+      obs::Metrics::instance().counter("fault.kernel_output").add(1);
+      PMG_TRACE_INSTANT(FaultInjected, static_cast<int>(gi), -1,
+                        /*site=*/1, 0.0);
       for (auto it = g.stages.rbegin(); it != g.stages.rend(); ++it) {
         if (it->array < 0) continue;
         const ir::FunctionDecl& f = plan_.pipe.funcs[it->func];
@@ -490,7 +554,10 @@ void Executor::run_timetile_group(int gi, std::span<const View> externals) {
   }
 
   TimeTileParams params{g.dtile_H, g.dtile_W};
+  PMG_TRACE_NOW(t0);
   time_tiled_sweep(chain, bufs, stage_srcs_, params);
+  PMG_TRACE_SPAN(TimeTileExec, t0, gi, g.stages.front().func, gi,
+                 static_cast<double>(steps));
 }
 
 // ---------------------------------------------------------------------------
@@ -580,6 +647,9 @@ void Executor::open_gate(index_t node) {
   const SchedNode& n = sg.nodes[static_cast<std::size_t>(node)];
   // Collective nodes are ordered by their phase's barriers.
   if (n.collective) return;
+  ctr_gate_opens_->add(1);
+  PMG_TRACE_INSTANT(GateOpen, n.group, n.stage, static_cast<int>(node),
+                    static_cast<double>(n.ntasks));
   for (index_t t = n.task_base; t < n.task_base + n.ntasks; ++t) {
     if (pred_[static_cast<std::size_t>(t)].fetch_sub(
             1, std::memory_order_acq_rel) == 1) {
@@ -603,6 +673,7 @@ void Executor::retire_node(index_t k) {
   if (group_done && plan_.opts.pooled_allocation) {
     release_arrays(releasable_after_group_[static_cast<std::size_t>(g)]);
   }
+  PMG_TRACE_INSTANT(NodeRetire, g, -1, static_cast<int>(k), 0.0);
   // The frontier reached k+1, so the gate of node k+2 may open.
   open_gate(k + 2);
 }
@@ -690,12 +761,31 @@ void Executor::task_loop(int phase, std::span<const View> externals,
   const index_t target = phase_total_[static_cast<std::size_t>(phase)];
   auto& completed = phase_completed_[static_cast<std::size_t>(phase)];
   int idle = 0;
+  // Queue telemetry stays in locals inside the loop (no shared-cacheline
+  // traffic per task) and flushes once per phase; an idle episode between
+  // two pops becomes one QueueWait span with its spin count as value.
+  std::int64_t pops = 0;
+  std::int64_t spins = 0;
+  std::int64_t wait_t0 = -1;
+  std::int64_t wait_spins = 0;
   while (completed.load(std::memory_order_acquire) < target) {
     index_t t;
     if (pop_task(t)) {
       idle = 0;
+      ++pops;
+      if (wait_t0 >= 0) {
+        PMG_TRACE_SPAN(QueueWait, wait_t0, -1, phase, tid,
+                       static_cast<double>(wait_spins));
+        wait_t0 = -1;
+        wait_spins = 0;
+      }
       exec_task(t, externals, tid);
-    } else if (++idle < 128) {
+      continue;
+    }
+    ++spins;
+    ++wait_spins;
+    if (wait_t0 < 0 && PMG_TRACE_ACTIVE()) wait_t0 = obs::trace_now_ns();
+    if (++idle < 128) {
       cpu_pause();
     } else if (idle < 1024) {
       // Oversubscribed teams (more threads than cores) must yield or the
@@ -710,6 +800,15 @@ void Executor::task_loop(int phase, std::span<const View> externals,
       idle = 128;  // re-enter the yield band, skip the pause burst
     }
   }
+  if (wait_t0 >= 0) {
+    // Starved until the phase drained: close the episode at phase exit.
+    PMG_TRACE_SPAN(QueueWait, wait_t0, -1, phase, tid,
+                   static_cast<double>(wait_spins));
+  }
+  queue_pops_.fetch_add(pops, std::memory_order_relaxed);
+  queue_spins_.fetch_add(spins, std::memory_order_relaxed);
+  ctr_pops_->add(pops);
+  ctr_spins_->add(spins);
 }
 
 void Executor::run_collective_phase(const Phase& ph,
@@ -751,11 +850,12 @@ void Executor::run_collective_phase(const Phase& ph,
   }
   team_barrier();
   {
-    const ir::FunctionDecl& step_fn = plan_.pipe.funcs[g.stages.front().func];
-    (void)step_fn;
     TimeTileParams params{g.dtile_H, g.dtile_W};
+    PMG_TRACE_NOW(t0);
     time_tiled_sweep_team(chain_[static_cast<std::size_t>(gi)], time_bufs_,
                           stage_srcs_, params);
+    PMG_TRACE_SPAN(TimeTileExec, t0, gi, g.stages.front().func, gi,
+                   static_cast<double>(g.stages.size()));
   }
   team_barrier();
   if (tid == 0) {

@@ -1,6 +1,8 @@
 #include "polymg/runtime/guarded.hpp"
 
 #include "polymg/common/health.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
 #include "polymg/opt/validate.hpp"
 
 namespace polymg::runtime {
@@ -8,6 +10,11 @@ namespace polymg::runtime {
 GuardedExecutor::GuardedExecutor(ir::Pipeline pipe,
                                  const opt::CompileOptions& opts)
     : pipe_(std::move(pipe)), opts_(opts) {
+  auto& m = obs::Metrics::instance();
+  ctr_health_scans_ = &m.counter("guarded.health_scans");
+  ctr_health_failures_ = &m.counter("guarded.health_failures");
+  ctr_fallback_runs_ = &m.counter("guarded.fallback_runs");
+  ctr_optimized_runs_ = &m.counter("guarded.optimized_runs");
   try {
     opt::CompiledPipeline cp = opt::compile(ir::Pipeline(pipe_), opts_);
     opt::validate_plan(cp);
@@ -49,14 +56,21 @@ void GuardedExecutor::check_externals(
 }
 
 bool GuardedExecutor::outputs_healthy(const Executor& ex) const {
+  PMG_TRACE_NOW(t0);
+  ctr_health_scans_->add(1);
+  bool healthy = true;
   for (std::size_t i = 0; i < pipe_.outputs.size(); ++i) {
     const ir::FunctionDecl& f = pipe_.funcs[pipe_.outputs[i]];
     if (health::has_nonfinite(ex.output_view(static_cast<int>(i)),
                               f.domain)) {
-      return false;
+      healthy = false;
+      break;
     }
   }
-  return true;
+  if (!healthy) ctr_health_failures_->add(1);
+  PMG_TRACE_SPAN(HealthScan, t0, -1, -1, healthy ? 1 : 0,
+                 static_cast<double>(pipe_.outputs.size()));
+  return healthy;
 }
 
 void GuardedExecutor::run(std::span<const View> externals) {
@@ -67,6 +81,7 @@ void GuardedExecutor::run(std::span<const View> externals) {
       optimized_->run(externals);
       if (outputs_healthy(*optimized_)) {
         ++report_.optimized_runs;
+        ctr_optimized_runs_->add(1);
         return;
       }
       note_incident(ErrorCode::NumericalDivergence,
@@ -76,6 +91,9 @@ void GuardedExecutor::run(std::span<const View> externals) {
       note_incident(e.code(), e.what());
     }
   }
+  PMG_TRACE_INSTANT(Fallback, -1, -1, static_cast<int>(report_.last_error),
+                    0.0);
+  ctr_fallback_runs_->add(1);
   ensure_reference();
   reference_->run(externals);
   ++report_.fallback_runs;

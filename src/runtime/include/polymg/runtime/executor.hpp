@@ -38,9 +38,14 @@
 #include <vector>
 
 #include "polymg/grid/buffer.hpp"
+#include "polymg/obs/report.hpp"
 #include "polymg/opt/compile.hpp"
 #include "polymg/runtime/pool.hpp"
 #include "polymg/runtime/timetile.hpp"
+
+namespace polymg::obs {
+class Counter;
+}
 
 namespace polymg::runtime {
 
@@ -80,7 +85,24 @@ public:
   const std::vector<double>& stage_seconds() const { return stage_seconds_; }
   /// Completed run() invocations since construction / reset_timers().
   std::int64_t runs_timed() const { return runs_timed_; }
+  /// Dependence-scheduler queue telemetry (accumulated across runs):
+  /// successful MPMC pops and failed attempts (spin iterations). Both
+  /// zero under the barrier schedule.
+  std::int64_t queue_pops() const {
+    return queue_pops_.load(std::memory_order_relaxed);
+  }
+  std::int64_t queue_spins() const {
+    return queue_spins_.load(std::memory_order_relaxed);
+  }
+  /// Reset every accumulated telemetry counter: per-group and per-stage
+  /// seconds, the per-thread node timer vector, queue pop/spin counters
+  /// and the run count.
   void reset_timers();
+
+  /// Per-group / per-stage time attribution plus a metrics snapshot,
+  /// ready for obs::RunReport::render() (convergence telemetry is merged
+  /// in by solvers::attach_convergence).
+  obs::RunReport run_report() const;
 
 private:
   /// Plan-time-resolved origin of one source slot.
@@ -188,6 +210,19 @@ private:
   std::vector<double> group_seconds_;
   std::vector<double> stage_seconds_;
   std::int64_t runs_timed_ = 0;
+  std::atomic<std::int64_t> queue_pops_{0};
+  std::atomic<std::int64_t> queue_spins_{0};
+
+  // --- obs metrics handles, resolved once at construction so the hot
+  // --- paths touch only the relaxed atomics behind them.
+  obs::Counter* ctr_tiles_ = nullptr;        // executor.tiles
+  obs::Counter* ctr_slabs_ = nullptr;        // executor.slabs
+  obs::Counter* ctr_pops_ = nullptr;         // executor.queue_pops
+  obs::Counter* ctr_spins_ = nullptr;        // executor.queue_spins
+  obs::Counter* ctr_gate_opens_ = nullptr;   // executor.gate_opens
+  obs::Counter* ctr_runs_ = nullptr;         // executor.runs
+  obs::Counter* ctr_regions_cached_ = nullptr;    // executor.tile_regions_cached
+  obs::Counter* ctr_regions_recomputed_ = nullptr;
 };
 
 }  // namespace polymg::runtime

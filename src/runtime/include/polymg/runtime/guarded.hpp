@@ -20,6 +20,10 @@
 #include "polymg/ir/pipeline.hpp"
 #include "polymg/runtime/executor.hpp"
 
+namespace polymg::obs {
+class Counter;
+}
+
 namespace polymg::runtime {
 
 /// Running account of what the guard observed and did.
@@ -69,6 +73,12 @@ private:
   std::unique_ptr<Executor> reference_;
   bool last_from_fallback_ = false;
   GuardReport report_;
+
+  // obs metrics handles (resolved once at construction).
+  obs::Counter* ctr_health_scans_ = nullptr;     // guarded.health_scans
+  obs::Counter* ctr_health_failures_ = nullptr;  // guarded.health_failures
+  obs::Counter* ctr_fallback_runs_ = nullptr;    // guarded.fallback_runs
+  obs::Counter* ctr_optimized_runs_ = nullptr;   // guarded.optimized_runs
 };
 
 }  // namespace polymg::runtime

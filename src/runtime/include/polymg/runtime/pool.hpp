@@ -14,13 +14,18 @@
 #include "polymg/common/align.hpp"
 #include "polymg/poly/interval.hpp"
 
+namespace polymg::obs {
+class Counter;
+class Gauge;
+}
+
 namespace polymg::runtime {
 
 using poly::index_t;
 
 class MemoryPool {
 public:
-  MemoryPool() = default;
+  MemoryPool();
   MemoryPool(const MemoryPool&) = delete;
   MemoryPool& operator=(const MemoryPool&) = delete;
 
@@ -51,6 +56,13 @@ private:
   std::vector<Entry> entries_;
   long malloc_calls_ = 0;
   long reuse_hits_ = 0;
+
+  // obs metrics handles, resolved once at construction (the allocate /
+  // deallocate paths run under the executor's pool lock on measured
+  // runs and must not touch the registry map).
+  obs::Counter* ctr_malloc_ = nullptr;  // pool.malloc_calls
+  obs::Counter* ctr_reuse_ = nullptr;   // pool.reuse_hits
+  obs::Gauge* g_bytes_live_ = nullptr;  // pool.bytes_live (value + peak)
 };
 
 }  // namespace polymg::runtime

@@ -3,6 +3,8 @@
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
 
 namespace polymg::runtime {
 
@@ -35,9 +37,19 @@ void first_touch_pages(double* p, index_t doubles) {
 
 }  // namespace
 
+MemoryPool::MemoryPool() {
+  auto& m = obs::Metrics::instance();
+  ctr_malloc_ = &m.counter("pool.malloc_calls");
+  ctr_reuse_ = &m.counter("pool.reuse_hits");
+  g_bytes_live_ = &m.gauge("pool.bytes_live");
+}
+
 double* MemoryPool::pool_allocate(index_t doubles) {
   PMG_CHECK(doubles >= 0, "negative allocation");
   if (fault::should_fail(fault::kPoolAlloc)) {
+    obs::Metrics::instance().counter("fault.pool_alloc").add(1);
+    PMG_TRACE_INSTANT(FaultInjected, -1, -1, /*site=*/0,
+                      static_cast<double>(doubles));
     throw Error(ErrorCode::PoolExhausted,
                 "injected fault: pooled allocation of " +
                     std::to_string(doubles) + " doubles failed");
@@ -54,6 +66,10 @@ double* MemoryPool::pool_allocate(index_t doubles) {
   if (best != nullptr) {
     best->free = false;
     ++reuse_hits_;
+    ctr_reuse_->add(1);
+    g_bytes_live_->add(static_cast<std::int64_t>(best->doubles) * 8);
+    PMG_TRACE_INSTANT(PoolAlloc, -1, -1, /*reused=*/1,
+                      static_cast<double>(best->doubles) * 8.0);
     return best->data.get();
   }
   Entry e;
@@ -62,6 +78,10 @@ double* MemoryPool::pool_allocate(index_t doubles) {
   e.doubles = doubles;
   e.free = false;
   ++malloc_calls_;
+  ctr_malloc_->add(1);
+  g_bytes_live_->add(static_cast<std::int64_t>(doubles) * 8);
+  PMG_TRACE_INSTANT(PoolAlloc, -1, -1, /*reused=*/0,
+                    static_cast<double>(doubles) * 8.0);
   entries_.push_back(std::move(e));
   return entries_.back().data.get();
 }
@@ -71,13 +91,23 @@ void MemoryPool::pool_deallocate(double* p) {
     if (e.data.get() == p) {
       PMG_CHECK(!e.free, "double pool_deallocate");
       e.free = true;
+      g_bytes_live_->add(-static_cast<std::int64_t>(e.doubles) * 8);
+      PMG_TRACE_INSTANT(PoolRelease, -1, -1, 0,
+                        static_cast<double>(e.doubles) * 8.0);
       return;
     }
   }
   PMG_CHECK(false, "pool_deallocate of unknown pointer");
 }
 
-void MemoryPool::clear() { entries_.clear(); }
+void MemoryPool::clear() {
+  std::int64_t live_bytes = 0;
+  for (const Entry& e : entries_) {
+    if (!e.free) live_bytes += static_cast<std::int64_t>(e.doubles) * 8;
+  }
+  g_bytes_live_->add(-live_bytes);
+  entries_.clear();
+}
 
 int MemoryPool::live_buffers() const {
   int n = 0;

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "polymg/common/error.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
 #include "polymg/opt/validate.hpp"
 #include "polymg/runtime/guarded.hpp"
 #include "polymg/solvers/metrics.hpp"
@@ -18,6 +20,7 @@ struct Rung {
   CycleConfig cfg;
   opt::CompileOptions opts;
   std::string description;
+  RungKind kind = RungKind::AsConfigured;
 };
 
 const char* smoother_name(SmootherKind s) {
@@ -36,24 +39,26 @@ std::vector<Rung> build_ladder(const CycleConfig& cfg,
                                const opt::CompileOptions& opts,
                                const GuardPolicy& policy) {
   std::vector<Rung> ladder;
-  ladder.push_back({cfg, opts, "as configured"});
+  ladder.push_back({cfg, opts, "as configured", RungKind::AsConfigured});
   CycleConfig cur = cfg;
   opt::CompileOptions cur_opts = opts;
   while (static_cast<int>(ladder.size()) < policy.max_attempts) {
     if (policy.allow_reference_plan &&
         cur_opts.variant != opt::Variant::Naive) {
       cur_opts = opt::reference_options(cur_opts);
-      ladder.push_back({cur, cur_opts, "reference plan"});
+      ladder.push_back({cur, cur_opts, "reference plan",
+                        RungKind::ReferencePlan});
     } else if (policy.allow_smoother_downgrade &&
                cur.smoother != SmootherKind::Jacobi) {
       std::string from = smoother_name(cur.smoother);
       cur.smoother = SmootherKind::Jacobi;
-      ladder.push_back({cur, cur_opts, from + " -> Jacobi"});
+      ladder.push_back({cur, cur_opts, from + " -> Jacobi",
+                        RungKind::SmootherDowngrade});
     } else if (policy.allow_omega_reduction) {
       cur.omega *= policy.omega_backoff;
       std::ostringstream os;
       os << "omega -> " << cur.omega;
-      ladder.push_back({cur, cur_opts, os.str()});
+      ladder.push_back({cur, cur_opts, os.str(), RungKind::OmegaBackoff});
     } else {
       break;  // no remedies left
     }
@@ -62,6 +67,16 @@ std::vector<Rung> build_ladder(const CycleConfig& cfg,
 }
 
 }  // namespace
+
+const char* to_string(RungKind k) {
+  switch (k) {
+    case RungKind::AsConfigured: return "as-configured";
+    case RungKind::ReferencePlan: return "reference-plan";
+    case RungKind::SmootherDowngrade: return "smoother-downgrade";
+    case RungKind::OmegaBackoff: return "omega-backoff";
+  }
+  return "?";
+}
 
 SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
                           double rel_tol, const GuardPolicy& policy,
@@ -82,10 +97,22 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
     return report;
   }
 
-  for (const Rung& rung : build_ladder(cfg, opts, policy)) {
+  auto& solver_degrades = obs::Metrics::instance().counter("solver.degrades");
+  auto& solver_cycles = obs::Metrics::instance().counter("solver.cycles");
+  const std::vector<Rung> ladder = build_ladder(cfg, opts, policy);
+  for (std::size_t ri = 0; ri < ladder.size(); ++ri) {
+    const Rung& rung = ladder[ri];
     SolveAttempt attempt;
     attempt.description = rung.description;
-    if (!report.attempts.empty()) restore();
+    attempt.kind = rung.kind;
+    if (!report.attempts.empty()) {
+      // Walking down a rung is a degradation decision — record it where
+      // both the trace and the metrics snapshot can see it.
+      solver_degrades.add(1);
+      PMG_TRACE_INSTANT(Degrade, -1, static_cast<int>(ri),
+                        static_cast<int>(rung.kind), 0.0);
+      restore();
+    }
     attempt.first_residual =
         residual_norm(p.v_view(), p.f_view(), p.n, p.h);
     attempt.last_residual = attempt.first_residual;
@@ -102,6 +129,9 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
         const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
         ++attempt.cycles;
         ++report.total_cycles;
+        solver_cycles.add(1);
+        report.residual_history.push_back(r);
+        PMG_TRACE_INSTANT(Residual, static_cast<int>(ri), c, 0, r);
         attempt.last_residual = r;
         attempt.trend = monitor.observe(r);
         if (r <= target) {
@@ -139,6 +169,29 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
                               ? report.initial_residual
                               : report.attempts.back().last_residual;
   return report;
+}
+
+void attach_convergence(const SolveReport& sr, obs::RunReport& rr) {
+  rr.have_convergence = true;
+  rr.converged = sr.converged;
+  rr.initial_residual = sr.initial_residual;
+  rr.final_residual = sr.final_residual;
+  rr.total_cycles = sr.total_cycles;
+  rr.residual_history = sr.residual_history;
+  rr.attempt_lines.clear();
+  for (std::size_t i = 0; i < sr.attempts.size(); ++i) {
+    const SolveAttempt& a = sr.attempts[i];
+    std::ostringstream os;
+    os << "[" << i << "] " << to_string(a.kind) << " (" << a.description
+       << "): " << a.cycles << " cycle(s), " << a.first_residual << " -> "
+       << a.last_residual;
+    if (a.threw) os << ", failed: " << a.error;
+    if (a.converged) os << ", converged";
+    if (a.executor_fallbacks > 0) {
+      os << ", " << a.executor_fallbacks << " executor fallback(s)";
+    }
+    rr.attempt_lines.push_back(os.str());
+  }
 }
 
 std::string SolveReport::summary() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "polymg/common/health.hpp"
+#include "polymg/obs/report.hpp"
 #include "polymg/opt/options.hpp"
 #include "polymg/solvers/poisson.hpp"
 
@@ -39,9 +40,21 @@ struct GuardPolicy {
   double omega_backoff = 0.5;
 };
 
+/// Which remedy a ladder rung applies (mirrors build_ladder's order).
+/// Also the `id` of the Degrade trace events guarded_solve emits, so a
+/// trace can be correlated with the SolveReport attempt list.
+enum class RungKind : int {
+  AsConfigured = 0,
+  ReferencePlan = 1,
+  SmootherDowngrade = 2,
+  OmegaBackoff = 3,
+};
+const char* to_string(RungKind k);
+
 /// One rung of the ladder, as actually executed.
 struct SolveAttempt {
   std::string description;  ///< e.g. "as configured", "omega -> 0.475"
+  RungKind kind = RungKind::AsConfigured;
   int cycles = 0;           ///< cycles run in this attempt
   double first_residual = 0.0;
   double last_residual = 0.0;
@@ -59,9 +72,15 @@ struct SolveReport {
   double initial_residual = 0.0;
   int total_cycles = 0;
   std::vector<SolveAttempt> attempts;
+  /// Residual after every cycle, across all attempts, in execution order.
+  std::vector<double> residual_history;
   /// Multi-line human-readable account of the ladder walk.
   std::string summary() const;
 };
+
+/// Merge a solve's convergence telemetry into an executor RunReport so
+/// render() shows time attribution and convergence side by side.
+void attach_convergence(const SolveReport& sr, obs::RunReport& rr);
 
 /// Iterate multigrid cycles on `p` until the residual drops below
 /// `rel_tol` times the initial residual (plus policy.rel_tol_floor

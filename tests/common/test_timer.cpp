@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <thread>
 
 #include "polymg/common/timer.hpp"
@@ -22,12 +24,43 @@ TEST(Timer, ResetRestarts) {
   EXPECT_LT(t.elapsed(), 0.005);
 }
 
+TEST(Timer, ElapsedNsMatchesSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::int64_t ns = t.elapsed_ns();
+  EXPECT_GE(ns, 1'000'000);  // at least 1 ms on any clock
+  EXPECT_LT(ns, 10'000'000'000);
+}
+
 TEST(Timer, MinTimeOfRunsAllRepeats) {
   int calls = 0;
-  const double m = min_time_of([&] { ++calls; }, 5);
+  const Stats s = min_time_of([&] { ++calls; }, 5);
   EXPECT_EQ(calls, 5);
-  EXPECT_GE(m, 0.0);
-  EXPECT_LT(m, 1.0);
+  EXPECT_EQ(s.n, 5);
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LT(s.min, 1.0);
+  EXPECT_LE(s.min, s.mean);
+  EXPECT_LE(s.mean, s.max);
+  EXPECT_GE(s.stddev, 0.0);
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.observe(x);
+  EXPECT_EQ(s.n, 8);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Population stddev of the classic Welford example set is 2.
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+}
+
+TEST(Stats, SingleObservationHasZeroStddev) {
+  Stats s;
+  s.observe(3.5);
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,389 @@
+// polymg::obs — trace sink, metrics registry and the Chrome exporter.
+//
+// The contract under test: tracing captures typed per-tile events from
+// both schedules in valid Chrome trace_event JSON; the ring wraps by
+// dropping oldest events (counted, never growing); and with no session
+// active an instrumented steady-state run stays zero-alloc and bit-exact
+// with a traced one.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "polymg/common/alloc_hook.hpp"
+#include "polymg/common/parallel.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/report.hpp"
+#include "polymg/obs/trace.hpp"
+#include "polymg/opt/compile.hpp"
+#include "polymg/runtime/executor.hpp"
+#include "polymg/solvers/cycles.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::obs {
+namespace {
+
+using grid::View;
+using opt::CompileOptions;
+using opt::Variant;
+using runtime::Executor;
+using solvers::CycleConfig;
+using solvers::CycleKind;
+
+// ---------------------------------------------------------------------
+// Minimal JSON validator (no dependency): checks the exporter's output
+// is well-formed JSON, not merely that a few substrings appear.
+// ---------------------------------------------------------------------
+
+class JsonScanner {
+public:
+  explicit JsonScanner(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+
+class ObsTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    if (TraceSession::active()) TraceSession::stop();
+  }
+};
+
+CycleConfig w2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  cfg.kind = CycleKind::W;
+  return cfg;
+}
+
+std::vector<double> output_bits(const Executor& ex) {
+  const int func = ex.plan().pipe.outputs[0];
+  const auto count = ex.plan().pipe.funcs[func].domain.count();
+  std::vector<double> bits(static_cast<std::size_t>(count));
+  std::memcpy(bits.data(), ex.output_view(0).ptr,
+              sizeof(double) * bits.size());
+  return bits;
+}
+
+int count_kind(const std::vector<TraceEvent>& evs, EventKind k) {
+  int n = 0;
+  for (const TraceEvent& e : evs) n += e.kind == k ? 1 : 0;
+  return n;
+}
+
+TEST_F(ObsTest, RingWrapsByDroppingOldest) {
+  TraceSession::start(/*events_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    trace_instant(EventKind::GateOpen, -1, -1, i, 0.0);
+  }
+  TraceSession::stop();
+  const std::vector<TraceEvent> evs = TraceSession::snapshot();
+  ASSERT_EQ(evs.size(), 8u);
+  EXPECT_EQ(TraceSession::dropped(), 12u);
+  // Oldest-first within the ring: the 8 newest events, in record order.
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].id, 12 + static_cast<int>(i));
+  }
+}
+
+TEST_F(ObsTest, RestartDiscardsPriorSession) {
+  TraceSession::start(8);
+  trace_instant(EventKind::GateOpen, -1, -1, 1, 0.0);
+  TraceSession::start(8);
+  trace_instant(EventKind::GateOpen, -1, -1, 2, 0.0);
+  TraceSession::stop();
+  const std::vector<TraceEvent> evs = TraceSession::snapshot();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].id, 2);
+  EXPECT_EQ(TraceSession::dropped(), 0u);
+}
+
+TEST_F(ObsTest, BothSchedulesEmitPerTileEvents) {
+#if defined(POLYMG_TRACE_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (POLYMG_TRACING=OFF)";
+#endif
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 7);
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  for (bool dependence : {false, true}) {
+    CompileOptions o = CompileOptions::for_variant(Variant::OptPlus, 2);
+    o.dependence_schedule = dependence;
+    Executor ex(opt::compile(solvers::build_cycle(w2d()), o));
+    ASSERT_EQ(ex.dependence_scheduled(), dependence);
+    TraceSession::start();
+    ex.run(ext);
+    TraceSession::stop();
+    const std::vector<TraceEvent> evs = TraceSession::snapshot();
+    EXPECT_GT(count_kind(evs, EventKind::TileExec), 0)
+        << (dependence ? "dependence" : "barrier");
+    EXPECT_GT(count_kind(evs, EventKind::PoolAlloc), 0);
+    if (!dependence) {
+      EXPECT_GT(count_kind(evs, EventKind::GroupExec), 0);
+    } else {
+      EXPECT_GT(count_kind(evs, EventKind::GateOpen), 0);
+      EXPECT_GT(count_kind(evs, EventKind::NodeRetire), 0);
+    }
+    // Spans measure real durations within the session.
+    for (const TraceEvent& e : evs) {
+      EXPECT_GE(e.ts_ns, 0);
+      EXPECT_GE(e.dur_ns, 0);
+    }
+  }
+}
+
+TEST_F(ObsTest, PerThreadEventsAreOrdered) {
+#if defined(POLYMG_TRACE_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (POLYMG_TRACING=OFF)";
+#endif
+  const int threads_before = max_threads();
+  set_num_threads(2);
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 11);
+  Executor ex(opt::compile(solvers::build_cycle(w2d()),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  TraceSession::start();
+  ex.run(ext);
+  TraceSession::stop();
+  set_num_threads(threads_before);
+  const std::vector<TraceEvent> evs = TraceSession::snapshot();
+  ASSERT_FALSE(evs.empty());
+  // snapshot() concatenates whole rings in thread-id order...
+  int max_tid_seen = -1;
+  bool new_thread_block = true;
+  for (const TraceEvent& e : evs) {
+    if (static_cast<int>(e.tid) != max_tid_seen) {
+      EXPECT_GT(static_cast<int>(e.tid), max_tid_seen)
+          << "thread blocks must not interleave";
+      max_tid_seen = static_cast<int>(e.tid);
+      new_thread_block = true;
+    }
+    (void)new_thread_block;
+  }
+  // ...and within one thread, same-kind tile events carry non-decreasing
+  // start stamps (each thread executes its tiles sequentially).
+  std::int64_t last_ts[2] = {-1, -1};
+  for (const TraceEvent& e : evs) {
+    if (e.kind != EventKind::TileExec || e.tid > 1) continue;
+    EXPECT_GE(e.ts_ns, last_ts[e.tid]);
+    last_ts[e.tid] = e.ts_ns;
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsValidJson) {
+#if defined(POLYMG_TRACE_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (POLYMG_TRACING=OFF)";
+#endif
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 3);
+  Executor ex(opt::compile(solvers::build_cycle(w2d()),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  TraceSession::start();
+  ex.run(ext);
+  TraceSession::stop();
+  std::ostringstream os;
+  write_chrome_trace(os, TraceSession::snapshot(), "polymg-test");
+  const std::string json = os.str();
+
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.valid()) << json.substr(0, 400);
+  // Chrome trace_event "JSON Object Format" essentials.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos)
+      << "missing process/thread metadata events";
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos)
+      << "missing complete (span) events";
+  EXPECT_NE(json.find("\"name\": \"tile\""), std::string::npos);
+  EXPECT_NE(json.find("\"polymg-test\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledTracingIsZeroAllocAndBitExact) {
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 21);
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  Executor ex(opt::compile(solvers::build_cycle(w2d()),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  ex.run(ext);
+  ex.run(ext);  // warmed: pool primed, lazy runtime state settled
+
+  // With no session, the instrumented executor keeps its steady-state
+  // zero-allocation guarantee...
+  const std::uint64_t before = polymg::allocation_count();
+  ex.run(ext);
+  EXPECT_EQ(polymg::allocation_count(), before);
+  const std::vector<double> untraced = output_bits(ex);
+
+  // ...and tracing the identical invocation changes no output bit.
+  TraceSession::start();
+  ex.run(ext);
+  TraceSession::stop();
+  const std::vector<double> traced = output_bits(ex);
+  ASSERT_EQ(untraced.size(), traced.size());
+  EXPECT_EQ(0, std::memcmp(untraced.data(), traced.data(),
+                           sizeof(double) * untraced.size()));
+#if !defined(POLYMG_TRACE_DISABLED)
+  EXPECT_GT(TraceSession::snapshot().size(), 0u);
+#endif
+}
+
+TEST_F(ObsTest, MetricsCountersAndGauges) {
+  Metrics& m = Metrics::instance();
+  Counter& c = m.counter("test.obs.counter");
+  Gauge& g = m.gauge("test.obs.gauge");
+  c.reset();
+  g.reset();
+
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4);
+  g.add(100);
+  g.add(-40);
+  g.add(10);
+  EXPECT_EQ(g.value(), 70);
+  EXPECT_EQ(g.peak(), 100);
+
+  // Handles are stable: the same name resolves to the same object.
+  EXPECT_EQ(&m.counter("test.obs.counter"), &c);
+  EXPECT_EQ(&m.gauge("test.obs.gauge"), &g);
+
+  const std::string json = m.snapshot_json();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.valid()) << json;
+  EXPECT_NE(json.find("\"test.obs.counter\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.obs.gauge\""), std::string::npos);
+
+  c.reset();
+  g.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+}
+
+TEST_F(ObsTest, ExecutorFeedsMetricsRegistry) {
+  Metrics& m = Metrics::instance();
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 31);
+  Executor ex(opt::compile(solvers::build_cycle(w2d()),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  const std::int64_t tiles0 = m.counter("executor.tiles").value();
+  const std::int64_t runs0 = m.counter("executor.runs").value();
+  ex.run(ext);
+  ex.run(ext);
+  EXPECT_GT(m.counter("executor.tiles").value(), tiles0);
+  EXPECT_EQ(m.counter("executor.runs").value(), runs0 + 2);
+  EXPECT_GT(m.gauge("pool.bytes_live").peak(), 0);
+}
+
+TEST_F(ObsTest, RunReportRendersAttributionAndMetrics) {
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 41);
+  Executor ex(opt::compile(solvers::build_cycle(w2d()),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  RunReport rr = ex.run_report();
+  rr.title = "test report";
+  EXPECT_EQ(rr.runs, 1);
+  ASSERT_EQ(rr.groups.size(), ex.plan().groups.size());
+  double total = 0.0;
+  for (const auto& row : rr.groups) total += row.seconds;
+  EXPECT_GT(total, 0.0);
+  const std::string text = rr.render();
+  EXPECT_NE(text.find("test report"), std::string::npos);
+  EXPECT_NE(text.find("g0"), std::string::npos);
+  EXPECT_NE(text.find("executor.tiles"), std::string::npos)
+      << "metrics snapshot missing from the report";
+}
+
+}  // namespace
+}  // namespace polymg::obs

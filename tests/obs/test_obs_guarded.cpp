@@ -1,0 +1,122 @@
+// Fault visibility across the observability surfaces: one forced
+// FaultInjector fault must show up in the SolveReport (the solver-level
+// account), in the metrics registry (fault.* counters) and as a
+// FaultInjected event in the trace — the same incident, three views.
+#include <gtest/gtest.h>
+
+#include "polymg/common/fault.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/report.hpp"
+#include "polymg/obs/trace.hpp"
+#include "polymg/solvers/guarded.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+class ObsGuardedTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().reset(); }
+  void TearDown() override {
+    fault::FaultInjector::instance().reset();
+    if (obs::TraceSession::active()) obs::TraceSession::stop();
+  }
+};
+
+CycleConfig healthy2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 4;
+  cfg.n2 = 20;
+  return cfg;
+}
+
+int count_kind(const std::vector<obs::TraceEvent>& evs, obs::EventKind k) {
+  int n = 0;
+  for (const obs::TraceEvent& e : evs) n += e.kind == k ? 1 : 0;
+  return n;
+}
+
+TEST_F(ObsGuardedTest, InjectedPoolFaultVisibleInReportTraceAndCounters) {
+  const std::int64_t fault_ctr0 =
+      obs::Metrics::instance().counter("fault.pool_alloc").value();
+  const std::int64_t fallback_ctr0 =
+      obs::Metrics::instance().counter("guarded.fallback_runs").value();
+
+  // The optimized plan's very first pooled allocation fails; the guard
+  // must serve the run from the reference plan and the solve still
+  // converges on attempt 0.
+  fault::ScopedFault f(fault::kPoolAlloc, /*count=*/1);
+  PoissonProblem p = PoissonProblem::manufactured(2, healthy2d().n);
+  obs::TraceSession::start(std::size_t{1} << 18);
+  const SolveReport rep = guarded_solve(healthy2d(), p, 1e-8);
+  obs::TraceSession::stop();
+
+  // 1. The solver-level account.
+  EXPECT_TRUE(rep.converged) << rep.summary();
+  EXPECT_EQ(f.fired(), 1);
+  ASSERT_FALSE(rep.attempts.empty());
+  EXPECT_GE(rep.attempts[0].executor_fallbacks, 1) << rep.summary();
+  EXPECT_FALSE(rep.residual_history.empty());
+
+  // 2. The metrics registry.
+  EXPECT_EQ(obs::Metrics::instance().counter("fault.pool_alloc").value(),
+            fault_ctr0 + 1);
+  EXPECT_GE(obs::Metrics::instance().counter("guarded.fallback_runs").value(),
+            fallback_ctr0 + 1);
+
+  // 3. The trace: the injected fault and the guard's fallback are events.
+#if !defined(POLYMG_TRACE_DISABLED)
+  const std::vector<obs::TraceEvent> evs = obs::TraceSession::snapshot();
+  EXPECT_EQ(count_kind(evs, obs::EventKind::FaultInjected), 1);
+  EXPECT_GE(count_kind(evs, obs::EventKind::Fallback), 1);
+  EXPECT_GT(count_kind(evs, obs::EventKind::HealthScan), 0);
+  EXPECT_GT(count_kind(evs, obs::EventKind::Residual), 0);
+  for (const obs::TraceEvent& e : evs) {
+    if (e.kind == obs::EventKind::FaultInjected) {
+      EXPECT_EQ(e.id, 0) << "pool.alloc encodes as site 0";
+    }
+  }
+#endif
+}
+
+TEST_F(ObsGuardedTest, DegradationLadderDecisionsBecomeTraceEvents) {
+  CycleConfig cfg = healthy2d();
+  cfg.omega = 1.9;  // weighted Jacobi diverges; the ladder must walk
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  const std::int64_t degrades0 =
+      obs::Metrics::instance().counter("solver.degrades").value();
+  obs::TraceSession::start(std::size_t{1} << 18);
+  const SolveReport rep = guarded_solve(cfg, p, 1e-6);
+  obs::TraceSession::stop();
+  ASSERT_GE(rep.attempts.size(), 2u) << rep.summary();
+
+  const int ladder_steps = static_cast<int>(rep.attempts.size()) - 1;
+  EXPECT_EQ(obs::Metrics::instance().counter("solver.degrades").value(),
+            degrades0 + ladder_steps);
+#if !defined(POLYMG_TRACE_DISABLED)
+  const std::vector<obs::TraceEvent> evs = obs::TraceSession::snapshot();
+  EXPECT_EQ(count_kind(evs, obs::EventKind::Degrade), ladder_steps)
+      << "one Degrade event per ladder step taken";
+  // Degrade events carry the rung kind, matching the report's attempts.
+  std::size_t next_attempt = 1;
+  for (const obs::TraceEvent& e : evs) {
+    if (e.kind != obs::EventKind::Degrade) continue;
+    ASSERT_LT(next_attempt, rep.attempts.size());
+    EXPECT_EQ(e.id, static_cast<int>(rep.attempts[next_attempt].kind));
+    ++next_attempt;
+  }
+#endif
+
+  // The merged RunReport carries the ladder walk and residual history.
+  obs::RunReport rr;
+  attach_convergence(rep, rr);
+  EXPECT_TRUE(rr.have_convergence);
+  EXPECT_EQ(rr.attempt_lines.size(), rep.attempts.size());
+  EXPECT_EQ(rr.residual_history.size(), rep.residual_history.size());
+  const std::string text = rr.render();
+  EXPECT_NE(text.find("omega-backoff"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace polymg::solvers

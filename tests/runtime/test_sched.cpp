@@ -164,5 +164,42 @@ TEST(Sched, TimersAccumulateUnderDependenceSchedule) {
   EXPECT_GT(total, 0.0);
 }
 
+TEST(Sched, ResetTimersClearsEveryAccumulator) {
+  const CycleConfig cfg = w2d();
+  auto p = solvers::PoissonProblem::random_rhs(2, cfg.n, 19);
+  Executor ex(opt::compile(solvers::build_cycle(cfg),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  ASSERT_TRUE(ex.dependence_scheduled());
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  ex.run(ext);
+  ASSERT_EQ(ex.runs_timed(), 2);
+  ASSERT_GT(ex.queue_pops(), 0);
+
+  ex.reset_timers();
+  EXPECT_EQ(ex.runs_timed(), 0);
+  EXPECT_EQ(ex.queue_pops(), 0);
+  EXPECT_EQ(ex.queue_spins(), 0);
+  for (double s : ex.group_seconds()) EXPECT_EQ(s, 0.0);
+  for (double s : ex.stage_seconds()) EXPECT_EQ(s, 0.0);
+
+  // The accumulators start fresh: one more run attributes exactly one
+  // run's worth of time (the regression was stale per-thread node timers
+  // surviving the reset and double-counting into the next fold).
+  ex.run(ext);
+  EXPECT_EQ(ex.runs_timed(), 1);
+  double total = 0.0;
+  for (double s : ex.group_seconds()) total += s;
+  EXPECT_GT(total, 0.0);
+  const double after_one = total;
+  ex.reset_timers();
+  ex.run(ext);
+  double total2 = 0.0;
+  for (double s : ex.group_seconds()) total2 += s;
+  // Same problem, same plan: one run after a reset must not accumulate
+  // materially more than a single run did (10x headroom for timer noise).
+  EXPECT_LT(total2, 10.0 * after_one + 1.0);
+}
+
 }  // namespace
 }  // namespace polymg::runtime
