@@ -1,0 +1,258 @@
+// Resilience cost model (DESIGN.md §9): what does surviving failures
+// cost when nothing actually fails, and what does recovery cost when
+// something does?
+//
+//   1. Checkpoint overhead vs cadence — guarded_solve on W-2D at
+//      cadence 0 (off, the baseline) through 8; the acceptance bar is
+//      <5% overhead at the resilience-on default (cadence 1).
+//   2. Rank-death recovery latency — the time DistMgSolver::recover()
+//      takes to rebuild a dead rank's slab from its ring replica,
+//      shrink the decomposition to the survivors and rescatter.
+//   3. SDC detection rate — repeated solves each carrying one injected
+//      finite bit-flip (kernel.bitflip at a pseudo-random cycle); the
+//      residual-jump guard must catch and roll back essentially all of
+//      them, and every trial must still converge.
+//
+// Emits a single JSON object (not the usual speedup-table array): the
+// three panels above are derived metrics, not per-series timings.
+//
+// Flags: --paper, --reps N, --ranks R, --trials T, --json FILE.
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gbench.hpp"
+#include "polymg/dist/dist_mg.hpp"
+#include "polymg/runtime/pool.hpp"
+#include "polymg/solvers/checkpoint.hpp"
+#include "polymg/solvers/guarded.hpp"
+
+namespace polymg::bench {
+namespace {
+
+using solvers::GuardPolicy;
+using solvers::PoissonProblem;
+using solvers::SolveReport;
+
+/// One measured cadence point of panel 1.
+struct CadencePoint {
+  int cadence = 0;
+  Stats stats;     // seconds per solve, end to end
+  long writes = 0; // checkpoint writes per solve
+  int cycles = 0;  // must match the cadence-0 run
+};
+
+/// Fresh-start guarded solve at one checkpoint cadence. The problem and
+/// its pristine initial guess are shared across repetitions; each run
+/// rewinds v and re-solves, so every repetition does identical work. A
+/// persistent checkpoint pool (the long-running-service configuration)
+/// keeps slot buffers warm across runs — the steady-state cost, not the
+/// first-call page faults, is what the cadence sweep measures.
+SolveRunner cadence_runner(const CycleConfig& cfg, double tol, int cadence,
+                           std::shared_ptr<polymg::runtime::MemoryPool> pool,
+                           CadencePoint* out) {
+  SolveRunner r;
+  auto p = std::make_shared<PoissonProblem>(
+      PoissonProblem::manufactured(cfg.ndim, cfg.n));
+  auto v0 = std::make_shared<grid::Buffer>(p->v.clone());
+  GuardPolicy policy;
+  policy.checkpoint_cadence = cadence;
+  policy.checkpoint_pool = pool.get();
+  r.run = [cfg, tol, policy, p, v0, pool, out] {
+    grid::copy_region(p->v_view(), grid::View::over(v0->data(), p->domain()),
+                      p->domain());
+    const SolveReport rep = solvers::guarded_solve(cfg, *p, tol, policy);
+    out->writes = rep.checkpoint_writes;
+    out->cycles = rep.total_cycles;
+  };
+  return r;
+}
+
+}  // namespace
+}  // namespace polymg::bench
+
+int main(int argc, char** argv) {
+  using namespace polymg::bench;
+  const polymg::Options opts = parse_bench_options(argc, argv);
+  TraceFromOptions trace(opts);
+  const bool paper = paper_sizes_requested(opts);
+  const int reps = static_cast<int>(opts.get_int("reps", 3));
+  const int ranks = static_cast<int>(opts.get_int("ranks", 4));
+  const int trials = static_cast<int>(opts.get_int("trials", 20));
+
+  // ---- Panel 1: checkpoint overhead vs cadence (W-cycle 2D). --------
+  // A deep hierarchy (coarsest interior 7) with a real coarse solve so
+  // the W-cycle converges to the target — then every cadence runs the
+  // same cycle count and the timing difference is pure checkpoint cost.
+  const SizeClass sc = size_classes(paper).front();  // class B
+  CycleConfig wcfg;
+  wcfg.ndim = 2;
+  wcfg.n = sc.n2d;
+  wcfg.levels = 6;
+  wcfg.kind = polymg::solvers::CycleKind::W;
+  wcfg.n1 = 10;
+  wcfg.n2 = 20;
+  wcfg.n3 = 10;
+  const double tol = 1e-10;
+
+  const std::vector<int> cadences = {0, 1, 2, 4, 8};
+  auto ckpt_pool = std::make_shared<polymg::runtime::MemoryPool>();
+  std::vector<std::unique_ptr<CadencePoint>> points;
+  std::vector<SolveRunner> runners;
+  for (int cadence : cadences) {
+    points.push_back(std::make_unique<CadencePoint>());
+    points.back()->cadence = cadence;
+    runners.push_back(
+        cadence_runner(wcfg, tol, cadence, ckpt_pool, points.back().get()));
+    runners.back().run();  // warm: compile the plan, fault in pool pages
+  }
+  // Round-robin the repetitions across cadences so machine drift (which
+  // moves more per block than one checkpoint costs) spreads evenly over
+  // every series instead of folding into one.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+      polymg::Timer t;
+      runners[i].run();
+      points[i]->stats.observe(t.elapsed());
+    }
+  }
+  // A single checkpoint costs ~0.3 ms against a ~75 ms solve — under
+  // this box's run-to-run jitter, so a whole-solve subtraction measures
+  // noise, not checkpoints. Measure the capture path directly instead
+  // (back-to-back writes amortize the timer and pin the cost to well
+  // under a percent) and derive each cadence's overhead from it; the
+  // end-to-end "ms" column stays as the sanity check that nothing else
+  // about the solve changed.
+  PoissonProblem wp = PoissonProblem::manufactured(wcfg.ndim, wcfg.n);
+  const auto v_doubles = static_cast<polymg::poly::index_t>(wp.v.size());
+  polymg::solvers::Checkpoint probe(*ckpt_pool);
+  double write_s;
+  {
+    const auto write_once = [&](int cycle) {
+      probe.begin(cycle, 0);
+      probe.save(0, wp.v.data(), v_doubles);
+      for (std::size_t m = 0; m < 6; ++m) probe.set_meta(m, 1.0);
+      probe.commit();
+    };
+    const int warm = 8, timed_writes = 100;
+    for (int i = 0; i < warm; ++i) write_once(i);
+    polymg::Timer t;
+    for (int i = 0; i < timed_writes; ++i) write_once(i);
+    write_s = t.elapsed() / timed_writes;
+  }
+  const auto overhead_pct = [&](const CadencePoint& pt) {
+    return 100.0 * static_cast<double>(pt.writes) * write_s /
+           (points.front()->stats.min);
+  };
+
+  std::printf("checkpoint overhead, W-2D-10-20-10 n=%lld (%d cycles to "
+              "%.0e; %.3f ms per %lld-double write):\n",
+              static_cast<long long>(wcfg.n), points.front()->cycles, tol,
+              write_s * 1e3, static_cast<long long>(v_doubles));
+  std::printf("%10s %10s %12s %10s\n", "cadence", "ms", "overhead %", "writes");
+  for (const auto& pt : points) {
+    std::printf("%10d %10.2f %12.2f %10ld\n", pt->cadence,
+                pt->stats.min * 1e3, overhead_pct(*pt), pt->writes);
+  }
+
+  // ---- Panel 2: rank-death recovery latency. ------------------------
+  // recover() mutates the solver (the decomposition shrinks), so each
+  // repetition drives a fresh solver to the same pre-death state: one
+  // cycle run, checkpoint committed, then rank 1 is declared dead.
+  CycleConfig dcfg;
+  dcfg.ndim = 2;
+  dcfg.n = sc.n2d;
+  dcfg.levels = 3;
+  polymg::Stats recover_s;
+  for (int i = 0; i < reps; ++i) {
+    PoissonProblem p = PoissonProblem::random_rhs(dcfg.ndim, dcfg.n, 7);
+    polymg::dist::DistMgSolver solver(dcfg, ranks);
+    solver.scatter(p.v_view(), p.f_view());
+    solver.cycle();
+    solver.write_checkpoint(1);
+    polymg::Timer t;
+    solver.recover(/*dead_rank=*/1);
+    recover_s.observe(t.elapsed());
+  }
+  std::printf("\nrank-death recovery, %d -> %d ranks (n=%lld):\n", ranks,
+              ranks - 1, static_cast<long long>(dcfg.n));
+  std::printf("  latency %.2f ms (mean %.2f ms over %d reps)\n",
+              recover_s.min * 1e3, recover_s.mean * 1e3, reps);
+
+  // ---- Panel 3: SDC detection rate. ---------------------------------
+  // Each trial arms one finite bit-flip at a trial-specific seed so the
+  // corruption lands at a different cycle/kernel every time. Trials
+  // where the flip never fired (the solve converged first) don't count
+  // against the detector.
+  CycleConfig scfg;
+  scfg.ndim = 2;
+  scfg.n = 255;
+  scfg.levels = 6;
+  scfg.n2 = 20;
+  GuardPolicy sdc_policy;
+  sdc_policy.checkpoint_cadence = 1;
+  sdc_policy.max_rollbacks = 3;
+  int injected = 0, detected = 0, sdc_converged = 0;
+  auto& fi = polymg::fault::FaultInjector::instance();
+  for (int t = 0; t < trials; ++t) {
+    PoissonProblem p = PoissonProblem::manufactured(scfg.ndim, scfg.n);
+    fi.reset();
+    fi.arm(polymg::fault::kKernelBitflip, 1, 0.01,
+           0x5dc0 + static_cast<std::uint64_t>(t));
+    const SolveReport rep =
+        polymg::solvers::guarded_solve(scfg, p, 1e-8, sdc_policy);
+    if (fi.fired(polymg::fault::kKernelBitflip) == 0) continue;
+    ++injected;
+    if (rep.sdc_detected > 0) ++detected;
+    if (rep.converged) ++sdc_converged;
+  }
+  fi.reset();
+  const double rate = injected > 0
+                          ? static_cast<double>(detected) / injected
+                          : 0.0;
+  std::printf("\nSDC detection, one finite bit-flip per solve (n=%lld):\n",
+              static_cast<long long>(scfg.n));
+  std::printf("  %d/%d trials injected, %d detected+rolled back (%.0f%%), "
+              "%d converged\n",
+              injected, trials, detected, rate * 100.0, sdc_converged);
+
+  // ---- JSON ---------------------------------------------------------
+  if (const std::string json = opts.get("json", ""); !json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"resilience\",\n");
+    std::fprintf(f, "  \"checkpoint_write_ms\": %.6f,\n", write_s * 1e3);
+    std::fprintf(f, "  \"checkpoint_overhead\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& pt = *points[i];
+      std::fprintf(f,
+                   "    {\"cadence\": %d, \"ms\": %.6f, \"mean_ms\": %.6f, "
+                   "\"overhead_pct\": %.4f, "
+                   "\"writes\": %ld, \"cycles\": %d, \"reps\": %d}%s\n",
+                   pt.cadence, pt.stats.min * 1e3, pt.stats.mean * 1e3,
+                   overhead_pct(pt), pt.writes, pt.cycles, pt.stats.n,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"recovery\": {\"ranks\": %d, \"survivors\": %d, "
+                 "\"latency_ms\": %.6f, \"mean_ms\": %.6f, \"reps\": %d},\n",
+                 ranks, ranks - 1, recover_s.min * 1e3, recover_s.mean * 1e3,
+                 reps);
+    std::fprintf(f,
+                 "  \"sdc\": {\"trials\": %d, \"injected\": %d, "
+                 "\"detected\": %d, \"detection_rate\": %.4f, "
+                 "\"converged\": %d}\n",
+                 trials, injected, detected, rate, sdc_converged);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #   BENCH_fig9.json     — 2-d multigrid variant comparison (Fig. 9)
 #   BENCH_sched.json    — barrier vs persistent-team dependence schedule
 #   BENCH_autotune.json — the Fig. 12 autotuning sweep
+#   BENCH_resilience.json — checkpoint overhead, recovery latency, SDC rate
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
 # Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B),
@@ -56,5 +57,11 @@ echo "== bench_fig12_autotune (reps=$reps) =="
   --json "$repo_root/BENCH_autotune.json" $(trace_arg autotune)
 
 echo
+echo "== bench_resilience (reps=$reps) =="
+"$build/bench/bench_resilience" --reps "$reps" \
+  --json "$repo_root/BENCH_resilience.json" $(trace_arg resilience)
+
+echo
 echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json" \
-     "$repo_root/BENCH_sched.json $repo_root/BENCH_autotune.json"
+     "$repo_root/BENCH_sched.json $repo_root/BENCH_autotune.json" \
+     "$repo_root/BENCH_resilience.json"

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "harness.hpp"
+#include "polymg/common/fault.hpp"
 
 namespace polymg::bench {
 
@@ -56,8 +57,16 @@ inline void register_point(const std::string& row, const std::string& series,
 }
 
 /// Standard main body: parse our options first, then benchmark's.
+/// `--fault=site[:count[:probability[:seed]]]` (comma-separable, also the
+/// POLYMG_FAULT environment variable) arms fault injection for the whole
+/// run; an unknown site name is rejected here, at startup, with the list
+/// of valid sites — not discovered as a silently-never-firing fault after
+/// an hour of benchmarking.
 inline Options parse_bench_options(int& argc, char** argv) {
-  return Options::parse(argc, argv);
+  Options opts = Options::parse(argc, argv);
+  const std::string spec = opts.get("fault", "");
+  if (!spec.empty()) fault::arm_from_spec(spec);
+  return opts;
 }
 
 }  // namespace polymg::bench

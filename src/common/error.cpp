@@ -18,6 +18,10 @@ const char* to_string(ErrorCode code) {
       return "HaloExchangeFailed";
     case ErrorCode::PreconditionViolated:
       return "PreconditionViolated";
+    case ErrorCode::RankFailure:
+      return "RankFailure";
+    case ErrorCode::CheckpointCorrupt:
+      return "CheckpointCorrupt";
   }
   return "?";
 }

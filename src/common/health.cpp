@@ -99,22 +99,26 @@ ResidualMonitor::ResidualMonitor(const Config& cfg) : cfg_(cfg) {
   PMG_CHECK(cfg.stagnation_ratio > 0.0 && cfg.stagnation_ratio <= 1.0,
             "stagnation ratio must lie in (0, 1]");
   PMG_CHECK(cfg.stagnation_window >= 1, "stagnation window must be >= 1");
+  PMG_CHECK(cfg.history_limit >= 1, "history limit must be >= 1");
+  // Preallocate the ring so observe() never touches the heap.
+  ring_.resize(static_cast<std::size_t>(cfg.history_limit), 0.0);
 }
 
 Trend ResidualMonitor::observe(double residual) {
+  const double prev = last_;
+  const bool first = count_ == 0;
+  ring_[count_ % ring_.size()] = residual;
+  ++count_;
+  last_ = residual;
   if (!std::isfinite(residual)) {
-    history_.push_back(residual);
     trend_ = Trend::Diverging;
     return trend_;
   }
-  if (history_.empty()) {
-    history_.push_back(residual);
+  if (first) {
     best_ = residual;
     trend_ = Trend::Converging;
     return trend_;
   }
-  const double prev = history_.back();
-  history_.push_back(residual);
   if (residual > cfg_.divergence_factor * best_) {
     trend_ = Trend::Diverging;
     return trend_;
@@ -130,9 +134,30 @@ Trend ResidualMonitor::observe(double residual) {
   return trend_;
 }
 
+std::vector<double> ResidualMonitor::history() const {
+  const std::size_t n = std::min(count_, ring_.size());
+  std::vector<double> out;
+  out.reserve(n);
+  // Oldest retained entry first: a wrapped ring starts at count_ mod cap.
+  const std::size_t first = count_ <= ring_.size() ? 0 : count_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void ResidualMonitor::restore(const State& s) {
+  best_ = s.best;
+  last_ = s.last;
+  count_ = s.count;
+  stalled_ = s.stalled;
+  trend_ = s.trend;
+}
+
 void ResidualMonitor::reset() {
-  history_.clear();
+  count_ = 0;
   best_ = 0.0;
+  last_ = 0.0;
   stalled_ = 0;
   trend_ = Trend::Converging;
 }

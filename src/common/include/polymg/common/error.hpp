@@ -25,6 +25,8 @@ enum class ErrorCode {
   PoolExhausted,         ///< pooled allocator could not serve a request
   HaloExchangeFailed,    ///< distributed halo exchange undeliverable
   PreconditionViolated,  ///< caller broke a documented API precondition
+  RankFailure,           ///< a simulated rank stopped answering exchanges
+  CheckpointCorrupt,     ///< checkpoint payload failed its checksum
 };
 
 const char* to_string(ErrorCode code);

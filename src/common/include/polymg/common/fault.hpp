@@ -14,15 +14,29 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "polymg/common/rng.hpp"
 
 namespace polymg::fault {
 
-/// Canonical site names (keep in sync with the call sites).
+/// Canonical site names (keep in sync with the call sites and
+/// FaultInjector::list_sites()).
 inline constexpr const char* kPoolAlloc = "pool.alloc";
 inline constexpr const char* kKernelOutput = "kernel.output";
 inline constexpr const char* kDistHalo = "dist.halo";
+/// A rank stops answering halo exchanges (the sender of the delivery in
+/// flight when the site fires is declared dead).
+inline constexpr const char* kRankDeath = "rank.death";
+/// A committed checkpoint payload is corrupted in storage (detected at
+/// restore time by the checksum).
+inline constexpr const char* kCheckpointCorrupt = "checkpoint.corrupt";
+/// Silent data corruption: one bit of a kernel output flips, producing a
+/// finite-but-wrong value the non-finite health scan cannot see.
+inline constexpr const char* kKernelBitflip = "kernel.bitflip";
+/// The solve driver "crashes" between cycles (models process death and a
+/// restart from the last checkpoint).
+inline constexpr const char* kSolveCrash = "solve.crash";
 
 class FaultInjector {
 public:
@@ -52,6 +66,13 @@ public:
     return armed_sites_.load(std::memory_order_relaxed) > 0;
   }
 
+  /// Every canonical site name the library checks, sorted. A site not in
+  /// this list can still be armed programmatically (tests invent private
+  /// sites), but user-facing option parsing rejects it — see
+  /// arm_from_spec.
+  static std::vector<std::string> list_sites();
+  static bool is_known_site(const std::string& site);
+
 private:
   FaultInjector() = default;
 
@@ -74,6 +95,14 @@ inline bool should_fail(const char* site) {
   FaultInjector& fi = FaultInjector::instance();
   return fi.any_armed() && fi.should_fail(site);
 }
+
+/// Arm sites from a user-facing option string:
+///   "site[:count[:probability[:seed]]]" — comma-separated for several.
+/// Examples: "dist.halo", "rank.death:1", "kernel.bitflip:-1:0.05:7".
+/// A site name outside list_sites() throws Error(PreconditionViolated)
+/// naming the valid sites, so a typo'd --fault= option fails at startup
+/// instead of silently never firing.
+void arm_from_spec(const std::string& spec);
 
 /// RAII arming for tests: arms in the constructor, disarms on scope exit.
 class ScopedFault {

@@ -42,8 +42,9 @@ enum class Trend {
 const char* to_string(Trend t);
 
 /// Tracks the residual-norm history of an iterative solve and classifies
-/// each cycle. Deterministic and allocation-light; one instance per solve
-/// attempt.
+/// each cycle. Deterministic and allocation-free after construction (the
+/// history ring is preallocated), so a monitor can sit inside a
+/// zero-allocation cycle loop; one instance per solve attempt.
 class ResidualMonitor {
 public:
   struct Config {
@@ -53,6 +54,11 @@ public:
     double stagnation_ratio = 0.99;
     /// Consecutive stalled cycles before the verdict is Stagnating.
     int stagnation_window = 4;
+    /// History retention: only the last `history_limit` observations are
+    /// kept (a ring), so a week-long solve cannot grow memory without
+    /// bound. Classification state (best/prev/stall count) is exact
+    /// regardless of the limit.
+    int history_limit = 256;
   };
 
   ResidualMonitor() : ResidualMonitor(Config{}) {}
@@ -63,15 +69,36 @@ public:
 
   /// Verdict of the last observe() (Converging before any observation).
   Trend trend() const { return trend_; }
-  const std::vector<double>& history() const { return history_; }
+  /// Retained observations, oldest first (at most history_limit; older
+  /// entries have been overwritten by the ring).
+  std::vector<double> history() const;
+  /// Total observe() calls, including ones whose entries the ring has
+  /// already dropped.
+  std::size_t observed() const { return count_; }
   double best() const { return best_; }
+  double last() const { return last_; }
   int stalled_cycles() const { return stalled_; }
   void reset();
 
+  /// Classification state, snapshottable for checkpoint/rollback: a
+  /// restored monitor makes bit-identical verdicts from the restore point
+  /// on (ring contents are reporting-only and are not part of the state).
+  struct State {
+    double best = 0.0;
+    double last = 0.0;
+    std::size_t count = 0;
+    int stalled = 0;
+    Trend trend = Trend::Converging;
+  };
+  State state() const { return {best_, last_, count_, stalled_, trend_}; }
+  void restore(const State& s);
+
 private:
   Config cfg_;
-  std::vector<double> history_;
+  std::vector<double> ring_;  ///< capacity history_limit, wraps
+  std::size_t count_ = 0;     ///< total observations ever
   double best_ = 0.0;
+  double last_ = 0.0;
   int stalled_ = 0;
   Trend trend_ = Trend::Converging;
 };

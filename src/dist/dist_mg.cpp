@@ -1,11 +1,14 @@
 #include "polymg/dist/dist_mg.hpp"
 
+#include <memory>
 #include <string>
 
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/obs/metrics.hpp"
 #include "polymg/obs/trace.hpp"
+#include "polymg/runtime/pool.hpp"
+#include "polymg/solvers/checkpoint.hpp"
 
 namespace polymg::dist {
 
@@ -17,7 +20,7 @@ using poly::Interval;
 // ---------------------------------------------------------------------
 
 Decomp::Decomp(const CycleConfig& cfg, int ranks)
-    : ranks_(ranks), levels_(cfg.levels) {
+    : ranks_(ranks), levels_(cfg.levels), cfg_(cfg) {
   PMG_CHECK(ranks >= 1, "need at least one rank");
   const index_t n0 = cfg.level_n(0);
   PMG_CHECK(ranks <= n0, "more ranks than coarsest rows ("
@@ -50,6 +53,13 @@ Decomp::Decomp(const CycleConfig& cfg, int ranks)
 Interval Decomp::owned(int level, int rank) const {
   return owned_[static_cast<std::size_t>(level)]
                [static_cast<std::size_t>(rank)];
+}
+
+Decomp Decomp::shrink_to_survivors(int survivors) const {
+  PMG_CHECK(survivors >= 1 && survivors <= ranks_,
+            "survivor count " << survivors << " out of range (had "
+                              << ranks_ << " ranks)");
+  return Decomp(cfg_, survivors);
 }
 
 // ---------------------------------------------------------------------
@@ -233,6 +243,14 @@ DistMgSolver::DistMgSolver(const CycleConfig& cfg, int ranks,
   ctr_messages_ = &m.counter("dist.messages");
   ctr_retries_ = &m.counter("dist.halo_retries");
   ctr_doubles_sent_ = &m.counter("dist.doubles_sent");
+  rank_stats_.resize(static_cast<std::size_t>(ranks));
+  build_state();
+}
+
+DistMgSolver::~DistMgSolver() = default;
+
+void DistMgSolver::build_state() {
+  const int ranks = decomp_.ranks();
   // The halo exchange reads only the adjacent rank: its owned block must
   // cover the deepest halo at every level.
   for (int l = 0; l < cfg_.levels; ++l) {
@@ -244,6 +262,7 @@ DistMgSolver::DistMgSolver(const CycleConfig& cfg, int ranks,
     }
   }
 
+  state_.clear();
   state_.resize(static_cast<std::size_t>(cfg_.levels));
   for (int l = 0; l < cfg_.levels; ++l) {
     auto& lvl = state_[static_cast<std::size_t>(l)];
@@ -277,13 +296,27 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
   ctr_exchanges_->add(1);
   PMG_TRACE_NOW(x0);
   const long doubles_before = stats_.doubles_sent;
-  // One neighbour-to-neighbour message. A real network can drop or
-  // corrupt a delivery (fault site `dist.halo`); the copy only happens
-  // once a send attempt goes through, and each re-send is counted in
-  // CommStats::retries. Persistent failure surfaces as a typed error
-  // rather than smoothing against a stale halo.
-  const auto deliver = [&](View dst, View src, index_t rlo, index_t rhi) {
+  // One neighbour-to-neighbour message from `sender` to `receiver`. A
+  // real network can drop or corrupt a delivery (fault site `dist.halo`);
+  // the copy only happens once a send attempt goes through, and each
+  // re-send is counted in CommStats::retries. Persistent failure surfaces
+  // as a typed error rather than smoothing against a stale halo. A sender
+  // that stops answering altogether (fault site `rank.death`) is declared
+  // dead after the exchange times out: the cycle aborts with
+  // Error(RankFailure) and recovery takes over.
+  const auto deliver = [&](int receiver, int sender, View dst, View src,
+                           index_t rlo, index_t rhi) {
     if (rlo > rhi) return;
+    CommStats& rs = rank_stats_[static_cast<std::size_t>(receiver)];
+    if (!recovering_ && fault::should_fail(fault::kRankDeath)) {
+      pending_dead_ = sender;
+      obs::Metrics::instance().counter("resil.rank_deaths").add(1);
+      PMG_TRACE_INSTANT(RankDeath, level, which, sender, 0.0);
+      throw Error(ErrorCode::RankFailure,
+                  "rank " + std::to_string(sender) +
+                      " stopped answering (halo timeout at level " +
+                      std::to_string(level) + ")");
+    }
     int dropped = 0;
     while (fault::should_fail(fault::kDistHalo)) {
       ++dropped;
@@ -298,14 +331,27 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
                         std::to_string(rhi) + "); retries exhausted");
       }
       ++stats_.retries;
+      ++rs.retries;
       ctr_retries_->add(1);
       PMG_TRACE_INSTANT(HaloRetry, level, which,
                         static_cast<int>(rlo), static_cast<double>(dropped));
     }
     copy_rows(cfg_.ndim, dst, src, rlo, rhi, n);
+    const long doubles = (rhi - rlo + 1) * dst.stride[0];
+    if (recovering_) {
+      // Recovery's re-scatter: charge the traffic to the resilience
+      // budget, not the solve's own communication volume.
+      ++stats_.recovery_messages;
+      ++rs.recovery_messages;
+      stats_.recovery_doubles += doubles;
+      rs.recovery_doubles += doubles;
+      return;
+    }
     ++stats_.messages;
+    ++rs.messages;
     ctr_messages_->add(1);
-    stats_.doubles_sent += (rhi - rlo + 1) * dst.stride[0];
+    stats_.doubles_sent += doubles;
+    rs.doubles_sent += doubles;
   };
   for (int r = 0; r < R; ++r) {
     RankLevel& me = lvl[static_cast<std::size_t>(r)];
@@ -314,14 +360,15 @@ void DistMgSolver::exchange(int level, int which, index_t depth) {
     if (r > 0) {
       RankLevel& nb = lvl[static_cast<std::size_t>(r - 1)];
       View theirs = View::over(field_ptr(nb, which), nb.local_box);
-      deliver(mine, theirs, std::max(me.owned.lo - depth, nb.owned.lo),
+      deliver(r, r - 1, mine, theirs,
+              std::max(me.owned.lo - depth, nb.owned.lo),
               me.owned.lo - 1);
     }
     // Upper halo from rank r+1.
     if (r < R - 1) {
       RankLevel& nb = lvl[static_cast<std::size_t>(r + 1)];
       View theirs = View::over(field_ptr(nb, which), nb.local_box);
-      deliver(mine, theirs, me.owned.hi + 1,
+      deliver(r, r + 1, mine, theirs, me.owned.hi + 1,
               std::min(me.owned.hi + depth, nb.owned.hi));
     }
   }
@@ -458,6 +505,192 @@ void DistMgSolver::gather(View v) const {
     RankLevel& mut = const_cast<RankLevel&>(rl);
     copy_rows(cfg_.ndim, v, mut.vv(), rl.owned.lo, rl.owned.hi, n);
   }
+}
+
+// ---------------------------------------------------------------------
+// Resilience: ring-replicated checkpoints and rank-failure recovery
+// ---------------------------------------------------------------------
+
+Interval DistMgSolver::checkpoint_rows(int rank) const {
+  const int L = cfg_.levels - 1;
+  const index_t n = cfg_.level_n(L);
+  Interval rows = decomp_.owned(L, rank);
+  // Widen to the adjacent global Dirichlet boundary rows so the union of
+  // all slabs tiles the full global field [0, n+1] exactly once.
+  if (rows.lo == 1) rows.lo = 0;
+  if (rows.hi == n) rows.hi = n + 1;
+  return rows;
+}
+
+bool DistMgSolver::has_checkpoint() const {
+  return ckpt_ != nullptr && ckpt_->valid();
+}
+
+void DistMgSolver::write_checkpoint(int next_cycle) {
+  if (!ckpt_) {
+    ckpt_pool_ = std::make_unique<runtime::MemoryPool>();
+    ckpt_ = std::make_unique<solvers::Checkpoint>(*ckpt_pool_);
+  }
+  const int L = cfg_.levels - 1;
+  const int R = decomp_.ranks();
+  auto& lvl = state_[static_cast<std::size_t>(L)];
+  ckpt_->begin(next_cycle);
+  // Only the finest-level iterate and right-hand side carry state across
+  // cycle boundaries (every cycle zeroes the coarse iterates and
+  // recomputes the coarse right-hand sides by restriction), so the
+  // finest slabs are the whole checkpoint. Four slots per rank: own v,
+  // own f, then a replica of the left ring neighbour's v and f — the
+  // replica is what survives this rank's neighbour dying.
+  for (int r = 0; r < R; ++r) {
+    RankLevel& rl = lvl[static_cast<std::size_t>(r)];
+    const index_t stride = rl.vv().stride[0];
+    const Interval rows = checkpoint_rows(r);
+    const index_t off = (rows.lo - rl.local_box.dim(0).lo) * stride;
+    const index_t doubles = rows.size() * stride;
+    ckpt_->save(static_cast<std::size_t>(4 * r + 0), rl.v.data() + off,
+                doubles);
+    ckpt_->save(static_cast<std::size_t>(4 * r + 1), rl.f.data() + off,
+                doubles);
+    const int src = (r - 1 + R) % R;
+    RankLevel& sl = lvl[static_cast<std::size_t>(src)];
+    const Interval srows = checkpoint_rows(src);
+    const index_t soff = (srows.lo - sl.local_box.dim(0).lo) * stride;
+    const index_t sdoubles = srows.size() * stride;
+    ckpt_->save(static_cast<std::size_t>(4 * r + 2), sl.v.data() + soff,
+                sdoubles);
+    ckpt_->save(static_cast<std::size_t>(4 * r + 3), sl.f.data() + soff,
+                sdoubles);
+    if (R > 1) {
+      // Replication is two messages (v, f) from `src` to this rank on a
+      // real network — charged to the resilience budget.
+      CommStats& rs = rank_stats_[static_cast<std::size_t>(r)];
+      stats_.recovery_messages += 2;
+      rs.recovery_messages += 2;
+      stats_.recovery_doubles += 2 * sdoubles;
+      rs.recovery_doubles += 2 * sdoubles;
+    }
+  }
+  ckpt_->commit();
+}
+
+void DistMgSolver::recover(int dead_rank) {
+  const int R = decomp_.ranks();
+  PMG_CHECK(has_checkpoint(), "recover() needs a committed checkpoint");
+  PMG_CHECK(dead_rank >= 0 && dead_rank < R,
+            "dead rank " << dead_rank << " out of range");
+  PMG_CHECK(R >= 2, "cannot recover the only rank");
+  const int L = cfg_.levels - 1;
+  const index_t n = cfg_.level_n(L);
+
+  // Reassemble the global finest-level fields from the checkpoint: every
+  // survivor restores its own slab, the dead rank's slab comes from the
+  // replica held by its right ring neighbour. A checksum mismatch means
+  // the recovery is unserviceable — surface it as a typed error.
+  Box gbox(cfg_.ndim);
+  for (int d = 0; d < cfg_.ndim; ++d) gbox.dim(d) = Interval{0, n + 1};
+  grid::Buffer gv = grid::make_grid(gbox);
+  grid::Buffer gf = grid::make_grid(gbox);
+  View gvv = View::over(gv.data(), gbox);
+  View gfv = View::over(gf.data(), gbox);
+  const index_t stride = gvv.stride[0];
+  long restored_doubles = 0;
+  for (int r = 0; r < R; ++r) {
+    const Interval rows = checkpoint_rows(r);
+    const index_t doubles = rows.size() * stride;
+    const index_t off = rows.lo * stride;
+    std::size_t v_slot, f_slot;
+    if (r == dead_rank) {
+      const int mirror = (dead_rank + 1) % R;
+      v_slot = static_cast<std::size_t>(4 * mirror + 2);
+      f_slot = static_cast<std::size_t>(4 * mirror + 3);
+      // Fetching the replica crosses the network.
+      CommStats& ms = rank_stats_[static_cast<std::size_t>(mirror)];
+      stats_.recovery_messages += 2;
+      ms.recovery_messages += 2;
+      stats_.recovery_doubles += 2 * doubles;
+      ms.recovery_doubles += 2 * doubles;
+    } else {
+      v_slot = static_cast<std::size_t>(4 * r + 0);
+      f_slot = static_cast<std::size_t>(4 * r + 1);
+    }
+    if (!ckpt_->restore(v_slot, gv.data() + off, doubles) ||
+        !ckpt_->restore(f_slot, gf.data() + off, doubles)) {
+      throw Error(ErrorCode::CheckpointCorrupt,
+                  "checkpoint slab for rank " + std::to_string(r) +
+                      " failed its checksum; recovery unserviceable");
+    }
+    restored_doubles += 2 * doubles;
+  }
+
+  // Shrink to the survivors and rebuild the local fields. The new
+  // decomposition is exactly what a fresh solver with R-1 ranks would
+  // use, and distributed results are rank-count independent, so the
+  // continued solve converges to the same answer as an unfailed run.
+  const int resume = ckpt_->next_cycle();
+  decomp_ = decomp_.shrink_to_survivors(R - 1);
+  build_state();
+  recovering_ = true;  // route scatter traffic to recovery accounting
+  scatter(gvv, gfv);
+  recovering_ = false;
+  // The slab redistribution itself: each surviving rank receives its new
+  // v and f slabs (scatter's copies are direct memcpys in simulation but
+  // messages on a network).
+  for (int r = 0; r < decomp_.ranks(); ++r) {
+    const Interval rows = checkpoint_rows(r);
+    const long doubles = rows.size() * stride;
+    CommStats& rs = rank_stats_[static_cast<std::size_t>(r)];
+    stats_.recovery_messages += 2;
+    rs.recovery_messages += 2;
+    stats_.recovery_doubles += 2 * doubles;
+    rs.recovery_doubles += 2 * doubles;
+  }
+  // Re-checkpoint under the new topology so a second death is survivable.
+  write_checkpoint(resume);
+  obs::Metrics::instance().counter("resil.recoveries").add(1);
+  PMG_TRACE_INSTANT(Recovery, -1, -1, dead_rank,
+                    static_cast<double>(restored_doubles));
+  pending_dead_ = -1;
+}
+
+DistMgSolver::ResilienceReport DistMgSolver::solve_cycles(
+    int cycles, const ResilienceConfig& rc) {
+  PMG_CHECK(cycles >= 0, "negative cycle count");
+  ResilienceReport rep;
+  const bool ckpt_on = rc.checkpoint_cadence > 0;
+  if (ckpt_on) {
+    write_checkpoint(0);
+    ++rep.checkpoint_writes;
+  }
+  int c = 0;
+  while (c < cycles) {
+    try {
+      cycle();
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::RankFailure) throw;
+      ++rep.rank_deaths;
+      // Unrecoverable: no snapshot to roll back to, the recovery budget
+      // is spent, or there is no survivor to absorb the slab.
+      if (!has_checkpoint() || rep.recoveries >= rc.max_recoveries ||
+          decomp_.ranks() < 2 || pending_dead_ < 0) {
+        throw;
+      }
+      const int resume = ckpt_->next_cycle();
+      recover(pending_dead_);
+      ++rep.recoveries;
+      ++rep.checkpoint_restores;
+      ++rep.checkpoint_writes;  // recover() re-checkpoints
+      c = resume;
+      continue;
+    }
+    ++c;
+    ++rep.cycles_run;
+    if (ckpt_on && c < cycles && c % rc.checkpoint_cadence == 0) {
+      write_checkpoint(c);
+      ++rep.checkpoint_writes;
+    }
+  }
+  rep.final_ranks = decomp_.ranks();
+  return rep;
 }
 
 }  // namespace polymg::dist

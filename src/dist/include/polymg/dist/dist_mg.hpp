@@ -18,6 +18,7 @@
 // depth-1 halos.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "polymg/grid/ops.hpp"
@@ -25,6 +26,12 @@
 
 namespace polymg::obs {
 class Counter;
+}
+namespace polymg::runtime {
+class MemoryPool;
+}
+namespace polymg::solvers {
+class Checkpoint;
 }
 
 namespace polymg::dist {
@@ -39,8 +46,25 @@ struct CommStats {
   long doubles_sent = 0;
   long exchanges = 0;  ///< collective halo-exchange rounds
   long retries = 0;    ///< halo messages re-sent after a dropped delivery
+  /// Resilience traffic, accounted separately from the solve's own
+  /// communication: checkpoint replication to the mirror neighbour and
+  /// the slab redistribution that follows a rank failure.
+  long recovery_messages = 0;
+  long recovery_doubles = 0;
 
   void clear() { *this = CommStats{}; }
+
+  /// Field-wise accumulation — the per-rank roll-up (DistMgSolver::
+  /// rank_stats) sums to the aggregate totals through this.
+  CommStats& operator+=(const CommStats& o) {
+    messages += o.messages;
+    doubles_sent += o.doubles_sent;
+    exchanges += o.exchanges;
+    retries += o.retries;
+    recovery_messages += o.recovery_messages;
+    recovery_doubles += o.recovery_doubles;
+    return *this;
+  }
 };
 
 /// Per-level 1-d decomposition along dimension 0.
@@ -52,9 +76,16 @@ public:
   /// Owned interior rows of `rank` at `level` (inclusive).
   poly::Interval owned(int level, int rank) const;
 
+  /// Re-partition the same hierarchy over `survivors` ranks (the
+  /// shrink-to-survivors step of rank-failure recovery). The result is
+  /// identical to constructing a fresh Decomp with that rank count, so
+  /// post-recovery numerics stay rank-count independent.
+  Decomp shrink_to_survivors(int survivors) const;
+
 private:
   int ranks_;
   int levels_;
+  CycleConfig cfg_;  ///< retained so the decomposition can re-partition
   std::vector<std::vector<poly::Interval>> owned_;  // [level][rank]
 };
 
@@ -69,6 +100,8 @@ public:
   /// computation in between (depth 1 = classic exchange-per-step).
   DistMgSolver(const CycleConfig& cfg, int ranks, int ghost_depth = 1);
 
+  ~DistMgSolver();
+
   /// Load the finest-level iterate and right-hand side (global views).
   void scatter(View v, View f);
   /// One multigrid cycle over the distributed state.
@@ -77,7 +110,17 @@ public:
   void gather(View v) const;
 
   const CommStats& stats() const { return stats_; }
-  void reset_stats() { stats_.clear(); }
+  /// Per-rank communication accounting, attributed to the receiving
+  /// rank. Sized at the largest rank count the solver has had — entries
+  /// for ranks lost to recovery are retained, so summing the vector with
+  /// CommStats::operator+= always reproduces stats() (message/double/
+  /// retry/recovery fields; `exchanges` counts collective rounds and
+  /// lives only in the aggregate).
+  const std::vector<CommStats>& rank_stats() const { return rank_stats_; }
+  void reset_stats() {
+    stats_.clear();
+    for (auto& s : rank_stats_) s.clear();
+  }
   const CycleConfig& config() const { return cfg_; }
   int ranks() const { return decomp_.ranks(); }
 
@@ -86,6 +129,51 @@ public:
   /// before the exchange throws Error(HaloExchangeFailed).
   void set_max_halo_retries(int n) { max_halo_retries_ = n; }
   int max_halo_retries() const { return max_halo_retries_; }
+
+  // -- Resilience (DESIGN.md §9) --------------------------------------
+  //
+  // Ring replication: at every checkpoint, rank r also stores a replica
+  // of rank (r-1+R)%R's finest-level slab, so a single rank's state
+  // survives that rank's death. On a halo-exchange timeout (fault site
+  // `rank.death`: the sender stops answering), the cycle throws
+  // Error(RankFailure); recover() rebuilds the dead rank's slab from its
+  // right neighbour's replica, re-partitions over the survivors and
+  // continues. solve_cycles() packages the whole loop.
+
+  struct ResilienceConfig {
+    int checkpoint_cadence = 1;  ///< cycles between checkpoints (0 = off)
+    int max_recoveries = 2;      ///< rank deaths survived per solve
+  };
+  struct ResilienceReport {
+    int cycles_run = 0;       ///< cycles executed, including re-runs
+    int rank_deaths = 0;      ///< failures detected
+    int recoveries = 0;       ///< failures recovered from
+    int checkpoint_writes = 0;
+    int checkpoint_restores = 0;
+    int final_ranks = 0;      ///< ranks remaining at the end
+  };
+
+  /// Snapshot every rank's finest-level slab (v and f) plus a replica of
+  /// its ring neighbour's slab into the checksummed checkpoint.
+  /// Replication traffic is charged to CommStats::recovery_*.
+  void write_checkpoint(int next_cycle);
+  /// True once a committed checkpoint exists.
+  bool has_checkpoint() const;
+  /// Rebuild after the death of `dead_rank`: restore the global fields
+  /// from checkpoint + replica, shrink the decomposition to the
+  /// survivors, re-scatter and re-checkpoint. Throws
+  /// Error(CheckpointCorrupt) when the replica fails its checksum.
+  void recover(int dead_rank);
+  /// Run `cycles` multigrid cycles, checkpointing on the configured
+  /// cadence and recovering from up to max_recoveries rank deaths; a
+  /// death rolls back to the last checkpoint's cycle index, so the
+  /// completed solve matches an unfailed run at the surviving rank
+  /// count. Rethrows when the failure is unrecoverable (no checkpoint,
+  /// budget exhausted, or fewer than two ranks).
+  ResilienceReport solve_cycles(int cycles, const ResilienceConfig& rc);
+  ResilienceReport solve_cycles(int cycles) {
+    return solve_cycles(cycles, ResilienceConfig{});
+  }
 
 private:
   struct RankLevel {
@@ -113,6 +201,16 @@ private:
   int max_halo_retries_ = 3;
   std::vector<std::vector<RankLevel>> state_;  // [level][rank]
   CommStats stats_;
+  std::vector<CommStats> rank_stats_;  // per receiving rank; never shrinks
+
+  // Resilience state. The checkpoint pool and object are created lazily
+  // on the first write_checkpoint(); `recovering_` routes exchange
+  // accounting to CommStats::recovery_* and suspends rank-death
+  // detection while recovery itself re-scatters.
+  std::unique_ptr<runtime::MemoryPool> ckpt_pool_;
+  std::unique_ptr<solvers::Checkpoint> ckpt_;
+  bool recovering_ = false;
+  int pending_dead_ = -1;  ///< rank flagged dead by the last detection
 
   // obs metrics handles (resolved once at construction).
   obs::Counter* ctr_exchanges_ = nullptr;     // dist.exchanges
@@ -122,6 +220,13 @@ private:
 
   void visit(int level, bool zero_guess, solvers::CycleKind kind);
   double* field_ptr(RankLevel& rl, int which);
+  /// (Re)build the per-level, per-rank local fields for the current
+  /// decomposition (construction and post-recovery re-partitioning).
+  void build_state();
+  /// Finest-level slab a rank checkpoints: its owned rows widened to the
+  /// adjacent global boundary rows for the first/last rank. Returns the
+  /// row interval; the payload is rows × stride contiguous doubles.
+  poly::Interval checkpoint_rows(int rank) const;
 };
 
 }  // namespace polymg::dist

@@ -51,6 +51,14 @@ enum class EventKind : std::uint8_t {
   Degrade,       ///< guarded_solve moved down the ladder: group=attempt,
                  ///< id=rung kind (see solvers/guarded)
   Residual,      ///< one residual observation: group=cycle, value=residual
+  CheckpointWrite,    ///< checkpoint committed: id=next cycle, value=bytes
+  CheckpointRestore,  ///< state rolled back to a checkpoint: id=next
+                      ///< cycle, value=1 checksum ok / 0 corrupt
+  RankDeath,          ///< a rank stopped answering: group=level, id=rank
+  Recovery,           ///< shrink-to-survivors completed: id=dead rank,
+                      ///< value=doubles redistributed
+  SdcDetected,        ///< silent-data-corruption guard fired:
+                      ///< group=cycle, value=suspect residual
 };
 
 /// Stable lower-case name for trace exports ("tile", "queue_wait", ...).

@@ -62,6 +62,11 @@ const char* to_string(EventKind k) {
     case EventKind::HealthScan: return "health_scan";
     case EventKind::Degrade: return "degrade";
     case EventKind::Residual: return "residual";
+    case EventKind::CheckpointWrite: return "checkpoint_write";
+    case EventKind::CheckpointRestore: return "checkpoint_restore";
+    case EventKind::RankDeath: return "rank_death";
+    case EventKind::Recovery: return "recovery";
+    case EventKind::SdcDetected: return "sdc_detected";
   }
   return "?";
 }

@@ -1,6 +1,8 @@
 #include "polymg/runtime/executor.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -443,6 +445,32 @@ void Executor::run_barrier(std::span<const View> externals) {
           mid[d] = (f.interior.dim(d).lo + f.interior.dim(d).hi) / 2;
         }
         v.at(mid) = std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+    }
+    // Fault site: silent data corruption. Flip the top exponent bit of
+    // the same midpoint value — the result stays finite (so the health
+    // scan that catches NaN poisoning sees nothing) but is wrong by
+    // hundreds of orders of magnitude, the signature of a cosmic-ray
+    // bit-flip in a register or DIMM. Only the residual-jump guard in
+    // guarded_solve can catch it.
+    if (fault::should_fail(fault::kKernelBitflip)) {
+      obs::Metrics::instance().counter("fault.kernel_bitflip").add(1);
+      PMG_TRACE_INSTANT(FaultInjected, static_cast<int>(gi), -1,
+                        /*site=*/5, 0.0);
+      for (auto it = g.stages.rbegin(); it != g.stages.rend(); ++it) {
+        if (it->array < 0) continue;
+        const ir::FunctionDecl& f = plan_.pipe.funcs[it->func];
+        View v = array_view(it->array, f);
+        std::array<index_t, poly::kMaxDims> mid{};
+        for (int d = 0; d < f.ndim; ++d) {
+          mid[d] = (f.interior.dim(d).lo + f.interior.dim(d).hi) / 2;
+        }
+        double& x = v.at(mid);
+        std::uint64_t bits;
+        std::memcpy(&bits, &x, sizeof(bits));
+        bits ^= (1ULL << 62);
+        std::memcpy(&x, &bits, sizeof(bits));
         break;
       }
     }

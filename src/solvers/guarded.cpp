@@ -1,14 +1,18 @@
 #include "polymg/solvers/guarded.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <sstream>
 
 #include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
 #include "polymg/obs/metrics.hpp"
 #include "polymg/obs/trace.hpp"
 #include "polymg/opt/validate.hpp"
 #include "polymg/runtime/guarded.hpp"
+#include "polymg/runtime/pool.hpp"
+#include "polymg/solvers/checkpoint.hpp"
 #include "polymg/solvers/metrics.hpp"
 
 namespace polymg::solvers {
@@ -66,6 +70,15 @@ std::vector<Rung> build_ladder(const CycleConfig& cfg,
   return ladder;
 }
 
+/// Append to a ring-bounded vector: once `limit` entries are held the
+/// oldest is dropped, so the vector never reallocates past its reserve.
+void push_bounded(std::vector<double>& v, double x, int limit) {
+  if (limit > 0 && static_cast<int>(v.size()) >= limit) {
+    v.erase(v.begin());
+  }
+  v.push_back(x);
+}
+
 }  // namespace
 
 const char* to_string(RungKind k) {
@@ -74,6 +87,7 @@ const char* to_string(RungKind k) {
     case RungKind::ReferencePlan: return "reference-plan";
     case RungKind::SmootherDowngrade: return "smoother-downgrade";
     case RungKind::OmegaBackoff: return "omega-backoff";
+    case RungKind::CheckpointRollback: return "checkpoint-rollback";
   }
   return "?";
 }
@@ -99,6 +113,19 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
 
   auto& solver_degrades = obs::Metrics::instance().counter("solver.degrades");
   auto& solver_cycles = obs::Metrics::instance().counter("solver.cycles");
+  auto& sdc_counter = obs::Metrics::instance().counter("resil.sdc_detected");
+  const bool ckpt_on = policy.checkpoint_cadence > 0;
+  // One pool for every snapshot generation of the solve: after the first
+  // capture, checkpointing reuses its buffers — no malloc traffic between
+  // (or after steady-state) checkpoints. A caller-owned pool
+  // (policy.checkpoint_pool) extends the reuse across solves.
+  runtime::MemoryPool local_ckpt_pool;
+  runtime::MemoryPool& ckpt_pool =
+      policy.checkpoint_pool != nullptr ? *policy.checkpoint_pool
+                                        : local_ckpt_pool;
+  report.residual_history.reserve(
+      static_cast<std::size_t>(std::max(1, policy.history_limit)));
+
   const std::vector<Rung> ladder = build_ladder(cfg, opts, policy);
   for (std::size_t ri = 0; ri < ladder.size(); ++ri) {
     const Rung& rung = ladder[ri];
@@ -119,26 +146,107 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
 
     health::ResidualMonitor monitor(
         {policy.divergence_factor, policy.stagnation_ratio,
-         policy.stagnation_window});
+         policy.stagnation_window, std::max(1, policy.history_limit)});
     try {
       runtime::GuardedExecutor ex(build_cycle(rung.cfg), rung.opts);
-      for (int c = 0; c < policy.max_cycles; ++c) {
-        const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+      Checkpoint ckpt(ckpt_pool);
+      int rollbacks_left = policy.max_rollbacks;
+      const index_t v_doubles = static_cast<index_t>(p.v.size());
+      double prev_r = attempt.first_residual;
+
+      // Snapshot: iterate + monitor classification state + the residual
+      // the SDC guard compares against. `next_cycle` is where execution
+      // resumes after a rollback.
+      const auto capture = [&](int next_cycle) {
+        ckpt.begin(next_cycle, static_cast<int>(ri));
+        ckpt.save(0, p.v.data(), v_doubles);
+        const health::ResidualMonitor::State ms = monitor.state();
+        ckpt.set_meta(0, ms.best);
+        ckpt.set_meta(1, ms.last);
+        ckpt.set_meta(2, static_cast<double>(ms.count));
+        ckpt.set_meta(3, static_cast<double>(ms.stalled));
+        ckpt.set_meta(4, static_cast<double>(ms.trend));
+        ckpt.set_meta(5, prev_r);
+        ckpt.commit();
+        ++report.checkpoint_writes;
+      };
+      // Rewind to the snapshot. False when there is nothing restorable
+      // (no budget, or the payload failed its checksum) — the caller then
+      // lets the ordinary ladder handle the incident.
+      const auto rollback = [&]() -> bool {
+        if (!ckpt.valid() || rollbacks_left <= 0) return false;
+        if (!ckpt.restore(0, p.v.data(), v_doubles)) return false;
+        health::ResidualMonitor::State ms;
+        ms.best = ckpt.meta(0);
+        ms.last = ckpt.meta(1);
+        ms.count = static_cast<std::size_t>(ckpt.meta(2));
+        ms.stalled = static_cast<int>(ckpt.meta(3));
+        ms.trend = static_cast<health::Trend>(static_cast<int>(ckpt.meta(4)));
+        monitor.restore(ms);
+        prev_r = ckpt.meta(5);
+        --rollbacks_left;
+        ++attempt.rollbacks;
+        ++report.checkpoint_restores;
+        PMG_TRACE_INSTANT(Degrade, static_cast<int>(ri), ckpt.next_cycle(),
+                          static_cast<int>(RungKind::CheckpointRollback),
+                          0.0);
+        return true;
+      };
+
+      if (ckpt_on) capture(0);
+      const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
+      int c = 0;
+      while (c < policy.max_cycles) {
+        // Injected crash between cycles (fault site solve.crash): the
+        // process "died" and restarted — resume from the snapshot. A
+        // crash with no restorable snapshot ends the attempt; the ladder
+        // (reference plan first) takes over.
+        if (ckpt_on && fault::should_fail(fault::kSolveCrash)) {
+          obs::Metrics::instance().counter("fault.solve_crash").add(1);
+          PMG_TRACE_INSTANT(FaultInjected, -1, c, /*site=*/4, 0.0);
+          if (!rollback()) {
+            throw Error(ErrorCode::CheckpointCorrupt,
+                        "injected crash at cycle " + std::to_string(c) +
+                            " with no restorable checkpoint");
+          }
+          ++attempt.crashes;
+          c = ckpt.next_cycle();
+          continue;
+        }
         ex.run(ext);
         grid::copy_region(p.v_view(), ex.output_view(0), p.domain());
         const double r = residual_norm(p.v_view(), p.f_view(), p.n, p.h);
         ++attempt.cycles;
         ++report.total_cycles;
         solver_cycles.add(1);
-        report.residual_history.push_back(r);
+        // SDC guard: multigrid contracts the residual every cycle, so a
+        // single-cycle jump of orders of magnitude (or a non-finite norm)
+        // is corrupted arithmetic, not slow numerics. Rewind instead of
+        // abandoning the whole configuration; if the snapshot itself is
+        // unusable, fall through and let the monitor classify.
+        if (ckpt_on && std::isfinite(prev_r) && prev_r > 0.0 &&
+            (!std::isfinite(r) || r > policy.sdc_jump_factor * prev_r)) {
+          ++attempt.sdc_detected;
+          ++report.sdc_detected;
+          sdc_counter.add(1);
+          PMG_TRACE_INSTANT(SdcDetected, c, static_cast<int>(ri), 0, r);
+          if (rollback()) {
+            c = ckpt.next_cycle();
+            continue;
+          }
+        }
+        push_bounded(report.residual_history, r, policy.history_limit);
         PMG_TRACE_INSTANT(Residual, static_cast<int>(ri), c, 0, r);
         attempt.last_residual = r;
         attempt.trend = monitor.observe(r);
+        prev_r = r;
+        ++c;
         if (r <= target) {
           attempt.converged = true;
           break;
         }
         if (attempt.trend != health::Trend::Converging) break;
+        if (ckpt_on && c % policy.checkpoint_cadence == 0) capture(c);
       }
       attempt.executor_fallbacks = ex.report().fallback_runs;
     } catch (const Error& e) {
@@ -190,6 +298,11 @@ void attach_convergence(const SolveReport& sr, obs::RunReport& rr) {
     if (a.executor_fallbacks > 0) {
       os << ", " << a.executor_fallbacks << " executor fallback(s)";
     }
+    if (a.rollbacks > 0) {
+      os << ", " << a.rollbacks << " rollback(s)";
+      if (a.crashes > 0) os << " (" << a.crashes << " crash)";
+      if (a.sdc_detected > 0) os << " (" << a.sdc_detected << " SDC)";
+    }
     rr.attempt_lines.push_back(os.str());
   }
 }
@@ -199,7 +312,13 @@ std::string SolveReport::summary() const {
   os << (converged ? "converged" : "NOT converged") << ": residual "
      << initial_residual << " -> " << final_residual << " in "
      << total_cycles << " cycle(s), " << attempts.size()
-     << " attempt(s)\n";
+     << " attempt(s)";
+  if (checkpoint_writes > 0 || checkpoint_restores > 0) {
+    os << ", " << checkpoint_writes << " checkpoint(s), "
+       << checkpoint_restores << " restore(s)";
+  }
+  if (sdc_detected > 0) os << ", " << sdc_detected << " SDC detected";
+  os << "\n";
   for (std::size_t i = 0; i < attempts.size(); ++i) {
     const SolveAttempt& a = attempts[i];
     os << "  [" << i << "] " << a.description << ": ";
@@ -211,6 +330,11 @@ std::string SolveReport::summary() const {
       if (a.converged) os << ", converged";
       if (a.executor_fallbacks > 0) {
         os << ", " << a.executor_fallbacks << " executor fallback(s)";
+      }
+      if (a.rollbacks > 0) {
+        os << ", " << a.rollbacks << " rollback(s)";
+        if (a.crashes > 0) os << " [" << a.crashes << " crash]";
+        if (a.sdc_detected > 0) os << " [" << a.sdc_detected << " SDC]";
       }
     }
     os << "\n";

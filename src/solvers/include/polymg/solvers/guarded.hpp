@@ -20,6 +20,10 @@
 #include "polymg/opt/options.hpp"
 #include "polymg/solvers/poisson.hpp"
 
+namespace polymg::runtime {
+class MemoryPool;
+}
+
 namespace polymg::solvers {
 
 /// Knobs for the guarded cycle loop and its degradation ladder.
@@ -38,6 +42,33 @@ struct GuardPolicy {
   bool allow_smoother_downgrade = true;  ///< Chebyshev/GSRB -> Jacobi
   bool allow_omega_reduction = true;     ///< omega *= omega_backoff
   double omega_backoff = 0.5;
+
+  // Resilience: checkpoint/rollback (DESIGN.md §9). With a cadence > 0
+  // the iterate, cycle index and monitor state are snapshotted into
+  // pool-backed buffers every `checkpoint_cadence` healthy cycles;
+  // rollback-to-last-checkpoint then sits one rung *above* the ladder —
+  // an injected crash (fault site solve.crash) or a detected silent data
+  // corruption re-winds to the snapshot and continues bit-exactly on the
+  // same plan instead of restarting the attempt from scratch. A corrupt
+  // snapshot (checksum mismatch) falls through to the ordinary ladder.
+  int checkpoint_cadence = 0;   ///< cycles between snapshots (0 = off)
+  int max_rollbacks = 2;        ///< rollback budget per attempt
+  /// Optional caller-owned pool for the checkpoint slots. When null the
+  /// solve builds (and first-touches) a private pool each call; a
+  /// long-running service that solves repeatedly should pass one
+  /// persistent pool so the slot buffers — and their pages — are reused
+  /// across solves and steady-state checkpointing stays allocation-free.
+  /// Must outlive the guarded_solve call.
+  runtime::MemoryPool* checkpoint_pool = nullptr;
+  /// SDC guard: a finite residual jumping past sdc_jump_factor × the
+  /// previous cycle's residual (or going non-finite) in a single cycle is
+  /// flagged as silent data corruption — multigrid contracts the residual
+  /// every cycle, so a jump of orders of magnitude is arithmetic, not
+  /// numerics. Only consulted while a valid checkpoint exists.
+  double sdc_jump_factor = 100.0;
+  /// Ring bound on SolveReport::residual_history (last N entries kept),
+  /// so unattended long-running solves cannot grow memory without bound.
+  int history_limit = 1024;
 };
 
 /// Which remedy a ladder rung applies (mirrors build_ladder's order).
@@ -48,6 +79,11 @@ enum class RungKind : int {
   ReferencePlan = 1,
   SmootherDowngrade = 2,
   OmegaBackoff = 3,
+  /// Not a restart-from-scratch rung: a rollback to the last checkpoint
+  /// within the current attempt (crash restart or SDC recovery). Appears
+  /// in Degrade trace events and rollback accounting, never in the
+  /// attempt list.
+  CheckpointRollback = 4,
 };
 const char* to_string(RungKind k);
 
@@ -55,7 +91,7 @@ const char* to_string(RungKind k);
 struct SolveAttempt {
   std::string description;  ///< e.g. "as configured", "omega -> 0.475"
   RungKind kind = RungKind::AsConfigured;
-  int cycles = 0;           ///< cycles run in this attempt
+  int cycles = 0;           ///< cycles run in this attempt (incl. re-runs)
   double first_residual = 0.0;
   double last_residual = 0.0;
   health::Trend trend = health::Trend::Converging;
@@ -63,6 +99,9 @@ struct SolveAttempt {
   bool threw = false;             ///< the executor threw mid-attempt
   std::string error;              ///< what() of that throw, if any
   int executor_fallbacks = 0;     ///< reference-plan runs inside this attempt
+  int rollbacks = 0;              ///< checkpoint restores in this attempt
+  int sdc_detected = 0;           ///< rollbacks triggered by the SDC guard
+  int crashes = 0;                ///< injected crashes survived via restore
 };
 
 /// Full account of a guarded solve.
@@ -72,8 +111,13 @@ struct SolveReport {
   double initial_residual = 0.0;
   int total_cycles = 0;
   std::vector<SolveAttempt> attempts;
-  /// Residual after every cycle, across all attempts, in execution order.
+  /// Residual after every cycle, across all attempts, in execution order
+  /// (a bounded ring: at most GuardPolicy::history_limit entries are
+  /// retained, oldest dropped first).
   std::vector<double> residual_history;
+  int checkpoint_writes = 0;    ///< snapshots committed across the solve
+  int checkpoint_restores = 0;  ///< rollbacks served across the solve
+  int sdc_detected = 0;         ///< SDC-guard firings across the solve
   /// Multi-line human-readable account of the ladder walk.
   std::string summary() const;
 };

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
+
+#include "polymg/common/error.hpp"
 
 namespace polymg::fault {
 namespace {
@@ -105,6 +109,49 @@ TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
   EXPECT_FALSE(should_fail(kKernelOutput));
   // fired() survives the scope via the injector.
   EXPECT_EQ(FaultInjector::instance().fired(kKernelOutput), 1);
+}
+
+TEST_F(FaultTest, ListSitesCoversEveryCanonicalSite) {
+  const std::vector<std::string> sites = FaultInjector::list_sites();
+  for (const char* s : {kPoolAlloc, kKernelOutput, kDistHalo, kRankDeath,
+                        kCheckpointCorrupt, kKernelBitflip, kSolveCrash}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), s), sites.end()) << s;
+    EXPECT_TRUE(FaultInjector::is_known_site(s)) << s;
+  }
+  EXPECT_FALSE(FaultInjector::is_known_site("no.such.site"));
+}
+
+TEST_F(FaultTest, ArmFromSpecArmsNamedSites) {
+  arm_from_spec("dist.halo:2,kernel.bitflip:1:0.5:99");
+  EXPECT_TRUE(should_fail(kDistHalo));
+  EXPECT_TRUE(should_fail(kDistHalo));
+  EXPECT_FALSE(should_fail(kDistHalo)) << "count 2 is exhausted";
+  // Probability 0.5 with a fixed seed is deterministic: some of the next
+  // draws fire, and only ever once in total (count 1).
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) fired += should_fail(kKernelBitflip) ? 1 : 0;
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsUnknownSitesAtStartup) {
+  try {
+    arm_from_spec("dist.hallo:1");
+    FAIL() << "a typo'd site name must be rejected, not silently ignored";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::PreconditionViolated);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dist.hallo"), std::string::npos);
+    EXPECT_NE(what.find(kRankDeath), std::string::npos)
+        << "the error must list the valid sites";
+  }
+  EXPECT_FALSE(FaultInjector::instance().any_armed());
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsMalformedNumbers) {
+  EXPECT_THROW(arm_from_spec("dist.halo:never"), Error);
+  EXPECT_THROW(arm_from_spec("dist.halo:1:often"), Error);
+  EXPECT_THROW(arm_from_spec("dist.halo:1:0.5:badseed"), Error);
+  EXPECT_THROW(arm_from_spec("dist.halo:1:0.5:1:extra"), Error);
 }
 
 }  // namespace

@@ -130,5 +130,64 @@ TEST(ResidualMonitor, ToStringNames) {
   EXPECT_STREQ(to_string(Trend::Diverging), "diverging");
 }
 
+TEST(ResidualMonitor, HistoryIsBoundedByTheRing) {
+  ResidualMonitor::Config cfg;
+  cfg.history_limit = 4;
+  ResidualMonitor m(cfg);
+  for (int i = 1; i <= 10; ++i) m.observe(1.0 / i);
+  EXPECT_EQ(m.observed(), 10u) << "the count survives the ring wrapping";
+  const std::vector<double> h = m.history();
+  ASSERT_EQ(h.size(), 4u) << "only the last history_limit entries remain";
+  // Oldest-first: observations 7, 8, 9, 10.
+  EXPECT_DOUBLE_EQ(h[0], 1.0 / 7);
+  EXPECT_DOUBLE_EQ(h[3], 1.0 / 10);
+  EXPECT_DOUBLE_EQ(m.last(), 1.0 / 10);
+}
+
+TEST(ResidualMonitor, RingDoesNotChangeClassification) {
+  // Same observations through a tiny ring and a huge one: identical
+  // verdicts, best, and stall counts — the ring is reporting-only.
+  ResidualMonitor::Config small_cfg, big_cfg;
+  small_cfg.history_limit = 2;
+  big_cfg.history_limit = 1024;
+  ResidualMonitor a(small_cfg), b(big_cfg);
+  const double seq[] = {1.0, 0.5, 0.499, 0.4989, 0.49889, 0.49888, 700.0};
+  for (double r : seq) {
+    EXPECT_EQ(a.observe(r), b.observe(r)) << r;
+  }
+  EXPECT_EQ(a.best(), b.best());
+  EXPECT_EQ(a.stalled_cycles(), b.stalled_cycles());
+}
+
+TEST(ResidualMonitor, StateRestoreReplaysIdentically) {
+  ResidualMonitor::Config cfg;
+  cfg.stagnation_window = 3;
+  ResidualMonitor m(cfg);
+  m.observe(1.0);
+  m.observe(0.25);
+  const ResidualMonitor::State snap = m.state();
+
+  // Walk the monitor somewhere bad, then roll it back.
+  m.observe(0.2499);
+  m.observe(0.24989);
+  m.observe(std::numeric_limits<double>::quiet_NaN());
+  ASSERT_EQ(m.trend(), Trend::Diverging);
+  m.restore(snap);
+  EXPECT_EQ(m.trend(), Trend::Converging);
+  EXPECT_EQ(m.observed(), 2u);
+  EXPECT_DOUBLE_EQ(m.last(), 0.25);
+
+  // From the restore point on, verdicts match a monitor that never saw
+  // the corrupt excursion at all.
+  ResidualMonitor fresh(cfg);
+  fresh.observe(1.0);
+  fresh.observe(0.25);
+  const double replay[] = {0.1, 0.0999, 0.09989, 0.099889, 0.01};
+  for (double r : replay) {
+    EXPECT_EQ(m.observe(r), fresh.observe(r)) << r;
+    EXPECT_EQ(m.stalled_cycles(), fresh.stalled_cycles()) << r;
+  }
+}
+
 }  // namespace
 }  // namespace polymg::health

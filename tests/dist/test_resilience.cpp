@@ -1,0 +1,195 @@
+// Rank-failure recovery in the simulated distributed backend: a rank
+// that dies mid-cycle is detected, its slab is rebuilt from the ring
+// replica, the decomposition shrinks to the survivors, and the continued
+// solve matches an unfailed run bit for bit. Recovery traffic lands in
+// CommStats::recovery_* and the per-rank roll-up always sums to the
+// aggregate.
+#include <gtest/gtest.h>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
+#include "polymg/dist/dist_mg.hpp"
+#include "polymg/solvers/metrics.hpp"
+#include "polymg/solvers/poisson.hpp"
+
+namespace polymg::dist {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::PoissonProblem;
+using solvers::residual_norm;
+
+class ResilienceTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().reset(); }
+  void TearDown() override { fault::FaultInjector::instance().reset(); }
+};
+
+CycleConfig cfg2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  return cfg;
+}
+
+TEST_F(ResilienceTest, CleanSolveCyclesMatchesPlainCycles) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem plain = PoissonProblem::random_rhs(2, cfg.n, 5);
+  PoissonProblem ckpt = PoissonProblem::random_rhs(2, cfg.n, 5);
+
+  DistMgSolver a(cfg, 4);
+  a.scatter(plain.v_view(), plain.f_view());
+  for (int c = 0; c < 6; ++c) a.cycle();
+  a.gather(plain.v_view());
+
+  DistMgSolver b(cfg, 4);
+  b.scatter(ckpt.v_view(), ckpt.f_view());
+  const auto rep = b.solve_cycles(6, {/*checkpoint_cadence=*/1,
+                                      /*max_recoveries=*/2});
+  b.gather(ckpt.v_view());
+
+  EXPECT_EQ(rep.cycles_run, 6);
+  EXPECT_EQ(rep.rank_deaths, 0);
+  EXPECT_EQ(rep.checkpoint_writes, 6) << "cycles 0..5 (none after the last)";
+  EXPECT_EQ(grid::max_diff(plain.v_view(), ckpt.v_view(), plain.domain()),
+            0.0)
+      << "checkpointing must not perturb the solve";
+  // Replication is charged to the resilience budget, never to the
+  // solve's own traffic.
+  EXPECT_GT(b.stats().recovery_messages, 0);
+  EXPECT_EQ(a.stats().messages, b.stats().messages);
+  EXPECT_EQ(a.stats().doubles_sent, b.stats().doubles_sent);
+}
+
+TEST_F(ResilienceTest, RankDeathRecoversToTheUnfailedResult) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem clean = PoissonProblem::random_rhs(2, cfg.n, 33);
+  PoissonProblem failed = PoissonProblem::random_rhs(2, cfg.n, 33);
+  const int cycles = 6;
+
+  DistMgSolver a(cfg, 4);
+  a.scatter(clean.v_view(), clean.f_view());
+  const auto base = a.solve_cycles(cycles, {1, 2});
+  a.gather(clean.v_view());
+  ASSERT_EQ(base.rank_deaths, 0);
+
+  DistMgSolver b(cfg, 4);
+  b.scatter(failed.v_view(), failed.f_view());
+  // One death at a deterministic pseudo-random halo message mid-solve.
+  fault::FaultInjector::instance().arm(fault::kRankDeath, 1, 0.002, 77);
+  const auto rep = b.solve_cycles(cycles, {1, 2});
+  ASSERT_EQ(fault::FaultInjector::instance().fired(fault::kRankDeath), 1)
+      << "the death must actually fire for this test to mean anything";
+  b.gather(failed.v_view());
+
+  EXPECT_EQ(rep.rank_deaths, 1);
+  EXPECT_EQ(rep.recoveries, 1);
+  EXPECT_EQ(rep.final_ranks, 3);
+  EXPECT_EQ(b.ranks(), 3);
+  // Distributed results are rank-count independent and the rollback
+  // resumes at a cycle boundary, so the recovered solve reproduces the
+  // unfailed iterate exactly — same residual, same bits.
+  EXPECT_EQ(grid::max_diff(clean.v_view(), failed.v_view(), clean.domain()),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      residual_norm(failed.v_view(), failed.f_view(), failed.n, failed.h),
+      residual_norm(clean.v_view(), clean.f_view(), clean.n, clean.h));
+  EXPECT_GT(b.stats().recovery_messages, 0);
+  EXPECT_GT(b.stats().recovery_doubles, 0);
+}
+
+TEST_F(ResilienceTest, PerRankStatsRollUpToTheAggregate) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 9);
+  DistMgSolver solver(cfg, 4);
+  solver.scatter(p.v_view(), p.f_view());
+  fault::FaultInjector::instance().arm(fault::kRankDeath, 1, 0.002, 77);
+  (void)solver.solve_cycles(5, {1, 2});
+
+  CommStats sum;
+  for (const CommStats& rs : solver.rank_stats()) sum += rs;
+  const CommStats& total = solver.stats();
+  EXPECT_EQ(sum.messages, total.messages);
+  EXPECT_EQ(sum.doubles_sent, total.doubles_sent);
+  EXPECT_EQ(sum.retries, total.retries);
+  EXPECT_EQ(sum.recovery_messages, total.recovery_messages);
+  EXPECT_EQ(sum.recovery_doubles, total.recovery_doubles);
+
+  solver.reset_stats();
+  EXPECT_EQ(solver.stats().messages, 0);
+  EXPECT_EQ(solver.stats().recovery_messages, 0);
+  for (const CommStats& rs : solver.rank_stats()) {
+    EXPECT_EQ(rs.messages, 0);
+    EXPECT_EQ(rs.recovery_doubles, 0);
+  }
+}
+
+TEST_F(ResilienceTest, DeathWithoutCheckpointIsUnrecoverable) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 3);
+  DistMgSolver solver(cfg, 4);
+  solver.scatter(p.v_view(), p.f_view());
+  fault::FaultInjector::instance().arm(fault::kRankDeath, 1);
+  try {
+    (void)solver.solve_cycles(4, {/*checkpoint_cadence=*/0, 2});
+    FAIL() << "expected Error(RankFailure)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::RankFailure);
+  }
+}
+
+TEST_F(ResilienceTest, RecoveryBudgetIsEnforced) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 3);
+  DistMgSolver solver(cfg, 4);
+  solver.scatter(p.v_view(), p.f_view());
+  // A rank dies on every exchange: two recoveries (4 -> 3 -> 2 ranks)
+  // are allowed, the third death is terminal.
+  fault::FaultInjector::instance().arm(fault::kRankDeath, -1);
+  try {
+    (void)solver.solve_cycles(4, {1, /*max_recoveries=*/2});
+    FAIL() << "expected Error(RankFailure) once the budget is spent";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::RankFailure);
+  }
+  fault::FaultInjector::instance().disarm(fault::kRankDeath);
+  EXPECT_EQ(solver.ranks(), 2) << "two recoveries happened before giving up";
+}
+
+TEST_F(ResilienceTest, CorruptReplicaMakesRecoveryUnserviceable) {
+  const CycleConfig cfg = cfg2d();
+  PoissonProblem p = PoissonProblem::random_rhs(2, cfg.n, 3);
+  DistMgSolver solver(cfg, 4);
+  solver.scatter(p.v_view(), p.f_view());
+  // The initial checkpoint is corrupted in storage; the death then finds
+  // a replica that fails its checksum — recovery must refuse to smooth a
+  // corrupt slab into the iterate.
+  fault::FaultInjector::instance().arm(fault::kCheckpointCorrupt, 1);
+  fault::FaultInjector::instance().arm(fault::kRankDeath, 1);
+  try {
+    (void)solver.solve_cycles(4, {1, 2});
+    FAIL() << "expected Error(CheckpointCorrupt)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt);
+  }
+}
+
+TEST_F(ResilienceTest, ShrinkToSurvivorsMatchesFreshDecomposition) {
+  const CycleConfig cfg = cfg2d();
+  const Decomp four(cfg, 4);
+  const Decomp three = four.shrink_to_survivors(3);
+  const Decomp fresh(cfg, 3);
+  ASSERT_EQ(three.ranks(), 3);
+  for (int l = 0; l < cfg.levels; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(three.owned(l, r).lo, fresh.owned(l, r).lo);
+      EXPECT_EQ(three.owned(l, r).hi, fresh.owned(l, r).hi);
+    }
+  }
+  EXPECT_THROW((void)four.shrink_to_survivors(0), Error);
+  EXPECT_THROW((void)four.shrink_to_survivors(5), Error);
+}
+
+}  // namespace
+}  // namespace polymg::dist

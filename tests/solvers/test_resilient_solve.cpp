@@ -1,0 +1,174 @@
+// Resilient guarded_solve: checkpoint/restart after an injected crash is
+// bit-exact, the SDC guard catches a silent bit-flip and rolls back, a
+// corrupt checkpoint falls through to the degradation ladder, and the
+// residual history stays bounded.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "polymg/common/fault.hpp"
+#include "polymg/solvers/guarded.hpp"
+#include "polymg/solvers/metrics.hpp"
+
+namespace polymg::solvers {
+namespace {
+
+class ResilientSolveTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().reset(); }
+  void TearDown() override { fault::FaultInjector::instance().reset(); }
+};
+
+CycleConfig healthy2d() {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 4;
+  cfg.n2 = 20;
+  return cfg;
+}
+
+GuardPolicy resilient_policy() {
+  GuardPolicy policy;
+  policy.checkpoint_cadence = 2;
+  policy.max_rollbacks = 3;
+  return policy;
+}
+
+bool same_bits(const grid::Buffer& a, const grid::Buffer& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST_F(ResilientSolveTest, CheckpointingAloneDoesNotChangeTheSolve) {
+  const CycleConfig cfg = healthy2d();
+  PoissonProblem plain = PoissonProblem::manufactured(2, cfg.n);
+  PoissonProblem ckpt = PoissonProblem::manufactured(2, cfg.n);
+
+  const SolveReport r0 = guarded_solve(cfg, plain, 1e-8);
+  const SolveReport r1 = guarded_solve(cfg, ckpt, 1e-8, resilient_policy());
+  EXPECT_TRUE(r1.converged) << r1.summary();
+  EXPECT_EQ(r0.total_cycles, r1.total_cycles);
+  EXPECT_GT(r1.checkpoint_writes, 0);
+  EXPECT_EQ(r1.checkpoint_restores, 0);
+  EXPECT_TRUE(same_bits(plain.v, ckpt.v))
+      << "snapshotting must be observation, not perturbation";
+}
+
+TEST_F(ResilientSolveTest, CrashRestartContinuesBitExactly) {
+  const CycleConfig cfg = healthy2d();
+  PoissonProblem clean = PoissonProblem::manufactured(2, cfg.n);
+  PoissonProblem crashed = PoissonProblem::manufactured(2, cfg.n);
+  const GuardPolicy policy = resilient_policy();
+
+  const SolveReport base = guarded_solve(cfg, clean, 1e-8, policy);
+  ASSERT_TRUE(base.converged) << base.summary();
+
+  // One crash at a deterministic pseudo-random cycle mid-solve: the loop
+  // rewinds to the last snapshot and re-runs the lost cycles on the same
+  // plan, so the final iterate is the unfailed one, bit for bit.
+  fault::FaultInjector::instance().arm(fault::kSolveCrash, 1, 0.5, 11);
+  const SolveReport rep = guarded_solve(cfg, crashed, 1e-8, policy);
+  ASSERT_EQ(fault::FaultInjector::instance().fired(fault::kSolveCrash), 1)
+      << "the crash must actually fire for this test to mean anything";
+  EXPECT_TRUE(rep.converged) << rep.summary();
+  ASSERT_EQ(rep.attempts.size(), 1u)
+      << "a survivable crash must not cost a ladder rung";
+  EXPECT_EQ(rep.attempts[0].crashes, 1);
+  EXPECT_EQ(rep.attempts[0].rollbacks, 1);
+  EXPECT_EQ(rep.checkpoint_restores, 1);
+  EXPECT_TRUE(same_bits(clean.v, crashed.v))
+      << "restart must reproduce the unfailed iterate exactly";
+  EXPECT_DOUBLE_EQ(rep.final_residual, base.final_residual);
+}
+
+TEST_F(ResilientSolveTest, SdcBitflipIsCaughtAndRolledBack) {
+  const CycleConfig cfg = healthy2d();
+  PoissonProblem clean = PoissonProblem::manufactured(2, cfg.n);
+  PoissonProblem hit = PoissonProblem::manufactured(2, cfg.n);
+  GuardPolicy policy = resilient_policy();
+  policy.checkpoint_cadence = 1;
+
+  const SolveReport base = guarded_solve(cfg, clean, 1e-8, policy);
+  ASSERT_TRUE(base.converged);
+
+  // Flip the top exponent bit of one kernel output mid-solve: the value
+  // stays finite (invisible to the executor's non-finite scan) but the
+  // residual explodes by orders of magnitude — exactly the jump the SDC
+  // guard watches for. The probability is low so the flip lands several
+  // cycles in: a flip at cycle 0, when the residual is still O(initial),
+  // is numerically just a perturbed first guess and below any jump
+  // threshold.
+  fault::FaultInjector::instance().arm(fault::kKernelBitflip, 1, 0.01, 17);
+  const SolveReport rep = guarded_solve(cfg, hit, 1e-8, policy);
+  ASSERT_EQ(fault::FaultInjector::instance().fired(fault::kKernelBitflip), 1);
+  EXPECT_TRUE(rep.converged) << rep.summary();
+  ASSERT_EQ(rep.attempts.size(), 1u)
+      << "a rolled-back SDC must not cost a ladder rung";
+  EXPECT_EQ(rep.sdc_detected, 1);
+  EXPECT_EQ(rep.attempts[0].sdc_detected, 1);
+  EXPECT_EQ(rep.attempts[0].executor_fallbacks, 0)
+      << "the health scan must NOT have seen the finite corruption";
+  EXPECT_GE(rep.checkpoint_restores, 1);
+  EXPECT_TRUE(same_bits(clean.v, hit.v))
+      << "rollback + re-run must reproduce the clean iterate exactly";
+}
+
+TEST_F(ResilientSolveTest, CorruptCheckpointFallsThroughToReferencePlan) {
+  const CycleConfig cfg = healthy2d();
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  GuardPolicy policy = resilient_policy();
+
+  // The very first snapshot is corrupted in storage; the crash then finds
+  // nothing restorable. That attempt dies with CheckpointCorrupt and the
+  // ordinary ladder takes over at the reference plan.
+  fault::FaultInjector::instance().arm(fault::kCheckpointCorrupt, 1);
+  fault::FaultInjector::instance().arm(fault::kSolveCrash, 1);
+  const SolveReport rep = guarded_solve(cfg, p, 1e-8, policy);
+  EXPECT_TRUE(rep.converged) << rep.summary();
+  ASSERT_GE(rep.attempts.size(), 2u);
+  EXPECT_TRUE(rep.attempts[0].threw);
+  EXPECT_NE(rep.attempts[0].error.find("checkpoint"), std::string::npos)
+      << rep.attempts[0].error;
+  EXPECT_EQ(rep.attempts[1].kind, RungKind::ReferencePlan);
+  EXPECT_TRUE(rep.attempts[1].converged);
+}
+
+TEST_F(ResilientSolveTest, RollbackBudgetLimitsRepeatedCrashes) {
+  const CycleConfig cfg = healthy2d();
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  GuardPolicy policy = resilient_policy();
+  policy.max_rollbacks = 2;
+
+  // A crash on every cycle: two are absorbed, the third ends the attempt
+  // (budget spent, nothing restorable) and the ladder continues — where
+  // the still-armed site keeps firing, so no rung can finish. The report
+  // must say so honestly rather than loop forever.
+  fault::FaultInjector::instance().arm(fault::kSolveCrash, -1);
+  const SolveReport rep = guarded_solve(cfg, p, 1e-8, policy);
+  fault::FaultInjector::instance().disarm(fault::kSolveCrash);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.attempts[0].rollbacks, 2);
+  for (const SolveAttempt& a : rep.attempts) EXPECT_TRUE(a.threw);
+}
+
+TEST_F(ResilientSolveTest, ResidualHistoryIsBounded) {
+  CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 31;
+  cfg.levels = 2;
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  GuardPolicy policy;
+  policy.max_cycles = 30;
+  policy.history_limit = 8;
+  const SolveReport rep = guarded_solve(cfg, p, 1e-300, policy);
+  EXPECT_GT(rep.total_cycles, 8);
+  EXPECT_LE(rep.residual_history.size(), 8u)
+      << "history must be a ring of the last history_limit entries";
+  // The retained tail is the most recent run of residuals.
+  EXPECT_DOUBLE_EQ(rep.residual_history.back(), rep.final_residual);
+}
+
+}  // namespace
+}  // namespace polymg::solvers
