@@ -96,6 +96,7 @@ void run_case(ResultTable& table, const Case& c, index_t edge, int reps) {
 
 int main_impl(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
+  arm_faults_from_options(opts);  // validate --fault here, not mid-run
   TraceFromOptions trace(opts);
   const int reps = static_cast<int>(opts.get_int("reps", 5));
   const index_t n2d = opts.get_int("n2d", 1023);

@@ -6,6 +6,7 @@
 #   BENCH_sched.json    — barrier vs persistent-team dependence schedule
 #   BENCH_autotune.json — the Fig. 12 autotuning sweep
 #   BENCH_resilience.json — checkpoint overhead, recovery latency, SDC rate
+#   BENCH_service.json  — solve-service throughput / tail latency / overload
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
 # Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B),
@@ -62,6 +63,11 @@ echo "== bench_resilience (reps=$reps) =="
   --json "$repo_root/BENCH_resilience.json" $(trace_arg resilience)
 
 echo
+echo "== bench_service =="
+"$build/bench/bench_service" \
+  --json "$repo_root/BENCH_service.json"
+
+echo
 echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json" \
      "$repo_root/BENCH_sched.json $repo_root/BENCH_autotune.json" \
-     "$repo_root/BENCH_resilience.json"
+     "$repo_root/BENCH_resilience.json $repo_root/BENCH_service.json"

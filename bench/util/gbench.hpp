@@ -57,15 +57,12 @@ inline void register_point(const std::string& row, const std::string& series,
 }
 
 /// Standard main body: parse our options first, then benchmark's.
-/// `--fault=site[:count[:probability[:seed]]]` (comma-separable, also the
-/// POLYMG_FAULT environment variable) arms fault injection for the whole
-/// run; an unknown site name is rejected here, at startup, with the list
-/// of valid sites — not discovered as a silently-never-firing fault after
-/// an hour of benchmarking.
+/// Fault-spec validation lives in the harness (arm_faults_from_options)
+/// so non-gbench drivers get the same loud startup rejection of unknown
+/// sites.
 inline Options parse_bench_options(int& argc, char** argv) {
   Options opts = Options::parse(argc, argv);
-  const std::string spec = opts.get("fault", "");
-  if (!spec.empty()) fault::arm_from_spec(spec);
+  arm_faults_from_options(opts);
   return opts;
 }
 

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
 #include "polymg/obs/report.hpp"
 #include "polymg/obs/trace.hpp"
@@ -143,6 +145,36 @@ SolveRunner make_nas_runner(Series s, const solvers::NasMgConfig& cfg,
 
 Stats time_runner(const SolveRunner& r, int repetitions) {
   return min_time_of(r.run, repetitions);
+}
+
+void arm_faults_from_options(const Options& opts) {
+  const std::string spec = opts.get("fault", "");
+  if (spec.empty()) return;
+  try {
+    fault::arm_from_spec(spec);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "invalid --fault spec '%s': %s\n", spec.c_str(),
+                 e.what());
+    std::exit(2);
+  }
+  std::printf("fault injection armed: %s\n", spec.c_str());
+}
+
+double deadline_ms_from_options(const Options& opts) {
+  double ms = 0.0;
+  try {
+    ms = opts.get_double("deadline-ms", 0.0);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "invalid --deadline-ms: %s\n", e.what());
+    std::exit(2);
+  }
+  if (ms < 0.0) {
+    std::fprintf(stderr,
+                 "invalid --deadline-ms: budget must be >= 0 ms, got %g\n",
+                 ms);
+    std::exit(2);
+  }
+  return ms;
 }
 
 TraceFromOptions::TraceFromOptions(const Options& opts)

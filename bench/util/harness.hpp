@@ -76,6 +76,18 @@ SolveRunner make_nas_runner(Series s, const solvers::NasMgConfig& cfg,
 /// ride along in the returned Stats.
 Stats time_runner(const SolveRunner& r, int repetitions);
 
+/// Arm fault injection from `--fault=site[:count[:prob[:seed]]]` (comma
+/// separated for several sites; the POLYMG_FAULT environment variable is
+/// the usual Options fallback). An unknown site name or malformed spec
+/// terminates the binary HERE, at startup, with the list of valid sites
+/// — not discovered as a silently-never-firing fault after an hour of
+/// benchmarking.
+void arm_faults_from_options(const Options& opts);
+
+/// The `--deadline-ms` per-request budget (0 disables deadlines).
+/// Negative or unparsable values are a startup error.
+double deadline_ms_from_options(const Options& opts);
+
 /// RAII trace toggle for the bench drivers: when `--trace <path>` is
 /// passed (or the POLYMG_TRACE environment variable names a path — the
 /// Options env fallback), starts an obs::TraceSession on construction

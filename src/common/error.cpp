@@ -22,6 +22,12 @@ const char* to_string(ErrorCode code) {
       return "RankFailure";
     case ErrorCode::CheckpointCorrupt:
       return "CheckpointCorrupt";
+    case ErrorCode::DeadlineExceeded:
+      return "DeadlineExceeded";
+    case ErrorCode::Cancelled:
+      return "Cancelled";
+    case ErrorCode::Overloaded:
+      return "Overloaded";
   }
   return "?";
 }

@@ -1,0 +1,89 @@
+// Cooperative deadline / cancellation token.
+//
+// The serving layer hands one token to everything working on a request:
+// the executor polls it at tile-node/stage granularity, guarded_solve
+// between cycles, the service queue at dequeue. A token never interrupts
+// anything — polled code observes the trip at its next check, abandons
+// the in-flight unit of work and unwinds with a typed Error
+// (DeadlineExceeded / Cancelled), so a solve can never overshoot its
+// deadline by more than one granule of whatever it was executing.
+//
+// Polling is two relaxed atomic loads plus (only while a deadline is
+// set) one steady_clock read — cheap enough for per-tile checks. Tokens
+// are owned by the request's bookkeeping and shared by plain pointer;
+// reset() re-arms a pooled token for the next request.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace polymg {
+
+class CancelToken {
+public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cooperative cancellation (idempotent, any thread).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arm an absolute deadline `ns` steady-clock nanoseconds from now
+  /// (non-positive = already expired).
+  void set_deadline_after_ns(std::int64_t ns) {
+    deadline_ns_.store(now_ns() + ns, std::memory_order_release);
+  }
+  void set_deadline_after_ms(double ms) {
+    set_deadline_after_ns(static_cast<std::int64_t>(ms * 1e6));
+  }
+  void clear_deadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  bool deadline_passed() const {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != kNoDeadline && now_ns() >= d;
+  }
+
+  /// The poll: true once either trip condition holds.
+  bool stop_requested() const { return cancelled() || deadline_passed(); }
+
+  /// Nanoseconds until the deadline (negative when past, kNoDeadline when
+  /// none is armed). A cancelled token reports 0.
+  std::int64_t remaining_ns() const {
+    if (cancelled()) return 0;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d == kNoDeadline ? kNoDeadline : d - now_ns();
+  }
+
+  /// Re-arm for the next request: clears the flag and the deadline. Must
+  /// not race with pollers (call between requests).
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+private:
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace polymg

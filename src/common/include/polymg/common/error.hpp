@@ -27,6 +27,9 @@ enum class ErrorCode {
   PreconditionViolated,  ///< caller broke a documented API precondition
   RankFailure,           ///< a simulated rank stopped answering exchanges
   CheckpointCorrupt,     ///< checkpoint payload failed its checksum
+  DeadlineExceeded,      ///< a request's deadline passed mid-solve
+  Cancelled,             ///< cooperative cancellation was requested
+  Overloaded,            ///< admission control shed the request (retryable)
 };
 
 const char* to_string(ErrorCode code);

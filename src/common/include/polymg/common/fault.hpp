@@ -37,6 +37,12 @@ inline constexpr const char* kKernelBitflip = "kernel.bitflip";
 /// The solve driver "crashes" between cycles (models process death and a
 /// restart from the last checkpoint).
 inline constexpr const char* kSolveCrash = "solve.crash";
+/// A service worker's solve fails transiently at start (models a flaky
+/// downstream dependency); the retry/backoff path must recover it.
+inline constexpr const char* kServiceReject = "service.reject";
+/// A service worker stalls before solving (models a slow replica /
+/// noisy-neighbour hiccup); deadline enforcement must bound the damage.
+inline constexpr const char* kServiceSlow = "service.slow";
 
 class FaultInjector {
 public:

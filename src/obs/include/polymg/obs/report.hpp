@@ -55,6 +55,14 @@ struct RunReport {
   int total_cycles = 0;
   std::vector<std::string> attempt_lines;  ///< one per ladder attempt
   std::vector<double> residual_history;
+  /// Oldest residual_history entries evicted by the telemetry ring
+  /// (GuardPolicy::history_limit) — nonzero means the history above is a
+  /// suffix, not the whole solve.
+  std::int64_t residual_history_dropped = 0;
+
+  /// Per-tenant service roll-up lines (filled by service::SolveService's
+  /// attach_tenants; obs knows nothing about tenants beyond rendering).
+  std::vector<std::string> tenant_lines;
 
   std::string metrics_json;  ///< optional Metrics::snapshot_json()
 

@@ -59,6 +59,16 @@ enum class EventKind : std::uint8_t {
                       ///< value=doubles redistributed
   SdcDetected,        ///< silent-data-corruption guard fired:
                       ///< group=cycle, value=suspect residual
+  RequestAdmit,       ///< service admitted a request: id=ticket,
+                      ///< group=tenant index, value=queue depth after
+  RequestReject,      ///< admission control shed a request: id=ticket,
+                      ///< group=tenant index, stage=1 tenant quota /
+                      ///< 0 queue full, value=retry-after ms
+  RequestCancel,      ///< a request was cancelled: id=ticket,
+                      ///< stage=1 while running / 0 while queued
+  DeadlineHit,        ///< a deadline tripped: id=ticket (-1 inside the
+                      ///< executor), stage=granule kind, value=overshoot
+                      ///< estimate where known
 };
 
 /// Stable lower-case name for trace exports ("tile", "queue_wait", ...).

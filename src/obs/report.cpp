@@ -95,10 +95,19 @@ std::string RunReport::render() const {
        << " in " << total_cycles << " cycle(s)\n";
     for (const std::string& a : attempt_lines) os << "  " << a << "\n";
     if (!residual_history.empty()) {
-      os << "residual history:";
+      os << "residual history";
+      if (residual_history_dropped > 0) {
+        os << " (last " << residual_history.size() << ", "
+           << residual_history_dropped << " older dropped)";
+      }
+      os << ":";
       for (double r : residual_history) os << " " << r;
       os << "\n";
     }
+  }
+  if (!tenant_lines.empty()) {
+    os << "tenants:\n";
+    for (const std::string& t : tenant_lines) os << "  " << t << "\n";
   }
   if (!metrics_json.empty()) os << "metrics: " << metrics_json << "\n";
   return os.str();

@@ -67,6 +67,10 @@ const char* to_string(EventKind k) {
     case EventKind::RankDeath: return "rank_death";
     case EventKind::Recovery: return "recovery";
     case EventKind::SdcDetected: return "sdc_detected";
+    case EventKind::RequestAdmit: return "request_admit";
+    case EventKind::RequestReject: return "request_reject";
+    case EventKind::RequestCancel: return "request_cancel";
+    case EventKind::DeadlineHit: return "deadline_hit";
   }
   return "?";
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "polymg/common/error.hpp"
+#include "polymg/obs/metrics.hpp"
 #include "polymg/opt/grouping.hpp"
 #include "polymg/opt/schedule.hpp"
 #include "polymg/opt/storage.hpp"
@@ -64,6 +65,11 @@ std::vector<int> topo_order_groups(const Pipeline& pipe, const Grouping& g) {
 }  // namespace
 
 CompiledPipeline compile(Pipeline pipe, const CompileOptions& opts) {
+  // Process-wide compile count: the service layer's plan-cache tests
+  // assert a cache hit performs zero compilations by diffing this.
+  static obs::Counter& compiles =
+      obs::Metrics::instance().counter("opt.compiles");
+  compiles.add(1);
   pipe.validate();
   CompiledPipeline cp;
   cp.opts = opts;

@@ -32,6 +32,7 @@ Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
   ctr_runs_ = &m.counter("executor.runs");
   ctr_regions_cached_ = &m.counter("executor.tile_regions_cached");
   ctr_regions_recomputed_ = &m.counter("executor.tile_regions_recomputed");
+  ctr_aborted_runs_ = &m.counter("executor.aborted_runs");
 
   array_ptr_.assign(plan_.arrays.size(), nullptr);
   unpooled_.resize(plan_.arrays.size());
@@ -234,6 +235,51 @@ View Executor::resolve_bind(const SourceBind& b,
   return array_view(b.index, plan_.pipe.funcs[b.func]);
 }
 
+bool Executor::poll_abort() {
+  // Monotonic fast path: one relaxed load once the run is aborting (or
+  // while no token is attached). Read-read coherence on abort_ plus the
+  // scheduler's release/acquire edges guarantee a task queued after a
+  // skipped predecessor also observes the abort.
+  if (abort_.load(std::memory_order_relaxed) != 0) return true;
+  const CancelToken* tok = cancel_;
+  if (tok == nullptr) return false;
+  std::uint8_t want = 0;
+  if (tok->cancelled()) {
+    want = 2;
+  } else if (tok->deadline_passed()) {
+    want = 1;
+  } else {
+    return false;
+  }
+  std::uint8_t expected = 0;
+  if (abort_.compare_exchange_strong(expected, want,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    // First trip only: record it. id=-1 marks an executor-level trip
+    // (the service layer stamps ticket ids on its own DeadlineHit
+    // events); stage distinguishes deadline (1) from cancel (2).
+    if (want == 1) {
+      PMG_TRACE_INSTANT(DeadlineHit, -1, 1, -1, 0.0);
+      obs::Metrics::instance().counter("executor.deadline_hits").add(1);
+    }
+  }
+  return true;
+}
+
+void Executor::raise_abort() {
+  const std::uint8_t a = abort_.load(std::memory_order_acquire);
+  if (a == 0) return;
+  ctr_aborted_runs_->add(1);
+  if (a == 1) {
+    PMG_FAIL(ErrorCode::DeadlineExceeded,
+             "run aborted: deadline passed mid-invocation "
+             "(outputs unspecified; keep the previous iterate)");
+  }
+  PMG_FAIL(ErrorCode::Cancelled,
+           "run aborted: cancellation requested "
+           "(outputs unspecified; keep the previous iterate)");
+}
+
 void Executor::run(std::span<const View> externals) {
   PMG_CHECK_CODE(externals.size() == plan_.pipe.externals.size(),
                  ErrorCode::PreconditionViolated,
@@ -270,11 +316,18 @@ void Executor::run(std::span<const View> externals) {
     }
   }
 
+  // A fresh run starts un-aborted even when the previous one tripped;
+  // the token itself (still expired?) re-trips on the first poll.
+  abort_.store(0, std::memory_order_relaxed);
+
   if (dependence_scheduled()) {
     run_dependence(externals);
   } else {
     run_barrier(externals);
   }
+  // OpenMP forbids exceptions escaping a parallel region, so an aborted
+  // run surfaces here, after both schedules have fully drained.
+  raise_abort();
   ++runs_timed_;
   ctr_runs_->add(1);
 }
@@ -399,6 +452,10 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
 
 void Executor::run_barrier(std::span<const View> externals) {
   for (std::size_t gi = 0; gi < plan_.groups.size(); ++gi) {
+    // Group-boundary poll; the group bodies below also poll per
+    // tile/slab, so a trip inside a large group skips its remaining
+    // chunks rather than finishing the group.
+    if (poll_abort()) return;
     const GroupPlan& g = plan_.groups[gi];
     for (const StagePlan& sp : g.stages) {
       if (sp.array >= 0) ensure_array(sp.array);
@@ -489,6 +546,7 @@ void Executor::run_loops_group(int gi, std::span<const View> externals) {
     const StagePlan& sp = g.stages[p];
     const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
     Timer st;
+    if (poll_abort()) return;
     // Grain fast path: a coarse level is a handful of rows — the
     // fork/join alone dwarfs the work, so run it on the calling thread.
     if (f.domain.count() < plan_.opts.serial_grain) {
@@ -505,10 +563,15 @@ void Executor::run_loops_group(int gi, std::span<const View> externals) {
     note_parallel_region();
 #pragma omp parallel for schedule(static)
     for (index_t si = 0; si < nslabs; ++si) {
-      Box part = f.domain;
-      part.dim(0) = poly::Interval{
-          d0.lo + si * slab, std::min(d0.lo + (si + 1) * slab - 1, d0.hi)};
-      exec_loops_part(gi, static_cast<int>(p), part, externals, thread_id());
+      // Slab-granular poll: omp for cannot break, so aborted slabs
+      // just skip their body (the outputs are unspecified anyway).
+      if (!poll_abort()) {
+        Box part = f.domain;
+        part.dim(0) = poly::Interval{
+            d0.lo + si * slab, std::min(d0.lo + (si + 1) * slab - 1, d0.hi)};
+        exec_loops_part(gi, static_cast<int>(p), part, externals,
+                        thread_id());
+      }
       tsan_join_release();
     }
     tsan_join_acquire();
@@ -538,6 +601,8 @@ void Executor::run_overlap_group(int gi, std::span<const View> externals) {
     for (index_t pi = 0; pi < parallel_extent; ++pi) {
       for (index_t ti = pi * tiles_per_chunk; ti < (pi + 1) * tiles_per_chunk;
            ++ti) {
+        // Tile-granular poll — bounds deadline overshoot to one tile.
+        if (poll_abort()) break;
         exec_overlap_tile(gi, ti, externals, tid);
       }
     }
@@ -581,6 +646,9 @@ void Executor::run_timetile_group(int gi, std::span<const View> externals) {
                            });
   }
 
+  // The sweep is one collective unit: poll once before it (overshoot is
+  // bounded by one smoother-chain sweep, the schedule's natural granule).
+  if (poll_abort()) return;
   TimeTileParams params{g.dtile_H, g.dtile_W};
   PMG_TRACE_NOW(t0);
   time_tiled_sweep(chain, bufs, stage_srcs_, params);
@@ -755,6 +823,15 @@ void Executor::exec_task(index_t t, std::span<const View> externals,
                          int tid) {
   const int ni = task_node_[static_cast<std::size_t>(t)];
   const SchedNode& n = plan_.sched.nodes[static_cast<std::size_t>(ni)];
+  // Task-granular poll. An aborted task skips its kernel body (and its
+  // group's allocations) but MUST still run finish_task: successor
+  // releases, node retirement and the phase-exit counter are what let
+  // every thread leave the parallel region — the abort drains the
+  // protocol instead of abandoning it.
+  if (poll_abort()) {
+    finish_task(t, ni);
+    return;
+  }
   ensure_group_arrays(n.group);
   Timer tm;
   if (n.stage >= 0) {
@@ -773,6 +850,7 @@ void Executor::exec_task(index_t t, std::span<const View> externals,
   } else if (n.serial) {
     const GroupPlan& g = plan_.groups[static_cast<std::size_t>(n.group)];
     for (index_t ti = 0; ti < g.tiles.total; ++ti) {
+      if (poll_abort()) break;  // serial chains still stop per tile
       exec_overlap_tile(n.group, ti, externals, tid);
     }
   } else {
@@ -847,7 +925,12 @@ void Executor::run_collective_phase(const Phase& ph,
   const int gi = n.group;
   const GroupPlan& g = plan_.groups[static_cast<std::size_t>(gi)];
   Timer tm;
-  if (tid == 0) {
+  // The team-wide sweep has internal barriers, so every thread must make
+  // the same run/skip decision. Only tid 0 polls, before the barrier;
+  // after the barrier all threads read the (now stable for this phase)
+  // abort flag, so the team agrees by construction.
+  if (tid == 0) poll_abort();
+  if (tid == 0 && abort_.load(std::memory_order_relaxed) == 0) {
     {
       std::lock_guard<std::mutex> lk(pool_mu_);
       ensure_group_arrays_locked(gi);
@@ -877,7 +960,7 @@ void Executor::run_collective_phase(const Phase& ph,
     }
   }
   team_barrier();
-  {
+  if (abort_.load(std::memory_order_acquire) == 0) {
     TimeTileParams params{g.dtile_H, g.dtile_W};
     PMG_TRACE_NOW(t0);
     time_tiled_sweep_team(chain_[static_cast<std::size_t>(gi)], time_bufs_,

@@ -26,6 +26,28 @@ GuardedExecutor::GuardedExecutor(ir::Pipeline pipe,
   }
 }
 
+GuardedExecutor::GuardedExecutor(
+    ir::Pipeline pipe, const opt::CompileOptions& opts,
+    std::shared_ptr<const opt::CompiledPipeline> precompiled)
+    : pipe_(std::move(pipe)), opts_(opts) {
+  auto& m = obs::Metrics::instance();
+  ctr_health_scans_ = &m.counter("guarded.health_scans");
+  ctr_health_failures_ = &m.counter("guarded.health_failures");
+  ctr_fallback_runs_ = &m.counter("guarded.fallback_runs");
+  ctr_optimized_runs_ = &m.counter("guarded.optimized_runs");
+  PMG_CHECK_CODE(precompiled != nullptr, ErrorCode::PreconditionViolated,
+                 "null precompiled plan");
+  // The cache validated the plan at insert time; copying a CompiledPipeline
+  // is pure data (vectors), no opt::compile involved.
+  optimized_ = std::make_unique<Executor>(*precompiled);
+}
+
+void GuardedExecutor::set_cancel_token(const CancelToken* token) {
+  cancel_ = token;
+  if (optimized_ != nullptr) optimized_->set_cancel_token(token);
+  if (reference_ != nullptr) reference_->set_cancel_token(token);
+}
+
 void GuardedExecutor::note_incident(ErrorCode code, const std::string& what) {
   report_.last_error = code;
   report_.last_incident = what;
@@ -39,6 +61,7 @@ void GuardedExecutor::ensure_reference() {
       ir::Pipeline(pipe_), opt::reference_options(opts_));
   opt::validate_plan(cp);
   reference_ = std::make_unique<Executor>(std::move(cp));
+  reference_->set_cancel_token(cancel_);
 }
 
 void GuardedExecutor::check_externals(
@@ -88,6 +111,14 @@ void GuardedExecutor::run(std::span<const View> externals) {
                     "non-finite values in optimized-plan output");
     } catch (const Error& e) {
       if (e.code() == ErrorCode::PreconditionViolated) throw;
+      // A deadline/cancel trip propagates: falling back would re-run the
+      // whole invocation on the slower reference plan — the opposite of
+      // what the token asked for. The caller keeps its last iterate.
+      if (e.code() == ErrorCode::DeadlineExceeded ||
+          e.code() == ErrorCode::Cancelled) {
+        note_incident(e.code(), e.what());
+        throw;
+      }
       note_incident(e.code(), e.what());
     }
   }

@@ -37,6 +37,7 @@
 #include <span>
 #include <vector>
 
+#include "polymg/common/cancel.hpp"
 #include "polymg/grid/buffer.hpp"
 #include "polymg/obs/report.hpp"
 #include "polymg/opt/compile.hpp"
@@ -69,6 +70,20 @@ public:
   /// True when run() executes the dependence schedule (plan carries a
   /// graph and no fault site is armed).
   bool dependence_scheduled() const;
+
+  /// Attach a cooperative cancellation token (non-owning; the token must
+  /// outlive every run, nullptr detaches). Both schedules poll it at task
+  /// granularity — a tile, a slab, a stage — and on a trip the run stops
+  /// scheduling kernel bodies, drains its scheduling protocol and run()
+  /// throws Error(DeadlineExceeded or Cancelled) after the parallel
+  /// region exits: OpenMP forbids throwing across a region, so the abort
+  /// is a flag the tasks check, never an exception in flight. An aborted
+  /// run leaves outputs unspecified (callers keep their last good iterate
+  /// and must not copy out) but leaves the executor itself reusable — the
+  /// next run() resets all pool and scheduler state. Set/clear only
+  /// between runs.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
 
   /// Peak bytes of full-array storage held during the last run.
   index_t peak_array_doubles() const { return peak_array_doubles_; }
@@ -135,6 +150,17 @@ private:
 
   void ensure_array(int array_id);
   void release_arrays(const std::vector<int>& ids);
+
+  /// Poll the cancellation token. True once the run is aborting: the
+  /// caller must skip its kernel body (but still run its scheduling
+  /// bookkeeping so the dependence protocol drains). Monotonic within a
+  /// run — after the first trip every poll answers true without touching
+  /// the clock. With no token attached this is one relaxed load.
+  bool poll_abort();
+  /// Throw the typed error recorded by poll_abort(); called by run()
+  /// after the parallel region has exited. Resets nothing — the next
+  /// run() does.
+  void raise_abort();
 
   // --- Barrier schedule (also the fault-injection path). ---
   void run_barrier(std::span<const View> externals);
@@ -207,6 +233,12 @@ private:
   View time_bufs_[2];   // collective-phase ping-pong pair (set by tid 0)
   std::vector<double> node_seconds_acc_;  // [tid * nnodes + node]
 
+  // --- Cooperative cancellation (reset at each run() entry). ---
+  const CancelToken* cancel_ = nullptr;  ///< non-owning; null = no token
+  /// 0 = running, 1 = deadline tripped, 2 = cancelled. Written once per
+  /// aborted run (CAS), read by every poll.
+  std::atomic<std::uint8_t> abort_{0};
+
   std::vector<double> group_seconds_;
   std::vector<double> stage_seconds_;
   std::int64_t runs_timed_ = 0;
@@ -223,6 +255,7 @@ private:
   obs::Counter* ctr_runs_ = nullptr;         // executor.runs
   obs::Counter* ctr_regions_cached_ = nullptr;    // executor.tile_regions_cached
   obs::Counter* ctr_regions_recomputed_ = nullptr;
+  obs::Counter* ctr_aborted_runs_ = nullptr;      // executor.aborted_runs
 };
 
 }  // namespace polymg::runtime

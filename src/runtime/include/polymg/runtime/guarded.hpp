@@ -42,6 +42,14 @@ public:
   /// by the reference plan instead of throwing here.
   GuardedExecutor(ir::Pipeline pipe, const opt::CompileOptions& opts);
 
+  /// Adopt a precompiled (and already validated) plan instead of
+  /// compiling — the service layer's plan cache compiles a signature once
+  /// and every subsequent executor copies the CompiledPipeline, so a
+  /// cache hit performs zero opt::compile calls. `pipe` is still retained
+  /// for the lazy reference fallback.
+  GuardedExecutor(ir::Pipeline pipe, const opt::CompileOptions& opts,
+                  std::shared_ptr<const opt::CompiledPipeline> precompiled);
+
   /// Execute one pipeline invocation with the guard. Precondition
   /// violations (wrong external count, a view not covering its declared
   /// domain) throw Error(PreconditionViolated) — caller bugs are not
@@ -61,6 +69,13 @@ public:
   bool last_run_fell_back() const { return last_from_fallback_; }
   const GuardReport& report() const { return report_; }
 
+  /// Attach a cooperative cancellation token to both plans (non-owning;
+  /// nullptr detaches; set only between runs). A deadline/cancel trip is
+  /// rethrown by run() instead of triggering the reference fallback —
+  /// re-running the invocation on the slower plan is the opposite of
+  /// what a deadline asks for.
+  void set_cancel_token(const CancelToken* token);
+
 private:
   void note_incident(ErrorCode code, const std::string& what);
   void ensure_reference();
@@ -69,6 +84,7 @@ private:
 
   ir::Pipeline pipe_;  ///< retained to compile the reference plan lazily
   opt::CompileOptions opts_;
+  const CancelToken* cancel_ = nullptr;  ///< forwarded to both executors
   std::unique_ptr<Executor> optimized_;
   std::unique_ptr<Executor> reference_;
   bool last_from_fallback_ = false;

@@ -1,0 +1,215 @@
+// SolveService — a deadline-aware multi-tenant solve front end.
+//
+// The library so far solves one problem at a time for one caller. A
+// service deployment looks different: many tenants submit Poisson solves
+// against a handful of problem signatures, each request carries a
+// deadline, and the host is routinely oversubscribed. This layer turns
+// the guarded solver into that service:
+//
+//  * requests resolve their compiled plan through a signature-keyed
+//    PlanCache (compile once, serve many — a cache hit performs zero
+//    opt::compile calls);
+//  * a bounded worker pool executes solves, each worker keeping a
+//    persistent per-signature session (GuardedExecutor + checkpoint
+//    pool) so steady-state serving reuses pool pages and scheduler
+//    state across requests;
+//  * every request gets a CancelToken armed with its absolute deadline
+//    at ADMISSION — queue time counts against the deadline — which the
+//    executor polls at tile granularity, so a deadline trip returns the
+//    best iterate completed so far instead of hanging;
+//  * admission control bounds the queue and each tenant's in-flight
+//    share; a shed request is rejected immediately with a retry-after
+//    hint rather than queued to miss its deadline;
+//  * transient worker faults (site service.reject) are retried with
+//    jittered exponential backoff; injected stalls (service.slow) model
+//    noisy neighbours and are bounded by the deadline machinery;
+//  * under overload the service degrades before it sheds: past a queue
+//    fill threshold it relaxes tolerances, past a higher one it also
+//    caps cycles (DESIGN.md §10 has the policy table).
+//
+// Threading: workers are plain std::threads; each one runs its solves'
+// OpenMP regions independently (deliberate oversubscription is the
+// overload scenario the bench measures). Tracing's per-thread rings are
+// single-writer per OMP thread id, which concurrent workers would share
+// — run traced sessions with one worker; metrics and reports are safe
+// at any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "polymg/common/cancel.hpp"
+#include "polymg/grid/buffer.hpp"
+#include "polymg/service/plan_cache.hpp"
+#include "polymg/solvers/guarded.hpp"
+
+namespace polymg::service {
+
+/// Service-wide knobs (admission, degradation, retry).
+struct ServiceConfig {
+  int workers = 2;                 ///< solve worker threads
+  std::size_t queue_capacity = 16; ///< bounded admission queue
+  /// Per-tenant cap on in-flight requests (queued + running); 0 = off.
+  std::size_t tenant_quota = 8;
+
+  // Retry with jittered exponential backoff for transient rejects
+  // (fault site service.reject).
+  int max_retries = 3;
+  double backoff_base_ms = 1.0;
+  double backoff_max_ms = 50.0;
+  std::uint64_t backoff_seed = 0x5eedULL;
+
+  /// Injected stall length for fault site service.slow (slept in 1 ms
+  /// slices that poll the request token, so a deadline still cuts it
+  /// short).
+  double slow_fault_ms = 20.0;
+
+  /// retry-after hint scale: a rejected request is told to come back
+  /// after retry_after_base_ms × (queued + 1) / workers.
+  double retry_after_base_ms = 5.0;
+
+  // Overload degradation ladder, evaluated from the queue fill fraction
+  // observed when a request is dequeued (see DESIGN.md §10):
+  //   fill < degrade_relax_fill          — serve as requested
+  //   fill ≥ degrade_relax_fill          — relax rel_tol ×relax_tol_factor
+  //   fill ≥ degrade_cap_fill            — also cap max_cycles
+  //   (queue full at submit              — shed: reject + retry-after)
+  double degrade_relax_fill = 0.5;
+  double degrade_cap_fill = 0.75;
+  double relax_tol_factor = 10.0;
+  int capped_cycles = 8;
+
+  /// Base guard policy template for every solve (checkpoint cadence,
+  /// monitor thresholds, ladder permissions, history_limit). The
+  /// service fills in cancel/plans/session_executor/checkpoint_pool and
+  /// the degradation overrides per request.
+  solvers::GuardPolicy guard;
+};
+
+/// One solve request. `rhs` must cover the (n+2)^ndim fine domain of
+/// `cfg`; the initial guess is zero.
+struct SolveRequest {
+  solvers::CycleConfig cfg;
+  opt::CompileOptions opts;
+  grid::Buffer rhs;
+  double rel_tol = 1e-8;
+  std::string tenant = "default";
+  /// Relative deadline in milliseconds from ADMISSION (0 = none). Queue
+  /// time counts: a request that waits its whole budget is abandoned at
+  /// dequeue without touching a core.
+  double deadline_ms = 0.0;
+  /// Larger runs earlier among queued requests (FIFO within a class).
+  int priority = 0;
+};
+
+/// The outcome handed back by wait().
+struct SolveResult {
+  /// Generic = served (check `converged`); Overloaded = shed at
+  /// admission (see retry_after_ms); DeadlineExceeded / Cancelled =
+  /// stopped, `iterate` holds the best completed iterate.
+  ErrorCode status = ErrorCode::Generic;
+  bool converged = false;
+  solvers::SolveReport report;   ///< full guarded-solve account
+  grid::Buffer iterate;          ///< final iterate (empty when shed)
+  double queue_ms = 0.0;
+  double solve_ms = 0.0;
+  /// How far past its deadline the request finished (0 when met) — the
+  /// bench asserts this stays within one tile-stage granule.
+  double deadline_overshoot_ms = 0.0;
+  double retry_after_ms = 0.0;   ///< when status == Overloaded
+  int retries = 0;               ///< transient-reject retries consumed
+  bool degraded = false;         ///< overload ladder touched this solve
+  std::string degradation;       ///< which rung ("relaxed tol", ...)
+};
+
+/// Per-tenant roll-up (attach_tenants renders these into a RunReport).
+struct TenantStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t deadline_hits = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t degraded = 0;
+  std::int64_t cycles = 0;
+  double solve_ms = 0.0;
+};
+
+class SolveService {
+public:
+  explicit SolveService(ServiceConfig cfg);
+  ~SolveService();  ///< shutdown(); queued-but-unserved requests cancel
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admission verdict. A rejected request was NOT queued: resubmit
+  /// after retry_after_ms (the fault-injection retry loop in the bench
+  /// does exactly this).
+  struct Admission {
+    bool admitted = false;
+    std::uint64_t ticket = 0;      ///< valid only when admitted
+    ErrorCode reason = ErrorCode::Generic;  ///< Overloaded on reject
+    double retry_after_ms = 0.0;
+  };
+
+  /// Admission control: tenant quota, then queue bound. O(queue) under
+  /// one lock; never blocks on solving.
+  Admission submit(SolveRequest req);
+
+  /// Block until the ticket's solve finishes (or is shed/cancelled) and
+  /// surrender the result. Each ticket can be waited on exactly once;
+  /// an unknown ticket throws Error(PreconditionViolated).
+  SolveResult wait(std::uint64_t ticket);
+
+  /// Request cooperative cancellation. True if the ticket was still
+  /// pending (queued or running) — wait() then returns status
+  /// Cancelled. Idempotent; false for finished or unknown tickets.
+  bool cancel(std::uint64_t ticket);
+
+  /// Stop admitting, cancel queued-but-unstarted requests, finish the
+  /// running ones, join the workers. Idempotent; the destructor calls
+  /// it.
+  void shutdown();
+
+  std::size_t queue_depth() const;
+  PlanCache& plans() { return plans_; }
+  std::map<std::string, TenantStats> tenant_stats() const;
+  /// Render per-tenant roll-ups into rr.tenant_lines.
+  void attach_tenants(obs::RunReport& rr) const;
+
+private:
+  struct Job;
+
+  void worker_loop(int wi);
+  void serve(Job& job, int wi, double fill);
+  double retry_after_locked() const;
+  /// Sleep `ms` in 1 ms slices, polling `tok`; false if it tripped.
+  static bool interruptible_sleep_ms(double ms, const CancelToken& tok);
+
+  ServiceConfig cfg_;
+  PlanCache plans_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_worker_;  ///< queue became non-empty / stop
+  std::condition_variable cv_done_;    ///< some job finished
+  std::deque<std::shared_ptr<Job>> queue_;          // priority-ordered
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::map<std::string, std::size_t> inflight_;     // per-tenant
+  std::map<std::string, TenantStats> tenants_;
+  std::uint64_t next_ticket_ = 1;
+  bool stopping_ = false;
+
+  /// Per-worker persistent session state (touched only by its worker).
+  struct WorkerSession;
+  std::vector<std::unique_ptr<WorkerSession>> sessions_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace polymg::service

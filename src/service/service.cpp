@@ -1,0 +1,403 @@
+#include "polymg/service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
+#include "polymg/common/rng.hpp"
+#include "polymg/common/timer.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
+#include "polymg/runtime/guarded.hpp"
+#include "polymg/runtime/pool.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+             .count() /
+         1e6;
+}
+
+}  // namespace
+
+/// One admitted request's full lifecycle state. The queue and jobs_ map
+/// share ownership; wait() surrenders the result and drops the map's
+/// reference.
+struct SolveService::Job {
+  std::uint64_t id = 0;
+  int tenant_ix = 0;
+  SolveRequest req;
+  CancelToken token;
+  Clock::time_point submitted{};
+  enum class State { Queued, Running, Done } state = State::Queued;
+  SolveResult result;
+};
+
+/// Per-worker persistent serving state. Touched only by its own worker
+/// thread, so none of it needs locking: the checkpoint pool keeps its
+/// slot buffers warm across requests, and each problem signature keeps
+/// a session GuardedExecutor whose Executor state (pool pages,
+/// scheduler arrays, per-thread workspaces) is reused by every solve of
+/// that signature on this worker.
+struct SolveService::WorkerSession {
+  runtime::MemoryPool ckpt_pool;
+  std::map<std::string, std::unique_ptr<runtime::GuardedExecutor>> executors;
+  Rng rng{0};
+};
+
+SolveService::SolveService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  PMG_CHECK_CODE(cfg_.workers > 0, ErrorCode::PreconditionViolated,
+                 "service needs at least one worker");
+  PMG_CHECK_CODE(cfg_.queue_capacity > 0, ErrorCode::PreconditionViolated,
+                 "service queue capacity must be positive");
+  sessions_.reserve(static_cast<std::size_t>(cfg_.workers));
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int wi = 0; wi < cfg_.workers; ++wi) {
+    auto ws = std::make_unique<WorkerSession>();
+    ws->rng = Rng(cfg_.backoff_seed + static_cast<std::uint64_t>(wi) * 1000003ULL);
+    sessions_.push_back(std::move(ws));
+  }
+  for (int wi = 0; wi < cfg_.workers; ++wi) {
+    workers_.emplace_back([this, wi] { worker_loop(wi); });
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+double SolveService::retry_after_locked() const {
+  return cfg_.retry_after_base_ms *
+         (static_cast<double>(queue_.size()) + 1.0) /
+         static_cast<double>(cfg_.workers);
+}
+
+SolveService::Admission SolveService::submit(SolveRequest req) {
+  auto& m = obs::Metrics::instance();
+  std::unique_lock<std::mutex> lk(mu_);
+  TenantStats& ts = tenants_[req.tenant];
+  ++ts.submitted;
+  // Tenant index = registration order; stable for the service lifetime
+  // (used as the `group` coordinate of request trace events).
+  const int tix =
+      static_cast<int>(std::distance(tenants_.begin(),
+                                     tenants_.find(req.tenant)));
+
+  Admission a;
+  const bool quota_hit =
+      cfg_.tenant_quota > 0 && inflight_[req.tenant] >= cfg_.tenant_quota;
+  if (stopping_ || quota_hit || queue_.size() >= cfg_.queue_capacity) {
+    // Shed NOW with a hint instead of queueing into a missed deadline.
+    a.admitted = false;
+    a.reason = ErrorCode::Overloaded;
+    a.retry_after_ms = retry_after_locked();
+    ++ts.rejected;
+    m.counter(quota_hit ? "service.rejected_quota" : "service.rejected")
+        .add(1);
+    PMG_TRACE_INSTANT(RequestReject, tix, quota_hit ? 1 : 0,
+                      static_cast<int>(next_ticket_), a.retry_after_ms);
+    return a;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = next_ticket_++;
+  job->tenant_ix = tix;
+  job->req = std::move(req);
+  job->submitted = Clock::now();
+  // The deadline clock starts at admission — queue time counts.
+  if (job->req.deadline_ms > 0.0) {
+    job->token.set_deadline_after_ms(job->req.deadline_ms);
+  }
+  ++inflight_[job->req.tenant];
+  ++ts.admitted;
+  m.counter("service.admitted").add(1);
+
+  // Priority order, FIFO within a class: insert before the first queued
+  // job of strictly lower priority.
+  auto pos = std::find_if(queue_.begin(), queue_.end(),
+                          [&](const std::shared_ptr<Job>& j) {
+                            return j->req.priority < job->req.priority;
+                          });
+  queue_.insert(pos, job);
+  jobs_.emplace(job->id, job);
+  a.admitted = true;
+  a.ticket = job->id;
+  PMG_TRACE_INSTANT(RequestAdmit, tix, -1, static_cast<int>(job->id),
+                    static_cast<double>(queue_.size()));
+  lk.unlock();
+  cv_worker_.notify_one();
+  return a;
+}
+
+bool SolveService::cancel(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = jobs_.find(ticket);
+  if (it == jobs_.end() || it->second->state == Job::State::Done) {
+    return false;
+  }
+  Job& job = *it->second;
+  job.token.cancel();
+  PMG_TRACE_INSTANT(RequestCancel, job.tenant_ix,
+                    job.state == Job::State::Running ? 1 : 0,
+                    static_cast<int>(ticket), 0.0);
+  obs::Metrics::instance().counter("service.cancel_requests").add(1);
+  return true;
+}
+
+SolveResult SolveService::wait(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = jobs_.find(ticket);
+  PMG_CHECK_CODE(it != jobs_.end(), ErrorCode::PreconditionViolated,
+                 "unknown or already-waited ticket " << ticket);
+  std::shared_ptr<Job> job = it->second;
+  cv_done_.wait(lk, [&] { return job->state == Job::State::Done; });
+  jobs_.erase(ticket);
+  return std::move(job->result);
+}
+
+std::size_t SolveService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::map<std::string, TenantStats> SolveService::tenant_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tenants_;
+}
+
+void SolveService::attach_tenants(obs::RunReport& rr) const {
+  const std::map<std::string, TenantStats> stats = tenant_stats();
+  rr.tenant_lines.clear();
+  for (const auto& [name, t] : stats) {
+    std::ostringstream os;
+    os << name << ": " << t.submitted << " submitted, " << t.admitted
+       << " admitted, " << t.rejected << " rejected, " << t.completed
+       << " completed";
+    if (t.deadline_hits > 0) os << ", " << t.deadline_hits << " deadline";
+    if (t.cancelled > 0) os << ", " << t.cancelled << " cancelled";
+    if (t.degraded > 0) os << ", " << t.degraded << " degraded";
+    os << ", " << t.cycles << " cycle(s), " << t.solve_ms << " ms solving";
+    rr.tenant_lines.push_back(os.str());
+  }
+}
+
+void SolveService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    // Queued-but-unstarted requests will never run: resolve them as
+    // cancelled so their waiters unblock.
+    for (const std::shared_ptr<Job>& job : queue_) {
+      job->token.cancel();
+      job->result.status = ErrorCode::Cancelled;
+      job->result.queue_ms = ms_since(job->submitted);
+      job->state = Job::State::Done;
+      TenantStats& ts = tenants_[job->req.tenant];
+      ++ts.cancelled;
+      ++ts.completed;
+      --inflight_[job->req.tenant];
+    }
+    queue_.clear();
+  }
+  cv_worker_.notify_all();
+  cv_done_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+bool SolveService::interruptible_sleep_ms(double ms,
+                                          const CancelToken& tok) {
+  double slept = 0.0;
+  while (slept < ms) {
+    if (tok.stop_requested()) return false;
+    const double slice = std::min(1.0, ms - slept);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        slice));
+    slept += slice;
+  }
+  return !tok.stop_requested();
+}
+
+void SolveService::serve(Job& job, int wi, double fill) {
+  auto& m = obs::Metrics::instance();
+  SolveRequest& req = job.req;
+  WorkerSession& ws = *sessions_[static_cast<std::size_t>(wi)];
+  SolveResult& res = job.result;
+
+  // --- Overload degradation ladder (decided from the queue fill seen at
+  // --- dequeue; see DESIGN.md §10 for the policy table).
+  double rel_tol = req.rel_tol;
+  solvers::GuardPolicy pol = cfg_.guard;
+  if (fill >= cfg_.degrade_relax_fill) {
+    rel_tol *= cfg_.relax_tol_factor;
+    res.degraded = true;
+    res.degradation = "relaxed tol";
+    if (fill >= cfg_.degrade_cap_fill) {
+      pol.max_cycles = std::min(pol.max_cycles, cfg_.capped_cycles);
+      res.degradation = "relaxed tol + capped cycles";
+    }
+    m.counter("service.degraded").add(1);
+  }
+  pol.cancel = &job.token;
+  pol.plans = &plans_;
+  pol.checkpoint_pool = &ws.ckpt_pool;
+
+  try {
+    // --- Per-worker session executor for this signature: compiled plan
+    // --- from the cache (zero compiles on a warm signature), Executor
+    // --- state reused across requests.
+    const std::string sig = PlanCache::signature(req.cfg, req.opts);
+    auto it = ws.executors.find(sig);
+    if (it == ws.executors.end()) {
+      auto plan = plans_.plan_for(req.cfg, req.opts);
+      it = ws.executors
+               .emplace(sig, std::make_unique<runtime::GuardedExecutor>(
+                                 solvers::build_cycle(req.cfg), req.opts,
+                                 std::move(plan)))
+               .first;
+    }
+    pol.session_executor = it->second.get();
+
+    // --- Problem assembly: zero guess, the request's right-hand side.
+    solvers::PoissonProblem p;
+    p.ndim = req.cfg.ndim;
+    p.n = req.cfg.n;
+    p.h = 1.0 / static_cast<double>(req.cfg.n + 1);
+    std::size_t count = 1;
+    for (int d = 0; d < p.ndim; ++d) {
+      count *= static_cast<std::size_t>(p.n + 2);
+    }
+    PMG_CHECK_CODE(req.rhs.size() == count, ErrorCode::PreconditionViolated,
+                   "rhs holds " << req.rhs.size() << " doubles, signature "
+                                << sig << " needs " << count);
+    p.v = grid::Buffer(count);
+    p.v.fill(0.0);
+    p.f = std::move(req.rhs);
+
+    // --- Transient-fault loop: injected rejects retry with jittered
+    // --- exponential backoff, injected stalls burn wall time in
+    // --- token-polling slices. Both deterministic under the injector's
+    // --- seeded RNG.
+    int attempt = 0;
+    for (;;) {
+      if (fault::should_fail(fault::kServiceReject)) {
+        m.counter("fault.service_reject").add(1);
+        PMG_TRACE_INSTANT(FaultInjected, job.tenant_ix, -1, /*site=*/6,
+                          0.0);
+        if (attempt >= cfg_.max_retries) {
+          res.status = ErrorCode::Overloaded;
+          res.retry_after_ms = cfg_.backoff_max_ms;
+          return;
+        }
+        ++res.retries;
+        m.counter("service.retries").add(1);
+        double delay = std::min(cfg_.backoff_max_ms,
+                                cfg_.backoff_base_ms *
+                                    static_cast<double>(1L << attempt));
+        delay *= 0.5 + 0.5 * ws.rng.next_double();  // full jitter band
+        if (!interruptible_sleep_ms(delay, job.token)) break;
+        ++attempt;
+        continue;
+      }
+      if (fault::should_fail(fault::kServiceSlow)) {
+        m.counter("fault.service_slow").add(1);
+        PMG_TRACE_INSTANT(FaultInjected, job.tenant_ix, -1, /*site=*/7,
+                          0.0);
+        if (!interruptible_sleep_ms(cfg_.slow_fault_ms, job.token)) break;
+      }
+      break;
+    }
+    // A trip during backoff/stall falls through: guarded_solve's first
+    // poll resolves it to the right status with the zero iterate.
+
+    Timer t;
+    res.report = solvers::guarded_solve(req.cfg, p, rel_tol, pol, req.opts);
+    res.solve_ms = t.elapsed() * 1e3;
+    res.converged = res.report.converged;
+    res.status = res.report.status;
+    res.iterate = std::move(p.v);
+  } catch (const Error& e) {
+    // Plan compilation / precondition failures surface as a served-but-
+    // failed result rather than killing the worker.
+    res.status = e.code();
+    res.report.attempts.push_back(solvers::SolveAttempt{});
+    res.report.attempts.back().threw = true;
+    res.report.attempts.back().error = e.what();
+  }
+}
+
+void SolveService::worker_loop(int wi) {
+  auto& m = obs::Metrics::instance();
+  for (;;) {
+    std::shared_ptr<Job> job;
+    double fill = 0.0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_worker_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = queue_.front();
+      queue_.pop_front();
+      fill = static_cast<double>(queue_.size()) /
+             static_cast<double>(cfg_.queue_capacity);
+      job->state = Job::State::Running;
+    }
+    job->result.queue_ms = ms_since(job->submitted);
+
+    if (job->token.stop_requested()) {
+      // Abandoned while queued: the deadline burned out (or the caller
+      // cancelled) before a worker was free — never touch a core.
+      const bool cancelled = job->token.cancelled();
+      job->result.status = cancelled ? ErrorCode::Cancelled
+                                     : ErrorCode::DeadlineExceeded;
+      if (!cancelled) {
+        PMG_TRACE_INSTANT(DeadlineHit, job->tenant_ix, /*stage=*/0,
+                          static_cast<int>(job->id),
+                          -job->token.remaining_ns() / 1e6);
+        m.counter("service.deadline_hits").add(1);
+      }
+    } else {
+      serve(*job, wi, fill);
+      if (job->result.status == ErrorCode::DeadlineExceeded) {
+        PMG_TRACE_INSTANT(DeadlineHit, job->tenant_ix, /*stage=*/2,
+                          static_cast<int>(job->id),
+                          -job->token.remaining_ns() / 1e6);
+        m.counter("service.deadline_hits").add(1);
+      }
+    }
+    if (job->token.has_deadline()) {
+      const std::int64_t rem = job->token.remaining_ns();
+      if (rem < 0 && rem != CancelToken::kNoDeadline) {
+        job->result.deadline_overshoot_ms = -static_cast<double>(rem) / 1e6;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      TenantStats& ts = tenants_[job->req.tenant];
+      ++ts.completed;
+      if (job->result.status == ErrorCode::DeadlineExceeded) {
+        ++ts.deadline_hits;
+      }
+      if (job->result.status == ErrorCode::Cancelled) ++ts.cancelled;
+      if (job->result.degraded) ++ts.degraded;
+      ts.cycles += job->result.report.total_cycles;
+      ts.solve_ms += job->result.solve_ms;
+      --inflight_[job->req.tenant];
+      job->state = Job::State::Done;
+      m.counter("service.completed").add(1);
+    }
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace polymg::service

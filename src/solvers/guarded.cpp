@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <sstream>
 
 #include "polymg/common/error.hpp"
@@ -71,10 +72,13 @@ std::vector<Rung> build_ladder(const CycleConfig& cfg,
 }
 
 /// Append to a ring-bounded vector: once `limit` entries are held the
-/// oldest is dropped, so the vector never reallocates past its reserve.
-void push_bounded(std::vector<double>& v, double x, int limit) {
+/// oldest is dropped (and counted, so reports can say the history is a
+/// suffix) and the vector never reallocates past its reserve.
+void push_bounded(std::vector<double>& v, double x, int limit,
+                  std::int64_t& dropped) {
   if (limit > 0 && static_cast<int>(v.size()) >= limit) {
     v.erase(v.begin());
+    ++dropped;
   }
   v.push_back(x);
 }
@@ -88,6 +92,7 @@ const char* to_string(RungKind k) {
     case RungKind::SmootherDowngrade: return "smoother-downgrade";
     case RungKind::OmegaBackoff: return "omega-backoff";
     case RungKind::CheckpointRollback: return "checkpoint-rollback";
+    case RungKind::DeadlineStop: return "deadline-stop";
   }
   return "?";
 }
@@ -126,6 +131,25 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
   report.residual_history.reserve(
       static_cast<std::size_t>(std::max(1, policy.history_limit)));
 
+  // Records a token trip: best iterate so far stays in p.v (the copy-out
+  // after ex.run never happened for the aborted cycle), the interrupted
+  // attempt is recorded as a DeadlineStop pseudo-rung, and the ladder is
+  // never walked past it.
+  const auto finalize_stopped = [&](SolveAttempt&& attempt, ErrorCode code) {
+    report.status = code;
+    report.deadline_hit = code == ErrorCode::DeadlineExceeded;
+    report.cancelled = code == ErrorCode::Cancelled;
+    attempt.kind = RungKind::DeadlineStop;
+    PMG_TRACE_INSTANT(Degrade, -1, static_cast<int>(report.attempts.size()),
+                      static_cast<int>(RungKind::DeadlineStop), 0.0);
+    obs::Metrics::instance()
+        .counter(report.deadline_hit ? "solver.deadline_stops"
+                                     : "solver.cancel_stops")
+        .add(1);
+    report.attempts.push_back(std::move(attempt));
+    report.final_residual = report.attempts.back().last_residual;
+  };
+
   const std::vector<Rung> ladder = build_ladder(cfg, opts, policy);
   for (std::size_t ri = 0; ri < ladder.size(); ++ri) {
     const Rung& rung = ladder[ri];
@@ -148,7 +172,37 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
         {policy.divergence_factor, policy.stagnation_ratio,
          policy.stagnation_window, std::max(1, policy.history_limit)});
     try {
-      runtime::GuardedExecutor ex(build_cycle(rung.cfg), rung.opts);
+      // Attempt 0 may reuse a caller-owned session executor and/or adopt
+      // a precompiled plan from the cache; ladder rungs always build
+      // their own — their configurations differ from the cached
+      // signature by definition.
+      std::optional<runtime::GuardedExecutor> own;
+      runtime::GuardedExecutor* exp = nullptr;
+      if (ri == 0 && policy.session_executor != nullptr) {
+        exp = policy.session_executor;
+      } else {
+        std::shared_ptr<const opt::CompiledPipeline> pre;
+        if (ri == 0 && policy.plans != nullptr) {
+          pre = policy.plans->plan_for(rung.cfg, rung.opts);
+        }
+        if (pre != nullptr) {
+          own.emplace(build_cycle(rung.cfg), rung.opts, std::move(pre));
+        } else {
+          own.emplace(build_cycle(rung.cfg), rung.opts);
+        }
+        exp = &*own;
+      }
+      runtime::GuardedExecutor& ex = *exp;
+      // The token is attached for this attempt only: a session executor
+      // outlives the request whose token this is.
+      ex.set_cancel_token(policy.cancel);
+      struct TokenDetach {
+        runtime::GuardedExecutor& ex;
+        ~TokenDetach() { ex.set_cancel_token(nullptr); }
+      } detach{ex};
+      // Session executors accumulate fallback counts across solves;
+      // attribute only this attempt's delta.
+      const int fallbacks_before = ex.report().fallback_runs;
       Checkpoint ckpt(ckpt_pool);
       int rollbacks_left = policy.max_rollbacks;
       const index_t v_doubles = static_cast<index_t>(p.v.size());
@@ -197,6 +251,16 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
       const std::vector<grid::View> ext = {p.v_view(), p.f_view()};
       int c = 0;
       while (c < policy.max_cycles) {
+        // Between-cycle stop poll: cheap (two relaxed loads) and exact —
+        // p.v holds the just-completed cycle's iterate, so stopping here
+        // costs nothing in progress.
+        if (policy.cancel != nullptr && policy.cancel->stop_requested()) {
+          finalize_stopped(std::move(attempt),
+                           policy.cancel->cancelled()
+                               ? ErrorCode::Cancelled
+                               : ErrorCode::DeadlineExceeded);
+          return report;
+        }
         // Injected crash between cycles (fault site solve.crash): the
         // process "died" and restarted — resume from the snapshot. A
         // crash with no restorable snapshot ends the attempt; the ladder
@@ -235,7 +299,8 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
             continue;
           }
         }
-        push_bounded(report.residual_history, r, policy.history_limit);
+        push_bounded(report.residual_history, r, policy.history_limit,
+                     report.history_dropped);
         PMG_TRACE_INSTANT(Residual, static_cast<int>(ri), c, 0, r);
         attempt.last_residual = r;
         attempt.trend = monitor.observe(r);
@@ -248,8 +313,19 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
         if (attempt.trend != health::Trend::Converging) break;
         if (ckpt_on && c % policy.checkpoint_cadence == 0) capture(c);
       }
-      attempt.executor_fallbacks = ex.report().fallback_runs;
+      attempt.executor_fallbacks =
+          ex.report().fallback_runs - fallbacks_before;
     } catch (const Error& e) {
+      // A deadline/cancel trip mid-cycle is a stop, not a failure to
+      // degrade around: the aborted run never reached the copy-out, so
+      // p.v still holds the last completed cycle's iterate (bit-exact
+      // across schedules and thread counts).
+      if (e.code() == ErrorCode::DeadlineExceeded ||
+          e.code() == ErrorCode::Cancelled) {
+        attempt.error = e.what();
+        finalize_stopped(std::move(attempt), e.code());
+        return report;
+      }
       attempt.threw = true;
       attempt.error = e.what();
       attempt.trend = health::Trend::Diverging;
@@ -286,6 +362,7 @@ void attach_convergence(const SolveReport& sr, obs::RunReport& rr) {
   rr.final_residual = sr.final_residual;
   rr.total_cycles = sr.total_cycles;
   rr.residual_history = sr.residual_history;
+  rr.residual_history_dropped = sr.history_dropped;
   rr.attempt_lines.clear();
   for (std::size_t i = 0; i < sr.attempts.size(); ++i) {
     const SolveAttempt& a = sr.attempts[i];
@@ -313,11 +390,16 @@ std::string SolveReport::summary() const {
      << initial_residual << " -> " << final_residual << " in "
      << total_cycles << " cycle(s), " << attempts.size()
      << " attempt(s)";
+  if (deadline_hit) os << ", stopped by deadline (best iterate kept)";
+  if (cancelled) os << ", cancelled (best iterate kept)";
   if (checkpoint_writes > 0 || checkpoint_restores > 0) {
     os << ", " << checkpoint_writes << " checkpoint(s), "
        << checkpoint_restores << " restore(s)";
   }
   if (sdc_detected > 0) os << ", " << sdc_detected << " SDC detected";
+  if (history_dropped > 0) {
+    os << ", history ring dropped " << history_dropped << " oldest";
+  }
   os << "\n";
   for (std::size_t i = 0; i < attempts.size(); ++i) {
     const SolveAttempt& a = attempts[i];

@@ -12,19 +12,38 @@
 // SolveReport, so a degraded solve is visible, not papered over.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "polymg/common/cancel.hpp"
+#include "polymg/common/error.hpp"
 #include "polymg/common/health.hpp"
 #include "polymg/obs/report.hpp"
+#include "polymg/opt/compile.hpp"
 #include "polymg/opt/options.hpp"
 #include "polymg/solvers/poisson.hpp"
 
 namespace polymg::runtime {
 class MemoryPool;
+class GuardedExecutor;
 }
 
 namespace polymg::solvers {
+
+/// Source of precompiled plans, so a caller that solves the same problem
+/// signature repeatedly (the service layer's plan cache) compiles once
+/// and serves every later solve from the cached CompiledPipeline. A
+/// null return means "no cached plan — compile as usual"; only attempt 0
+/// (the as-configured rung) consults the provider, since ladder rungs
+/// are degradations that by definition differ from the cached signature.
+class PlanProvider {
+public:
+  virtual ~PlanProvider() = default;
+  virtual std::shared_ptr<const opt::CompiledPipeline> plan_for(
+      const CycleConfig& cfg, const opt::CompileOptions& opts) = 0;
+};
 
 /// Knobs for the guarded cycle loop and its degradation ladder.
 struct GuardPolicy {
@@ -68,7 +87,26 @@ struct GuardPolicy {
   double sdc_jump_factor = 100.0;
   /// Ring bound on SolveReport::residual_history (last N entries kept),
   /// so unattended long-running solves cannot grow memory without bound.
+  /// Evictions are counted in SolveReport::history_dropped.
   int history_limit = 1024;
+
+  // Deadline-aware service execution (DESIGN.md §10).
+  /// Cooperative cancellation token (non-owning, may be null; must
+  /// outlive the call). The executor polls it at tile/slab granularity
+  /// and the cycle loop between cycles; a trip ends the solve
+  /// immediately — best iterate so far stays in p.v, the report carries
+  /// status DeadlineExceeded/Cancelled, and the ladder is NOT walked
+  /// (every rung is slower, the opposite of what a deadline asks for).
+  const CancelToken* cancel = nullptr;
+  /// Optional plan cache consulted for attempt 0 (see PlanProvider).
+  PlanProvider* plans = nullptr;
+  /// Optional caller-owned executor reused for attempt 0 instead of
+  /// constructing one per solve — a service worker that solves the same
+  /// signature repeatedly keeps its Executor state (pool pages,
+  /// scheduler arrays, workspaces) warm across requests. Must match the
+  /// solve's (cfg, opts) compilation; ladder rungs always build their
+  /// own executor. Must outlive the call.
+  runtime::GuardedExecutor* session_executor = nullptr;
 };
 
 /// Which remedy a ladder rung applies (mirrors build_ladder's order).
@@ -84,6 +122,10 @@ enum class RungKind : int {
   /// in Degrade trace events and rollback accounting, never in the
   /// attempt list.
   CheckpointRollback = 4,
+  /// Terminal pseudo-rung: the solve stopped because its deadline passed
+  /// or it was cancelled. Recorded on the attempt that was interrupted;
+  /// the ladder is never walked past it.
+  DeadlineStop = 5,
 };
 const char* to_string(RungKind k);
 
@@ -115,6 +157,16 @@ struct SolveReport {
   /// (a bounded ring: at most GuardPolicy::history_limit entries are
   /// retained, oldest dropped first).
   std::vector<double> residual_history;
+  /// Entries evicted from the ring above — nonzero means
+  /// residual_history is a suffix of the solve, not the whole of it.
+  std::int64_t history_dropped = 0;
+  /// How the solve ended: Generic for the ordinary paths (converged, or
+  /// ladder exhausted with the evidence in `attempts`),
+  /// DeadlineExceeded / Cancelled when the token stopped it — p.v then
+  /// holds the best iterate completed before the trip.
+  ErrorCode status = ErrorCode::Generic;
+  bool deadline_hit = false;  ///< status == DeadlineExceeded
+  bool cancelled = false;     ///< status == Cancelled
   int checkpoint_writes = 0;    ///< snapshots committed across the solve
   int checkpoint_restores = 0;  ///< rollbacks served across the solve
   int sdc_detected = 0;         ///< SDC-guard firings across the solve

@@ -157,6 +157,30 @@ TEST_F(GuardedSolveTest, ExhaustedCycleBudgetDoesNotWalkTheLadder) {
       << "the partial progress must be kept, not degraded away";
 }
 
+TEST_F(GuardedSolveTest, HistoryRingBoundsMemoryAndReportsDrops) {
+  // Unattended long-running solves must not grow the residual history
+  // without bound: the ring keeps the last history_limit entries and the
+  // report says how many older ones were evicted.
+  const CycleConfig cfg = healthy2d();
+  PoissonProblem p = PoissonProblem::manufactured(2, cfg.n);
+  GuardPolicy policy;
+  policy.history_limit = 4;
+  policy.max_cycles = 10;
+  const SolveReport rep = guarded_solve(cfg, p, 1e-300, policy);
+  ASSERT_GT(rep.total_cycles, 4) << rep.summary();
+  EXPECT_EQ(rep.residual_history.size(), 4u);
+  EXPECT_EQ(rep.history_dropped, rep.total_cycles - 4);
+  // The ring holds the LAST four residuals — its first entry must match
+  // the level the solve actually reached, not the opening cycles.
+  EXPECT_LT(rep.residual_history.front(), rep.initial_residual);
+  EXPECT_NE(rep.summary().find("dropped"), std::string::npos);
+
+  // The RunReport merge carries the drop count for render().
+  obs::RunReport rr;
+  attach_convergence(rep, rr);
+  EXPECT_EQ(rr.residual_history_dropped, rep.history_dropped);
+}
+
 TEST_F(GuardedSolveTest, LadderDisabledFailsFast) {
   CycleConfig cfg = healthy2d();
   cfg.omega = 1.9;
