@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "polymg/codegen/jit.hpp"
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
@@ -158,6 +159,22 @@ void arm_faults_from_options(const Options& opts) {
     std::exit(2);
   }
   std::printf("fault injection armed: %s\n", spec.c_str());
+}
+
+void apply_jit_from_options(const Options& opts) {
+  const std::string spec = opts.get("jit", "auto");
+  bool ok = false;
+  const opt::JitMode mode = codegen::parse_jit_mode(spec, &ok);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "invalid --jit value '%s': expected on, off, or auto\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  codegen::set_jit_mode(mode);
+  if (mode != opt::JitMode::Auto) {
+    std::printf("jit mode: %s\n", opt::to_string(mode).c_str());
+  }
 }
 
 double deadline_ms_from_options(const Options& opts) {

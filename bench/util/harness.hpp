@@ -84,6 +84,13 @@ Stats time_runner(const SolveRunner& r, int repetitions);
 /// benchmarking.
 void arm_faults_from_options(const Options& opts);
 
+/// Apply `--jit=on|off|auto` (the POLYMG_JIT environment variable is the
+/// usual Options fallback; default auto) to the process-wide JIT mode.
+/// Like --fault, an unrecognized value terminates the binary HERE, at
+/// startup — not as a silently-interpreted run that reports fake "jit"
+/// numbers.
+void apply_jit_from_options(const Options& opts);
+
 /// The `--deadline-ms` per-request budget (0 disables deadlines).
 /// Negative or unparsable values are a startup error.
 double deadline_ms_from_options(const Options& opts);

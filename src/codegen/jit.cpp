@@ -1,0 +1,691 @@
+#include "polymg/codegen/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "polymg/common/error.hpp"
+#include "polymg/common/fault.hpp"
+#include "polymg/ir/regprog.hpp"
+#include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
+
+namespace polymg::codegen {
+
+namespace {
+
+using poly::index_t;
+
+// ---------------------------------------------------------------------
+// Process-wide mode gate and cache-directory state.
+// ---------------------------------------------------------------------
+
+std::atomic<int> g_mode{static_cast<int>(opt::JitMode::Auto)};
+
+std::mutex& jit_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& cache_dir_storage() {
+  static std::string dir;  // empty = derive the default lazily
+  return dir;
+}
+
+std::string default_cache_dir() {
+  if (const char* e = std::getenv("POLYMG_JIT_CACHE_DIR"); e != nullptr && *e) {
+    return e;
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = (tmp != nullptr && *tmp) ? tmp : "/tmp";
+  if (!base.empty() && base.back() == '/') base.pop_back();
+  return base + "/polymg-jit-" + std::to_string(geteuid()) + "-a" +
+         std::to_string(ir::kJitAbiVersion);
+}
+
+/// Cache dir, created on demand. Caller holds jit_mutex().
+std::string cache_dir_locked() {
+  std::string& dir = cache_dir_storage();
+  if (dir.empty()) dir = default_cache_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; compile fails loudly
+  return dir;
+}
+
+// ---------------------------------------------------------------------
+// Toolchain invocation.
+// ---------------------------------------------------------------------
+
+std::string jit_compiler() {
+  if (const char* e = std::getenv("POLYMG_JIT_CC"); e != nullptr && *e) return e;
+  return "cc";
+}
+
+/// -ffp-contract=off is load-bearing: the emitted code must reproduce
+/// the register row engine (and hence the interpreter oracle) bit for
+/// bit, and the engine's per-instruction dispatch can never fuse a
+/// separate mul and add into one FMA. Everything else is plain
+/// optimization.
+std::string jit_cflags() {
+  std::string flags =
+      "-O3 -march=native -fopenmp-simd -ffp-contract=off -fPIC -shared";
+  if (const char* e = std::getenv("POLYMG_JIT_CFLAGS"); e != nullptr && *e) {
+    flags += " ";
+    flags += e;
+  }
+  return flags;
+}
+
+bool run_compiler(const std::string& src, const std::string& out,
+                  const std::string& log) {
+  const std::string cmd = jit_compiler() + " " + jit_cflags() + " -x c \"" +
+                          src + "\" -o \"" + out + "\" > \"" + log +
+                          "\" 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp." + std::to_string(getpid());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os << content;
+    if (!os.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Content hashing (FNV-1a 64).
+// ---------------------------------------------------------------------
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    for (char ch : s) byte(static_cast<std::uint8_t>(ch));
+    byte(0);
+  }
+};
+
+std::uint64_t hash_bytecode(int ndim, const ir::Bytecode& bc) {
+  Fnv1a fp;
+  fp.byte(static_cast<std::uint8_t>(ndim));
+  fp.u64(bc.size());
+  for (const ir::BcOp& op : bc) {
+    fp.byte(static_cast<std::uint8_t>(op.kind));
+    if (op.kind == ir::BcKind::PushConst) fp.f64(op.c);
+    if (op.kind == ir::BcKind::Load) {
+      fp.byte(static_cast<std::uint8_t>(op.slot));
+      for (int d = 0; d < ndim; ++d) {
+        fp.u64(static_cast<std::uint64_t>(op.idx[d].num));
+        fp.u64(static_cast<std::uint64_t>(op.idx[d].den));
+        fp.u64(static_cast<std::uint64_t>(op.idx[d].off));
+      }
+    }
+  }
+  return fp.h;
+}
+
+std::string format_key(const char* tag, std::uint64_t content_hash) {
+  // The compile command participates so a flag or compiler change never
+  // reuses an object built under different codegen settings.
+  Fnv1a cmd;
+  cmd.str(jit_compiler());
+  cmd.str(jit_cflags());
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s-%016" PRIx64 "-a%d-%08x", tag,
+                content_hash, ir::kJitAbiVersion,
+                static_cast<std::uint32_t>(cmd.h));
+  return buf;
+}
+
+// ---------------------------------------------------------------------
+// Kernel emission.
+// ---------------------------------------------------------------------
+
+/// One kernel to emit: a register program specialized to (ndim, step,
+/// phase). `name` is the exported C symbol.
+struct KernelSpec {
+  std::string name;
+  int ndim = 2;
+  ir::RegProgram rp;
+  std::array<index_t, 3> step{1, 1, 1};
+  std::array<index_t, 3> phase{0, 0, 0};
+};
+
+bool emittable(const ir::RegProgram& rp, int ndim) {
+  if (rp.empty() || rp.result < 0) return false;
+  if (ndim < 1 || ndim > 3) return false;
+  auto check = [&](const std::vector<ir::RegInstr>& instrs) {
+    for (const ir::RegInstr& in : instrs) {
+      if (in.kind == ir::RegOpKind::Const && !std::isfinite(in.c)) return false;
+      if (in.kind == ir::RegOpKind::Load &&
+          (in.slot < 0 || in.slot >= ir::kJitMaxSrcSlots)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return check(rp.prologue) && check(rp.body);
+}
+
+std::string hexd(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Sampled index floor(num·pos/den) + off as C text; folds the
+/// identity map and integer offsets into plain arithmetic.
+std::string sampled(const std::string& pos, int num, int den, index_t off) {
+  std::ostringstream os;
+  if (den == 1) {
+    if (num == 1) {
+      os << pos;
+    } else {
+      os << num << " * (" << pos << ")";
+    }
+  } else {
+    os << "pmg_floord(" << num << " * (" << pos << "), " << den << ")";
+  }
+  if (off > 0) os << " + " << off;
+  if (off < 0) os << " - " << -off;
+  return os.str();
+}
+
+const char* op_char(ir::RegOpKind k) {
+  switch (k) {
+    case ir::RegOpKind::Add: return "+";
+    case ir::RegOpKind::Sub: return "-";
+    case ir::RegOpKind::Mul: return "*";
+    case ir::RegOpKind::Div: return "/";
+    default: return "?";
+  }
+}
+
+/// Emit one non-Load instruction as a single-operation statement.
+/// One IEEE operation per statement plus -ffp-contract=off is what
+/// makes the generated code bit-identical to the row engine.
+void emit_scalar_stmt(std::ostream& os, const std::string& ind,
+                      const ir::RegInstr& in) {
+  os << ind << "const double r" << in.dst << " = ";
+  switch (in.kind) {
+    case ir::RegOpKind::Const:
+      os << hexd(in.c);
+      break;
+    case ir::RegOpKind::Neg:
+      os << "-r" << in.a;
+      break;
+    default:
+      os << "r" << in.a << " " << op_char(in.kind) << " r" << in.b;
+      break;
+  }
+  os << ";\n";
+}
+
+void emit_kernel(std::ostream& os, const KernelSpec& ks) {
+  const int nd = ks.ndim;
+  const int in = nd - 1;  // innermost (contiguous) logical dim
+  const index_t si = ks.step[in];
+
+  os << "void " << ks.name
+     << "(double* restrict out, const pmg_i64* restrict oorg,\n"
+     << "    const pmg_i64* restrict ostr, const pmg_src* restrict src,\n"
+     << "    const pmg_i64* restrict lo, const pmg_i64* restrict hi) {\n";
+
+  // Lattice-restricted bounds; (step, phase) are baked per parity case.
+  for (int d = 0; d < nd; ++d) {
+    if (ks.step[d] == 1) {
+      os << "  const pmg_i64 b" << d << " = lo[" << d << "];\n";
+    } else {
+      os << "  const pmg_i64 b" << d << " = lo[" << d << "] + ((("
+         << ks.phase[d] << " - lo[" << d << "]) % " << ks.step[d] << ") + "
+         << ks.step[d] << ") % " << ks.step[d] << ";\n";
+    }
+    os << "  if (b" << d << " > hi[" << d << "]) return;\n";
+  }
+  os << "  const pmg_i64 n = (hi[" << in << "] - b" << in << ")";
+  if (si != 1) os << " / " << si;
+  os << " + 1;\n";
+
+  // Hoisted loop-invariant registers (the program's prologue).
+  for (const ir::RegInstr& instr : ks.rp.prologue) {
+    emit_scalar_stmt(os, "  ", instr);
+  }
+
+  // Outer loops over the non-contiguous logical dims.
+  std::string ind = "  ";
+  for (int d = 0; d < in; ++d) {
+    os << ind << "for (pmg_i64 x" << d << " = b" << d << "; x" << d
+       << " <= hi[" << d << "]; x" << d << " += " << ks.step[d] << ") {\n";
+    ind += "  ";
+  }
+
+  // Per-load row pointers: outer sampled offsets resolved here, the
+  // innermost advance strength-reduced to a constant when affine
+  // (den | num·step; the unit inner stride is baked).
+  int load_ord = 0;
+  std::vector<bool> affine;
+  std::vector<index_t> advance;
+  for (const ir::RegInstr& instr : ks.rp.body) {
+    if (instr.kind != ir::RegOpKind::Load) continue;
+    const int k = load_ord++;
+    const ir::LoadIndex& li = instr.idx[in];
+    const bool aff = (static_cast<index_t>(li.num) * si) % li.den == 0;
+    affine.push_back(aff);
+    advance.push_back(aff ? (static_cast<index_t>(li.num) * si / li.den) : 0);
+    os << ind << "const double* restrict p" << k << " = src[" << instr.slot
+       << "].ptr";
+    for (int d = 0; d < in; ++d) {
+      os << "\n" << ind << "    + ((" << sampled("x" + std::to_string(d),
+                                                 instr.idx[d].num,
+                                                 instr.idx[d].den,
+                                                 instr.idx[d].off)
+         << ") - src[" << instr.slot << "].origin[" << d << "]) * src["
+         << instr.slot << "].stride[" << d << "]";
+    }
+    if (aff) {
+      os << "\n" << ind << "    + ((" << sampled("b" + std::to_string(in),
+                                                 li.num, li.den, li.off)
+         << ") - src[" << instr.slot << "].origin[" << in << "])";
+    }
+    os << ";\n";
+  }
+
+  os << ind << "double* restrict po = out";
+  for (int d = 0; d < in; ++d) {
+    os << " + (x" << d << " - oorg[" << d << "]) * ostr[" << d << "]";
+  }
+  os << " + (b" << in << " - oorg[" << in << "]);\n";
+
+  os << ind << "#pragma omp simd\n";
+  os << ind << "for (pmg_i64 u = 0; u < n; ++u) {\n";
+  const std::string bind = ind + "  ";
+  load_ord = 0;
+  for (const ir::RegInstr& instr : ks.rp.body) {
+    if (instr.kind == ir::RegOpKind::Load) {
+      const int k = load_ord++;
+      os << bind << "const double r" << instr.dst << " = p" << k << "[";
+      if (affine[static_cast<std::size_t>(k)]) {
+        const index_t adv = advance[static_cast<std::size_t>(k)];
+        if (adv == 1) {
+          os << "u";
+        } else {
+          os << "u * " << adv;
+        }
+      } else {
+        // floor(num·x/den) not affine in u (÷2 interpolation maps at
+        // unit step): exact per-point index, unit stride baked.
+        const ir::LoadIndex& li = instr.idx[in];
+        std::string pos = "b" + std::to_string(in) + " + u";
+        if (si != 1) pos += " * " + std::to_string(si);
+        os << sampled(pos, li.num, li.den, li.off) << " - src[" << instr.slot
+           << "].origin[" << in << "]";
+      }
+      os << "];\n";
+    } else {
+      emit_scalar_stmt(os, bind, instr);
+    }
+  }
+  os << bind << "po[";
+  if (si == 1) {
+    os << "u";
+  } else {
+    os << "u * " << si;
+  }
+  os << "] = r" << ks.rp.result << ";\n";
+  os << ind << "}\n";
+
+  for (int d = in - 1; d >= 0; --d) {
+    ind.resize(ind.size() - 2);
+    os << ind << "}\n";
+  }
+  os << "}\n";
+}
+
+std::string render_module(const std::string& key,
+                          const std::vector<KernelSpec>& specs) {
+  std::ostringstream os;
+  os << "/* PolyMG JIT kernel module (generated; do not edit).\n"
+     << " * key: " << key << "\n"
+     << " * kernels: " << specs.size() << "\n"
+     << " */\n"
+     << "typedef long long pmg_i64;\n"
+     << "typedef struct {\n"
+     << "  const double* ptr;\n"
+     << "  pmg_i64 origin[3];\n"
+     << "  pmg_i64 stride[3];\n"
+     << "} pmg_src;\n"
+     << "static inline pmg_i64 pmg_floord(pmg_i64 a, pmg_i64 b) {\n"
+     << "  pmg_i64 q = a / b;\n"
+     << "  const pmg_i64 r = a % b;\n"
+     << "  if (r != 0 && ((r < 0) != (b < 0))) --q;\n"
+     << "  return q;\n"
+     << "}\n"
+     << "const int pmg_abi_version = " << ir::kJitAbiVersion << ";\n"
+     << "const char pmg_key[] = \"" << key << "\";\n";
+  for (const KernelSpec& ks : specs) {
+    os << "\n";
+    emit_kernel(os, ks);
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Module loading and the two-level cache.
+// ---------------------------------------------------------------------
+
+/// A dlopen'd kernel module; dlclose on destruction (plans keep the
+/// module alive through CompiledPipeline::jit_module).
+class JitModule {
+public:
+  explicit JitModule(void* handle) : handle_(handle) {}
+  ~JitModule() {
+    if (handle_ != nullptr) dlclose(handle_);
+  }
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  ir::JitKernelFn fn(const std::string& name) const {
+    return reinterpret_cast<ir::JitKernelFn>(dlsym(handle_, name.c_str()));
+  }
+  void* raw(const char* name) const { return dlsym(handle_, name); }
+
+private:
+  void* handle_;
+};
+
+std::map<std::string, std::shared_ptr<const JitModule>>& module_table() {
+  static std::map<std::string, std::shared_ptr<const JitModule>> table;
+  return table;
+}
+
+/// dlopen + validate a cached object: the embedded ABI version and key
+/// must match, so stale entries from an older build (or a corrupted
+/// file) are rejected — the caller unlinks and recompiles once.
+std::shared_ptr<const JitModule> load_module(const std::string& so_path,
+                                             const std::string& key) {
+  void* h = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (h == nullptr) return nullptr;
+  auto mod = std::make_shared<const JitModule>(h);
+  const int* abi = static_cast<const int*>(mod->raw("pmg_abi_version"));
+  const char* k = static_cast<const char*>(mod->raw("pmg_key"));
+  if (abi == nullptr || *abi != ir::kJitAbiVersion || k == nullptr ||
+      key != k) {
+    return nullptr;  // dtor dlcloses
+  }
+  return mod;
+}
+
+/// Memory -> disk -> compile. Returns null on any failure rung; the
+/// caller records the fallback. Serialized on the global mutex —
+/// compiles are rare and cold-path only.
+std::shared_ptr<const JitModule> acquire_module(
+    const std::string& key, int nkernels,
+    const std::function<std::string()>& source) {
+  auto& m = obs::Metrics::instance();
+  std::lock_guard<std::mutex> lock(jit_mutex());
+  auto& table = module_table();
+  if (auto it = table.find(key); it != table.end()) {
+    m.counter("jit.mem_hits").add(1);
+    obs::trace_instant(obs::EventKind::JitCacheHit, -1, -1, 1, nkernels);
+    return it->second;
+  }
+  const std::string dir = cache_dir_locked();
+  const std::string so = dir + "/" + key + ".so";
+  std::error_code ec;
+  if (std::filesystem::exists(so, ec)) {
+    if (auto mod = load_module(so, key)) {
+      table.emplace(key, mod);
+      m.counter("jit.disk_hits").add(1);
+      obs::trace_instant(obs::EventKind::JitCacheHit, -1, -1, 0, nkernels);
+      return mod;
+    }
+    m.counter("jit.stale_rejects").add(1);
+    std::remove(so.c_str());  // stale/corrupt: rebuild below
+  }
+  if (fault::should_fail(fault::kJitCompile)) return nullptr;
+  const std::int64_t t0 = obs::trace_enabled() ? obs::trace_now_ns() : -1;
+  const std::string csrc = dir + "/" + key + ".c";
+  if (!write_file_atomic(csrc, source())) return nullptr;
+  const std::string tmp = so + ".tmp." + std::to_string(getpid());
+  const std::string log = dir + "/" + key + ".log";
+  if (!run_compiler(csrc, tmp, log)) {
+    std::remove(tmp.c_str());
+    m.counter("jit.compile_failures").add(1);
+    return nullptr;
+  }
+  if (std::rename(tmp.c_str(), so.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return nullptr;
+  }
+  auto mod = load_module(so, key);
+  if (mod == nullptr) {
+    std::remove(so.c_str());
+    return nullptr;
+  }
+  m.counter("jit.compiles").add(1);
+  obs::trace_span(obs::EventKind::JitCompile, t0, -1, -1, -1, nkernels);
+  table.emplace(key, mod);
+  return mod;
+}
+
+/// Bookkeeping for every fallback rung past the mode gates.
+bool note_fallback(bool loud, const char* why) {
+  obs::Metrics::instance().counter("jit.fallbacks").add(1);
+  obs::trace_instant(obs::EventKind::JitFallback, -1, -1, -1, 0.0);
+  if (loud) {
+    std::fprintf(stderr,
+                 "polymg: jit specialization fell back to the register "
+                 "engine (%s)\n",
+                 why);
+  }
+  return false;
+}
+
+/// Kernels of one plan in emission/binding order. Skips definitions the
+/// emitter cannot specialize (they keep their interpreted dispatch).
+std::vector<KernelSpec> collect_kernels(const opt::CompiledPipeline& plan) {
+  std::vector<KernelSpec> specs;
+  for (std::size_t f = 0; f < plan.pipe.funcs.size(); ++f) {
+    const ir::FunctionDecl& fn = plan.pipe.funcs[f];
+    const ir::LoweredFunc& lf = plan.lowered[f];
+    for (std::size_t c = 0; c < lf.defs.size(); ++c) {
+      KernelSpec ks;
+      ks.name = "pmg_k" + std::to_string(f) + "_" + std::to_string(c);
+      ks.ndim = fn.ndim;
+      if (fn.parity_piecewise) {
+        ks.step = {2, 2, 2};
+        for (int d = 0; d < fn.ndim; ++d) {
+          ks.phase[d] = (c >> (fn.ndim - 1 - d)) & 1;
+        }
+      }
+      const ir::LoweredDef& def = lf.defs[c];
+      // Linearizable definitions keep the tap-loop: it already runs at
+      // specialized-kernel speed, and swapping it for a jit kernel (in
+      // register-program order) would change the summation order — the
+      // guarded oracle's reference plan runs the same tap-loop, and its
+      // fallback results are required to match the optimized plan bit
+      // for bit. The 12-15x gap the JIT closes lives in the defs the
+      // linearizer rejects (the register-engine path). Per-def headroom
+      // for linear stencils is still measured via jit_kernel_for_def in
+      // bench_kernels.
+      if (def.linear.has_value()) continue;
+      // Reference plans strip register programs; recompiling from the
+      // bytecode is deterministic, so the emitted code is identical
+      // either way.
+      ks.rp = def.regprog.empty() ? ir::compile_regprog(def.bytecode)
+                                  : def.regprog;
+      if (!emittable(ks.rp, fn.ndim)) continue;
+      specs.push_back(std::move(ks));
+    }
+  }
+  return specs;
+}
+
+std::string plan_module_key(const opt::CompiledPipeline& plan) {
+  return format_key("pmg", opt::kernel_fingerprint(plan));
+}
+
+}  // namespace
+
+opt::JitMode jit_mode() {
+  return static_cast<opt::JitMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+void set_jit_mode(opt::JitMode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+opt::JitMode parse_jit_mode(const std::string& s, bool* ok) {
+  if (ok != nullptr) *ok = true;
+  if (s == "off") return opt::JitMode::Off;
+  if (s == "auto") return opt::JitMode::Auto;
+  if (s == "on") return opt::JitMode::On;
+  if (ok != nullptr) *ok = false;
+  return opt::JitMode::Auto;
+}
+
+std::string emit_jit_c(const opt::CompiledPipeline& plan) {
+  return render_module(plan_module_key(plan), collect_kernels(plan));
+}
+
+bool jit_specialize(opt::CompiledPipeline& plan) {
+  if (plan.jit_module != nullptr) return true;  // already specialized
+  const opt::JitMode process = jit_mode();
+  if (process == opt::JitMode::Off || plan.opts.jit == opt::JitMode::Off) {
+    return false;  // deliberate opt-out, not a fallback
+  }
+  const bool loud =
+      process == opt::JitMode::On || plan.opts.jit == opt::JitMode::On;
+  const std::vector<KernelSpec> specs = collect_kernels(plan);
+  if (specs.empty()) {
+    // Nothing to specialize (every def is linear, i.e. already on the
+    // tap-loop, or unemittable) is a structural property of the plan,
+    // not a failure: no fallback accounting, but --jit=on users get
+    // told why their flag was a no-op.
+    if (loud) {
+      std::fprintf(stderr,
+                   "polymg: jit specialization found no specializable "
+                   "kernels (linear defs keep the tap-loop)\n");
+    }
+    return false;
+  }
+  const std::string key = plan_module_key(plan);
+  auto mod =
+      acquire_module(key, static_cast<int>(specs.size()),
+                     [&] { return render_module(key, specs); });
+  if (mod == nullptr) {
+    return note_fallback(loud, "kernel module unavailable (no toolchain, "
+                               "compile failure, or injected fault)");
+  }
+  int bound = 0;
+  for (std::size_t f = 0; f < plan.lowered.size(); ++f) {
+    for (std::size_t c = 0; c < plan.lowered[f].defs.size(); ++c) {
+      ir::JitKernelFn fn = mod->fn("pmg_k" + std::to_string(f) + "_" +
+                                   std::to_string(c));
+      plan.lowered[f].defs[c].jit = fn;
+      if (fn != nullptr) ++bound;
+    }
+  }
+  if (bound == 0) return note_fallback(loud, "no kernels resolved");
+  plan.jit_module = std::shared_ptr<const void>(mod, mod.get());
+  return true;
+}
+
+int jit_bound_kernels(const opt::CompiledPipeline& plan) {
+  int n = 0;
+  for (const ir::LoweredFunc& lf : plan.lowered) {
+    for (const ir::LoweredDef& d : lf.defs) n += d.jit != nullptr ? 1 : 0;
+  }
+  return n;
+}
+
+JitKernel jit_kernel_for_def(int ndim, const ir::Bytecode& bc) {
+  if (jit_mode() == opt::JitMode::Off) return {};
+  KernelSpec ks;
+  ks.name = "pmg_k0_0";
+  ks.ndim = ndim;
+  ks.rp = ir::compile_regprog(bc);
+  if (!emittable(ks.rp, ndim)) return {};
+  const std::string key = format_key("pmgdef", hash_bytecode(ndim, bc));
+  std::vector<KernelSpec> specs;
+  specs.push_back(std::move(ks));
+  auto mod = acquire_module(key, 1,
+                            [&] { return render_module(key, specs); });
+  if (mod == nullptr) {
+    note_fallback(false, "def kernel unavailable");
+    return {};
+  }
+  JitKernel k;
+  k.fn = mod->fn("pmg_k0_0");
+  k.module = std::shared_ptr<const void>(mod, mod.get());
+  if (k.fn == nullptr) return {};
+  return k;
+}
+
+bool jit_toolchain_available() {
+  std::lock_guard<std::mutex> lock(jit_mutex());
+  const std::string dir = cache_dir_locked();
+  const std::string tag = std::to_string(getpid());
+  const std::string src = dir + "/probe-" + tag + ".c";
+  const std::string so = dir + "/probe-" + tag + ".so";
+  const std::string log = dir + "/probe-" + tag + ".log";
+  if (!write_file_atomic(src, "int pmg_probe(void) { return 1; }\n")) {
+    return false;
+  }
+  const bool ok = run_compiler(src, so, log);
+  std::remove(src.c_str());
+  std::remove(so.c_str());
+  std::remove(log.c_str());
+  return ok;
+}
+
+void set_jit_cache_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(jit_mutex());
+  cache_dir_storage() = dir;
+}
+
+std::string jit_cache_dir() {
+  std::lock_guard<std::mutex> lock(jit_mutex());
+  return cache_dir_locked();
+}
+
+void jit_clear_memory_cache() {
+  std::lock_guard<std::mutex> lock(jit_mutex());
+  module_table().clear();
+}
+
+}  // namespace polymg::codegen

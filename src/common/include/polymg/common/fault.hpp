@@ -43,6 +43,10 @@ inline constexpr const char* kServiceReject = "service.reject";
 /// A service worker stalls before solving (models a slow replica /
 /// noisy-neighbour hiccup); deadline enforcement must bound the damage.
 inline constexpr const char* kServiceSlow = "service.slow";
+/// The JIT's system-compiler invocation fails (models a broken or
+/// missing toolchain); specialization must fall back to the register
+/// engine / interpreter with a correct result.
+inline constexpr const char* kJitCompile = "jit.compile";
 
 class FaultInjector {
 public:

@@ -14,6 +14,7 @@
 
 #include "polymg/ir/bytecode.hpp"
 #include "polymg/ir/function.hpp"
+#include "polymg/ir/jit_abi.hpp"
 #include "polymg/ir/regprog.hpp"
 
 namespace polymg::ir {
@@ -57,6 +58,11 @@ struct LoweredDef {
   /// Compiled at plan time; cleared when a plan opts out of the register
   /// engine (the reference/oracle plans keep interpreting `bytecode`).
   RegProgram regprog;
+  /// Natively compiled kernel (codegen::jit_specialize), or null. The
+  /// pointer's code is kept alive by CompiledPipeline::jit_module;
+  /// reference/oracle plans never bind one (CompileOptions::jit is
+  /// forced off by reference_options).
+  JitKernelFn jit = nullptr;
 };
 
 /// A whole function's lowered definitions (one per parity case).

@@ -69,6 +69,13 @@ enum class EventKind : std::uint8_t {
   DeadlineHit,        ///< a deadline tripped: id=ticket (-1 inside the
                       ///< executor), stage=granule kind, value=overshoot
                       ///< estimate where known
+  JitCompile,         ///< one kernel-module compile+dlopen (span):
+                      ///< value=kernels in the module
+  JitCacheHit,        ///< specialization served from cache: id=1 memory /
+                      ///< 0 disk, value=kernels bound
+  JitFallback,        ///< specialization unavailable (no toolchain,
+                      ///< compile failure, injected jit.compile fault):
+                      ///< the plan runs on the register engine
 };
 
 /// Stable lower-case name for trace exports ("tile", "queue_wait", ...).

@@ -71,6 +71,9 @@ const char* to_string(EventKind k) {
     case EventKind::RequestReject: return "request_reject";
     case EventKind::RequestCancel: return "request_cancel";
     case EventKind::DeadlineHit: return "deadline_hit";
+    case EventKind::JitCompile: return "jit_compile";
+    case EventKind::JitCacheHit: return "jit_cache_hit";
+    case EventKind::JitFallback: return "jit_fallback";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 // Compilation options — the knobs the paper's evaluation sweeps.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "polymg/poly/tiling.hpp"
@@ -19,6 +20,15 @@ enum class Variant {
 };
 
 std::string to_string(Variant v);
+
+/// Whether plans may bind natively JIT-compiled stencil kernels.
+/// `Auto` (the default) uses the JIT when a system compiler is
+/// available and falls back to the register engine / interpreter
+/// silently otherwise; `On` still falls back gracefully but warns on
+/// stderr when specialization fails; `Off` never invokes the compiler.
+enum class JitMode : std::uint8_t { Off, Auto, On };
+
+std::string to_string(JitMode m);
 
 struct CompileOptions {
   Variant variant = Variant::OptPlus;
@@ -65,6 +75,13 @@ struct CompileOptions {
   /// guarded reference oracle) keep the barrier schedule so cross-checks
   /// run an independent execution order.
   bool dependence_schedule = true;
+
+  /// Native kernel specialization (codegen::jit_specialize). Reference
+  /// (oracle) plans force this off so guarded cross-checks keep an
+  /// execution path independent of the emitted code. The process-wide
+  /// codegen::set_jit_mode(Off) override (the --jit=off bench flag)
+  /// wins over any per-plan setting.
+  JitMode jit = JitMode::Auto;
 
   /// Grain-size fast path: a schedule node whose total work (points ×
   /// stages) falls below this threshold runs serially on the claiming

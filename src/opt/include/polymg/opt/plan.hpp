@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,13 @@ struct CompiledPipeline {
   /// cross-checked by validate_plan.
   SchedGraph sched;
 
+  /// Keepalive for the dlopen'd native-kernel module whose function
+  /// pointers are bound into `lowered[..].defs[..].jit` (set by
+  /// codegen::jit_specialize; null when no kernels are bound). Opaque
+  /// here so opt does not depend on codegen; copies of the plan share
+  /// the module.
+  std::shared_ptr<const void> jit_module;
+
   // Optimization-report statistics.
   int scratch_buffers_without_reuse = 0;
   int scratch_buffers_with_reuse = 0;
@@ -147,6 +155,15 @@ struct CompiledPipeline {
   /// Group/storage report in the spirit of the paper's Fig. 6/7 dumps.
   std::string dump() const;
 };
+
+/// Content hash over everything that determines the plan's *kernel
+/// code*: per function, the dimensionality, parity case count and each
+/// case's bytecode (op kinds, constant bit patterns, load slots and
+/// sampled-index maps) plus its linearizability. Two plans with equal
+/// fingerprints compute identical per-point expressions, so they can
+/// share one compiled kernel module — tile sizes, grouping and schedule
+/// are deliberately not hashed (an autotune sweep hits one cache entry).
+std::uint64_t kernel_fingerprint(const CompiledPipeline& plan);
 
 /// Analysis of a (candidate) group: schedule, relative scales, per-stage
 /// tile-extent bounds and the redundant-computation ratio. Used both by

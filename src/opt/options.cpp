@@ -16,6 +16,18 @@ std::string to_string(Variant v) {
   return "?";
 }
 
+std::string to_string(JitMode m) {
+  switch (m) {
+    case JitMode::Off:
+      return "off";
+    case JitMode::Auto:
+      return "auto";
+    case JitMode::On:
+      return "on";
+  }
+  return "?";
+}
+
 CompileOptions CompileOptions::for_variant(Variant v, int ndim) {
   CompileOptions o;
   o.variant = v;

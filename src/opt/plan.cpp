@@ -1,6 +1,7 @@
 #include "polymg/opt/plan.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
@@ -225,6 +226,59 @@ std::string CompiledPipeline::dump() const {
     }
   }
   return os.str();
+}
+
+namespace {
+
+/// FNV-1a, the usual 64-bit variant.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t kernel_fingerprint(const CompiledPipeline& plan) {
+  Fnv1a fp;
+  fp.u64(static_cast<std::uint64_t>(plan.pipe.funcs.size()));
+  for (std::size_t f = 0; f < plan.pipe.funcs.size(); ++f) {
+    const ir::FunctionDecl& fn = plan.pipe.funcs[f];
+    const ir::LoweredFunc& lf = plan.lowered[f];
+    fp.byte(static_cast<std::uint8_t>(fn.ndim));
+    fp.byte(fn.parity_piecewise ? 1 : 0);
+    fp.u64(static_cast<std::uint64_t>(lf.defs.size()));
+    for (const ir::LoweredDef& d : lf.defs) {
+      // Linearizability selects the emission order (tap loop vs register
+      // program), so it is part of the kernel's identity.
+      fp.byte(d.linear.has_value() ? 1 : 0);
+      fp.u64(static_cast<std::uint64_t>(d.bytecode.size()));
+      for (const ir::BcOp& op : d.bytecode) {
+        fp.byte(static_cast<std::uint8_t>(op.kind));
+        if (op.kind == ir::BcKind::PushConst) fp.f64(op.c);
+        if (op.kind == ir::BcKind::Load) {
+          fp.byte(static_cast<std::uint8_t>(op.slot));
+          for (int dim = 0; dim < fn.ndim; ++dim) {
+            fp.i64(op.idx[dim].num);
+            fp.i64(op.idx[dim].den);
+            fp.i64(op.idx[dim].off);
+          }
+        }
+      }
+    }
+  }
+  return fp.h;
 }
 
 }  // namespace polymg::opt

@@ -381,6 +381,9 @@ CompileOptions reference_options(const CompileOptions& base) {
   // Likewise execute in an independent order: per-group barrier schedule,
   // not the persistent-team dependence schedule.
   o.dependence_schedule = false;
+  // And never through code the specializer emitted — the oracle is the
+  // independent check on exactly that code.
+  o.jit = JitMode::Off;
   return o;
 }
 

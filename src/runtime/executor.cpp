@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "polymg/codegen/jit.hpp"
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
@@ -21,6 +22,14 @@ using opt::SchedNode;
 using opt::StagePlan;
 
 Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
+  // Bind natively compiled kernels before anything else resolves: all
+  // compile/dlopen work happens here in the constructor, so the
+  // steady-state run() stays allocation- and syscall-free. Plans that
+  // arrive pre-specialized (service::PlanCache) are left untouched, and
+  // any fallback keeps the interpreted dispatch fully functional.
+  if (plan_.opts.jit != opt::JitMode::Off) {
+    codegen::jit_specialize(plan_);
+  }
   // Metrics handles resolve here, not on the hot paths: steady-state
   // run() touches only their relaxed atomics.
   obs::Metrics& m = obs::Metrics::instance();

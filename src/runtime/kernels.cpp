@@ -640,13 +640,50 @@ void copy_view(View dst, View src, const Box& region) {
 
 namespace {
 
-/// Evaluate one lowered definition: tap-loop kernel for linear forms,
-/// register row engine for compiled non-linear forms, and the point-wise
-/// stack interpreter as the universal fallback (also the independent
-/// oracle of reference plans, which strip their register programs).
+/// Whether a bound JIT kernel may run this invocation: the generated
+/// code bakes a unit innermost stride for the output and every source,
+/// and addresses at most kJitMaxSrcSlots sources. All views PolyMG
+/// creates satisfy both; exotic caller-supplied views fall back to the
+/// interpreted dispatch below.
+bool jit_dispatch_ok(const View& out, std::span<const View> srcs) {
+  if (srcs.size() > static_cast<std::size_t>(ir::kJitMaxSrcSlots)) {
+    return false;
+  }
+  if (out.stride[out.ndim - 1] != 1) return false;
+  for (const View& s : srcs) {
+    if (s.ptr != nullptr && s.stride[s.ndim - 1] != 1) return false;
+  }
+  return true;
+}
+
+/// Evaluate one lowered definition: natively compiled kernel when the
+/// JIT bound one, else tap-loop kernel for linear forms, register row
+/// engine for compiled non-linear forms, and the point-wise stack
+/// interpreter as the universal fallback (also the independent oracle
+/// of reference plans, which never carry JIT kernels or regprogs).
 void apply_def(const ir::LoweredDef& d, View out, std::span<const View> srcs,
                const Box& region, const std::array<index_t, 3>& step,
                const std::array<index_t, 3>& phase) {
+  if (d.jit != nullptr && jit_dispatch_ok(out, srcs)) {
+    // (step, phase) are baked into the kernel; apply_defs always pairs
+    // a def with the parity case it was lowered (and emitted) for.
+    ir::JitSrcView js[ir::kJitMaxSrcSlots];
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      js[i].ptr = srcs[i].ptr;
+      for (int dim = 0; dim < 3; ++dim) {
+        js[i].origin[dim] = srcs[i].origin[dim];
+        js[i].stride[dim] = srcs[i].stride[dim];
+      }
+    }
+    std::int64_t lo[3] = {0, 0, 0};
+    std::int64_t hi[3] = {-1, -1, -1};
+    for (int dim = 0; dim < out.ndim; ++dim) {
+      lo[dim] = region.dim(dim).lo;
+      hi[dim] = region.dim(dim).hi;
+    }
+    d.jit(out.ptr, out.origin.data(), out.stride.data(), js, lo, hi);
+    return;
+  }
   if (d.linear) {
     apply_linear(*d.linear, out, srcs, region, step, phase);
   } else if (ir::regprog_fits_engine(d.regprog)) {

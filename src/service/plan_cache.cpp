@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "polymg/codegen/jit.hpp"
 #include "polymg/obs/metrics.hpp"
 #include "polymg/opt/validate.hpp"
 #include "polymg/solvers/cycles.hpp"
@@ -23,7 +24,8 @@ std::string PlanCache::signature(const solvers::CycleConfig& cfg,
      << opts.inter_group_reuse << opts.pooled_allocation << opts.collapse
      << opts.register_engine << opts.dependence_schedule << " sc"
      << opts.storage_class_slack << " dt" << opts.dtile_time_block << "/"
-     << opts.dtile_width << " sg" << opts.serial_grain;
+     << opts.dtile_width << " sg" << opts.serial_grain << " j"
+     << opt::to_string(opts.jit);
   return os.str();
 }
 
@@ -46,6 +48,10 @@ std::shared_ptr<const opt::CompiledPipeline> PlanCache::plan_for(
   opt::CompiledPipeline cp =
       opt::compile(solvers::build_cycle(cfg), opts);
   opt::validate_plan(cp);
+  // Specialize before publishing: every worker adopting this shared
+  // plan gets the native kernels without touching the JIT cache again
+  // (warm service hits mean zero recompiles, same as zero opt.compiles).
+  if (cp.opts.jit != opt::JitMode::Off) codegen::jit_specialize(cp);
   auto sp = std::make_shared<const opt::CompiledPipeline>(std::move(cp));
   cache_.emplace(key, sp);
   return sp;
