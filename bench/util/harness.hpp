@@ -44,7 +44,10 @@ std::vector<SizeClass> size_classes(bool paper);
 
 bool paper_sizes_requested(const Options& opts);
 
-/// All comparison series of Figs. 9/10.
+/// All comparison series of Figs. 9/10. Mixed is OptPlus recompiled
+/// under the mixed storage-precision policy (fine grids float) and run
+/// through the defect-correction protocol: the iterate and the residual
+/// norms stay double, only the cycle's interior traffic narrows.
 enum class Series {
   HandOpt,
   HandOptPluto,
@@ -52,6 +55,7 @@ enum class Series {
   Opt,
   OptPlus,
   DtileOptPlus,
+  Mixed,
 };
 std::string to_string(Series s);
 const std::vector<Series>& all_series();
@@ -62,8 +66,12 @@ struct SolveRunner {
   std::function<void()> run;
   std::string label;
 };
+/// `precision` applies to the polymg DSL series (the hand-written
+/// reference solvers are double-only); Series::Mixed upgrades a Double
+/// policy to Mixed so its row is mixed even without --precision.
 SolveRunner make_runner(Series s, const CycleConfig& cfg, int cycles,
-                        std::uint64_t seed = 42);
+                        std::uint64_t seed = 42,
+                        opt::PrecisionPolicy precision = {});
 
 /// NAS-MG runner: Series::HandOpt maps to the hand-written NPB-style
 /// reference; the polymg series run the DSL pipeline. HandOptPluto and
@@ -94,6 +102,14 @@ void apply_jit_from_options(const Options& opts);
 /// The `--deadline-ms` per-request budget (0 disables deadlines).
 /// Negative or unparsable values are a startup error.
 double deadline_ms_from_options(const Options& opts);
+
+/// Parse `--precision=double|mixed|float` (the POLYMG_PRECISION
+/// environment variable is the usual Options fallback; default double)
+/// into the storage-precision policy the driver hands to make_runner /
+/// its CompileOptions. Like --jit, an unrecognized value terminates the
+/// binary HERE, at startup — not as a silently-double run labelled
+/// "mixed". A non-default mode is announced once on stdout.
+opt::PrecisionPolicy precision_from_options(const Options& opts);
 
 /// RAII trace toggle for the bench drivers: when `--trace <path>` is
 /// passed (or the POLYMG_TRACE environment variable names a path — the
@@ -153,6 +169,9 @@ public:
   ///    "class": "<suffix of row after the last '/'>",
   ///    "threads": N, "ms": min, "mean_ms": m, "stddev_ms": s,
   ///    "reps": n, "speedup_vs_naive": base/min}
+  /// `threads` is the team size captured when the row was recorded, so
+  /// drivers that sweep set_num_threads (bench_sched, bench_scaling)
+  /// get the per-row truth, not the final thread count.
   /// `baseline` names the series speedups are computed against (the
   /// field is null for rows that lack the baseline).
   void write_json(const std::string& path, const std::string& bench,
@@ -162,6 +181,8 @@ private:
   std::vector<std::string> row_order_;
   std::vector<std::string> series_order_;
   std::map<std::string, std::map<std::string, Stats>> data_;
+  // Team size at record time, per row (see write_json).
+  std::map<std::string, int> row_threads_;
 };
 
 }  // namespace polymg::bench

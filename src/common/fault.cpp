@@ -63,10 +63,10 @@ long FaultInjector::fired(const std::string& site) const {
 }
 
 std::vector<std::string> FaultInjector::list_sites() {
-  return {kCheckpointCorrupt, kDistHalo,      kJitCompile,
-          kKernelBitflip,     kKernelOutput,  kPoolAlloc,
-          kRankDeath,         kServiceReject, kServiceSlow,
-          kSolveCrash};
+  return {kCheckpointCorrupt, kDistHalo,        kJitCompile,
+          kKernelBitflip,     kKernelOutput,    kPoolAlloc,
+          kPrecisionCorrupt,  kRankDeath,       kServiceReject,
+          kServiceSlow,       kSolveCrash};
 }
 
 bool FaultInjector::is_known_site(const std::string& site) {

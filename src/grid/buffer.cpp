@@ -4,14 +4,19 @@
 
 namespace polymg::grid {
 
-void Buffer::fill(double v) {
+template <typename T>
+void TBuffer<T>::fill(T v) {
   std::fill_n(data_.get(), count_, v);
 }
 
-Buffer Buffer::clone() const {
-  Buffer b(count_);
-  if (count_ > 0) std::memcpy(b.data(), data_.get(), count_ * sizeof(double));
+template <typename T>
+TBuffer<T> TBuffer<T>::clone() const {
+  TBuffer<T> b(count_);
+  if (count_ > 0) std::memcpy(b.data(), data_.get(), count_ * sizeof(T));
   return b;
 }
+
+template class TBuffer<double>;
+template class TBuffer<float>;
 
 }  // namespace polymg::grid

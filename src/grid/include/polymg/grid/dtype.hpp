@@ -1,0 +1,28 @@
+// Element type tags for the dtype-generic grid layer.
+//
+// PolyMG stores grid data as either IEEE double (the default, and the
+// only dtype the reference oracle ever needs) or IEEE float (the
+// mixed-precision fast path for memory-bound fine-grid stages). All
+// kernel arithmetic accumulates in double regardless of storage dtype;
+// a float grid costs exactly one rounding at each store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace polymg::grid {
+
+enum class DType : std::uint8_t {
+  F64 = 0,  ///< IEEE binary64 (the historical, default dtype)
+  F32 = 1,  ///< IEEE binary32 (mixed-precision storage)
+};
+
+constexpr std::size_t dtype_size(DType t) {
+  return t == DType::F32 ? sizeof(float) : sizeof(double);
+}
+
+constexpr const char* to_string(DType t) {
+  return t == DType::F32 ? "f32" : "f64";
+}
+
+}  // namespace polymg::grid

@@ -13,13 +13,25 @@ namespace polymg::grid {
 /// Allocate a buffer sized for `domain` and return it zero-filled.
 Buffer make_grid(const Box& domain);
 
+/// Float variant: a zero-filled F32 buffer sized for `domain`. View it
+/// with View::over(buf.data(), domain), which tags the view F32.
+BufferF32 make_grid_f32(const Box& domain);
+
 /// Set every point of `region` (must lie inside the view's addressable
 /// area) to f(i, j[, k]).
 void fill_region(View v, const Box& region,
                  const std::function<double(index_t, index_t, index_t)>& f);
 
-/// Copy `region` from src to dst (both views must cover it).
+/// Copy `region` from src to dst (both views must cover it). The views
+/// may differ in dtype: loads promote to double, stores round once —
+/// so an F64 -> F32 copy is the canonical demotion and F32 -> F64 the
+/// canonical promotion (exact, every float is representable).
 void copy_region(View dst, View src, const Box& region);
+
+/// dst += src over `region`, accumulating in double regardless of
+/// either view's storage dtype (the mixed-precision outer correction:
+/// a double iterate absorbing a float-path correction loses nothing).
+void add_region(View dst, View src, const Box& region);
 
 /// Max-norm of a region.
 double max_norm(View v, const Box& region);

@@ -33,15 +33,34 @@ void for_each_point(const Box& region, Fn&& fn) {
   }
 }
 
+/// Dtype-aware point read, promoted to double.
 double read(const View& v, index_t i, index_t j, index_t k) {
-  switch (v.ndim) {
-    case 2:
-      return v.at2(i, j);
-    case 3:
-      return v.at3(i, j, k);
-    default:
-      return v.at({i, j, k});
+  if (v.dtype == DType::F64) {
+    switch (v.ndim) {
+      case 2:
+        return v.at2(i, j);
+      case 3:
+        return v.at3(i, j, k);
+      default:
+        return v.at({i, j, k});
+    }
   }
+  return v.load_at({i, j, k});
+}
+
+/// Dtype-aware point write, rounded once from double.
+void write(View& v, index_t i, index_t j, index_t k, double x) {
+  if (v.dtype == DType::F64) {
+    if (v.ndim == 2) {
+      v.at2(i, j) = x;
+    } else if (v.ndim == 3) {
+      v.at3(i, j, k) = x;
+    } else {
+      v.at({i, j, k}) = x;
+    }
+    return;
+  }
+  v.store_at({i, j, k}, x);
 }
 
 }  // namespace
@@ -52,24 +71,28 @@ Buffer make_grid(const Box& domain) {
   return b;
 }
 
+BufferF32 make_grid_f32(const Box& domain) {
+  BufferF32 b(static_cast<std::size_t>(domain.count()));
+  b.fill(0.0f);
+  return b;
+}
+
 void fill_region(View v, const Box& region,
                  const std::function<double(index_t, index_t, index_t)>& f) {
   for_each_point(region, [&](index_t i, index_t j, index_t k) {
-    if (v.ndim == 2) {
-      v.at2(i, j) = f(i, j, 0);
-    } else {
-      v.at3(i, j, k) = f(i, j, k);
-    }
+    write(v, i, j, k, f(i, j, k));
   });
 }
 
 void copy_region(View dst, View src, const Box& region) {
   for_each_point(region, [&](index_t i, index_t j, index_t k) {
-    if (dst.ndim == 2) {
-      dst.at2(i, j) = src.at2(i, j);
-    } else {
-      dst.at3(i, j, k) = src.at3(i, j, k);
-    }
+    write(dst, i, j, k, read(src, i, j, k));
+  });
+}
+
+void add_region(View dst, View src, const Box& region) {
+  for_each_point(region, [&](index_t i, index_t j, index_t k) {
+    write(dst, i, j, k, read(dst, i, j, k) + read(src, i, j, k));
   });
 }
 

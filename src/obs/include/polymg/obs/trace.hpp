@@ -76,6 +76,8 @@ enum class EventKind : std::uint8_t {
   JitFallback,        ///< specialization unavailable (no toolchain,
                       ///< compile failure, injected jit.compile fault):
                       ///< the plan runs on the register engine
+  PrecisionCheck,     ///< mixed-precision oracle comparison: group=cycle,
+                      ///< id=1 violation / 0 clean, value=mixed residual
 };
 
 /// Stable lower-case name for trace exports ("tile", "queue_wait", ...).

@@ -74,6 +74,7 @@ const char* to_string(EventKind k) {
     case EventKind::JitCompile: return "jit_compile";
     case EventKind::JitCacheHit: return "jit_cache_hit";
     case EventKind::JitFallback: return "jit_fallback";
+    case EventKind::PrecisionCheck: return "precision_check";
   }
   return "?";
 }

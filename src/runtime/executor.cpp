@@ -202,10 +202,13 @@ bool Executor::dependence_scheduled() const {
   return sched_on_ && !fault::FaultInjector::instance().any_armed();
 }
 
-View Executor::array_view(int array_id, const ir::FunctionDecl& shape) const {
+View Executor::array_view(int array_id, const ir::FunctionDecl& shape,
+                          int func) const {
   PMG_CHECK(array_id >= 0 && array_ptr_[array_id] != nullptr,
             "array for " << shape.name << " not live");
-  return View::over(array_ptr_[array_id], shape.domain);
+  View v = View::over(array_ptr_[array_id], shape.domain);
+  v.dtype = plan_.dtype_of_func(func);
+  return v;
 }
 
 void Executor::ensure_array(int array_id) {
@@ -241,7 +244,7 @@ View Executor::resolve_bind(const SourceBind& b,
     case SourceBind::kArray:
       break;
   }
-  return array_view(b.index, plan_.pipe.funcs[b.func]);
+  return array_view(b.index, plan_.pipe.funcs[b.func], b.func);
 }
 
 bool Executor::poll_abort() {
@@ -303,6 +306,17 @@ void Executor::run(std::span<const View> externals) {
                    "external view " << i << " does not cover the domain of "
                                     << eg.name << " (null, wrong ndim, "
                                     << "offset origin or undersized rows)");
+    // Kernels bake the externals' storage dtypes (JIT casts, templated
+    // fast paths), so a mismatched view would be misread wholesale.
+    PMG_CHECK_CODE(
+        externals[i].dtype ==
+            plan_.dtype_of_external(static_cast<int>(i)),
+        ErrorCode::PreconditionViolated,
+        "external view " << i << " is "
+                         << grid::to_string(externals[i].dtype)
+                         << " but the plan stores " << eg.name << " as "
+                         << grid::to_string(plan_.dtype_of_external(
+                                static_cast<int>(i))));
   }
   // Non-pooled variants re-allocate per invocation (the cost the pooled
   // allocator removes): drop everything from the previous run.
@@ -345,7 +359,7 @@ View Executor::output_view(int i) const {
   PMG_CHECK(i >= 0 && i < static_cast<int>(plan_.pipe.outputs.size()),
             "bad output index " << i);
   const int func = plan_.pipe.outputs[i];
-  return array_view(plan_.array_of_func[func], plan_.pipe.funcs[func]);
+  return array_view(plan_.array_of_func[func], plan_.pipe.funcs[func], func);
 }
 
 // ---------------------------------------------------------------------------
@@ -361,7 +375,7 @@ void Executor::exec_loops_part(int gi, int p, const Box& part,
   const StagePlan& sp = g.stages[static_cast<std::size_t>(p)];
   const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
   const ir::LoweredFunc& lowered = plan_.lowered[sp.func];
-  const View out = array_view(sp.array, f);
+  const View out = array_view(sp.array, f, sp.func);
   Workspace& ws = workspaces_[static_cast<std::size_t>(tid)];
   ws.srcs.assign(f.sources.size(), View{});
   for (std::size_t s = 0; s < f.sources.size(); ++s) {
@@ -418,6 +432,10 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
                                         << ": region " << regions[p]);
     ws.scratch_views[p] = View::over(
         arena.data() + scratch_off[sp.scratch_buffer], regions[p]);
+    // Scratchpads inherit the stage's storage dtype; sizes stay in
+    // double units (an F32 footprint trivially fits), so nothing about
+    // arena layout or reuse classes changes.
+    ws.scratch_views[p].dtype = plan_.dtype_of_func(sp.func);
     scratch_doubles += regions[p].count();
   }
   if (scratch_doubles > 0) {
@@ -441,12 +459,12 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
         // Live-out with in-group consumers: publish the owned
         // partition slice (disjoint across tiles).
         const Box own = opt::owned_region(f, sp.rel, tile, anchor_f.domain);
-        copy_view(array_view(sp.array, f), ws.scratch_views[p], own);
+        copy_view(array_view(sp.array, f, sp.func), ws.scratch_views[p], own);
       }
     } else {
       // The anchor (and any consumer-less live-out) writes its
       // disjoint region straight to the full array.
-      apply_stage(f, lowered, array_view(sp.array, f),
+      apply_stage(f, lowered, array_view(sp.array, f, sp.func),
                   std::span<const View>(ws.srcs), regions[p]);
     }
   }
@@ -505,12 +523,12 @@ void Executor::run_barrier(std::span<const View> externals) {
       for (auto it = g.stages.rbegin(); it != g.stages.rend(); ++it) {
         if (it->array < 0) continue;
         const ir::FunctionDecl& f = plan_.pipe.funcs[it->func];
-        View v = array_view(it->array, f);
+        View v = array_view(it->array, f, it->func);
         std::array<index_t, poly::kMaxDims> mid{};
         for (int d = 0; d < f.ndim; ++d) {
           mid[d] = (f.interior.dim(d).lo + f.interior.dim(d).hi) / 2;
         }
-        v.at(mid) = std::numeric_limits<double>::quiet_NaN();
+        v.store_at(mid, std::numeric_limits<double>::quiet_NaN());
         break;
       }
     }
@@ -527,16 +545,30 @@ void Executor::run_barrier(std::span<const View> externals) {
       for (auto it = g.stages.rbegin(); it != g.stages.rend(); ++it) {
         if (it->array < 0) continue;
         const ir::FunctionDecl& f = plan_.pipe.funcs[it->func];
-        View v = array_view(it->array, f);
+        View v = array_view(it->array, f, it->func);
         std::array<index_t, poly::kMaxDims> mid{};
         for (int d = 0; d < f.ndim; ++d) {
           mid[d] = (f.interior.dim(d).lo + f.interior.dim(d).hi) / 2;
         }
-        double& x = v.at(mid);
-        std::uint64_t bits;
-        std::memcpy(&bits, &x, sizeof(bits));
-        bits ^= (1ULL << 62);
-        std::memcpy(&x, &bits, sizeof(bits));
+        index_t off = 0;
+        for (int d = 0; d < f.ndim; ++d) {
+          off += (mid[d] - v.origin[d]) * v.stride[d];
+        }
+        if (v.dtype == grid::DType::F32) {
+          // Flip the top exponent bit of the binary32 value: finite but
+          // wrong by ~2^64, the same signature scaled to float width.
+          float& x = v.f32()[off];
+          std::uint32_t bits;
+          std::memcpy(&bits, &x, sizeof(bits));
+          bits ^= (1U << 30);
+          std::memcpy(&x, &bits, sizeof(bits));
+        } else {
+          double& x = v.ptr[off];
+          std::uint64_t bits;
+          std::memcpy(&bits, &x, sizeof(bits));
+          bits ^= (1ULL << 62);
+          std::memcpy(&x, &bits, sizeof(bits));
+        }
         break;
       }
     }
@@ -627,8 +659,11 @@ void Executor::run_timetile_group(int gi, std::span<const View> externals) {
   const int steps = static_cast<int>(g.stages.size());
   const std::vector<ChainStep>& chain = chain_[static_cast<std::size_t>(gi)];
 
-  const View out = array_view(last.array, step_fn);
-  const View tmp = array_view(g.time_temp_array, step_fn);
+  // The whole chain shares one dtype (validate enforces it), so the
+  // ping-pong pair is tagged by the first step's function.
+  const View out = array_view(last.array, step_fn, g.stages.front().func);
+  const View tmp =
+      array_view(g.time_temp_array, step_fn, g.stages.front().func);
   View bufs[2];
   bufs[steps & 1] = out;
   bufs[1 - (steps & 1)] = tmp;
@@ -949,8 +984,10 @@ void Executor::run_collective_phase(const Phase& ph,
     const StagePlan& last = g.stages.back();
     const ir::FunctionDecl& step_fn = plan_.pipe.funcs[g.stages.front().func];
     const int steps = static_cast<int>(g.stages.size());
-    time_bufs_[steps & 1] = array_view(last.array, step_fn);
-    time_bufs_[1 - (steps & 1)] = array_view(g.time_temp_array, step_fn);
+    time_bufs_[steps & 1] =
+        array_view(last.array, step_fn, g.stages.front().func);
+    time_bufs_[1 - (steps & 1)] =
+        array_view(g.time_temp_array, step_fn, g.stages.front().func);
     stage_srcs_.assign(step_fn.sources.size(), View{});
     const View v0 = resolve_bind(binds_[gi][0][0], externals, {});
     for (std::size_t s = 1; s < step_fn.sources.size(); ++s) {

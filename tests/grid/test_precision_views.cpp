@@ -1,0 +1,103 @@
+// Mixed-precision grid layer: float<->double view conversion round
+// trips and the double-accumulation guarantee of the bulk norms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "polymg/grid/ops.hpp"
+
+namespace polymg {
+namespace {
+
+using grid::View;
+using poly::Box;
+using poly::index_t;
+
+TEST(PrecisionViews, ExactValuesRoundTripBitExactly) {
+  // Values exactly representable in binary32 survive F64 -> F32 -> F64
+  // unchanged (promotion is exact for every float).
+  const Box dom = Box::cube(2, 0, 9);
+  grid::Buffer a = grid::make_grid(dom);
+  grid::BufferF32 b = grid::make_grid_f32(dom);
+  grid::Buffer c = grid::make_grid(dom);
+  View av = View::over(a.data(), dom);
+  View bv = View::over(b.data(), dom);
+  View cv = View::over(c.data(), dom);
+  ASSERT_EQ(bv.dtype, grid::DType::F32);
+  grid::fill_region(av, dom, [](index_t i, index_t j, index_t) {
+    return 1.0 + 0.5 * static_cast<double>(i) - 0.25 * static_cast<double>(j);
+  });
+  grid::copy_region(bv, av, dom);
+  grid::copy_region(cv, bv, dom);
+  EXPECT_EQ(grid::max_diff(av, cv, dom), 0.0);
+}
+
+TEST(PrecisionViews, InexactValuesRoundExactlyOnce) {
+  // A value with no binary32 representation rounds once on store: the
+  // round trip lands on (double)(float)x, not on some twice-rounded or
+  // truncated variant.
+  const Box dom = Box::cube(2, 0, 3);
+  grid::BufferF32 b = grid::make_grid_f32(dom);
+  View bv = View::over(b.data(), dom);
+  const double x = 0.1;  // repeating fraction in binary
+  bv.store_at({1, 1, 0}, x);
+  const double back = bv.load_at({1, 1, 0});
+  EXPECT_EQ(back, static_cast<double>(static_cast<float>(x)));
+  EXPECT_NE(back, x);
+}
+
+TEST(PrecisionViews, L2NormAccumulatesDoubleOverFloatStorage) {
+  // Fill a large float grid with a constant; the exact sum of squares is
+  // n_pts * f^2 with f the once-rounded value. A float accumulator would
+  // drift by far more than 1e-12 relative over ~1e6 terms; the norms
+  // promise double accumulation regardless of storage dtype.
+  const index_t n = 1023;
+  const Box dom = Box::cube(2, 0, n + 1);
+  grid::BufferF32 b = grid::make_grid_f32(dom);
+  View bv = View::over(b.data(), dom);
+  const Box interior = Box::cube(2, 1, n);
+  grid::fill_region(bv, interior,
+                    [](index_t, index_t, index_t) { return 0.001; });
+  const double f = static_cast<double>(static_cast<float>(0.001));
+  const double n_pts = static_cast<double>(n) * static_cast<double>(n);
+  const double exact = std::sqrt(n_pts * f * f);
+  // Double accumulation drifts by ~1e-11 relative over 1e6 terms; float
+  // accumulation would be off by 1e-8 or (far) worse.
+  EXPECT_NEAR(grid::l2_norm(bv, interior) / exact, 1.0, 1e-10);
+}
+
+TEST(PrecisionViews, AddRegionAccumulatesInDouble) {
+  // dst (double) += src (float): the tiny float increment must land in
+  // the double destination exactly — under float accumulation
+  // 1.0 + 1e-9 collapses back to 1.0.
+  const Box dom = Box::cube(2, 0, 5);
+  grid::Buffer d = grid::make_grid(dom);
+  grid::BufferF32 s = grid::make_grid_f32(dom);
+  View dv = View::over(d.data(), dom);
+  View sv = View::over(s.data(), dom);
+  grid::fill_region(dv, dom, [](index_t, index_t, index_t) { return 1.0; });
+  grid::fill_region(sv, dom, [](index_t, index_t, index_t) { return 1e-9; });
+  grid::add_region(dv, sv, dom);
+  const double inc = static_cast<double>(static_cast<float>(1e-9));
+  EXPECT_EQ(dv.load_at({2, 2, 0}), 1.0 + inc);
+  EXPECT_NE(dv.load_at({2, 2, 0}), 1.0);
+}
+
+TEST(PrecisionViews, MixedDtypeCopyNarrowsAndWidens) {
+  // F64 -> F32 is the canonical demotion (one rounding), F32 -> F64 the
+  // exact promotion; together max error is half a float ulp of the value.
+  const Box dom = Box::cube(3, 0, 5);
+  grid::Buffer a = grid::make_grid(dom);
+  grid::BufferF32 b = grid::make_grid_f32(dom);
+  View av = View::over(a.data(), dom);
+  View bv = View::over(b.data(), dom);
+  grid::fill_region(av, dom, [](index_t i, index_t j, index_t k) {
+    return std::sin(static_cast<double>(i * 31 + j * 7 + k));
+  });
+  grid::copy_region(bv, av, dom);
+  // |x - (float)x| <= ulp32(x)/2 <= |x| * 2^-24.
+  EXPECT_LE(grid::max_diff(av, bv, dom), std::ldexp(1.0, -24));
+}
+
+}  // namespace
+}  // namespace polymg

@@ -1,0 +1,136 @@
+// Storage-precision assignment on compiled plans: which functions the
+// policy turns float, which invariants validate_plan enforces, and how
+// precision feeds the kernel fingerprint.
+#include <gtest/gtest.h>
+
+#include "polymg/opt/compile.hpp"
+#include "polymg/opt/validate.hpp"
+#include "polymg/solvers/cycles.hpp"
+
+namespace polymg {
+namespace {
+
+solvers::CycleConfig small_cfg(int ndim) {
+  solvers::CycleConfig cfg;
+  cfg.ndim = ndim;
+  cfg.n = ndim == 2 ? 63 : 15;
+  cfg.levels = 3;
+  return cfg;
+}
+
+int finest_level(const opt::CompiledPipeline& cp) {
+  int finest = -1;
+  for (const ir::FunctionDecl& f : cp.pipe.funcs) {
+    finest = std::max(finest, f.level);
+  }
+  return finest;
+}
+
+TEST(PrecisionPlan, DoubleModeAssignsEverythingF64) {
+  opt::CompileOptions opts;  // default precision: Double
+  opt::CompiledPipeline cp =
+      opt::compile(solvers::build_cycle(small_cfg(2)), opts);
+  for (std::size_t i = 0; i < cp.pipe.funcs.size(); ++i) {
+    EXPECT_EQ(cp.dtype_of_func(static_cast<int>(i)), grid::DType::F64);
+  }
+  for (std::size_t i = 0; i < cp.pipe.externals.size(); ++i) {
+    EXPECT_EQ(cp.dtype_of_external(static_cast<int>(i)), grid::DType::F64);
+  }
+  EXPECT_NO_THROW(opt::validate_plan(cp));
+}
+
+TEST(PrecisionPlan, MixedTurnsFineGridsFloatKeepsCoarseAndOutputsDouble) {
+  opt::CompileOptions opts;
+  opts.precision.mode = opt::Precision::Mixed;
+  opts.precision.crossover = 2;
+  opt::CompiledPipeline cp =
+      opt::compile(solvers::build_cycle(small_cfg(2)), opts);
+  EXPECT_NO_THROW(opt::validate_plan(cp));
+
+  const int finest = finest_level(cp);
+  ASSERT_GE(finest, 0);
+  int f32_funcs = 0;
+  for (std::size_t i = 0; i < cp.pipe.funcs.size(); ++i) {
+    const ir::FunctionDecl& f = cp.pipe.funcs[i];
+    const grid::DType dt = cp.dtype_of_func(static_cast<int>(i));
+    if (dt == grid::DType::F32) ++f32_funcs;
+    // Coarse levels (at or below finest - crossover) and unleveled
+    // functions never run float.
+    if (f.level < 0 || f.level <= finest - opts.precision.crossover) {
+      EXPECT_EQ(dt, grid::DType::F64) << "func " << i << " level " << f.level;
+    }
+  }
+  EXPECT_GT(f32_funcs, 0) << "mixed plan assigned no float storage at all";
+  for (int out : cp.pipe.outputs) {
+    EXPECT_EQ(cp.dtype_of_func(out), grid::DType::F64);
+  }
+}
+
+TEST(PrecisionPlan, FloatModeStillKeepsOutputsDouble) {
+  opt::CompileOptions opts;
+  opts.precision.mode = opt::Precision::Float;
+  opt::CompiledPipeline cp =
+      opt::compile(solvers::build_cycle(small_cfg(2)), opts);
+  EXPECT_NO_THROW(opt::validate_plan(cp));
+  for (int out : cp.pipe.outputs) {
+    EXPECT_EQ(cp.dtype_of_func(out), grid::DType::F64);
+  }
+}
+
+TEST(PrecisionPlan, EveryFunctionReadsUniformSourceDtype) {
+  opt::CompileOptions opts;
+  opts.precision.mode = opt::Precision::Mixed;
+  opt::CompiledPipeline cp =
+      opt::compile(solvers::build_cycle(small_cfg(3)), opts);
+  EXPECT_NO_THROW(opt::validate_plan(cp));
+  for (const ir::FunctionDecl& f : cp.pipe.funcs) {
+    grid::DType seen = grid::DType::F64;
+    bool first = true;
+    for (const ir::SourceSlot& s : f.sources) {
+      const grid::DType dt = s.external ? cp.dtype_of_external(s.index)
+                                        : cp.dtype_of_func(s.index);
+      if (first) {
+        seen = dt;
+        first = false;
+      } else {
+        EXPECT_EQ(dt, seen) << "mixed-dtype sources in " << f.name;
+      }
+    }
+  }
+}
+
+TEST(PrecisionPlan, FingerprintSeparatesPrecisionModes) {
+  const ir::Pipeline pipe = solvers::build_cycle(small_cfg(2));
+  opt::CompileOptions dbl;
+  opt::CompileOptions mix;
+  mix.precision.mode = opt::Precision::Mixed;
+  const std::uint64_t fp_d = opt::kernel_fingerprint(
+      opt::compile(ir::Pipeline(pipe), dbl));
+  const std::uint64_t fp_m = opt::kernel_fingerprint(
+      opt::compile(ir::Pipeline(pipe), mix));
+  // Dtypes are baked into JIT kernels, so plans differing only in
+  // precision must never share a kernel module.
+  EXPECT_NE(fp_d, fp_m);
+}
+
+TEST(PrecisionPlan, TimeTiledChainsStayDtypeUniform) {
+  // Under DtileOptPlus a smoother chain shares one ping-pong buffer
+  // pair, so the whole chain must carry one dtype — the repair fixpoint
+  // may demote everything back to double, but the plan must validate.
+  opt::CompileOptions opts =
+      opt::CompileOptions::for_variant(opt::Variant::DtileOptPlus, 2);
+  opts.precision.mode = opt::Precision::Mixed;
+  opt::CompiledPipeline cp =
+      opt::compile(solvers::build_cycle(small_cfg(2)), opts);
+  EXPECT_NO_THROW(opt::validate_plan(cp));
+}
+
+TEST(PrecisionPlan, ReferenceOptionsForceFullDouble) {
+  opt::CompileOptions opts;
+  opts.precision.mode = opt::Precision::Mixed;
+  const opt::CompileOptions ref = opt::reference_options(opts);
+  EXPECT_FALSE(ref.precision.mixed());
+}
+
+}  // namespace
+}  // namespace polymg

@@ -1,0 +1,71 @@
+// Plan-cache signatures must separate precision policies: a mixed plan
+// and a double plan for the same problem are different compiled
+// artifacts (different dtypes baked into kernels) and must never share
+// a cache entry.
+#include <gtest/gtest.h>
+
+#include "polymg/service/plan_cache.hpp"
+
+namespace polymg {
+namespace {
+
+solvers::CycleConfig cache_cfg() {
+  solvers::CycleConfig cfg;
+  cfg.ndim = 2;
+  cfg.n = 63;
+  cfg.levels = 3;
+  return cfg;
+}
+
+TEST(PrecisionCache, SignatureSeparatesPrecisionModes) {
+  const solvers::CycleConfig cfg = cache_cfg();
+  opt::CompileOptions dbl;
+  opt::CompileOptions mix = dbl;
+  mix.precision.mode = opt::Precision::Mixed;
+  opt::CompileOptions flt = dbl;
+  flt.precision.mode = opt::Precision::Float;
+  opt::CompileOptions mix1 = mix;
+  mix1.precision.crossover = 1;
+
+  const std::string sd = service::PlanCache::signature(cfg, dbl);
+  const std::string sm = service::PlanCache::signature(cfg, mix);
+  const std::string sf = service::PlanCache::signature(cfg, flt);
+  const std::string sm1 = service::PlanCache::signature(cfg, mix1);
+  EXPECT_NE(sd, sm);
+  EXPECT_NE(sd, sf);
+  EXPECT_NE(sm, sf);
+  EXPECT_NE(sm, sm1) << "crossover must be part of the signature";
+}
+
+TEST(PrecisionCache, MixedAndDoubleGetDistinctPlans) {
+  service::PlanCache cache;
+  const solvers::CycleConfig cfg = cache_cfg();
+  opt::CompileOptions dbl;
+  dbl.jit = opt::JitMode::Off;  // keep this test toolchain-independent
+  opt::CompileOptions mix = dbl;
+  mix.precision.mode = opt::Precision::Mixed;
+
+  auto pd = cache.plan_for(cfg, dbl);
+  auto pm = cache.plan_for(cfg, mix);
+  ASSERT_NE(pd, nullptr);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_NE(pd.get(), pm.get());
+  EXPECT_EQ(cache.size(), 2u);
+  // And a repeat of each is a hit on its own entry.
+  EXPECT_EQ(cache.plan_for(cfg, dbl).get(), pd.get());
+  EXPECT_EQ(cache.plan_for(cfg, mix).get(), pm.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The mixed plan actually differs: some storage is float.
+  bool any_f32 = false;
+  for (std::size_t i = 0; i < pm->pipe.funcs.size(); ++i) {
+    any_f32 |= pm->dtype_of_func(static_cast<int>(i)) == grid::DType::F32;
+  }
+  EXPECT_TRUE(any_f32);
+  for (std::size_t i = 0; i < pd->pipe.funcs.size(); ++i) {
+    EXPECT_EQ(pd->dtype_of_func(static_cast<int>(i)), grid::DType::F64);
+  }
+}
+
+}  // namespace
+}  // namespace polymg

@@ -1,0 +1,182 @@
+// Mixed-precision guarded solves: convergence parity with full double,
+// the precision oracle catching injected float-path corruption, and the
+// unconditional invariance of the double path.
+#include <gtest/gtest.h>
+
+#include "polymg/common/fault.hpp"
+#include "polymg/grid/ops.hpp"
+#include "polymg/runtime/guarded.hpp"
+#include "polymg/solvers/guarded.hpp"
+#include "polymg/solvers/metrics.hpp"
+
+namespace polymg {
+namespace {
+
+using solvers::CycleConfig;
+using solvers::GuardPolicy;
+using solvers::PoissonProblem;
+using solvers::RungKind;
+using solvers::SolveReport;
+
+/// Deep hierarchy (coarsest 3^d) with a near-exact coarsest solve, the
+/// convergence suite's "textbook rate" regime — a handful of cycles to
+/// 1e-8, so the +2-iteration parity bound is meaningful.
+CycleConfig deep_cfg(int ndim, poly::index_t n, int levels) {
+  CycleConfig cfg;
+  cfg.ndim = ndim;
+  cfg.n = n;
+  cfg.levels = levels;
+  cfg.n2 = 30;
+  return cfg;
+}
+
+TEST(PrecisionSolve, MixedMatchesDoubleIterationsWithinTwo) {
+  // Defect correction keeps the iterate and all norms double, so the
+  // mixed solve must reach the same relative tolerance in at most a
+  // couple of extra cycles on the paper's problem classes.
+  struct Case {
+    int ndim;
+    poly::index_t n;
+    int levels;
+  };
+  for (const Case& c : {Case{2, 63, 5}, Case{2, 127, 6}, Case{3, 31, 4}}) {
+    const CycleConfig cfg = deep_cfg(c.ndim, c.n, c.levels);
+    GuardPolicy policy;
+    policy.precision_check_cadence = 4;
+
+    PoissonProblem pd = PoissonProblem::manufactured(c.ndim, c.n);
+    opt::CompileOptions dbl;
+    const SolveReport rd = guarded_solve(cfg, pd, 1e-8, policy, dbl);
+    ASSERT_TRUE(rd.converged) << rd.summary();
+
+    PoissonProblem pm = PoissonProblem::manufactured(c.ndim, c.n);
+    opt::CompileOptions mix;
+    mix.precision.mode = opt::Precision::Mixed;
+    const SolveReport rm = guarded_solve(cfg, pm, 1e-8, policy, mix);
+    ASSERT_TRUE(rm.converged) << rm.summary();
+
+    EXPECT_EQ(rm.attempts.size(), 1u) << rm.summary();
+    EXPECT_TRUE(rm.attempts[0].mixed_precision);
+    EXPECT_EQ(rm.precision_violations, 0) << rm.summary();
+    EXPECT_LE(rm.total_cycles, rd.total_cycles + 2)
+        << c.ndim << "-d n=" << c.n << "\n"
+        << rm.summary();
+    // Same tolerance actually reached, not a weaker one.
+    EXPECT_LE(rm.final_residual, 1e-8 * rm.initial_residual);
+  }
+}
+
+TEST(PrecisionSolve, OracleRunsAtTheConfiguredCadence) {
+  const CycleConfig cfg = deep_cfg(2, 63, 5);
+  GuardPolicy policy;
+  policy.precision_check_cadence = 2;
+  PoissonProblem p = PoissonProblem::manufactured(2, 63);
+  opt::CompileOptions mix;
+  mix.precision.mode = opt::Precision::Mixed;
+  const SolveReport r = guarded_solve(cfg, p, 1e-8, policy, mix);
+  ASSERT_TRUE(r.converged) << r.summary();
+  EXPECT_EQ(r.precision_checks, r.total_cycles / 2) << r.summary();
+  EXPECT_EQ(r.precision_violations, 0);
+}
+
+TEST(PrecisionSolve, InjectedCorruptionDetectedAndDegradedToDouble) {
+  // Arm the precision.corrupt site: one residual value is blown out of
+  // scale before the float cycle consumes it — finite, so the
+  // non-finite health scan stays silent. The oracle must flag the
+  // violation and the ladder must rebuild the same configuration in
+  // full double, which then converges.
+  const CycleConfig cfg = deep_cfg(2, 63, 5);
+  GuardPolicy policy;
+  policy.precision_check_cadence = 1;  // check every cycle
+  PoissonProblem p = PoissonProblem::manufactured(2, 63);
+  opt::CompileOptions mix;
+  mix.precision.mode = opt::Precision::Mixed;
+  fault::ScopedFault inject(fault::kPrecisionCorrupt, 1);
+  const SolveReport r = guarded_solve(cfg, p, 1e-8, policy, mix);
+  EXPECT_EQ(inject.fired(), 1);
+  ASSERT_TRUE(r.converged) << r.summary();
+  EXPECT_GE(r.precision_violations, 1) << r.summary();
+  ASSERT_GE(r.attempts.size(), 2u) << r.summary();
+  EXPECT_TRUE(r.attempts[0].mixed_precision);
+  EXPECT_GE(r.attempts[0].precision_violations, 1);
+  EXPECT_EQ(r.attempts[1].kind, RungKind::PrecisionFallback);
+  EXPECT_FALSE(r.attempts[1].mixed_precision);
+  EXPECT_TRUE(r.attempts.back().converged);
+}
+
+TEST(PrecisionSolve, DisabledOracleRunsNoChecks) {
+  const CycleConfig cfg = deep_cfg(2, 63, 5);
+  GuardPolicy policy;
+  policy.precision_check_cadence = 0;
+  PoissonProblem p = PoissonProblem::manufactured(2, 63);
+  opt::CompileOptions mix;
+  mix.precision.mode = opt::Precision::Mixed;
+  const SolveReport r = guarded_solve(cfg, p, 1e-8, policy, mix);
+  ASSERT_TRUE(r.converged) << r.summary();
+  EXPECT_EQ(r.precision_checks, 0);
+}
+
+TEST(PrecisionSolve, DoubleSolveIsDeterministicAndUntouchedByMixedPath) {
+  // The default (Double) path must not engage any mixed machinery and
+  // must stay bit-reproducible run to run.
+  const CycleConfig cfg = deep_cfg(2, 63, 5);
+  PoissonProblem p1 = PoissonProblem::manufactured(2, 63);
+  PoissonProblem p2 = PoissonProblem::manufactured(2, 63);
+  const SolveReport r1 = guarded_solve(cfg, p1, 1e-8);
+  const SolveReport r2 = guarded_solve(cfg, p2, 1e-8);
+  ASSERT_TRUE(r1.converged);
+  EXPECT_EQ(r1.precision_checks, 0);
+  EXPECT_FALSE(r1.attempts[0].mixed_precision);
+  EXPECT_EQ(r1.total_cycles, r2.total_cycles);
+  EXPECT_EQ(r1.final_residual, r2.final_residual);  // bitwise
+  EXPECT_EQ(grid::max_diff(p1.v_view(), p2.v_view(), p1.domain()), 0.0);
+}
+
+TEST(PrecisionSolve, GuardFallbackPromotesFloatExternals) {
+  // A mixed plan's in-run reference fallback re-executes the invocation
+  // on the full-double reference plan; the guard must promote the float
+  // externals instead of tripping the executor's dtype precondition.
+  const CycleConfig cfg = deep_cfg(2, 63, 5);
+  opt::CompileOptions mix;
+  mix.precision.mode = opt::Precision::Mixed;
+  runtime::GuardedExecutor ex(solvers::build_cycle(cfg), mix);
+  ASSERT_TRUE(ex.has_optimized_plan());
+
+  const poly::Box dom = poly::Box::cube(2, 0, 64);
+  // Bind externals of exactly the dtypes the mixed plan expects.
+  grid::Buffer v64;
+  grid::BufferF32 v32, f32;
+  grid::Buffer f64;
+  std::vector<grid::View> ext(2);
+  if (ex.plan().dtype_of_external(0) == grid::DType::F32) {
+    v32 = grid::make_grid_f32(dom);
+    ext[0] = grid::View::over(v32.data(), dom);
+  } else {
+    v64 = grid::make_grid(dom);
+    ext[0] = grid::View::over(v64.data(), dom);
+  }
+  if (ex.plan().dtype_of_external(1) == grid::DType::F32) {
+    f32 = grid::make_grid_f32(dom);
+    ext[1] = grid::View::over(f32.data(), dom);
+  } else {
+    f64 = grid::make_grid(dom);
+    ext[1] = grid::View::over(f64.data(), dom);
+  }
+  grid::fill_region(ext[1], poly::Box::cube(2, 1, 63),
+                    [](poly::index_t i, poly::index_t j, poly::index_t) {
+                      return 1.0 + 0.001 * static_cast<double>(i * 64 + j);
+                    });
+
+  // Healthy run first (optimized path).
+  ex.run(ext);
+  EXPECT_FALSE(ex.last_run_fell_back());
+  // Poison the next optimized run's output: the health scan fails and
+  // the same externals re-run on the double reference plan.
+  fault::ScopedFault poison(fault::kKernelOutput, 1);
+  ex.run(ext);
+  EXPECT_TRUE(ex.last_run_fell_back());
+  EXPECT_EQ(ex.report().fallback_runs, 1);
+}
+
+}  // namespace
+}  // namespace polymg
