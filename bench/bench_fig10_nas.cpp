@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace polymg::bench;
   const polymg::Options opts = parse_bench_options(argc, argv);
   TraceFromOptions trace(opts);
+  MetricsFromOptions metrics(opts);
   const bool paper = paper_sizes_requested(opts);
   const int reps = static_cast<int>(opts.get_int("reps", 3));
   const std::string only_class = opts.get("class", "");

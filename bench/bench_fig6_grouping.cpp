@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace polymg::bench;
   const polymg::Options opts = parse_bench_options(argc, argv);
   TraceFromOptions trace(opts);
+  MetricsFromOptions metrics(opts);
   (void)opts;
   benchmark::Initialize(&argc, argv);
 

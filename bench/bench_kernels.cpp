@@ -244,6 +244,7 @@ int main_impl(int argc, char** argv) {
   const bool mixed =
       prec.mixed() && codegen::jit_mode() != opt::JitMode::Off;
   TraceFromOptions trace(opts);
+  MetricsFromOptions metrics(opts);
   const int reps = static_cast<int>(opts.get_int("reps", 5));
   const index_t n2d = opts.get_int("n2d", 1023);
   const index_t n3d = opts.get_int("n3d", 127);

@@ -14,17 +14,29 @@
 //      quantum), and faulty throughput must stay within 10% of the
 //      clean overload run.
 //
+// Per-phase latency percentiles come from the service's lock-free
+// service.e2e_ns histogram (reset between phases); the sorted
+// per-request samples are kept as a cross-check — the histogram
+// quantile must agree with the exact nearest-rank order statistic to
+// within one bucket width (~6% relative), which the JSON records and CI
+// asserts. The run also self-scrapes its own Prometheus endpoint
+// (ephemeral loopback port) and writes the payload next to the JSON.
+//
 // Emits BENCH_service.json (a single object; the panels are derived
 // service metrics, not per-series timings).
 //
 // Flags: --workers N, --requests R, --deadline-ms D, --json FILE,
+//        --prom FILE (Prometheus self-scrape payload),
 //        --fault SPEC (extra sites on top of panel 2's injection).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "gbench.hpp"
+#include "polymg/obs/exposition.hpp"
 #include "polymg/obs/metrics.hpp"
 #include "polymg/service/service.hpp"
 
@@ -69,18 +81,34 @@ struct PhaseStats {
   int retries = 0;
   bool retry_after_ok = true;  // every reject carried a positive hint
   double max_overshoot_ms = 0.0;
-  std::vector<double> latency_ms;  // queue + solve per completed request
+  std::vector<double> latency_ms;  // e2e (admission->completion) per request
+  // Histogram-derived percentiles (service.e2e_ns, reset per phase) and
+  // the bucket width carried by the p99 read — its error bound.
+  double hist_p50_ms = 0.0;
+  double hist_p95_ms = 0.0;
+  double hist_p99_ms = 0.0;
+  double hist_p99_bucket_ms = 0.0;
 
   double solves_per_sec() const {
     return elapsed_s > 0 ? served / elapsed_s : 0.0;
   }
+  /// Exact nearest-rank order statistic — the same convention the
+  /// histogram's quantile() uses, so the two differ by at most the
+  /// bucket width when computed over the same samples.
   double pct(double p) const {
     if (latency_ms.empty()) return 0.0;
     std::vector<double> s = latency_ms;
     std::sort(s.begin(), s.end());
-    const auto ix = static_cast<std::size_t>(
-        p / 100.0 * static_cast<double>(s.size() - 1) + 0.5);
-    return s[std::min(ix, s.size() - 1)];
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(s.size())));
+    rank = std::min(std::max<std::size_t>(rank, 1), s.size());
+    return s[rank - 1];
+  }
+  /// |histogram p99 - exact p99| <= one bucket width: the acceptance
+  /// criterion CI asserts on the emitted JSON.
+  bool hist_vs_sort_p99_ok() const {
+    if (latency_ms.empty()) return true;
+    return std::abs(hist_p99_ms - pct(99)) <= hist_p99_bucket_ms + 1e-6;
   }
 };
 
@@ -90,6 +118,14 @@ struct PhaseStats {
 PhaseStats run_phase(SolveService& svc, const grid::Buffer& rhs,
                      int requests, int burst, double deadline_ms) {
   PhaseStats st;
+  // Per-phase histogram semantics: the registry handles are stable, so
+  // resetting just the aggregate latency histograms scopes them to this
+  // phase without touching counters (the zero-recompile check depends on
+  // opt.compiles surviving).
+  auto& m = polymg::obs::Metrics::instance();
+  m.histogram("service.queue_ns").reset();
+  m.histogram("service.solve_ns").reset();
+  m.histogram("service.e2e_ns").reset();
   Timer t;
   int sent = 0;
   while (sent < requests) {
@@ -108,7 +144,7 @@ PhaseStats run_phase(SolveService& svc, const grid::Buffer& rhs,
     }
     for (const std::uint64_t ticket : tickets) {
       SolveResult res = svc.wait(ticket);
-      st.latency_ms.push_back(res.queue_ms + res.solve_ms);
+      st.latency_ms.push_back(res.e2e_ms);
       st.max_overshoot_ms =
           std::max(st.max_overshoot_ms, res.deadline_overshoot_ms);
       st.retries += res.retries;
@@ -121,32 +157,51 @@ PhaseStats run_phase(SolveService& svc, const grid::Buffer& rhs,
     }
   }
   st.elapsed_s = t.elapsed();
+  const auto& h = m.histogram("service.e2e_ns");
+  st.hist_p50_ms = static_cast<double>(h.quantile(0.50)) / 1e6;
+  st.hist_p95_ms = static_cast<double>(h.quantile(0.95)) / 1e6;
+  st.hist_p99_ms = static_cast<double>(h.quantile(0.99)) / 1e6;
+  st.hist_p99_bucket_ms =
+      static_cast<double>(h.quantile_bucket_width(0.99)) / 1e6;
   return st;
 }
 
 void print_phase(const char* name, const PhaseStats& st) {
   std::printf(
-      "%-18s %6.1f solves/s  p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms\n"
+      "%-18s %6.1f solves/s  p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms "
+      "(histogram, +-%.2f ms)\n"
+      "%-18s sorted cross-check: p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms"
+      " [%s]\n"
       "%-18s %d/%d served, %d rejected, %d deadline, %d degraded, "
       "%d retries, max overshoot %.2f ms\n",
-      name, st.solves_per_sec(), st.pct(50), st.pct(95), st.pct(99), "",
+      name, st.solves_per_sec(), st.hist_p50_ms, st.hist_p95_ms,
+      st.hist_p99_ms, st.hist_p99_bucket_ms, "", st.pct(50), st.pct(95),
+      st.pct(99), st.hist_vs_sort_p99_ok() ? "OK" : "MISMATCH", "",
       st.served, st.submitted, st.rejected, st.deadline_hits, st.degraded,
       st.retries, st.max_overshoot_ms);
 }
 
 void json_phase(std::FILE* f, const char* name, const PhaseStats& st,
                 bool last) {
+  // p50/p95/p99_ms are the histogram reads (the production path);
+  // sort_* keep the exact order statistics as the cross-check CI
+  // asserts against (|p99 - sort_p99| <= p99_bucket_ms).
   std::fprintf(
       f,
       "    \"%s\": {\"submitted\": %d, \"served\": %d, \"rejected\": %d, "
       "\"deadline_hits\": %d, \"degraded\": %d, \"retries\": %d, "
       "\"solves_per_sec\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
-      "\"p99_ms\": %.4f, \"max_overshoot_ms\": %.4f, "
+      "\"p99_ms\": %.4f, \"p99_bucket_ms\": %.4f, "
+      "\"sort_p50_ms\": %.4f, \"sort_p95_ms\": %.4f, "
+      "\"sort_p99_ms\": %.4f, \"hist_vs_sort_p99_ok\": %s, "
+      "\"max_overshoot_ms\": %.4f, "
       "\"retry_after_ok\": %s}%s\n",
       name, st.submitted, st.served, st.rejected, st.deadline_hits,
-      st.degraded, st.retries, st.solves_per_sec(), st.pct(50), st.pct(95),
-      st.pct(99), st.max_overshoot_ms, st.retry_after_ok ? "true" : "false",
-      last ? "" : ",");
+      st.degraded, st.retries, st.solves_per_sec(), st.hist_p50_ms,
+      st.hist_p95_ms, st.hist_p99_ms, st.hist_p99_bucket_ms, st.pct(50),
+      st.pct(95), st.pct(99),
+      st.hist_vs_sort_p99_ok() ? "true" : "false", st.max_overshoot_ms,
+      st.retry_after_ok ? "true" : "false", last ? "" : ",");
 }
 
 }  // namespace
@@ -155,6 +210,7 @@ void json_phase(std::FILE* f, const char* name, const PhaseStats& st,
 int main(int argc, char** argv) {
   using namespace polymg::bench;
   const polymg::Options opts = parse_bench_options(argc, argv);
+  MetricsFromOptions metrics(opts);
   const int workers = static_cast<int>(opts.get_int("workers", 2));
   const int requests = static_cast<int>(opts.get_int("requests", 24));
   double deadline_ms = deadline_ms_from_options(opts);
@@ -165,6 +221,7 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = static_cast<std::size_t>(2 * workers);
   cfg.tenant_quota = 0;  // the burst driver is one client; quotas off
   cfg.slow_fault_ms = 15.0;
+  cfg.metrics_port = 0;  // ephemeral loopback port; self-scraped below
 
   const auto rhs_src =
       polymg::solvers::PoissonProblem::random_rhs(2, bench_cfg().n, 42);
@@ -221,6 +278,30 @@ int main(int argc, char** argv) {
       over_clean.retry_after_ok && over_fault.retry_after_ok ? "all positive"
                                                             : "MISSING");
 
+  // ---- Self-scrape: hit the service's own Prometheus endpoint while it
+  // ---- is still up and keep the payload as a CI artifact. ------------
+  bool scrape_ok = false;
+  const std::string prom_path = opts.get("prom", "METRICS_service.prom");
+  if (svc.metrics_running() && svc.metrics_port() > 0) {
+    const std::string payload =
+        polymg::obs::ScrapeEndpoint::http_get_local(svc.metrics_port());
+    // The scrape must carry the latency histogram series the endpoint
+    // exists for; a histogram renders at least one +Inf bucket.
+    scrape_ok =
+        payload.find("service_e2e_ns_bucket{le=\"+Inf\"}") !=
+            std::string::npos &&
+        payload.find("# TYPE service_e2e_ns histogram") != std::string::npos;
+    if (!prom_path.empty()) {
+      std::ofstream os(prom_path);
+      os << payload;
+      std::printf("scraped 127.0.0.1:%d/metrics -> %s (%zu bytes) [%s]\n",
+                  svc.metrics_port(), prom_path.c_str(), payload.size(),
+                  scrape_ok ? "OK" : "MISSING SERIES");
+    }
+  } else {
+    std::printf("metrics endpoint unavailable — scrape skipped\n");
+  }
+
   svc.shutdown();
 
   // ---- JSON ---------------------------------------------------------
@@ -239,6 +320,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"throughput_ratio_fault_vs_clean\": %.4f,\n",
                  tput_ratio);
     std::fprintf(f, "  \"overshoot_bound_ms\": %.1f,\n", overshoot_bound_ms);
+    std::fprintf(f, "  \"scrape_ok\": %s,\n", scrape_ok ? "true" : "false");
     std::fprintf(f, "  \"phases\": {\n");
     json_phase(f, "steady", steady, false);
     json_phase(f, "overload_clean", over_clean, false);

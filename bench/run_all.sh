@@ -7,12 +7,16 @@
 #   BENCH_autotune.json — the Fig. 12 autotuning sweep
 #   BENCH_resilience.json — checkpoint overhead, recovery latency, SDC rate
 #   BENCH_service.json  — solve-service throughput / tail latency / overload
+#   BENCH_obs.json      — observability plane: histogram accuracy, record
+#                         overhead, trace overhead, roofline attribution
+#   METRICS_service.prom — Prometheus text scraped live from bench_service
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
 # Extra knobs via env: REPS (default 3), BENCH_CLASS (e.g. B),
 # SCHED_THREADS (default "1,2,4"), POLYMG_TRACE=1 to additionally write a
 # Chrome trace (TRACE_<bench>.json per driver, Perfetto-loadable) next to
-# each BENCH_*.json.
+# each BENCH_*.json, POLYMG_METRICS=1 to additionally dump each driver's
+# final metrics-registry snapshot (METRICS_<bench>.json per driver).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,6 +31,14 @@ trace_arg() {  # usage: trace_arg <name> -> echoes --trace <path> or nothing
   fi
 }
 
+# Per-bench metrics snapshots when POLYMG_METRICS is set: the harness
+# dumps the whole registry (counters, gauges, histograms) at exit.
+metrics_arg() {  # usage: metrics_arg <name> -> echoes --metrics <path> or nothing
+  if [[ -n "${POLYMG_METRICS:-}" ]]; then
+    echo "--metrics $repo_root/METRICS_$1.json"
+  fi
+}
+
 if [[ ! -x "$build/bench/bench_kernels" ]]; then
   echo "error: $build/bench/bench_kernels not found — build first:" >&2
   echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -37,7 +49,8 @@ echo "== bench_kernels (reps=$reps, mixed rows at a DRAM-bound 2-d edge) =="
 # --n2d 4095 (134 MB of doubles) keeps the 2-d stencils memory-bound so
 # the jit-f32 rows measure the bandwidth halving, not cache noise.
 "$build/bench/bench_kernels" --reps "$reps" --precision=mixed --n2d 4095 \
-  --json "$repo_root/BENCH_kernels.json" $(trace_arg kernels)
+  --json "$repo_root/BENCH_kernels.json" $(trace_arg kernels) \
+  $(metrics_arg kernels)
 
 echo
 echo "== bench_fig9_2d (reps=$reps) =="
@@ -46,30 +59,44 @@ if [[ -n "${BENCH_CLASS:-}" ]]; then
   fig9_args+=(--class "$BENCH_CLASS")
 fi
 "$build/bench/bench_fig9_2d" "${fig9_args[@]}" $(trace_arg fig9) \
-  --benchmark_out_format=console
+  $(metrics_arg fig9) --benchmark_out_format=console
 
 echo
 echo "== bench_sched (reps=$reps, threads=${SCHED_THREADS:-1,2,4}) =="
 "$build/bench/bench_sched" --reps "$reps" \
   --threads "${SCHED_THREADS:-1,2,4}" \
-  --json "$repo_root/BENCH_sched.json" $(trace_arg sched)
+  --json "$repo_root/BENCH_sched.json" $(trace_arg sched) \
+  $(metrics_arg sched)
 
 echo
 echo "== bench_fig12_autotune (reps=$reps) =="
 "$build/bench/bench_fig12_autotune" --reps "$reps" \
-  --json "$repo_root/BENCH_autotune.json" $(trace_arg autotune)
+  --json "$repo_root/BENCH_autotune.json" $(trace_arg autotune) \
+  $(metrics_arg autotune)
 
 echo
 echo "== bench_resilience (reps=$reps) =="
 "$build/bench/bench_resilience" --reps "$reps" \
-  --json "$repo_root/BENCH_resilience.json" $(trace_arg resilience)
+  --json "$repo_root/BENCH_resilience.json" $(trace_arg resilience) \
+  $(metrics_arg resilience)
 
 echo
 echo "== bench_service =="
+# Always keep the scraped exposition text as an artifact: it is the
+# ground truth the CI smoke asserts against (parseable Prometheus text,
+# histogram series present).
 "$build/bench/bench_service" \
-  --json "$repo_root/BENCH_service.json"
+  --json "$repo_root/BENCH_service.json" \
+  --prom "$repo_root/METRICS_service.prom" \
+  $(metrics_arg service)
+
+echo
+echo "== bench_obs =="
+"$build/bench/bench_obs" \
+  --json "$repo_root/BENCH_obs.json" $(metrics_arg obs)
 
 echo
 echo "results: $repo_root/BENCH_kernels.json $repo_root/BENCH_fig9.json" \
      "$repo_root/BENCH_sched.json $repo_root/BENCH_autotune.json" \
-     "$repo_root/BENCH_resilience.json $repo_root/BENCH_service.json"
+     "$repo_root/BENCH_resilience.json $repo_root/BENCH_service.json" \
+     "$repo_root/BENCH_obs.json $repo_root/METRICS_service.prom"

@@ -9,6 +9,7 @@
 #include "polymg/common/error.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
+#include "polymg/obs/metrics.hpp"
 #include "polymg/obs/report.hpp"
 #include "polymg/obs/trace.hpp"
 #include "polymg/solvers/metrics.hpp"
@@ -291,6 +292,30 @@ TraceFromOptions::~TraceFromOptions() {
   std::printf("wrote %zu trace event(s) to %s (%llu dropped)\n",
               events.size(), path_.c_str(),
               static_cast<unsigned long long>(obs::TraceSession::dropped()));
+}
+
+MetricsFromOptions::MetricsFromOptions(const Options& opts)
+    : path_(opts.get("metrics", "")) {
+  if (path_.empty()) return;
+  if (path_ == "1" || path_ == "true") path_ = "metrics.json";
+  // Fail HERE, at startup, if the sink is unwritable — not after the
+  // benchmark has run to completion.
+  {
+    std::ofstream probe(path_, std::ios::app);
+    if (!probe.good()) {
+      std::fprintf(stderr, "cannot open --metrics sink '%s' for writing\n",
+                   path_.c_str());
+      std::exit(2);
+    }
+  }
+  std::printf("metrics snapshot enabled -> %s\n", path_.c_str());
+}
+
+MetricsFromOptions::~MetricsFromOptions() {
+  if (path_.empty()) return;
+  std::ofstream os(path_, std::ios::trunc);
+  os << obs::Metrics::instance().snapshot_json() << "\n";
+  std::printf("wrote metrics snapshot to %s\n", path_.c_str());
 }
 
 void ResultTable::record(const std::string& row, const std::string& series,

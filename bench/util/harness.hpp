@@ -129,6 +129,26 @@ private:
   std::string path_;
 };
 
+/// RAII metrics-snapshot sink, the --trace counterpart for the registry:
+/// when `--metrics <path>` is passed (or the POLYMG_METRICS environment
+/// variable names a path — the Options env fallback), the destructor
+/// writes obs::Metrics::snapshot_json() to the path. A bare "1" maps to
+/// "metrics.json". The path is validated writable at CONSTRUCTION — an
+/// unwritable sink terminates the binary at startup, not after the
+/// benchmark has burned its wall time. Inactive otherwise.
+class MetricsFromOptions {
+public:
+  explicit MetricsFromOptions(const Options& opts);
+  ~MetricsFromOptions();
+  MetricsFromOptions(const MetricsFromOptions&) = delete;
+  MetricsFromOptions& operator=(const MetricsFromOptions&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+private:
+  std::string path_;
+};
+
 /// NAS-MG size classes: (n, levels, iters) scaled from Table 2's
 /// 256³/20 and 512³/20.
 struct NasClass {

@@ -1,0 +1,195 @@
+#include "polymg/obs/exposition.hpp"
+
+#include "polymg/obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+namespace polymg::obs {
+
+struct ScrapeEndpoint::Impl {
+  int tcp_fd = -1;
+  int unix_fd = -1;
+  int bound_port = -1;
+  std::string unix_path;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+namespace {
+
+int open_tcp_listener(int port, int* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 8) != 0) {
+    close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    *bound_port = static_cast<int>(ntohs(addr.sin_port));
+  }
+  return fd;
+}
+
+int open_unix_listener(const std::string& path) {
+  sockaddr_un addr;
+  if (path.size() + 1 > sizeof(addr.sun_path)) return -1;
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  unlink(path.c_str());  // a dead process may have left the node behind
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 8) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void serve_one(int conn) {
+  // Drain whatever request line arrived; the answer is the same for any
+  // path, so parsing would only add failure modes.
+  char buf[1024];
+  (void)!read(conn, buf, sizeof(buf));
+  const std::string body = Metrics::instance().prometheus_text();
+  std::ostringstream os;
+  os << "HTTP/1.0 200 OK\r\n"
+     << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+     << "Content-Length: " << body.size() << "\r\n\r\n"
+     << body;
+  const std::string resp = os.str();
+  std::size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t n = write(conn, resp.data() + off, resp.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  close(conn);
+}
+
+void accept_loop(const std::atomic<bool>& stop, int tcp_fd, int unix_fd) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    int nfds = 0;
+    if (tcp_fd >= 0) fds[nfds++] = {tcp_fd, POLLIN, 0};
+    if (unix_fd >= 0) fds[nfds++] = {unix_fd, POLLIN, 0};
+    if (nfds == 0) return;
+    const int r = poll(fds, static_cast<nfds_t>(nfds), 100);
+    if (r <= 0) continue;
+    for (int i = 0; i < nfds; ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      const int conn = accept(fds[i].fd, nullptr, nullptr);
+      if (conn >= 0) serve_one(conn);
+    }
+  }
+}
+
+}  // namespace
+
+ScrapeEndpoint::ScrapeEndpoint(const Options& opts) {
+  if (opts.tcp_port < 0 && opts.unix_path.empty()) return;
+  auto im = new Impl;
+  if (opts.tcp_port >= 0) {
+    im->tcp_fd = open_tcp_listener(opts.tcp_port, &im->bound_port);
+  }
+  if (!opts.unix_path.empty()) {
+    im->unix_fd = open_unix_listener(opts.unix_path);
+    if (im->unix_fd >= 0) im->unix_path = opts.unix_path;
+  }
+  if (im->tcp_fd < 0 && im->unix_fd < 0) {
+    delete im;  // nothing bound: telemetry degrades, the solve goes on
+    return;
+  }
+  im->thread = std::thread(
+      [im] { accept_loop(im->stop, im->tcp_fd, im->unix_fd); });
+  impl_ = im;
+}
+
+ScrapeEndpoint::~ScrapeEndpoint() {
+  if (impl_ == nullptr) return;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->thread.join();
+  if (impl_->tcp_fd >= 0) close(impl_->tcp_fd);
+  if (impl_->unix_fd >= 0) close(impl_->unix_fd);
+  if (!impl_->unix_path.empty()) unlink(impl_->unix_path.c_str());
+  delete impl_;
+}
+
+bool ScrapeEndpoint::running() const { return impl_ != nullptr; }
+
+int ScrapeEndpoint::port() const {
+  return impl_ != nullptr && impl_->tcp_fd >= 0 ? impl_->bound_port : -1;
+}
+
+const std::string& ScrapeEndpoint::unix_path() const {
+  static const std::string kEmpty;
+  return impl_ != nullptr ? impl_->unix_path : kEmpty;
+}
+
+std::string ScrapeEndpoint::http_get_local(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!write(fd, req, sizeof(req) - 1);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  const std::size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return "";
+  return resp.substr(hdr_end + 4);
+}
+
+}  // namespace polymg::obs
+
+#else  // no POSIX sockets
+
+namespace polymg::obs {
+
+struct ScrapeEndpoint::Impl {};
+ScrapeEndpoint::ScrapeEndpoint(const Options&) {}
+ScrapeEndpoint::~ScrapeEndpoint() = default;
+bool ScrapeEndpoint::running() const { return false; }
+int ScrapeEndpoint::port() const { return -1; }
+const std::string& ScrapeEndpoint::unix_path() const {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+std::string ScrapeEndpoint::http_get_local(int) { return ""; }
+
+}  // namespace polymg::obs
+
+#endif

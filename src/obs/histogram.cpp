@@ -1,0 +1,87 @@
+#include "polymg/obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace polymg::obs {
+
+int Histogram::bucket_index(std::int64_t v) {
+  if (v < kSubBuckets) return static_cast<int>(v < 0 ? 0 : v);
+  // Octave from the most significant bit, sub-bucket from the next
+  // kSubBits mantissa bits — the integer analogue of (exponent,
+  // truncated mantissa), so indices are monotone and contiguous across
+  // octave boundaries.
+  const int msb =
+      std::bit_width(static_cast<std::uint64_t>(v)) - 1;  // >= kSubBits
+  const int octave = msb - kSubBits + 1;
+  const int sub = static_cast<int>(
+      (static_cast<std::uint64_t>(v) >> (msb - kSubBits)) &
+      (kSubBuckets - 1));
+  return (octave << kSubBits) + sub;
+}
+
+std::int64_t Histogram::bucket_lower(int ix) {
+  if (ix < kSubBuckets) return ix;
+  const int octave = ix >> kSubBits;
+  const int sub = ix & (kSubBuckets - 1);
+  return static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(kSubBuckets + sub) << (octave - 1));
+}
+
+std::int64_t Histogram::bucket_upper(int ix) {
+  if (ix + 1 >= kBuckets) return bucket_lower(ix);
+  return bucket_lower(ix + 1) - 1;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+namespace {
+
+/// Bucket holding the quantile-q order statistic under a relaxed
+/// snapshot; -1 when the histogram is empty.
+int quantile_bucket(const Histogram& h, double q) {
+  std::int64_t counts[Histogram::kBuckets];
+  std::int64_t total = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    counts[i] = h.bucket_count(i);
+    total += counts[i];
+  }
+  if (total <= 0) return -1;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the order statistic (1-based, nearest-rank definition:
+  // ceil(q * n), so p99 of 3 samples is the 3rd, not the 2nd).
+  auto rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::int64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return i;
+  }
+  return Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+std::int64_t Histogram::quantile(double q) const {
+  const int ix = quantile_bucket(*this, q);
+  return ix < 0 ? 0 : bucket_upper(ix);
+}
+
+std::int64_t Histogram::quantile_bucket_width(double q) const {
+  const int ix = quantile_bucket(*this, q);
+  return ix < 0 ? 0 : bucket_upper(ix) - bucket_lower(ix) + 1;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace polymg::obs

@@ -1,0 +1,61 @@
+// polymg::obs — minimal poll-based metrics scrape endpoint.
+//
+// A background thread listens on a loopback TCP port and/or a unix
+// socket and answers every connection with one HTTP/1.0 response whose
+// body is Metrics::prometheus_text() — enough for a Prometheus scraper,
+// curl, or the CI smoke job; deliberately not a web server (no routing,
+// no keep-alive, no TLS). The accept loop polls with a short timeout so
+// shutdown is prompt, and serves one connection at a time: a scrape is
+// one registry snapshot, and scrapers tolerate seconds of latency.
+//
+// Lifecycle: the constructor binds and starts the thread (a bind
+// failure leaves running() false — the endpoint is telemetry, never
+// worth failing a solve for); the destructor stops the loop, joins, and
+// unlinks the unix socket. SolveService owns one when configured
+// (ServiceConfig::metrics_port / metrics_unix_path).
+//
+// Non-POSIX builds compile the sockets out; running() stays false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace polymg::obs {
+
+class ScrapeEndpoint {
+public:
+  struct Options {
+    /// TCP listener on 127.0.0.1: -1 disables, 0 binds an ephemeral
+    /// port (read it back from port()), otherwise the given port.
+    int tcp_port = -1;
+    /// Unix-domain listener at this path (empty disables). The path is
+    /// unlinked first (stale sockets from a dead process) and again on
+    /// shutdown.
+    std::string unix_path;
+  };
+
+  explicit ScrapeEndpoint(const Options& opts);
+  ~ScrapeEndpoint();
+  ScrapeEndpoint(const ScrapeEndpoint&) = delete;
+  ScrapeEndpoint& operator=(const ScrapeEndpoint&) = delete;
+
+  /// True while the accept loop serves at least one listener.
+  bool running() const;
+
+  /// Bound TCP port (the ephemeral answer for tcp_port=0); -1 without a
+  /// TCP listener.
+  int port() const;
+
+  const std::string& unix_path() const;
+
+  /// Blocking HTTP GET against 127.0.0.1:port, returning the response
+  /// body (the Prometheus text). Empty string on any failure. A helper
+  /// for tests and the bench self-scrape, not a client library.
+  static std::string http_get_local(int port);
+
+private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace polymg::obs

@@ -1,0 +1,77 @@
+// polymg::obs — lock-free log-bucketed latency histogram.
+//
+// The service hot path needs tail-latency quantiles without keeping (or
+// sorting) per-request samples. Histogram buckets values on a log-linear
+// grid: 16 linear sub-buckets per power of two, so consecutive bucket
+// bounds grow by 2^(1/16) ~= 1.044 on geometric average (worst-case
+// ratio 17/16) and any quantile read back from the buckets is within one
+// bucket width — <= 6.25% relative — of the exact order statistic.
+//
+// record() is branch-light integer arithmetic plus two relaxed atomic
+// adds (bucket counter and sum): no locks, no floating-point log, no
+// allocation — safe inside the executor's zero-allocation envelope and
+// from any number of concurrent recorders. Reads (quantile(), bucket
+// iteration, exposition) take a relaxed snapshot of the counters;
+// concurrent recording skews a read by at most the in-flight events.
+//
+// Units are the caller's choice; the service and executor record
+// nanoseconds. Negative values clamp to 0.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace polymg::obs {
+
+class Histogram {
+public:
+  /// Log-linear grid: values < 16 get exact unit buckets (octave 0);
+  /// each further power of two splits into 16 linear sub-buckets.
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16
+  /// Octave count covering the full non-negative int64 range.
+  static constexpr int kOctaves = 64 - kSubBits;  // 60
+  static constexpr int kBuckets = kOctaves * kSubBuckets;  // 960
+
+  /// Bucket index for a value (clamped to >= 0). Monotone in v.
+  static int bucket_index(std::int64_t v);
+  /// Inclusive lower bound of a bucket.
+  static std::int64_t bucket_lower(int ix);
+  /// Inclusive upper bound of a bucket (lower bound of ix+1, minus 1).
+  static std::int64_t bucket_upper(int ix);
+
+  /// One relaxed add to the value's bucket, one to the running sum.
+  void record(std::int64_t v) {
+    if (v < 0) v = 0;
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const;
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Observed value at quantile q in [0, 1], reported as the upper bound
+  /// of the bucket holding that order statistic (0 when empty). The true
+  /// order statistic lies in the same bucket, so the error is bounded by
+  /// that bucket's width.
+  std::int64_t quantile(double q) const;
+
+  /// Width of the bucket the quantile-q order statistic falls in — the
+  /// error bound that quantile(q) carries.
+  std::int64_t quantile_bucket_width(double q) const;
+
+  std::int64_t bucket_count(int ix) const {
+    return buckets_[static_cast<std::size_t>(ix)].load(
+        std::memory_order_relaxed);
+  }
+
+  void reset();
+
+private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+}  // namespace polymg::obs

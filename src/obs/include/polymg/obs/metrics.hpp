@@ -10,12 +10,16 @@
 // well-defined.
 //
 // snapshot_json() serializes the whole registry for run reports, bench
-// JSON sidecars and the CI artifacts.
+// JSON sidecars and the CI artifacts; prometheus_text() renders the same
+// registry in the Prometheus text exposition format for the scrape
+// endpoint (obs/exposition.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "polymg/obs/histogram.hpp"
 
 namespace polymg::obs {
 
@@ -69,12 +73,24 @@ public:
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// {"counters": {name: value, ...},
-  ///  "gauges": {name: {"value": v, "peak": p}, ...}} with names sorted.
+  ///  "gauges": {name: {"value": v, "peak": p}, ...},
+  ///  "histograms": {name: {"count": n, "sum": s, "p50": ..,
+  ///                        "p90": .., "p99": .., "p999": ..}, ...}}
+  /// with names sorted and JSON-escaped (tenant-derived names may carry
+  /// arbitrary bytes).
   std::string snapshot_json() const;
 
-  /// Zero every counter and gauge; registrations (and handles) survive.
+  /// Prometheus text exposition format: counters, gauges (value and a
+  /// `<name>_peak` companion) and histograms (cumulative `_bucket{le=..}`
+  /// series over the non-empty buckets plus `_sum`/`_count`). Names are
+  /// sanitized to [a-zA-Z0-9_:] and emitted in stable sorted order.
+  std::string prometheus_text() const;
+
+  /// Zero every counter, gauge and histogram; registrations (and
+  /// handles) survive.
   void reset();
 
 private:

@@ -47,6 +47,27 @@ struct RunReport {
   std::vector<TimeRow> stages;  ///< per-stage attribution, pipeline order
   std::int64_t runs = 0;        ///< run() invocations covered
 
+  /// Trace-ring events lost to wraparound (TraceSession::dropped() at
+  /// report time). Nonzero renders a loud warning: the trace is a
+  /// suffix, not the whole run.
+  std::uint64_t trace_dropped = 0;
+
+  /// Per-kernel-stage roofline attribution (filled by
+  /// Executor::run_report when hardware counters ran; obs only renders).
+  /// Hardware fields are -1 when perf counters were unavailable, in
+  /// which case only the model columns render.
+  struct PerfRow {
+    std::string label;         ///< kernel stage (group) label
+    double seconds = 0.0;      ///< measured wall time attributed
+    double model_bytes = 0.0;  ///< streamed bytes per run, from the plan
+    double model_flops = 0.0;  ///< arithmetic ops per run, from the plan
+    std::int64_t runs = 0;     ///< runs the hardware counters covered
+    std::int64_t cycles = -1;
+    std::int64_t instructions = -1;
+    std::int64_t llc_misses = -1;
+  };
+  std::vector<PerfRow> perf;
+
   // Convergence telemetry (optional; set have_convergence when filled).
   bool have_convergence = false;
   bool converged = false;

@@ -78,19 +78,28 @@ enum class EventKind : std::uint8_t {
                       ///< the plan runs on the register engine
   PrecisionCheck,     ///< mixed-precision oracle comparison: group=cycle,
                       ///< id=1 violation / 0 clean, value=mixed residual
+  RequestSpan,        ///< one request's in-worker residency (dequeue ->
+                      ///< completion): group=tenant index, id=ticket,
+                      ///< value=deadline ms (0 = none), req=ticket
+  RequestQueueWait,   ///< one request's queue wait (submit -> dequeue):
+                      ///< group=tenant index, id=ticket, req=ticket
 };
 
 /// Stable lower-case name for trace exports ("tile", "queue_wait", ...).
 const char* to_string(EventKind k);
 
 /// One fixed-size record. `ts_ns` is nanoseconds since the session epoch
-/// (steady clock); spans carry `dur_ns` > 0, instants 0.
+/// (steady clock); spans carry `dur_ns` > 0, instants 0. `req` is the
+/// service request (ticket) the event executed on behalf of, propagated
+/// through the executor span context — -1 for events outside a request.
+/// Adding the field keeps the record at 40 bytes (it fills padding).
 struct TraceEvent {
   std::int64_t ts_ns = 0;
   std::int64_t dur_ns = 0;
   double value = 0.0;
   std::int32_t stage = -1;
   std::int32_t id = -1;
+  std::int32_t req = -1;
   std::int16_t group = -1;
   std::uint8_t tid = 0;
   EventKind kind = EventKind::TileExec;
@@ -104,15 +113,15 @@ bool trace_enabled();
 std::int64_t trace_now_ns();
 
 /// Record an instant event on the calling thread's ring. No-op without an
-/// active session.
+/// active session. `req` tags the event with a request ticket (-1 none).
 void trace_instant(EventKind kind, int group, int stage, int id,
-                   double value = 0.0);
+                   double value = 0.0, std::int32_t req = -1);
 
 /// Record a span that started at `t0_ns` (a prior trace_now_ns() value)
 /// and ends now. Negative `t0_ns` (the disabled-path sentinel) is
 /// ignored.
 void trace_span(EventKind kind, std::int64_t t0_ns, int group, int stage,
-                int id, double value = 0.0);
+                int id, double value = 0.0, std::int32_t req = -1);
 
 /// Process-global trace session: one ring buffer per OpenMP thread slot,
 /// sized once at start(). start/stop/snapshot must be called from serial
@@ -146,8 +155,11 @@ public:
 }  // namespace polymg::obs
 
 // Call-site macros. PMG_TRACE_NOW declares a span start stamp (-1 when
-// tracing is off, so the paired PMG_TRACE_SPAN is dropped); both compile
-// to nothing under POLYMG_TRACE_DISABLED.
+// tracing is off, so the paired PMG_TRACE_SPAN is dropped); all compile
+// to nothing under POLYMG_TRACE_DISABLED. The _R variants additionally
+// tag the event with a request ticket (TraceEvent::req); the plain
+// variants record req = -1, so call sites outside any request context
+// stay untouched.
 #if defined(POLYMG_TRACE_DISABLED)
 #define PMG_TRACE_ACTIVE() false
 #define PMG_TRACE_NOW(var) const std::int64_t var = -1; (void)var
@@ -156,6 +168,12 @@ public:
   } while (0)
 #define PMG_TRACE_INSTANT(kind, group, stage, id, value) \
   do {                                                   \
+  } while (0)
+#define PMG_TRACE_SPAN_R(kind, t0, group, stage, id, value, req) \
+  do {                                                           \
+  } while (0)
+#define PMG_TRACE_INSTANT_R(kind, group, stage, id, value, req) \
+  do {                                                          \
   } while (0)
 #else
 #define PMG_TRACE_ACTIVE() (::polymg::obs::trace_enabled())
@@ -175,5 +193,20 @@ public:
       ::polymg::obs::trace_instant(::polymg::obs::EventKind::kind,       \
                                    (group), (stage), (id), (value));     \
     }                                                                    \
+  } while (0)
+#define PMG_TRACE_SPAN_R(kind, t0, group, stage, id, value, req)           \
+  do {                                                                     \
+    if ((t0) >= 0 && PMG_TRACE_ACTIVE()) {                                 \
+      ::polymg::obs::trace_span(::polymg::obs::EventKind::kind, (t0),      \
+                                (group), (stage), (id), (value), (req));   \
+    }                                                                      \
+  } while (0)
+#define PMG_TRACE_INSTANT_R(kind, group, stage, id, value, req)           \
+  do {                                                                    \
+    if (PMG_TRACE_ACTIVE()) {                                             \
+      ::polymg::obs::trace_instant(::polymg::obs::EventKind::kind,        \
+                                   (group), (stage), (id), (value),       \
+                                   (req));                                \
+    }                                                                     \
   } while (0)
 #endif

@@ -1,5 +1,6 @@
 #include "polymg/obs/metrics.hpp"
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -7,11 +8,56 @@
 
 namespace polymg::obs {
 
+namespace {
+
+/// JSON string escaping for metric names: quotes, backslashes and
+/// control characters. Names can be tenant-derived, so snapshots must
+/// stay loadable for arbitrary bytes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] (no leading digit);
+/// everything else becomes '_'.
+std::string prom_name(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+}  // namespace
+
 struct Metrics::Impl {
   mutable std::mutex mu;
   // Node-based maps: references handed out stay valid forever.
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
 };
 
 Metrics::Impl& Metrics::impl() const {
@@ -40,6 +86,14 @@ Gauge& Metrics::gauge(const std::string& name) {
   return *slot;
 }
 
+Histogram& Metrics::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  auto& slot = i.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::string Metrics::snapshot_json() const {
   Impl& i = impl();
   std::lock_guard<std::mutex> lk(i.mu);
@@ -49,17 +103,65 @@ std::string Metrics::snapshot_json() const {
   for (const auto& [name, c] : i.counters) {
     if (!first) os << ", ";
     first = false;
-    os << "\"" << name << "\": " << c->value();
+    os << "\"" << json_escape(name) << "\": " << c->value();
   }
   os << "}, \"gauges\": {";
   first = true;
   for (const auto& [name, g] : i.gauges) {
     if (!first) os << ", ";
     first = false;
-    os << "\"" << name << "\": {\"value\": " << g->value()
+    os << "\"" << json_escape(name) << "\": {\"value\": " << g->value()
        << ", \"peak\": " << g->peak() << "}";
   }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : i.histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(name) << "\": {\"count\": " << h->count()
+       << ", \"sum\": " << h->sum() << ", \"p50\": " << h->quantile(0.50)
+       << ", \"p90\": " << h->quantile(0.90)
+       << ", \"p99\": " << h->quantile(0.99)
+       << ", \"p999\": " << h->quantile(0.999) << "}";
+  }
   os << "}}";
+  return os.str();
+}
+
+std::string Metrics::prometheus_text() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::ostringstream os;
+  for (const auto& [name, c] : i.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : i.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << g->value() << "\n";
+    os << "# TYPE " << n << "_peak gauge\n";
+    os << n << "_peak " << g->peak() << "\n";
+  }
+  for (const auto& [name, h] : i.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Cumulative over the non-empty buckets only: `le` bounds stay
+    // strictly increasing, so omitting empty buckets keeps the series
+    // valid while bounding the output size.
+    std::int64_t cum = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::int64_t k = h->bucket_count(b);
+      if (k == 0) continue;
+      cum += k;
+      os << n << "_bucket{le=\"" << Histogram::bucket_upper(b) << "\"} "
+         << cum << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    os << n << "_sum " << h->sum() << "\n";
+    os << n << "_count " << cum << "\n";
+  }
   return os.str();
 }
 
@@ -68,6 +170,7 @@ void Metrics::reset() {
   std::lock_guard<std::mutex> lk(i.mu);
   for (auto& [name, c] : i.counters) c->reset();
   for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
 }
 
 }  // namespace polymg::obs

@@ -1,0 +1,88 @@
+#include "polymg/obs/perf.hpp"
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <string.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace polymg::obs {
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  // pid=0, cpu=-1: this thread, whichever CPU it runs on.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  fd_cycles_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd_cycles_ < 0) return;
+  fd_instructions_ =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fd_cycles_);
+  fd_llc_ =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, fd_cycles_);
+  if (fd_instructions_ < 0 || fd_llc_ < 0) {
+    // All or nothing: a partial group would mislabel its read layout.
+    if (fd_instructions_ >= 0) close(fd_instructions_);
+    if (fd_llc_ >= 0) close(fd_llc_);
+    close(fd_cycles_);
+    fd_cycles_ = fd_instructions_ = fd_llc_ = -1;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  if (fd_llc_ >= 0) close(fd_llc_);
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+}
+
+void PerfCounters::start() {
+  if (!available()) return;
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounters::Sample PerfCounters::stop() {
+  Sample s;
+  if (!available()) return s;
+  ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; } in the order
+  // the group was built (cycles, instructions, llc misses).
+  std::uint64_t buf[4] = {0, 0, 0, 0};
+  const ssize_t n = read(fd_cycles_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(sizeof(buf)) || buf[0] != 3) return s;
+  s.cycles = static_cast<std::int64_t>(buf[1]);
+  s.instructions = static_cast<std::int64_t>(buf[2]);
+  s.llc_misses = static_cast<std::int64_t>(buf[3]);
+  return s;
+}
+
+}  // namespace polymg::obs
+
+#else  // !__linux__
+
+namespace polymg::obs {
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfCounters::Sample PerfCounters::stop() { return Sample{}; }
+
+}  // namespace polymg::obs
+
+#endif

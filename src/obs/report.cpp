@@ -25,7 +25,8 @@ void emit_event(std::ostream& os, const TraceEvent& e) {
   }
   os << ", \"pid\": 1, \"tid\": " << static_cast<int>(e.tid)
      << ", \"args\": {\"group\": " << e.group << ", \"stage\": " << e.stage
-     << ", \"id\": " << e.id << ", \"value\": " << e.value << "}}";
+     << ", \"id\": " << e.id << ", \"req\": " << e.req
+     << ", \"value\": " << e.value << "}}";
 }
 
 }  // namespace
@@ -105,9 +106,44 @@ std::string RunReport::render() const {
       os << "\n";
     }
   }
+  if (!perf.empty()) {
+    os << "roofline by stage (model bytes/flops from the plan, hardware "
+          "from perf counters):\n";
+    for (const PerfRow& r : perf) {
+      const double runs_d = r.runs > 0 ? static_cast<double>(r.runs) : 1.0;
+      const double model_gbs =
+          r.seconds > 0 ? r.model_bytes * runs_d / r.seconds / 1e9 : 0.0;
+      const double ai =
+          r.model_bytes > 0 ? r.model_flops / r.model_bytes : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "  %-32s %9.3f ms %7.2f GB/s(model) AI %5.3f",
+                    r.label.c_str(), r.seconds * 1e3, model_gbs, ai);
+      os << line;
+      if (r.cycles >= 0 && r.instructions >= 0 && r.llc_misses >= 0) {
+        const double hw_gbs =
+            r.seconds > 0
+                ? static_cast<double>(r.llc_misses) * 64.0 / r.seconds / 1e9
+                : 0.0;
+        const double ipc = r.cycles > 0 ? static_cast<double>(r.instructions) /
+                                              static_cast<double>(r.cycles)
+                                        : 0.0;
+        std::snprintf(line, sizeof(line),
+                      " %7.2f GB/s(llc) IPC %5.2f", hw_gbs, ipc);
+        os << line;
+      } else {
+        os << "  [hw counters unavailable]";
+      }
+      os << "\n";
+    }
+  }
   if (!tenant_lines.empty()) {
     os << "tenants:\n";
     for (const std::string& t : tenant_lines) os << "  " << t << "\n";
+  }
+  if (trace_dropped > 0) {
+    os << "WARNING: trace ring dropped " << trace_dropped
+       << " event(s) — the trace is a suffix of the run; raise "
+          "TraceSession::start capacity or trace a shorter window\n";
   }
   if (!metrics_json.empty()) os << "metrics: " << metrics_json << "\n";
   return os.str();

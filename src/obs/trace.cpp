@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "polymg/common/parallel.hpp"
+#include "polymg/obs/metrics.hpp"
 
 namespace polymg::obs {
 
@@ -26,6 +27,9 @@ struct Session {
   std::size_t mask = 0;  ///< capacity - 1 (capacity is a power of two)
   Clock::time_point epoch{};
   std::atomic<std::uint64_t> tid_drops{0};  ///< thread id beyond the table
+  /// Whether this session's drops were already folded into the
+  /// obs.dropped_events counter (stop() is idempotent).
+  bool drops_accounted = true;
 };
 
 Session& session() {
@@ -75,6 +79,8 @@ const char* to_string(EventKind k) {
     case EventKind::JitCacheHit: return "jit_cache_hit";
     case EventKind::JitFallback: return "jit_fallback";
     case EventKind::PrecisionCheck: return "precision_check";
+    case EventKind::RequestSpan: return "request";
+    case EventKind::RequestQueueWait: return "request_queue_wait";
   }
   return "?";
 }
@@ -91,7 +97,7 @@ std::int64_t trace_now_ns() {
 namespace {
 
 void record(EventKind kind, std::int64_t ts_ns, std::int64_t dur_ns,
-            int group, int stage, int id, double value) {
+            int group, int stage, int id, double value, std::int32_t req) {
   Session& s = session();
   const int tid = thread_id();
   if (static_cast<std::size_t>(tid) >= s.rings.size()) {
@@ -111,6 +117,7 @@ void record(EventKind kind, std::int64_t ts_ns, std::int64_t dur_ns,
   e.value = value;
   e.stage = stage;
   e.id = id;
+  e.req = req;
   e.group = static_cast<std::int16_t>(group);
   e.tid = static_cast<std::uint8_t>(tid);
   e.kind = kind;
@@ -120,17 +127,17 @@ void record(EventKind kind, std::int64_t ts_ns, std::int64_t dur_ns,
 }  // namespace
 
 void trace_instant(EventKind kind, int group, int stage, int id,
-                   double value) {
+                   double value, std::int32_t req) {
   if (!trace_enabled()) return;
-  record(kind, trace_now_ns(), 0, group, stage, id, value);
+  record(kind, trace_now_ns(), 0, group, stage, id, value, req);
 }
 
 void trace_span(EventKind kind, std::int64_t t0_ns, int group, int stage,
-                int id, double value) {
+                int id, double value, std::int32_t req) {
   if (!trace_enabled() || t0_ns < 0) return;
   const std::int64_t now = trace_now_ns();
   record(kind, t0_ns, now > t0_ns ? now - t0_ns : 0, group, stage, id,
-         value);
+         value, req);
 }
 
 void TraceSession::start(std::size_t events_per_thread) {
@@ -151,12 +158,25 @@ void TraceSession::start(std::size_t events_per_thread) {
     s.rings[static_cast<std::size_t>(t)].buf.assign(cap, TraceEvent{});
   }
   s.tid_drops.store(0, std::memory_order_relaxed);
+  s.drops_accounted = false;
   s.epoch = Clock::now();
   g_enabled.store(true, std::memory_order_release);
 }
 
 void TraceSession::stop() {
   g_enabled.store(false, std::memory_order_relaxed);
+  // Fold this session's ring-wraparound losses into the always-on
+  // metrics registry, once per session: silent trace truncation must be
+  // visible in snapshots even when nobody checks dropped() by hand.
+  Session& s = session();
+  if (!s.drops_accounted) {
+    s.drops_accounted = true;
+    const std::uint64_t n = dropped();
+    if (n > 0) {
+      Metrics::instance().counter("obs.dropped_events").add(
+          static_cast<std::int64_t>(n));
+    }
+  }
 }
 
 bool TraceSession::active() { return trace_enabled(); }

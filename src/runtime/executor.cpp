@@ -11,7 +11,9 @@
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
 #include "polymg/common/timer.hpp"
+#include "polymg/obs/histogram.hpp"
 #include "polymg/obs/metrics.hpp"
+#include "polymg/obs/perf.hpp"
 #include "polymg/obs/trace.hpp"
 
 namespace polymg::runtime {
@@ -42,6 +44,19 @@ Executor::Executor(opt::CompiledPipeline plan) : plan_(std::move(plan)) {
   ctr_regions_cached_ = &m.counter("executor.tile_regions_cached");
   ctr_regions_recomputed_ = &m.counter("executor.tile_regions_recomputed");
   ctr_aborted_runs_ = &m.counter("executor.aborted_runs");
+  // Per-group latency histograms, keyed by group index: executors built
+  // from the same plan shape (the service's cached plans) merge into one
+  // distribution per kernel stage.
+  hist_group_ns_.resize(plan_.groups.size(), nullptr);
+  for (std::size_t gi = 0; gi < plan_.groups.size(); ++gi) {
+    hist_group_ns_[gi] =
+        &m.histogram("executor.group_ns.g" + std::to_string(gi));
+  }
+  perf_cycles_.assign(plan_.groups.size(), 0);
+  perf_instr_.assign(plan_.groups.size(), 0);
+  perf_llc_.assign(plan_.groups.size(), 0);
+  perf_seconds_.assign(plan_.groups.size(), 0.0);
+  dep_group_run_seconds_.assign(plan_.groups.size(), 0.0);
 
   array_ptr_.assign(plan_.arrays.size(), nullptr);
   unpooled_.resize(plan_.arrays.size());
@@ -169,7 +184,54 @@ void Executor::reset_timers() {
   queue_pops_.store(0, std::memory_order_relaxed);
   queue_spins_.store(0, std::memory_order_relaxed);
   runs_timed_ = 0;
+  std::fill(perf_cycles_.begin(), perf_cycles_.end(), 0);
+  std::fill(perf_instr_.begin(), perf_instr_.end(), 0);
+  std::fill(perf_llc_.begin(), perf_llc_.end(), 0);
+  std::fill(perf_seconds_.begin(), perf_seconds_.end(), 0.0);
+  perf_runs_ = 0;
 }
+
+bool Executor::enable_perf_attribution() {
+  if (perf_ == nullptr) perf_ = std::make_unique<obs::PerfCounters>();
+  // Unavailable counters (containers, perf_event_paranoid, non-Linux)
+  // stay armed anyway: run_report() then emits the model-only roofline
+  // rows — skip the hw columns, never fail.
+  return perf_->available();
+}
+
+void Executor::disable_perf_attribution() { perf_.reset(); }
+
+namespace {
+
+/// Arithmetic operations per grid point of one lowered definition (the
+/// representative case 0). Linear stencils cost one multiply-add per tap
+/// (minus the first add); register programs count their per-point body
+/// arithmetic.
+double flops_per_point(const ir::LoweredFunc& lowered) {
+  if (lowered.defs.empty()) return 0.0;
+  const ir::LoweredDef& def = lowered.defs.front();
+  if (def.linear.has_value()) {
+    const int taps = def.linear->total_taps();
+    return taps > 0 ? 2.0 * taps - 1.0 : 0.0;
+  }
+  double n = 0.0;
+  for (const ir::RegInstr& in : def.regprog.body) {
+    switch (in.kind) {
+      case ir::RegOpKind::Neg:
+      case ir::RegOpKind::Add:
+      case ir::RegOpKind::Sub:
+      case ir::RegOpKind::Mul:
+      case ir::RegOpKind::Div:
+        n += 1.0;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace
 
 obs::RunReport Executor::run_report() const {
   obs::RunReport rep;
@@ -191,6 +253,39 @@ obs::RunReport Executor::run_report() const {
        ++f) {
     rep.stages.push_back({plan_.pipe.funcs[f].name, stage_seconds_[f]});
   }
+  // Roofline attribution: model bytes/flops come from the plan alone (so
+  // model GB/s renders even where perf_event_open is unavailable); the
+  // hw columns fill in when enable_perf_attribution() sampled
+  // barrier-schedule runs.
+  const bool sampled = perf_runs_ > 0;
+  if (sampled || (perf_ != nullptr && runs_timed_ > 0)) {
+    for (std::size_t gi = 0; gi < plan_.groups.size(); ++gi) {
+      const GroupPlan& g = plan_.groups[gi];
+      obs::RunReport::PerfRow row;
+      row.label = rep.groups[gi].label;
+      row.seconds = sampled ? perf_seconds_[gi] : group_seconds_[gi];
+      row.runs = sampled ? perf_runs_ : runs_timed_;
+      for (const StagePlan& sp : g.stages) {
+        const ir::FunctionDecl& f = plan_.pipe.funcs[sp.func];
+        const double pts = static_cast<double>(f.domain.count());
+        const double elem =
+            static_cast<double>(grid::dtype_size(plan_.dtype_of_func(sp.func)));
+        // Streaming model: one store of the stage's output plus one read
+        // per source slot, each over the stage domain — the compulsory
+        // traffic the paper's bandwidth argument counts.
+        row.model_bytes +=
+            pts * elem * (1.0 + static_cast<double>(f.sources.size()));
+        row.model_flops += pts * flops_per_point(plan_.lowered[sp.func]);
+      }
+      if (sampled) {
+        row.cycles = perf_cycles_[gi];
+        row.instructions = perf_instr_[gi];
+        row.llc_misses = perf_llc_[gi];
+      }
+      rep.perf.push_back(std::move(row));
+    }
+  }
+  rep.trace_dropped = obs::TraceSession::dropped();
   rep.metrics_json = obs::Metrics::instance().snapshot_json();
   return rep;
 }
@@ -383,9 +478,9 @@ void Executor::exec_loops_part(int gi, int p, const Box& part,
   }
   apply_stage(f, lowered, out, std::span<const View>(ws.srcs), part);
   ctr_slabs_->add(1);
-  PMG_TRACE_SPAN(SlabExec, t0, gi, sp.func,
-                 static_cast<int>(part.dim(0).lo),
-                 static_cast<double>(part.count()));
+  PMG_TRACE_SPAN_R(SlabExec, t0, gi, sp.func,
+                   static_cast<int>(part.dim(0).lo),
+                   static_cast<double>(part.count()), trace_req_);
 }
 
 void Executor::exec_overlap_tile(int gi, index_t ti,
@@ -439,8 +534,9 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
     scratch_doubles += regions[p].count();
   }
   if (scratch_doubles > 0) {
-    PMG_TRACE_INSTANT(ScratchBind, gi, -1, static_cast<int>(ti),
-                      static_cast<double>(scratch_doubles) * 8.0);
+    PMG_TRACE_INSTANT_R(ScratchBind, gi, -1, static_cast<int>(ti),
+                        static_cast<double>(scratch_doubles) * 8.0,
+                        trace_req_);
   }
 
   for (int p = 0; p < nstages; ++p) {
@@ -469,8 +565,8 @@ void Executor::exec_overlap_tile(int gi, index_t ti,
     }
   }
   ctr_tiles_->add(1);
-  PMG_TRACE_SPAN(TileExec, t0, gi, -1, static_cast<int>(ti),
-                 static_cast<double>(tile.count()));
+  PMG_TRACE_SPAN_R(TileExec, t0, gi, -1, static_cast<int>(ti),
+                   static_cast<double>(tile.count()), trace_req_);
 }
 
 // ---------------------------------------------------------------------------
@@ -490,6 +586,10 @@ void Executor::run_barrier(std::span<const View> externals) {
     if (g.exec == GroupExec::TimeTiled) ensure_array(g.time_temp_array);
 
     PMG_TRACE_NOW(g0);
+    // Hardware-counter sample around the group body; counters cover the
+    // calling thread, so a meaningful roofline runs single-threaded.
+    const bool sample_perf = perf_ != nullptr && perf_->available();
+    if (sample_perf) perf_->start();
     Timer gt;
     switch (g.exec) {
       case GroupExec::Loops:
@@ -503,9 +603,19 @@ void Executor::run_barrier(std::span<const View> externals) {
         break;
     }
     const double dt = gt.elapsed();
-    PMG_TRACE_SPAN(GroupExec, g0, static_cast<int>(gi), -1,
-                   static_cast<int>(gi), 0.0);
+    if (sample_perf) {
+      const obs::PerfCounters::Sample s = perf_->stop();
+      if (s.ok()) {
+        perf_cycles_[gi] += s.cycles;
+        perf_instr_[gi] += s.instructions;
+        perf_llc_[gi] += s.llc_misses >= 0 ? s.llc_misses : 0;
+        perf_seconds_[gi] += dt;
+      }
+    }
+    PMG_TRACE_SPAN_R(GroupExec, g0, static_cast<int>(gi), -1,
+                     static_cast<int>(gi), 0.0, trace_req_);
     group_seconds_[gi] += dt;
+    hist_group_ns_[gi]->record(static_cast<std::int64_t>(dt * 1e9));
     // Fused groups execute their stages interleaved per tile, so stage
     // attribution lands on the anchor (Loops groups attribute per stage
     // inside run_loops_group).
@@ -579,6 +689,7 @@ void Executor::run_barrier(std::span<const View> externals) {
       release_arrays(releasable_after_group_[gi]);
     }
   }
+  if (perf_ != nullptr && perf_->available()) ++perf_runs_;
 }
 
 void Executor::run_loops_group(int gi, std::span<const View> externals) {
@@ -696,8 +807,8 @@ void Executor::run_timetile_group(int gi, std::span<const View> externals) {
   TimeTileParams params{g.dtile_H, g.dtile_W};
   PMG_TRACE_NOW(t0);
   time_tiled_sweep(chain, bufs, stage_srcs_, params);
-  PMG_TRACE_SPAN(TimeTileExec, t0, gi, g.stages.front().func, gi,
-                 static_cast<double>(steps));
+  PMG_TRACE_SPAN_R(TimeTileExec, t0, gi, g.stages.front().func, gi,
+                   static_cast<double>(steps), trace_req_);
 }
 
 // ---------------------------------------------------------------------------
@@ -788,8 +899,8 @@ void Executor::open_gate(index_t node) {
   // Collective nodes are ordered by their phase's barriers.
   if (n.collective) return;
   ctr_gate_opens_->add(1);
-  PMG_TRACE_INSTANT(GateOpen, n.group, n.stage, static_cast<int>(node),
-                    static_cast<double>(n.ntasks));
+  PMG_TRACE_INSTANT_R(GateOpen, n.group, n.stage, static_cast<int>(node),
+                      static_cast<double>(n.ntasks), trace_req_);
   for (index_t t = n.task_base; t < n.task_base + n.ntasks; ++t) {
     if (pred_[static_cast<std::size_t>(t)].fetch_sub(
             1, std::memory_order_acq_rel) == 1) {
@@ -813,7 +924,8 @@ void Executor::retire_node(index_t k) {
   if (group_done && plan_.opts.pooled_allocation) {
     release_arrays(releasable_after_group_[static_cast<std::size_t>(g)]);
   }
-  PMG_TRACE_INSTANT(NodeRetire, g, -1, static_cast<int>(k), 0.0);
+  PMG_TRACE_INSTANT_R(NodeRetire, g, -1, static_cast<int>(k), 0.0,
+                      trace_req_);
   // The frontier reached k+1, so the gate of node k+2 may open.
   open_gate(k + 2);
 }
@@ -924,8 +1036,8 @@ void Executor::task_loop(int phase, std::span<const View> externals,
       idle = 0;
       ++pops;
       if (wait_t0 >= 0) {
-        PMG_TRACE_SPAN(QueueWait, wait_t0, -1, phase, tid,
-                       static_cast<double>(wait_spins));
+        PMG_TRACE_SPAN_R(QueueWait, wait_t0, -1, phase, tid,
+                         static_cast<double>(wait_spins), trace_req_);
         wait_t0 = -1;
         wait_spins = 0;
       }
@@ -952,8 +1064,8 @@ void Executor::task_loop(int phase, std::span<const View> externals,
   }
   if (wait_t0 >= 0) {
     // Starved until the phase drained: close the episode at phase exit.
-    PMG_TRACE_SPAN(QueueWait, wait_t0, -1, phase, tid,
-                   static_cast<double>(wait_spins));
+    PMG_TRACE_SPAN_R(QueueWait, wait_t0, -1, phase, tid,
+                     static_cast<double>(wait_spins), trace_req_);
   }
   queue_pops_.fetch_add(pops, std::memory_order_relaxed);
   queue_spins_.fetch_add(spins, std::memory_order_relaxed);
@@ -1011,8 +1123,8 @@ void Executor::run_collective_phase(const Phase& ph,
     PMG_TRACE_NOW(t0);
     time_tiled_sweep_team(chain_[static_cast<std::size_t>(gi)], time_bufs_,
                           stage_srcs_, params);
-    PMG_TRACE_SPAN(TimeTileExec, t0, gi, g.stages.front().func, gi,
-                   static_cast<double>(g.stages.size()));
+    PMG_TRACE_SPAN_R(TimeTileExec, t0, gi, g.stages.front().func, gi,
+                     static_cast<double>(g.stages.size()), trace_req_);
   }
   team_barrier();
   if (tid == 0) {
@@ -1053,6 +1165,8 @@ void Executor::run_dependence(std::span<const View> externals) {
   // Fold the per-thread task timers into the public counters. Dependence
   // runs attribute CPU seconds (groups overlap in wall time by design).
   const std::size_t nnodes = plan_.sched.nodes.size();
+  std::fill(dep_group_run_seconds_.begin(), dep_group_run_seconds_.end(),
+            0.0);
   for (std::size_t ni = 0; ni < nnodes; ++ni) {
     double s = 0.0;
     for (std::size_t tid = 0; tid < workspaces_.size(); ++tid) {
@@ -1062,10 +1176,20 @@ void Executor::run_dependence(std::span<const View> externals) {
     const SchedNode& n = plan_.sched.nodes[ni];
     const GroupPlan& g = plan_.groups[static_cast<std::size_t>(n.group)];
     group_seconds_[static_cast<std::size_t>(n.group)] += s;
+    dep_group_run_seconds_[static_cast<std::size_t>(n.group)] += s;
     const int func = n.stage >= 0
                          ? g.stages[static_cast<std::size_t>(n.stage)].func
                          : g.stages[static_cast<std::size_t>(g.anchor)].func;
     stage_seconds_[static_cast<std::size_t>(func)] += s;
+  }
+  // One histogram observation per group per run — same grain as the
+  // barrier path, so the per-stage latency distributions are
+  // schedule-independent in shape.
+  for (std::size_t gi = 0; gi < dep_group_run_seconds_.size(); ++gi) {
+    if (dep_group_run_seconds_[gi] > 0.0) {
+      hist_group_ns_[gi]->record(
+          static_cast<std::int64_t>(dep_group_run_seconds_[gi] * 1e9));
+    }
   }
 }
 

@@ -49,6 +49,12 @@ void GuardedExecutor::set_cancel_token(const CancelToken* token) {
   if (reference_ != nullptr) reference_->set_cancel_token(token);
 }
 
+void GuardedExecutor::set_trace_request(std::int32_t req) {
+  trace_req_ = req;
+  if (optimized_ != nullptr) optimized_->set_trace_request(req);
+  if (reference_ != nullptr) reference_->set_trace_request(req);
+}
+
 void GuardedExecutor::note_incident(ErrorCode code, const std::string& what) {
   report_.last_error = code;
   report_.last_incident = what;
@@ -63,6 +69,7 @@ void GuardedExecutor::ensure_reference() {
   opt::validate_plan(cp);
   reference_ = std::make_unique<Executor>(std::move(cp));
   reference_->set_cancel_token(cancel_);
+  reference_->set_trace_request(trace_req_);
 }
 
 void GuardedExecutor::check_externals(

@@ -33,12 +33,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "polymg/common/cancel.hpp"
 #include "polymg/grid/buffer.hpp"
+#include "polymg/obs/perf.hpp"
 #include "polymg/obs/report.hpp"
 #include "polymg/opt/compile.hpp"
 #include "polymg/runtime/pool.hpp"
@@ -46,6 +48,8 @@
 
 namespace polymg::obs {
 class Counter;
+class Histogram;
+class PerfCounters;
 }
 
 namespace polymg::runtime {
@@ -84,6 +88,30 @@ public:
   /// between runs.
   void set_cancel_token(const CancelToken* token) { cancel_ = token; }
   const CancelToken* cancel_token() const { return cancel_; }
+
+  /// Request span context: the service ticket on whose behalf subsequent
+  /// runs execute (-1 = none). Stamped into TraceEvent::req on every
+  /// event the executor records — tile/slab/group spans, queue waits,
+  /// gate opens, retirements — so a Perfetto export nests kernel spans
+  /// under the request that caused them. A plain member rather than a
+  /// thread_local because OpenMP team threads are not the submitting
+  /// thread: every team thread reads the member set before run(). Set or
+  /// clear only between runs, like the cancel token.
+  void set_trace_request(std::int32_t req) { trace_req_ = req; }
+  std::int32_t trace_request() const { return trace_req_; }
+
+  /// Arm hardware-counter sampling (cycles, instructions, LLC misses via
+  /// perf_event_open) around each barrier-schedule group execution, for
+  /// the run_report() roofline table. Counters follow the calling thread
+  /// only, so attribution is meaningful when the executor runs
+  /// single-threaded; the dependence schedule's persistent team is never
+  /// sampled. Returns false when the kernel refuses perf_event_open
+  /// (containers, paranoid settings, non-Linux); attribution stays armed
+  /// and run_report() emits the model-only roofline rows — callers skip
+  /// the hw columns, they do not fail (DESIGN.md §14).
+  bool enable_perf_attribution();
+  void disable_perf_attribution();
+  bool perf_attribution_enabled() const { return perf_ != nullptr; }
 
   /// Peak bytes of full-array storage held during the last run.
   index_t peak_array_doubles() const { return peak_array_doubles_; }
@@ -249,6 +277,27 @@ private:
   std::int64_t runs_timed_ = 0;
   std::atomic<std::int64_t> queue_pops_{0};
   std::atomic<std::int64_t> queue_spins_{0};
+
+  /// Request span context stamped into every trace event (-1 = none).
+  std::int32_t trace_req_ = -1;
+
+  // --- Hardware-counter attribution (enable_perf_attribution). All
+  // --- accumulators are per group, covering perf_runs_ barrier runs.
+  std::unique_ptr<obs::PerfCounters> perf_;
+  std::vector<std::int64_t> perf_cycles_;
+  std::vector<std::int64_t> perf_instr_;
+  std::vector<std::int64_t> perf_llc_;
+  std::vector<double> perf_seconds_;
+  std::int64_t perf_runs_ = 0;
+
+  /// Scratch for the dependence schedule's per-run group seconds (sized
+  /// at construction: the fold must not allocate in steady state).
+  std::vector<double> dep_group_run_seconds_;
+
+  /// Per-group latency histograms ("executor.group_ns.g<i>"), resolved
+  /// at construction like the counters: recording one group execution is
+  /// two relaxed atomic adds, inside the zero-allocation envelope.
+  std::vector<obs::Histogram*> hist_group_ns_;
 
   // --- obs metrics handles, resolved once at construction so the hot
   // --- paths touch only the relaxed atomics behind them.

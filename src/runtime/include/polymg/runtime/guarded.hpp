@@ -77,6 +77,13 @@ public:
   /// what a deadline asks for.
   void set_cancel_token(const CancelToken* token);
 
+  /// Forward the request span context to both plans (see
+  /// Executor::set_trace_request): trace events from a fallback re-run
+  /// carry the same ticket as the optimized attempt they replace. Set or
+  /// clear (-1) only between runs.
+  void set_trace_request(std::int32_t req);
+  std::int32_t trace_request() const { return trace_req_; }
+
 private:
   void note_incident(ErrorCode code, const std::string& what);
   void ensure_reference();
@@ -86,6 +93,7 @@ private:
   ir::Pipeline pipe_;  ///< retained to compile the reference plan lazily
   opt::CompileOptions opts_;
   const CancelToken* cancel_ = nullptr;  ///< forwarded to both executors
+  std::int32_t trace_req_ = -1;          ///< forwarded to both executors
   std::unique_ptr<Executor> optimized_;
   std::unique_ptr<Executor> reference_;
   /// Double staging buffers for fallback runs of a mixed plan: the

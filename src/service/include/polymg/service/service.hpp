@@ -25,7 +25,14 @@
 //    noisy neighbours and are bounded by the deadline machinery;
 //  * under overload the service degrades before it sheds: past a queue
 //    fill threshold it relaxes tolerances, past a higher one it also
-//    caps cycles (DESIGN.md §10 has the policy table).
+//    caps cycles (DESIGN.md §10 has the policy table);
+//  * every request is observable (DESIGN.md §14): queue/solve/e2e
+//    latency lands in lock-free histograms (aggregate and per tenant),
+//    per-tenant SLO gauges track deadline-hit/shed ratios and
+//    error-budget burn, the ticket rides through the executor span
+//    context so a trace nests each request's tile/stage spans under its
+//    RequestSpan, and an optional scrape endpoint serves the whole
+//    registry in Prometheus text format.
 //
 // Threading: workers are plain std::threads; each one runs its solves'
 // OpenMP regions independently (deliberate oversubscription is the
@@ -47,6 +54,9 @@
 
 #include "polymg/common/cancel.hpp"
 #include "polymg/grid/buffer.hpp"
+#include "polymg/obs/exposition.hpp"
+#include "polymg/obs/histogram.hpp"
+#include "polymg/obs/metrics.hpp"
 #include "polymg/service/plan_cache.hpp"
 #include "polymg/solvers/guarded.hpp"
 
@@ -86,6 +96,22 @@ struct ServiceConfig {
   double relax_tol_factor = 10.0;
   int capped_cycles = 8;
 
+  // Metrics exposition (obs/exposition.hpp). With metrics_port >= 0 the
+  // service owns a scrape endpoint on 127.0.0.1:<metrics_port> (0 = pick
+  // an ephemeral port, read it back via metrics_port()); a non-empty
+  // metrics_unix_path additionally (or instead) serves the same payload
+  // on a unix socket. Telemetry never fails a solve: a bind failure
+  // leaves the service running with metrics_running() == false.
+  int metrics_port = -1;
+  std::string metrics_unix_path;
+
+  /// Availability target behind the per-tenant error-budget burn gauge
+  /// (service.tenant.<t>.slo.error_budget_burn_ppm): the budget is
+  /// 1 - slo_target, bad events are deadline misses plus sheds, and a
+  /// burn of 1e6 ppm means the tenant is consuming its budget exactly as
+  /// fast as the target allows.
+  double slo_target = 0.999;
+
   /// Base guard policy template for every solve (checkpoint cadence,
   /// monitor thresholds, ladder permissions, history_limit). The
   /// service fills in cancel/plans/session_executor/checkpoint_pool and
@@ -120,6 +146,10 @@ struct SolveResult {
   grid::Buffer iterate;          ///< final iterate (empty when shed)
   double queue_ms = 0.0;
   double solve_ms = 0.0;
+  /// Admission-to-completion wall time — the exact sample recorded into
+  /// the service.e2e_ns histogram, so callers can cross-check histogram
+  /// quantiles against sorted per-request latencies.
+  double e2e_ms = 0.0;
   /// How far past its deadline the request finished (0 when met) — the
   /// bench asserts this stays within one tile-stage granule.
   double deadline_overshoot_ms = 0.0;
@@ -184,12 +214,32 @@ public:
   /// Render per-tenant roll-ups into rr.tenant_lines.
   void attach_tenants(obs::RunReport& rr) const;
 
+  /// Bound TCP port of the scrape endpoint (-1 when not serving TCP —
+  /// not configured, or the bind failed).
+  int metrics_port() const;
+  /// Whether the scrape endpoint is serving on any transport.
+  bool metrics_running() const;
+
 private:
   struct Job;
+
+  /// Per-tenant observability handles (latency histograms + SLO gauges),
+  /// resolved once per tenant from the Metrics registry and cached here
+  /// so the serving path records through raw pointers.
+  struct TenantObs {
+    obs::Histogram* queue_ns = nullptr;  // service.tenant.<t>.queue_ns
+    obs::Histogram* solve_ns = nullptr;  // service.tenant.<t>.solve_ns
+    obs::Histogram* e2e_ns = nullptr;    // service.tenant.<t>.e2e_ns
+    obs::Gauge* hit_ppm = nullptr;   // ..slo.deadline_hit_ppm
+    obs::Gauge* shed_ppm = nullptr;  // ..slo.shed_ppm
+    obs::Gauge* burn_ppm = nullptr;  // ..slo.error_budget_burn_ppm
+  };
 
   void worker_loop(int wi);
   void serve(Job& job, int wi, double fill);
   double retry_after_locked() const;
+  TenantObs& tenant_obs_locked(const std::string& tenant);
+  void update_slo_locked(const TenantStats& ts, TenantObs& to) const;
   /// Sleep `ms` in 1 ms slices, polling `tok`; false if it tripped.
   static bool interruptible_sleep_ms(double ms, const CancelToken& tok);
 
@@ -203,8 +253,16 @@ private:
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::map<std::string, std::size_t> inflight_;     // per-tenant
   std::map<std::string, TenantStats> tenants_;
+  std::map<std::string, TenantObs> tenant_obs_;  // guarded by mu_
   std::uint64_t next_ticket_ = 1;
   bool stopping_ = false;
+
+  // Aggregate latency histograms (service.{queue,solve,e2e}_ns),
+  // resolved once at construction.
+  obs::Histogram* hist_queue_ns_ = nullptr;
+  obs::Histogram* hist_solve_ns_ = nullptr;
+  obs::Histogram* hist_e2e_ns_ = nullptr;
+  std::unique_ptr<obs::ScrapeEndpoint> scrape_;
 
   /// Per-worker persistent session state (touched only by its worker).
   struct WorkerSession;

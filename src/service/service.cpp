@@ -38,6 +38,9 @@ struct SolveService::Job {
   SolveRequest req;
   CancelToken token;
   Clock::time_point submitted{};
+  /// Trace timestamp of admission (-1 without an active session) — the
+  /// start of the RequestQueueWait span closed at dequeue.
+  std::int64_t trace_t0 = -1;
   enum class State { Queued, Running, Done } state = State::Queued;
   SolveResult result;
 };
@@ -59,6 +62,16 @@ SolveService::SolveService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
                  "service needs at least one worker");
   PMG_CHECK_CODE(cfg_.queue_capacity > 0, ErrorCode::PreconditionViolated,
                  "service queue capacity must be positive");
+  auto& m = obs::Metrics::instance();
+  hist_queue_ns_ = &m.histogram("service.queue_ns");
+  hist_solve_ns_ = &m.histogram("service.solve_ns");
+  hist_e2e_ns_ = &m.histogram("service.e2e_ns");
+  if (cfg_.metrics_port >= 0 || !cfg_.metrics_unix_path.empty()) {
+    obs::ScrapeEndpoint::Options so;
+    so.tcp_port = cfg_.metrics_port;
+    so.unix_path = cfg_.metrics_unix_path;
+    scrape_ = std::make_unique<obs::ScrapeEndpoint>(so);
+  }
   sessions_.reserve(static_cast<std::size_t>(cfg_.workers));
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int wi = 0; wi < cfg_.workers; ++wi) {
@@ -77,6 +90,52 @@ double SolveService::retry_after_locked() const {
   return cfg_.retry_after_base_ms *
          (static_cast<double>(queue_.size()) + 1.0) /
          static_cast<double>(cfg_.workers);
+}
+
+int SolveService::metrics_port() const {
+  return scrape_ != nullptr ? scrape_->port() : -1;
+}
+
+bool SolveService::metrics_running() const {
+  return scrape_ != nullptr && scrape_->running();
+}
+
+SolveService::TenantObs& SolveService::tenant_obs_locked(
+    const std::string& tenant) {
+  auto it = tenant_obs_.find(tenant);
+  if (it != tenant_obs_.end()) return it->second;
+  auto& m = obs::Metrics::instance();
+  const std::string base = "service.tenant." + tenant + ".";
+  TenantObs to;
+  to.queue_ns = &m.histogram(base + "queue_ns");
+  to.solve_ns = &m.histogram(base + "solve_ns");
+  to.e2e_ns = &m.histogram(base + "e2e_ns");
+  to.hit_ppm = &m.gauge(base + "slo.deadline_hit_ppm");
+  to.shed_ppm = &m.gauge(base + "slo.shed_ppm");
+  to.burn_ppm = &m.gauge(base + "slo.error_budget_burn_ppm");
+  return tenant_obs_.emplace(tenant, to).first->second;
+}
+
+void SolveService::update_slo_locked(const TenantStats& ts,
+                                     TenantObs& to) const {
+  if (ts.submitted <= 0) return;
+  const double submitted = static_cast<double>(ts.submitted);
+  const double hit_ratio =
+      ts.completed > 0
+          ? static_cast<double>(ts.deadline_hits) /
+                static_cast<double>(ts.completed)
+          : 0.0;
+  const double shed_ratio = static_cast<double>(ts.rejected) / submitted;
+  // Bad events against the availability target: deadline misses and
+  // sheds both count — a shed request got no service at all. Burn rate
+  // 1.0 (== 1e6 ppm) consumes the error budget exactly as fast as the
+  // target allows; > 1e6 ppm means the tenant is on track to violate it.
+  const double bad =
+      static_cast<double>(ts.deadline_hits + ts.rejected) / submitted;
+  const double budget = std::max(1.0 - cfg_.slo_target, 1e-9);
+  to.hit_ppm->set(static_cast<std::int64_t>(hit_ratio * 1e6));
+  to.shed_ppm->set(static_cast<std::int64_t>(shed_ratio * 1e6));
+  to.burn_ppm->set(static_cast<std::int64_t>(bad / budget * 1e6));
 }
 
 SolveService::Admission SolveService::submit(SolveRequest req) {
@@ -101,6 +160,7 @@ SolveService::Admission SolveService::submit(SolveRequest req) {
     ++ts.rejected;
     m.counter(quota_hit ? "service.rejected_quota" : "service.rejected")
         .add(1);
+    update_slo_locked(ts, tenant_obs_locked(req.tenant));
     PMG_TRACE_INSTANT(RequestReject, tix, quota_hit ? 1 : 0,
                       static_cast<int>(next_ticket_), a.retry_after_ms);
     return a;
@@ -111,6 +171,8 @@ SolveService::Admission SolveService::submit(SolveRequest req) {
   job->tenant_ix = tix;
   job->req = std::move(req);
   job->submitted = Clock::now();
+  PMG_TRACE_NOW(trace_t0);
+  job->trace_t0 = trace_t0;
   // The deadline clock starts at admission — queue time counts.
   if (job->req.deadline_ms > 0.0) {
     job->token.set_deadline_after_ms(job->req.deadline_ms);
@@ -251,6 +313,9 @@ void SolveService::serve(Job& job, int wi, double fill) {
   pol.cancel = &job.token;
   pol.plans = &plans_;
   pol.checkpoint_pool = &ws.ckpt_pool;
+  // Request span context: every executor trace event of this solve —
+  // including ladder rungs and reference fallbacks — carries the ticket.
+  pol.trace_request = static_cast<std::int32_t>(job.id);
 
   try {
     // --- Per-worker session executor for this signature: compiled plan
@@ -352,6 +417,11 @@ void SolveService::worker_loop(int wi) {
       job->state = Job::State::Running;
     }
     job->result.queue_ms = ms_since(job->submitted);
+    const std::int32_t rq = static_cast<std::int32_t>(job->id);
+    PMG_TRACE_SPAN_R(RequestQueueWait, job->trace_t0, job->tenant_ix, -1,
+                     static_cast<int>(job->id), job->result.queue_ms, rq);
+    PMG_TRACE_NOW(span_t0);
+    bool ran = false;
 
     if (job->token.stop_requested()) {
       // Abandoned while queued: the deadline burned out (or the caller
@@ -367,6 +437,7 @@ void SolveService::worker_loop(int wi) {
       }
     } else {
       serve(*job, wi, fill);
+      ran = true;
       if (job->result.status == ErrorCode::DeadlineExceeded) {
         PMG_TRACE_INSTANT(DeadlineHit, job->tenant_ix, /*stage=*/2,
                           static_cast<int>(job->id),
@@ -380,10 +451,32 @@ void SolveService::worker_loop(int wi) {
         job->result.deadline_overshoot_ms = -static_cast<double>(rem) / 1e6;
       }
     }
+    PMG_TRACE_SPAN_R(RequestSpan, span_t0, job->tenant_ix, -1,
+                     static_cast<int>(job->id), job->req.deadline_ms, rq);
+    const double e2e_ms = ms_since(job->submitted);
+    job->result.e2e_ms = e2e_ms;
 
     {
       std::lock_guard<std::mutex> lk(mu_);
       TenantStats& ts = tenants_[job->req.tenant];
+      TenantObs& to = tenant_obs_locked(job->req.tenant);
+      // Latency histograms: two relaxed atomic adds per observation —
+      // recording under mu_ only piggybacks on the lock already held for
+      // the roll-up, it does not need it. Abandoned-in-queue requests
+      // never ran, so solve_ns stays a solve-only distribution.
+      const auto q_ns =
+          static_cast<std::int64_t>(job->result.queue_ms * 1e6);
+      const auto e_ns = static_cast<std::int64_t>(e2e_ms * 1e6);
+      hist_queue_ns_->record(q_ns);
+      to.queue_ns->record(q_ns);
+      if (ran) {
+        const auto s_ns =
+            static_cast<std::int64_t>(job->result.solve_ms * 1e6);
+        hist_solve_ns_->record(s_ns);
+        to.solve_ns->record(s_ns);
+      }
+      hist_e2e_ns_->record(e_ns);
+      to.e2e_ns->record(e_ns);
       ++ts.completed;
       if (job->result.status == ErrorCode::DeadlineExceeded) {
         ++ts.deadline_hits;
@@ -395,6 +488,7 @@ void SolveService::worker_loop(int wi) {
       --inflight_[job->req.tenant];
       job->state = Job::State::Done;
       m.counter("service.completed").add(1);
+      update_slo_locked(ts, to);
     }
     cv_done_.notify_all();
   }

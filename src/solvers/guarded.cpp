@@ -207,12 +207,16 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
         exp = &*own;
       }
       runtime::GuardedExecutor& ex = *exp;
-      // The token is attached for this attempt only: a session executor
-      // outlives the request whose token this is.
+      // The token and request span context are attached for this attempt
+      // only: a session executor outlives the request they belong to.
       ex.set_cancel_token(policy.cancel);
+      ex.set_trace_request(policy.trace_request);
       struct TokenDetach {
         runtime::GuardedExecutor& ex;
-        ~TokenDetach() { ex.set_cancel_token(nullptr); }
+        ~TokenDetach() {
+          ex.set_cancel_token(nullptr);
+          ex.set_trace_request(-1);
+        }
       } detach{ex};
       // Session executors accumulate fallback counts across solves;
       // attribute only this attempt's delta.
@@ -395,6 +399,7 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
             opt::CompileOptions od = rung.opts;
             od.precision = opt::PrecisionPolicy{};
             oracle.emplace(opt::compile(build_cycle(rung.cfg), od));
+            oracle->set_trace_request(policy.trace_request);
           }
           const grid::View vprev = grid::View::over(vprevb->data(),
                                                     p.domain());

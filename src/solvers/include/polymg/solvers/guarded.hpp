@@ -123,6 +123,11 @@ struct GuardPolicy {
   /// solve's (cfg, opts) compilation; ladder rungs always build their
   /// own executor. Must outlive the call.
   runtime::GuardedExecutor* session_executor = nullptr;
+  /// Request span context (-1 = none): stamped into TraceEvent::req on
+  /// every executor event of every attempt — including ladder rungs and
+  /// reference fallbacks — so a Perfetto export nests the whole solve's
+  /// tile/stage spans under the submitting service request.
+  std::int32_t trace_request = -1;
 };
 
 /// Which remedy a ladder rung applies (mirrors build_ladder's order).

@@ -2,20 +2,31 @@
 //
 // The contract under test: tracing captures typed per-tile events from
 // both schedules in valid Chrome trace_event JSON; the ring wraps by
-// dropping oldest events (counted, never growing); and with no session
+// dropping oldest events (counted, never growing); with no session
 // active an instrumented steady-state run stays zero-alloc and bit-exact
-// with a traced one.
+// with a traced one; histogram quantiles stay within one bucket width of
+// the exact order statistics under concurrent recording; the request
+// span context rides through both schedules; and the Prometheus
+// exposition (text format and scrape endpoint) round-trips the registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "polymg/common/alloc_hook.hpp"
 #include "polymg/common/parallel.hpp"
+#include "polymg/common/rng.hpp"
+#include "polymg/obs/exposition.hpp"
+#include "polymg/obs/histogram.hpp"
 #include "polymg/obs/metrics.hpp"
+#include "polymg/obs/perf.hpp"
 #include "polymg/obs/report.hpp"
 #include "polymg/obs/trace.hpp"
 #include "polymg/opt/compile.hpp"
@@ -383,6 +394,309 @@ TEST_F(ObsTest, RunReportRendersAttributionAndMetrics) {
   EXPECT_NE(text.find("g0"), std::string::npos);
   EXPECT_NE(text.find("executor.tiles"), std::string::npos)
       << "metrics snapshot missing from the report";
+}
+
+// ---------------------------------------------------------------------
+// Histograms.
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketIndexIsMonotoneAndBracketing) {
+  // Small values land in exact unit buckets...
+  for (std::int64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_lower(Histogram::bucket_index(v)), v);
+  }
+  // ...and across a wide sweep the index is monotone non-decreasing and
+  // every value sits inside its bucket's [lower, upper] bounds.
+  int last_ix = -1;
+  for (std::int64_t v = 0; v < (std::int64_t{1} << 40); v = v * 2 + 3) {
+    const int ix = Histogram::bucket_index(v);
+    EXPECT_GE(ix, last_ix) << "v=" << v;
+    last_ix = ix;
+    EXPECT_LE(Histogram::bucket_lower(ix), v) << "v=" << v;
+    EXPECT_GE(Histogram::bucket_upper(ix), v) << "v=" << v;
+  }
+  // Negative observations clamp to the zero bucket rather than indexing
+  // out of bounds.
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesWithinOneBucketUnderConcurrentRecording) {
+  // Deterministic heavy-tailed samples, recorded from four threads at
+  // once; every quantile read back must sit within the width of the
+  // bucket that holds the exact nearest-rank order statistic.
+  const std::size_t kN = 50000;
+  std::vector<std::int64_t> samples;
+  samples.reserve(kN);
+  Rng rng(0x15eed);
+  for (std::size_t i = 0; i < kN; ++i) {
+    double z = -6.0;
+    for (int k = 0; k < 12; ++k) z += rng.next_double();
+    samples.push_back(static_cast<std::int64_t>(std::exp(10.0 + 1.3 * z)));
+  }
+  Histogram h;
+  std::vector<std::thread> threads;
+  const int kThreads = 4;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t lo = kN * static_cast<std::size_t>(t) / kThreads;
+      const std::size_t hi =
+          kN * static_cast<std::size_t>(t + 1) / kThreads;
+      for (std::size_t i = lo; i < hi; ++i) h.record(samples[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(h.count(), static_cast<std::int64_t>(kN))
+      << "concurrent records lost";
+
+  std::vector<std::int64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(kN)));
+    rank = std::min(std::max<std::size_t>(rank, 1), kN);
+    const std::int64_t exact = sorted[rank - 1];
+    EXPECT_LE(std::llabs(h.quantile(q) - exact),
+              h.quantile_bucket_width(q))
+        << "q=" << q;
+  }
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+}
+
+TEST_F(ObsTest, HistogramRecordIsZeroAlloc) {
+  Metrics& m = Metrics::instance();
+  Histogram& h = m.histogram("test.obs.zeroalloc_hist");
+  h.reset();
+  const std::uint64_t before = polymg::allocation_count();
+  for (int i = 0; i < 1000; ++i) h.record(i * 37);
+  EXPECT_EQ(polymg::allocation_count(), before);
+  EXPECT_EQ(h.count(), 1000);
+  // Handles are stable like counters and gauges.
+  EXPECT_EQ(&m.histogram("test.obs.zeroalloc_hist"), &h);
+}
+
+// ---------------------------------------------------------------------
+// Exposition: snapshot_json hygiene and the Prometheus text format.
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, SnapshotJsonEscapesAndSortsNames) {
+  Metrics& m = Metrics::instance();
+  // Tenant-derived names can carry arbitrary bytes: quotes, backslashes
+  // and control characters must not corrupt the JSON document.
+  m.counter("test.we\"ird\\na\tme").add(7);
+  m.counter("test.aaa_first").add(1);
+  const std::string json = m.snapshot_json();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("test.we\\\"ird\\\\na\\tme"), std::string::npos)
+      << json.substr(0, 400);
+  // Sorted stable order: "test.aaa_first" precedes the weird name.
+  EXPECT_LT(json.find("test.aaa_first"), json.find("test.we"));
+}
+
+TEST_F(ObsTest, PrometheusTextExposition) {
+  Metrics& m = Metrics::instance();
+  m.counter("test.prom.counter").reset();
+  m.counter("test.prom.counter").add(5);
+  m.gauge("test.prom.gauge").set(42);
+  Histogram& h = m.histogram("test.prom.hist_ns");
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000);
+  const std::string text = m.prometheus_text();
+
+  // Names sanitized to the Prometheus charset, one TYPE line per metric.
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge 42"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge_peak 42"), std::string::npos);
+
+  // Histogram: cumulative buckets ending at +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE test_prom_hist_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_ns_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_ns_count 100"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_ns_sum"), std::string::npos);
+
+  // Cumulative monotonicity across the emitted buckets.
+  std::int64_t last = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("test_prom_hist_ns_bucket{le=", pos)) !=
+         std::string::npos) {
+    const std::size_t sp = text.find("} ", pos);
+    ASSERT_NE(sp, std::string::npos);
+    const std::int64_t cum = std::atoll(text.c_str() + sp + 2);
+    EXPECT_GE(cum, last);
+    last = cum;
+    ++pos;
+  }
+  EXPECT_EQ(last, 100);
+}
+
+TEST_F(ObsTest, ScrapeEndpointRoundTrip) {
+  Metrics::instance().counter("test.scrape.counter").add(1);
+  ScrapeEndpoint::Options so;
+  so.tcp_port = 0;  // ephemeral loopback port
+  ScrapeEndpoint ep(so);
+  if (!ep.running()) {
+    GTEST_SKIP() << "cannot bind a loopback listener in this environment";
+  }
+  ASSERT_GT(ep.port(), 0);
+  const std::string payload = ScrapeEndpoint::http_get_local(ep.port());
+  EXPECT_NE(payload.find("# TYPE"), std::string::npos)
+      << payload.substr(0, 200);
+  EXPECT_NE(payload.find("test_scrape_counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Dropped-events accounting and the report warning.
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, DroppedEventsFeedCounterAndReportWarning) {
+  Counter& dropped = Metrics::instance().counter("obs.dropped_events");
+  dropped.reset();
+  TraceSession::start(/*events_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    trace_instant(EventKind::GateOpen, -1, -1, i, 0.0);
+  }
+  TraceSession::stop();
+  EXPECT_EQ(dropped.value(), 12);
+  TraceSession::stop();  // idempotent: drops folded in exactly once
+  EXPECT_EQ(dropped.value(), 12);
+
+  // A report that saw drops renders a loud warning; a clean one must not.
+  RunReport rr;
+  rr.title = "drop test";
+  rr.trace_dropped = 12;
+  const std::string text = rr.render();
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+  EXPECT_NE(text.find("dropped 12"), std::string::npos);
+  rr.trace_dropped = 0;
+  EXPECT_EQ(rr.render().find("WARNING"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Request span context.
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, RequestIdPropagatesThroughBothSchedules) {
+#if defined(POLYMG_TRACE_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (POLYMG_TRACING=OFF)";
+#endif
+  const int threads_before = max_threads();
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 17);
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  for (const int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    for (const bool dependence : {false, true}) {
+      CompileOptions o = CompileOptions::for_variant(Variant::OptPlus, 2);
+      o.dependence_schedule = dependence;
+      Executor ex(opt::compile(solvers::build_cycle(w2d()), o));
+      ex.set_trace_request(42);
+      EXPECT_EQ(ex.trace_request(), 42);
+      TraceSession::start();
+      ex.run(ext);
+      TraceSession::stop();
+      const std::vector<TraceEvent> evs = TraceSession::snapshot();
+      // Every execution event — from every team thread — carries the
+      // ticket; that is the whole point of the executor-owned span
+      // context (a thread_local would miss the OMP team threads).
+      int exec_events = 0;
+      for (const TraceEvent& e : evs) {
+        if (e.kind != EventKind::TileExec &&
+            e.kind != EventKind::SlabExec &&
+            e.kind != EventKind::GroupExec &&
+            e.kind != EventKind::TimeTileExec) {
+          continue;
+        }
+        ++exec_events;
+        EXPECT_EQ(e.req, 42)
+            << to_string(e.kind) << " threads=" << threads
+            << (dependence ? " dependence" : " barrier");
+      }
+      EXPECT_GT(exec_events, 0);
+
+      // Detaching restores the -1 sentinel for subsequent runs.
+      ex.set_trace_request(-1);
+      TraceSession::start();
+      ex.run(ext);
+      TraceSession::stop();
+      for (const TraceEvent& e : TraceSession::snapshot()) {
+        EXPECT_EQ(e.req, -1);
+      }
+
+      // The Chrome export carries the ticket in args and stays valid
+      // JSON for Perfetto.
+      std::ostringstream os;
+      write_chrome_trace(os, evs, "req-test");
+      const std::string json = os.str();
+      JsonScanner scanner(json);
+      EXPECT_TRUE(scanner.valid()) << json.substr(0, 400);
+      EXPECT_NE(json.find("\"req\": 42"), std::string::npos);
+    }
+  }
+  set_num_threads(threads_before);
+}
+
+// ---------------------------------------------------------------------
+// Hardware counters: graceful everywhere, precise where permitted.
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, PerfCountersAreGracefulWhenUnavailable) {
+  PerfCounters pc;
+  if (!pc.available()) {
+    // Containers and perf_event_paranoid settings routinely forbid
+    // perf_event_open; the wrapper must degrade, not fail.
+    pc.start();
+    const PerfCounters::Sample s = pc.stop();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.cycles, -1);
+    GTEST_SKIP() << "perf_event_open unavailable here (expected in "
+                    "containers) — hw sampling not exercised";
+  }
+  pc.start();
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001 + 0.5;
+  const PerfCounters::Sample s = pc.stop();
+  EXPECT_TRUE(s.ok());
+  EXPECT_GT(s.cycles, 0);
+  EXPECT_GT(s.instructions, 0);
+}
+
+TEST_F(ObsTest, RooflineRowsRenderWithOrWithoutHardware) {
+  auto p = solvers::PoissonProblem::random_rhs(2, w2d().n, 23);
+  Executor ex(opt::compile(solvers::build_cycle(w2d()),
+                           CompileOptions::for_variant(Variant::OptPlus, 2)));
+  const bool hw = ex.enable_perf_attribution();
+  EXPECT_TRUE(ex.perf_attribution_enabled());
+  const std::vector<View> ext = {p.v_view(), p.f_view()};
+  ex.run(ext);
+  ex.run(ext);
+  const RunReport rr = ex.run_report();
+  ASSERT_EQ(rr.perf.size(), ex.plan().groups.size());
+  for (const auto& row : rr.perf) {
+    EXPECT_GT(row.model_bytes, 0.0) << row.label;
+    EXPECT_GT(row.model_flops, 0.0) << row.label;
+    EXPECT_GT(row.runs, 0) << row.label;
+    if (hw) {
+      EXPECT_GE(row.cycles, 0) << row.label;
+    } else {
+      EXPECT_EQ(row.cycles, -1) << row.label;
+    }
+  }
+  const std::string text = rr.render();
+  EXPECT_NE(text.find("roofline"), std::string::npos);
+  EXPECT_NE(text.find("GB/s"), std::string::npos);
+  if (!hw) {
+    EXPECT_NE(text.find("hw counters unavailable"), std::string::npos);
+  }
 }
 
 }  // namespace

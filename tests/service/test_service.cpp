@@ -15,7 +15,9 @@
 #include "polymg/common/cancel.hpp"
 #include "polymg/common/fault.hpp"
 #include "polymg/common/parallel.hpp"
+#include "polymg/obs/exposition.hpp"
 #include "polymg/obs/metrics.hpp"
+#include "polymg/obs/trace.hpp"
 #include "polymg/opt/compile.hpp"
 #include "polymg/runtime/executor.hpp"
 #include "polymg/solvers/metrics.hpp"
@@ -32,7 +34,10 @@ using solvers::SolveReport;
 class ServiceTest : public ::testing::Test {
 protected:
   void SetUp() override { fault::FaultInjector::instance().reset(); }
-  void TearDown() override { fault::FaultInjector::instance().reset(); }
+  void TearDown() override {
+    fault::FaultInjector::instance().reset();
+    if (obs::TraceSession::active()) obs::TraceSession::stop();
+  }
 };
 
 CycleConfig small2d(poly::index_t n = 63) {
@@ -404,6 +409,160 @@ TEST_F(ServiceTest, QueueFillDegradesBeforeShedding) {
   EXPECT_FALSE(r3.degraded);
   EXPECT_TRUE(r1.converged && r2.converged && r3.converged);
   EXPECT_EQ(svc.tenant_stats().at("t").degraded, 2);
+}
+
+// ---------------------------------------------------------------------
+// Observability plane (DESIGN.md §14): request-correlated spans,
+// latency histograms, SLO gauges and the scrape endpoint.
+
+TEST_F(ServiceTest, RequestSpansCarryTheTicketThroughTheExecutor) {
+#if defined(POLYMG_TRACE_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (POLYMG_TRACING=OFF)";
+#endif
+  // One worker: traced sessions are documented single-worker (per-thread
+  // rings are single-writer per OMP slot).
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SolveService svc(cfg);
+  obs::TraceSession::start();
+  const auto a = svc.submit(make_req(small2d(), "traced", 1e-8,
+                                     /*deadline_ms=*/5000.0));
+  ASSERT_TRUE(a.admitted);
+  (void)svc.wait(a.ticket);
+  obs::TraceSession::stop();
+  const auto evs = obs::TraceSession::snapshot();
+
+  const auto ticket = static_cast<std::int32_t>(a.ticket);
+  int request_spans = 0, queue_waits = 0, exec_with_ticket = 0;
+  for (const obs::TraceEvent& e : evs) {
+    if (e.kind == obs::EventKind::RequestSpan) {
+      ++request_spans;
+      EXPECT_EQ(e.req, ticket);
+      EXPECT_EQ(e.id, static_cast<std::int32_t>(a.ticket));
+      EXPECT_DOUBLE_EQ(e.value, 5000.0);  // deadline rides in value
+    }
+    if (e.kind == obs::EventKind::RequestQueueWait) {
+      ++queue_waits;
+      EXPECT_EQ(e.req, ticket);
+    }
+    if ((e.kind == obs::EventKind::TileExec ||
+         e.kind == obs::EventKind::SlabExec ||
+         e.kind == obs::EventKind::GroupExec) &&
+        e.req == ticket) {
+      ++exec_with_ticket;
+    }
+  }
+  EXPECT_EQ(request_spans, 1);
+  EXPECT_EQ(queue_waits, 1);
+  // The solve's tile/stage spans nest under the request: the ticket
+  // reached the executor through GuardPolicy -> GuardedExecutor ->
+  // Executor.
+  EXPECT_GT(exec_with_ticket, 0);
+}
+
+TEST_F(ServiceTest, LatencyHistogramsAndSloGaugesTrackRequests) {
+  auto& m = obs::Metrics::instance();
+  m.histogram("service.e2e_ns").reset();
+  m.histogram("service.queue_ns").reset();
+  m.histogram("service.solve_ns").reset();
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.slo_target = 0.9;  // budget 0.1 — easy to reason about below
+  SolveService svc(cfg);
+  const int kReqs = 3;
+  std::vector<std::uint64_t> tickets;
+  for (int i = 0; i < kReqs; ++i) {
+    const auto a = svc.submit(make_req(small2d(), "slo-t"));
+    ASSERT_TRUE(a.admitted);
+    tickets.push_back(a.ticket);
+  }
+  double max_e2e_ms = 0.0;
+  for (const auto t : tickets) {
+    const SolveResult r = svc.wait(t);
+    EXPECT_TRUE(r.converged);
+    EXPECT_GT(r.e2e_ms, 0.0);
+    EXPECT_GE(r.e2e_ms, r.queue_ms);
+    max_e2e_ms = std::max(max_e2e_ms, r.e2e_ms);
+  }
+
+  // Aggregate and per-tenant histograms saw every request; the e2e
+  // quantile is consistent with the observed per-request values.
+  EXPECT_EQ(m.histogram("service.e2e_ns").count(), kReqs);
+  EXPECT_EQ(m.histogram("service.solve_ns").count(), kReqs);
+  EXPECT_EQ(m.histogram("service.tenant.slo-t.e2e_ns").count(), kReqs);
+  const auto p99_ns = m.histogram("service.e2e_ns").quantile(0.99);
+  const auto width_ns =
+      m.histogram("service.e2e_ns").quantile_bucket_width(0.99);
+  EXPECT_LE(std::abs(static_cast<double>(p99_ns) - max_e2e_ms * 1e6),
+            static_cast<double>(width_ns));
+
+  // No deadline misses, no sheds: every SLO gauge reads zero burn.
+  EXPECT_EQ(m.gauge("service.tenant.slo-t.slo.deadline_hit_ppm").value(), 0);
+  EXPECT_EQ(m.gauge("service.tenant.slo-t.slo.shed_ppm").value(), 0);
+  EXPECT_EQ(
+      m.gauge("service.tenant.slo-t.slo.error_budget_burn_ppm").value(), 0);
+}
+
+TEST_F(ServiceTest, SheddingBurnsTheTenantErrorBudget) {
+  // One worker pinned by a blocker, capacity 1: the measured tenant's
+  // first submit queues, its second sheds. With slo_target 0.5 (budget
+  // 0.5), 1 shed of 2 submitted = bad ratio 0.5 = burn exactly 1e6 ppm.
+  auto& m = obs::Metrics::instance();
+  ServiceConfig cfg = patient_config();
+  cfg.queue_capacity = 1;
+  cfg.slo_target = 0.5;
+  SolveService svc(cfg);
+  const auto blocker = svc.submit(blocker_req("pinner"));
+  ASSERT_TRUE(blocker.admitted);
+  // Wait until the worker dequeues the blocker, so the next submit
+  // occupies the queue slot rather than racing for the worker.
+  spin_until_drained(svc);
+  const auto q1 = svc.submit(make_req(small2d(), "burn-t"));
+  ASSERT_TRUE(q1.admitted);  // fills the queue
+  const auto q2 = svc.submit(make_req(small2d(), "burn-t"));
+  ASSERT_FALSE(q2.admitted);  // shed
+  EXPECT_GT(q2.retry_after_ms, 0.0);
+
+  // The shed updated the gauges immediately, before any completion.
+  const auto shed = m.gauge("service.tenant.burn-t.slo.shed_ppm").value();
+  const auto burn =
+      m.gauge("service.tenant.burn-t.slo.error_budget_burn_ppm").value();
+  EXPECT_EQ(shed, 500000);   // 1 of 2 submitted
+  EXPECT_EQ(burn, 1000000);  // consuming the budget exactly at target
+
+  ASSERT_TRUE(svc.cancel(blocker.ticket));
+  (void)svc.wait(blocker.ticket);
+  (void)svc.wait(q1.ticket);
+}
+
+TEST_F(ServiceTest, ScrapeEndpointServesServiceSeries) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics_port = 0;  // ephemeral loopback port
+  SolveService svc(cfg);
+  if (!svc.metrics_running()) {
+    GTEST_SKIP() << "cannot bind a loopback listener in this environment";
+  }
+  ASSERT_GT(svc.metrics_port(), 0);
+  const auto a = svc.submit(make_req(small2d(), "scraped"));
+  ASSERT_TRUE(a.admitted);
+  (void)svc.wait(a.ticket);
+
+  // Scrape while the service is live: the payload carries the latency
+  // histogram series and the per-tenant SLO gauges in Prometheus text
+  // format.
+  const std::string payload =
+      obs::ScrapeEndpoint::http_get_local(svc.metrics_port());
+  EXPECT_NE(payload.find("# TYPE service_e2e_ns histogram"),
+            std::string::npos)
+      << payload.substr(0, 300);
+  EXPECT_NE(payload.find("service_e2e_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(payload.find(
+                "service_tenant_scraped_slo_deadline_hit_ppm"),
+            std::string::npos);
+  EXPECT_NE(payload.find("service_completed"), std::string::npos);
 }
 
 // Per-tenant roll-ups render into a RunReport.
