@@ -28,6 +28,10 @@ const char* to_string(ErrorCode code) {
       return "Cancelled";
     case ErrorCode::Overloaded:
       return "Overloaded";
+    case ErrorCode::SolveStalled:
+      return "SolveStalled";
+    case ErrorCode::WorkerLost:
+      return "WorkerLost";
   }
   return "?";
 }

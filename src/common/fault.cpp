@@ -63,10 +63,11 @@ long FaultInjector::fired(const std::string& site) const {
 }
 
 std::vector<std::string> FaultInjector::list_sites() {
-  return {kCheckpointCorrupt, kDistHalo,        kJitCompile,
+  return {kAllocFail,         kCacheEnospc,     kCheckpointCorrupt,
+          kDistHalo,          kJitCompile,      kJitHang,
           kKernelBitflip,     kKernelOutput,    kPoolAlloc,
           kPrecisionCorrupt,  kRankDeath,       kServiceReject,
-          kServiceSlow,       kSolveCrash};
+          kServiceSlow,       kSolveCrash,      kSolveStall};
 }
 
 bool FaultInjector::is_known_site(const std::string& site) {

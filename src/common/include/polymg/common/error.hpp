@@ -30,6 +30,8 @@ enum class ErrorCode {
   DeadlineExceeded,      ///< a request's deadline passed mid-solve
   Cancelled,             ///< cooperative cancellation was requested
   Overloaded,            ///< admission control shed the request (retryable)
+  SolveStalled,          ///< watchdog saw no progress epochs; solve killed
+  WorkerLost,            ///< a service worker stopped responding entirely
 };
 
 const char* to_string(ErrorCode code);

@@ -52,6 +52,22 @@ inline constexpr const char* kJitCompile = "jit.compile";
 /// the precision oracle must detect the drift and degrade the solve to
 /// full double.
 inline constexpr const char* kPrecisionCorrupt = "precision.corrupt";
+/// The JIT's compiler child hangs instead of exiting (models a wedged
+/// toolchain); the sandbox's waitpid timeout must kill it and fall back
+/// to the register engine within the compile budget.
+inline constexpr const char* kJitHang = "jit.hang";
+/// A worker's solve stops making progress without tripping its token (a
+/// livelock / scheduler wedge); the service watchdog must detect the
+/// frozen progress epoch and escalate.
+inline constexpr const char* kSolveStall = "solve.stall";
+/// A JIT disk-cache write fails mid-stream (models ENOSPC / a partial
+/// write); publication must degrade to the register engine, never crash
+/// or publish a torn entry.
+inline constexpr const char* kCacheEnospc = "cache.enospc";
+/// A service-side allocation fails (models memory-pool exhaustion under
+/// load); the request must resolve Overloaded with a retry-after hint,
+/// not abort the worker.
+inline constexpr const char* kAllocFail = "alloc.fail";
 
 class FaultInjector {
 public:
