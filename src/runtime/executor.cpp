@@ -343,6 +343,14 @@ View Executor::resolve_bind(const SourceBind& b,
 }
 
 bool Executor::poll_abort() {
+  // Granule heartbeat: every poll site is a granule boundary on both
+  // schedules, so the epoch advances exactly as often as the run can
+  // react to a trip — a frozen epoch IS a stall. Bumping while aborting
+  // is deliberate: a draining run is progressing toward termination.
+  progress_epoch_.fetch_add(1, std::memory_order_relaxed);
+  if (progress_sink_ != nullptr) {
+    progress_sink_->fetch_add(1, std::memory_order_relaxed);
+  }
   // Monotonic fast path: one relaxed load once the run is aborting (or
   // while no token is attached). Read-read coherence on abort_ plus the
   // scheduler's release/acquire edges guarantee a task queued after a

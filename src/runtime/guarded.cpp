@@ -55,6 +55,12 @@ void GuardedExecutor::set_trace_request(std::int32_t req) {
   if (reference_ != nullptr) reference_->set_trace_request(req);
 }
 
+void GuardedExecutor::set_progress_sink(std::atomic<std::uint64_t>* sink) {
+  progress_sink_ = sink;
+  if (optimized_ != nullptr) optimized_->set_progress_sink(sink);
+  if (reference_ != nullptr) reference_->set_progress_sink(sink);
+}
+
 void GuardedExecutor::note_incident(ErrorCode code, const std::string& what) {
   report_.last_error = code;
   report_.last_incident = what;
@@ -70,6 +76,7 @@ void GuardedExecutor::ensure_reference() {
   reference_ = std::make_unique<Executor>(std::move(cp));
   reference_->set_cancel_token(cancel_);
   reference_->set_trace_request(trace_req_);
+  reference_->set_progress_sink(progress_sink_);
 }
 
 void GuardedExecutor::check_externals(

@@ -89,6 +89,25 @@ public:
   void set_cancel_token(const CancelToken* token) { cancel_ = token; }
   const CancelToken* cancel_token() const { return cancel_; }
 
+  /// Progress epoch: a relaxed-atomic counter bumped at every granule
+  /// boundary of both schedules (tile, slab, stage, group, collective
+  /// sweep — the same places the abort poll runs). A frozen epoch while
+  /// a run is in flight means the executor has stopped making progress;
+  /// the service watchdog samples it to detect stalls. Monotone within
+  /// and across runs; never reset.
+  std::uint64_t progress_epoch() const {
+    return progress_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Mirror every epoch bump into an external heartbeat (non-owning,
+  /// nullptr detaches; must outlive every run). The service points this
+  /// at the worker's heartbeat so the supervisor watches one counter per
+  /// worker no matter which executor (session, ladder rung, reference)
+  /// is doing the work. Set or clear only between runs.
+  void set_progress_sink(std::atomic<std::uint64_t>* sink) {
+    progress_sink_ = sink;
+  }
+  std::atomic<std::uint64_t>* progress_sink() const { return progress_sink_; }
+
   /// Request span context: the service ticket on whose behalf subsequent
   /// runs execute (-1 = none). Stamped into TraceEvent::req on every
   /// event the executor records — tile/slab/group spans, queue waits,
@@ -280,6 +299,11 @@ private:
 
   /// Request span context stamped into every trace event (-1 = none).
   std::int32_t trace_req_ = -1;
+
+  /// Progress epoch (see progress_epoch()): bumped relaxed at every
+  /// granule boundary, optionally mirrored into an external heartbeat.
+  std::atomic<std::uint64_t> progress_epoch_{0};
+  std::atomic<std::uint64_t>* progress_sink_ = nullptr;  ///< non-owning
 
   // --- Hardware-counter attribution (enable_perf_attribution). All
   // --- accumulators are per group, covering perf_runs_ barrier runs.

@@ -14,6 +14,8 @@
 // Executor); the guard adds only the output scan.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +86,12 @@ public:
   void set_trace_request(std::int32_t req);
   std::int32_t trace_request() const { return trace_req_; }
 
+  /// Point both plans' progress-epoch mirrors at one external heartbeat
+  /// (see Executor::set_progress_sink): the supervisor watches a single
+  /// counter per worker regardless of which plan serves the run.
+  /// Non-owning; nullptr detaches; set only between runs.
+  void set_progress_sink(std::atomic<std::uint64_t>* sink);
+
 private:
   void note_incident(ErrorCode code, const std::string& what);
   void ensure_reference();
@@ -94,6 +102,8 @@ private:
   opt::CompileOptions opts_;
   const CancelToken* cancel_ = nullptr;  ///< forwarded to both executors
   std::int32_t trace_req_ = -1;          ///< forwarded to both executors
+  /// Heartbeat mirror forwarded to both executors (non-owning).
+  std::atomic<std::uint64_t>* progress_sink_ = nullptr;
   std::unique_ptr<Executor> optimized_;
   std::unique_ptr<Executor> reference_;
   /// Double staging buffers for fallback runs of a mixed plan: the

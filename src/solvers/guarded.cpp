@@ -211,11 +211,13 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
       // only: a session executor outlives the request they belong to.
       ex.set_cancel_token(policy.cancel);
       ex.set_trace_request(policy.trace_request);
+      ex.set_progress_sink(policy.progress);
       struct TokenDetach {
         runtime::GuardedExecutor& ex;
         ~TokenDetach() {
           ex.set_cancel_token(nullptr);
           ex.set_trace_request(-1);
+          ex.set_progress_sink(nullptr);
         }
       } detach{ex};
       // Session executors accumulate fallback counts across solves;
@@ -373,6 +375,12 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
         ++attempt.cycles;
         ++report.total_cycles;
         solver_cycles.add(1);
+        // Solver-side heartbeat: covers the between-run work (residual
+        // norms, checkpoints, oracle compiles) the executor's granule
+        // bumps cannot see.
+        if (policy.progress != nullptr) {
+          policy.progress->fetch_add(1, std::memory_order_relaxed);
+        }
         // SDC guard: multigrid contracts the residual every cycle, so a
         // single-cycle jump of orders of magnitude (or a non-finite norm)
         // is corrupted arithmetic, not slow numerics. Rewind instead of
@@ -400,6 +408,7 @@ SolveReport guarded_solve(const CycleConfig& cfg, PoissonProblem& p,
             od.precision = opt::PrecisionPolicy{};
             oracle.emplace(opt::compile(build_cycle(rung.cfg), od));
             oracle->set_trace_request(policy.trace_request);
+            oracle->set_progress_sink(policy.progress);
           }
           const grid::View vprev = grid::View::over(vprevb->data(),
                                                     p.domain());

@@ -12,6 +12,7 @@
 // SolveReport, so a degraded solve is visible, not papered over.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -128,6 +129,13 @@ struct GuardPolicy {
   /// reference fallbacks — so a Perfetto export nests the whole solve's
   /// tile/stage spans under the submitting service request.
   std::int32_t trace_request = -1;
+  /// Optional heartbeat (non-owning, must outlive the call): attached as
+  /// the progress sink of every attempt's executor and of the precision
+  /// oracle, and bumped once per completed cycle for the solver-side work
+  /// between runs (residual norms, checkpoints). The service watchdog
+  /// samples it — a frozen value while a solve is in flight means the
+  /// worker has stalled.
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 /// Which remedy a ladder rung applies (mirrors build_ladder's order).
