@@ -1,9 +1,17 @@
 #include "polymg/codegen/jit.hpp"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -89,12 +97,121 @@ std::string jit_cflags() {
   return flags;
 }
 
+/// Compile budget (ms): past this the compiler child is SIGKILLed and
+/// specialization degrades to the register engine. Generous by default —
+/// a healthy cc finishes a kernel module in well under a second; only a
+/// wedged toolchain ever meets the watchdog.
+long jit_timeout_ms() {
+  if (const char* e = std::getenv("POLYMG_JIT_TIMEOUT_MS");
+      e != nullptr && *e) {
+    const long v = std::atol(e);
+    if (v > 0) return v;
+  }
+  return 10000;
+}
+
+/// Address-space cap (MiB) for the compiler child; <= 0 disables.
+long jit_rlimit_as_mb() {
+  if (const char* e = std::getenv("POLYMG_JIT_RLIMIT_AS_MB");
+      e != nullptr && *e) {
+    return std::atol(e);
+  }
+  return 4096;
+}
+
+/// Whitespace argv split. The command is our own jit_compiler() +
+/// jit_cflags(); no flag carries embedded spaces, so no quoting grammar
+/// is needed — and dropping the shell is the point: the old std::system
+/// path gave a wedged or runaway cc the whole process group and no
+/// resource bounds.
+std::vector<std::string> split_argv(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream is(s);
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+/// Invoke the system compiler in a sandboxed child: fork/execvp (no
+/// shell), stdout+stderr redirected to `log`, CPU and address-space
+/// rlimits applied, and a waitpid watchdog that SIGKILLs the child when
+/// it exceeds the compile budget. Returns true iff the child exited 0
+/// within budget; a kill-on-overrun bumps jit.compile_timeouts and the
+/// caller's fallback ladder takes over. The jit.hang fault site models a
+/// wedged toolchain: the child parks in pause() instead of exec'ing, so
+/// only the watchdog can reap it.
 bool run_compiler(const std::string& src, const std::string& out,
                   const std::string& log) {
-  const std::string cmd = jit_compiler() + " " + jit_cflags() + " -x c \"" +
-                          src + "\" -o \"" + out + "\" > \"" + log +
-                          "\" 2>&1";
-  return std::system(cmd.c_str()) == 0;
+  // Decide the injected hang before fork: should_fail mutates the
+  // process-wide injector, which the child must not touch.
+  const bool hang = fault::should_fail(fault::kJitHang);
+  if (hang) {
+    obs::Metrics::instance().counter("fault.jit_hang").add(1);
+    obs::trace_instant(obs::EventKind::FaultInjected, -1, -1, /*site=*/8,
+                       0.0);
+  }
+  std::vector<std::string> words =
+      split_argv(jit_compiler() + " " + jit_cflags());
+  words.push_back("-x");
+  words.push_back("c");
+  words.push_back(src);
+  words.push_back("-o");
+  words.push_back(out);
+  std::vector<char*> argv;
+  argv.reserve(words.size() + 1);
+  for (std::string& w : words) argv.push_back(w.data());
+  argv.push_back(nullptr);
+
+  const long budget_ms = jit_timeout_ms();
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // Child (async-signal-safe calls only until exec). CPU seconds are a
+    // belt-and-braces bound alongside the parent's wall-clock watchdog:
+    // a spinning cc dies here even if the parent is descheduled.
+    const long cpu_s = std::max(1L, (budget_ms + 999) / 1000);
+    struct rlimit rl_cpu;
+    rl_cpu.rlim_cur = static_cast<rlim_t>(cpu_s);
+    rl_cpu.rlim_max = static_cast<rlim_t>(cpu_s + 1);
+    setrlimit(RLIMIT_CPU, &rl_cpu);
+    if (const long mb = jit_rlimit_as_mb(); mb > 0) {
+      struct rlimit rl_as;
+      rl_as.rlim_cur = static_cast<rlim_t>(mb) << 20;
+      rl_as.rlim_max = static_cast<rlim_t>(mb) << 20;
+      setrlimit(RLIMIT_AS, &rl_as);
+    }
+    const int fd = open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dup2(fd, 1);
+      dup2(fd, 2);
+      if (fd > 2) close(fd);
+    }
+    if (hang) {
+      for (;;) pause();  // injected wedge: uses no CPU, never exits
+    }
+    execvp(argv[0], argv.data());
+    _exit(127);
+  }
+  // Parent: WNOHANG poll with a wall-clock deadline, SIGKILL on overrun.
+  const auto t0 = std::chrono::steady_clock::now();
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0 && errno != EINTR) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    if (elapsed >= budget_ms) {
+      kill(pid, SIGKILL);
+      while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      obs::Metrics::instance().counter("jit.compile_timeouts").add(1);
+      return false;
+    }
+    usleep(2000);
+  }
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
 }
 
 bool write_file_atomic(const std::string& path, const std::string& content) {
