@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <sys/resource.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
@@ -214,21 +215,89 @@ bool run_compiler(const std::string& src, const std::string& out,
   return WIFEXITED(status) && WEXITSTATUS(status) == 0;
 }
 
-bool write_file_atomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp." + std::to_string(getpid());
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) return false;
-    os << content;
-    if (!os.flush()) {
-      std::remove(tmp.c_str());
-      return false;
+/// Exclusive advisory lock on `path` (created if absent), released when
+/// the descriptor closes on scope exit. Best-effort: if the lock cannot
+/// be taken the caller simply races as before — load_module's ABI/key
+/// validation keeps a torn concurrent read from ever being trusted.
+class FileLock {
+public:
+  explicit FileLock(const std::string& path)
+      : fd_(open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644)) {
+    if (fd_ >= 0 && flock(fd_, LOCK_EX) != 0) {
+      close(fd_);
+      fd_ = -1;
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  ~FileLock() {
+    if (fd_ >= 0) close(fd_);  // close drops the flock
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  bool held() const { return fd_ >= 0; }
+
+private:
+  int fd_;
+};
+
+/// fsync a file by path — used on the compiler child's output before the
+/// publishing rename.
+bool fsync_path(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = fsync(fd) == 0;
+  close(fd);
+  return ok;
+}
+
+/// Best-effort fsync of the directory holding `path`, making a rename
+/// into it durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    fsync(fd);
+    close(fd);
+  }
+}
+
+/// Durable atomic publish: write a pid-suffixed temp, fsync the data
+/// BEFORE the rename (a rename that becomes durable ahead of its data
+/// can publish a torn file after a crash), rename into place, fsync the
+/// directory. Any failure — short write, ENOSPC, the injected
+/// cache.enospc model of either — unlinks the temp and returns false;
+/// callers degrade to the register engine.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp." + std::to_string(getpid());
+  const int fd =
+      open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  if (fault::should_fail(fault::kCacheEnospc)) {
+    obs::Metrics::instance().counter("fault.cache_enospc").add(1);
+    obs::trace_instant(obs::EventKind::FaultInjected, -1, -1, /*site=*/10,
+                       0.0);
+    ok = false;  // models write() returning ENOSPC mid-stream
+  }
+  std::size_t off = 0;
+  while (ok && off < content.size()) {
+    const ssize_t n = write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (ok && fsync(fd) != 0) ok = false;
+  if (close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) {
+    unlink(tmp.c_str());
     return false;
   }
+  fsync_parent_dir(path);
   return true;
 }
 
@@ -598,6 +667,13 @@ std::shared_ptr<const JitModule> acquire_module(
   }
   const std::string dir = cache_dir_locked();
   const std::string so = dir + "/" + key + ".so";
+  // Cross-process compile lock: processes racing the same key serialize
+  // on a per-key flock; the losers wake to find the winner's .so already
+  // on disk and take the disk-hit path below, so N concurrent processes
+  // perform exactly one compile. Best-effort — without the lock the race
+  // is merely wasteful, never unsafe (each publishes via its own
+  // pid-suffixed temp + rename).
+  FileLock compile_lock(so + ".lock");
   std::error_code ec;
   if (std::filesystem::exists(so, ec)) {
     if (auto mod = load_module(so, key)) {
@@ -620,10 +696,17 @@ std::shared_ptr<const JitModule> acquire_module(
     m.counter("jit.compile_failures").add(1);
     return nullptr;
   }
+  // Same durability order as write_file_atomic: the object's bytes reach
+  // disk before the rename publishes its name.
+  if (!fsync_path(tmp)) {
+    std::remove(tmp.c_str());
+    return nullptr;
+  }
   if (std::rename(tmp.c_str(), so.c_str()) != 0) {
     std::remove(tmp.c_str());
     return nullptr;
   }
+  fsync_parent_dir(so);
   auto mod = load_module(so, key);
   if (mod == nullptr) {
     std::remove(so.c_str());
