@@ -85,6 +85,11 @@ struct RunReport {
   /// attach_tenants; obs knows nothing about tenants beyond rendering).
   std::vector<std::string> tenant_lines;
 
+  /// Loud free-form warnings (rendered with a WARNING: prefix) — used by
+  /// producers for conditions that must not pass silently, e.g. the
+  /// service detaching a worker that refused to exit at shutdown.
+  std::vector<std::string> warnings;
+
   std::string metrics_json;  ///< optional Metrics::snapshot_json()
 
   /// Human-readable panel: time tables (with % of total), the ladder

@@ -83,6 +83,14 @@ enum class EventKind : std::uint8_t {
                       ///< value=deadline ms (0 = none), req=ticket
   RequestQueueWait,   ///< one request's queue wait (submit -> dequeue):
                       ///< group=tenant index, id=ticket, req=ticket
+  StallDetected,      ///< watchdog saw a frozen worker heartbeat:
+                      ///< group=worker, id=ticket, value=frozen ms
+  SessionQuarantine,  ///< watchdog dropped a worker's cached executors:
+                      ///< group=worker, id=ticket
+  WorkerLost,         ///< watchdog declared a worker lost and spawned a
+                      ///< replacement: group=worker, id=ticket
+  WorkerException,    ///< a worker caught an unexpected exception:
+                      ///< group=tenant index, id=ticket
 };
 
 /// Stable lower-case name for trace exports ("tile", "queue_wait", ...).

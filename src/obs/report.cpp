@@ -140,6 +140,7 @@ std::string RunReport::render() const {
     os << "tenants:\n";
     for (const std::string& t : tenant_lines) os << "  " << t << "\n";
   }
+  for (const std::string& w : warnings) os << "WARNING: " << w << "\n";
   if (trace_dropped > 0) {
     os << "WARNING: trace ring dropped " << trace_dropped
        << " event(s) — the trace is a suffix of the run; raise "

@@ -81,6 +81,10 @@ const char* to_string(EventKind k) {
     case EventKind::PrecisionCheck: return "precision_check";
     case EventKind::RequestSpan: return "request";
     case EventKind::RequestQueueWait: return "request_queue_wait";
+    case EventKind::StallDetected: return "stall_detected";
+    case EventKind::SessionQuarantine: return "session_quarantine";
+    case EventKind::WorkerLost: return "worker_lost";
+    case EventKind::WorkerException: return "worker_exception";
   }
   return "?";
 }

@@ -26,6 +26,11 @@
 //  * under overload the service degrades before it sheds: past a queue
 //    fill threshold it relaxes tolerances, past a higher one it also
 //    caps cycles (DESIGN.md §10 has the policy table);
+//  * a supervisor thread watches per-worker progress heartbeats and
+//    self-heals stalls with an escalation ladder — cooperative cancel,
+//    session quarantine, declare the worker lost and spawn a
+//    replacement — and shutdown() drains with a deadline instead of
+//    joining unconditionally (DESIGN.md §15);
 //  * every request is observable (DESIGN.md §14): queue/solve/e2e
 //    latency lands in lock-free histograms (aggregate and per tenant),
 //    per-tenant SLO gauges track deadline-hit/shed ratios and
@@ -42,6 +47,7 @@
 // at any worker count.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -96,6 +102,35 @@ struct ServiceConfig {
   double relax_tol_factor = 10.0;
   int capped_cycles = 8;
 
+  // Self-healing supervision (DESIGN.md §15). The watchdog samples each
+  // worker's progress heartbeat — bumped at every executor granule and
+  // every solver cycle — and escalates a busy worker whose heartbeat
+  // freezes: after stall_timeout_ms a cooperative cancel of the running
+  // request (its result resolves SolveStalled + retry-after); after
+  // 2×stall_timeout_ms a session quarantine (the worker's cached
+  // executors are dropped and recompiled on next use, in case the wedge
+  // lives in a specialized plan); after 3×stall_timeout_ms the worker is
+  // declared lost — its request is completed WorkerLost by the
+  // supervisor, the thread is detached and a replacement worker with a
+  // fresh session is spawned.
+  /// Heartbeat freeze that triggers stage 1 (ms); 0 disables the
+  /// watchdog entirely — the default, so embedded and debugger-attached
+  /// uses never fight an escalation ladder.
+  double stall_timeout_ms = 0.0;
+  double watchdog_poll_ms = 2.0;  ///< heartbeat sampling period
+  /// Injected stall length for fault site solve.stall: an uncooperative
+  /// busy-wait that deliberately ignores the request token (a livelock
+  /// model) and yields only to the watchdog's kill escalation.
+  double stall_fault_ms = 60000.0;
+
+  // Bounded shutdown. Phase 1 drains: workers finish in-flight solves
+  // and exit, waited up to shutdown_drain_ms. Phase 2 cancels whatever
+  // is still running and waits shutdown_kill_grace_ms more. Stragglers
+  // are detached — counted in service.leaked_workers and reported as a
+  // RunReport warning — instead of blocking the caller forever.
+  double shutdown_drain_ms = 60000.0;
+  double shutdown_kill_grace_ms = 500.0;
+
   // Metrics exposition (obs/exposition.hpp). With metrics_port >= 0 the
   // service owns a scrape endpoint on 127.0.0.1:<metrics_port> (0 = pick
   // an ephemeral port, read it back via metrics_port()); a non-empty
@@ -138,8 +173,12 @@ struct SolveRequest {
 /// The outcome handed back by wait().
 struct SolveResult {
   /// Generic = served (check `converged`); Overloaded = shed at
-  /// admission (see retry_after_ms); DeadlineExceeded / Cancelled =
-  /// stopped, `iterate` holds the best completed iterate.
+  /// admission or resource-exhausted while serving (see retry_after_ms);
+  /// DeadlineExceeded / Cancelled = stopped, `iterate` holds the best
+  /// completed iterate; SolveStalled = the watchdog ended a solve whose
+  /// heartbeat froze; WorkerLost = the serving worker stopped responding
+  /// entirely and was replaced. Both supervision statuses carry a
+  /// retry_after_ms hint — the problem was the replica, not the request.
   ErrorCode status = ErrorCode::Generic;
   bool converged = false;
   solvers::SolveReport report;   ///< full guarded-solve account
@@ -168,6 +207,7 @@ struct TenantStats {
   std::int64_t deadline_hits = 0;
   std::int64_t cancelled = 0;
   std::int64_t degraded = 0;
+  std::int64_t stalled = 0;  ///< watchdog interventions (SolveStalled/WorkerLost)
   std::int64_t cycles = 0;
   double solve_ms = 0.0;
 };
@@ -203,10 +243,18 @@ public:
   /// Cancelled. Idempotent; false for finished or unknown tickets.
   bool cancel(std::uint64_t ticket);
 
-  /// Stop admitting, cancel queued-but-unstarted requests, finish the
-  /// running ones, join the workers. Idempotent; the destructor calls
-  /// it.
+  /// Stop admitting, cancel queued-but-unstarted requests, then drain
+  /// with a deadline: workers get shutdown_drain_ms to finish in-flight
+  /// solves, then their tokens are cancelled and kill flags set with
+  /// shutdown_kill_grace_ms more; a worker still stuck after that is
+  /// DETACHED (counted in service.leaked_workers, surfaced as a
+  /// RunReport warning by attach_tenants) and its request completed
+  /// WorkerLost, so shutdown() returns in bounded time no matter what a
+  /// worker is doing. Idempotent; the destructor calls it.
   void shutdown();
+
+  /// Workers detached by shutdown() because they refused to exit.
+  int leaked_workers() const;
 
   std::size_t queue_depth() const;
   PlanCache& plans() { return plans_; }
@@ -235,13 +283,32 @@ private:
     obs::Gauge* burn_ppm = nullptr;  // ..slo.error_budget_burn_ppm
   };
 
-  void worker_loop(int wi);
-  void serve(Job& job, int wi, double fill);
+  /// Per-worker supervision handle, shared between the worker thread,
+  /// the watchdog and shutdown(). shared_ptr ownership: a detached
+  /// (lost/leaked) thread keeps its control block and session alive
+  /// after the service has replaced or destroyed its slot.
+  struct WorkerCtl;
+  struct WorkerSession;
+
+  void worker_main(std::shared_ptr<WorkerCtl> ctl,
+                   std::shared_ptr<WorkerSession> ws);
+  void serve(Job& job, WorkerCtl& ctl, WorkerSession& ws, double fill);
+  void supervisor_loop();
+  /// Stage-3 escalation and shutdown orphan cleanup: complete `job` as
+  /// `code` on the supervisor's thread so the waiter unblocks even
+  /// though the worker never will. Caller holds mu_.
+  void complete_abandoned_locked(const std::shared_ptr<Job>& job,
+                                 ErrorCode code, int slot);
   double retry_after_locked() const;
   TenantObs& tenant_obs_locked(const std::string& tenant);
   void update_slo_locked(const TenantStats& ts, TenantObs& to) const;
   /// Sleep `ms` in 1 ms slices, polling `tok`; false if it tripped.
-  static bool interruptible_sleep_ms(double ms, const CancelToken& tok);
+  /// `beat` (optional) is bumped every slice so a deliberate sleep
+  /// (retry backoff, injected service.slow) reads as progress to the
+  /// watchdog, not as a stall.
+  static bool interruptible_sleep_ms(double ms, const CancelToken& tok,
+                                     std::atomic<std::uint64_t>* beat =
+                                         nullptr);
 
   ServiceConfig cfg_;
   PlanCache plans_;
@@ -264,10 +331,16 @@ private:
   obs::Histogram* hist_e2e_ns_ = nullptr;
   std::unique_ptr<obs::ScrapeEndpoint> scrape_;
 
-  /// Per-worker persistent session state (touched only by its worker).
-  struct WorkerSession;
-  std::vector<std::unique_ptr<WorkerSession>> sessions_;
-  std::vector<std::thread> workers_;
+  /// Per-worker state, slot-indexed. A slot's thread/ctl/session are
+  /// replaced together when the watchdog declares the worker lost; the
+  /// old (detached) thread keeps the old ctl/session alive through its
+  /// captured shared_ptrs.
+  std::vector<std::shared_ptr<WorkerCtl>> ctls_;          // guarded by mu_
+  std::vector<std::shared_ptr<WorkerSession>> sessions_;  // guarded by mu_
+  std::vector<std::thread> workers_;                      // guarded by mu_
+  int leaked_workers_ = 0;  // guarded by mu_
+  std::thread supervisor_;
+  std::atomic<bool> supervisor_stop_{false};
 };
 
 }  // namespace polymg::service
